@@ -1,0 +1,95 @@
+// Command bulksim runs one simulation: an application from the paper's
+// evaluation suite on one machine configuration, printing the runtime and
+// the characterization statistics behind the paper's Tables 3 and 4.
+//
+// Usage:
+//
+//	bulksim -app radix -variant dypvt -procs 8 -work 120000 -chunk 1000
+//
+// Variants: sc, rc, sc++, base, dypvt, stpvt, exact (see Table 2).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bulksc"
+)
+
+func main() {
+	var (
+		app      = flag.String("app", "fft", "application: "+strings.Join(bulksc.Apps(), ", "))
+		variant  = flag.String("variant", "dypvt", "configuration: "+strings.Join(bulksc.Variants(), ", "))
+		procs    = flag.Int("procs", 8, "processor count")
+		work     = flag.Int("work", 120_000, "dynamic instructions per thread")
+		chunk    = flag.Int("chunk", 1000, "chunk size in instructions (BulkSC)")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		arbs     = flag.Int("arbiters", 1, "arbiter/directory modules")
+		check    = flag.Bool("check", true, "run the SC replay checker (BulkSC)")
+		verbose  = flag.Bool("v", false, "print the full statistics block")
+		timeline = flag.Bool("timeline", false, "render the commit/squash timeline (BulkSC)")
+	)
+	flag.Parse()
+
+	cfg := bulksc.Variant(*app, *variant)
+	cfg.Procs = *procs
+	cfg.Work = *work
+	cfg.ChunkSize = *chunk
+	cfg.Seed = *seed
+	cfg.NumArbiters = *arbs
+	if cfg.Model == bulksc.ModelBulk {
+		cfg.CheckSC = *check
+		cfg.RecordTimeline = *timeline
+	}
+
+	res, err := bulksc.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bulksim:", err)
+		os.Exit(1)
+	}
+	s := res.Stats
+	fmt.Printf("%s / %s: %d cycles, %d instructions committed (%.2f IPC/core)\n",
+		*app, *variant, res.Cycles, s.CommittedInstrs,
+		float64(s.CommittedInstrs)/float64(res.Cycles)/float64(*procs))
+	if cfg.Model == bulksc.ModelBulk {
+		if len(res.SCViolations) > 0 {
+			fmt.Println("SC VIOLATIONS:")
+			for _, v := range res.SCViolations {
+				fmt.Println(" ", v)
+			}
+			os.Exit(2)
+		}
+		if *check {
+			fmt.Printf("sequential consistency verified over %d committed chunks\n", res.ChunksChecked)
+		}
+		fmt.Printf("chunks=%d squashed=%.2f%% (true=%d aliased=%d)  sets R=%.1f W=%.2f privW=%.1f\n",
+			s.Chunks, s.SquashedPct(), s.SquashesTrue, s.SquashesAliased,
+			s.AvgReadSet(), s.AvgWriteSet(), s.AvgPrivWriteSet())
+		fmt.Printf("commits: empty-W=%.1f%% R-sig-required=%.1f%% pendingW=%.2f non-empty-list=%.1f%%\n",
+			s.EmptyWSigPct(), s.RSigRequiredPct(), s.AvgPendingWSigs(), s.NonEmptyWListPct())
+		fmt.Printf("directory: lookups/commit=%.1f unnecessary=%.1f%% updates-unnecessary=%.2f%% nodes/Wsig=%.2f\n",
+			s.LookupsPerCommit(), s.UnnecessaryLookupPct(), s.UnnecessaryUpdatePct(), s.NodesPerWSig())
+	}
+	fmt.Printf("traffic: total=%d bytes", s.TotalTraffic())
+	for _, c := range bulksc.TrafficCategories() {
+		fmt.Printf("  %s=%d", c, s.TrafficBytes[c])
+	}
+	fmt.Println()
+	if *timeline && cfg.Model == bulksc.ModelBulk {
+		fmt.Println()
+		fmt.Print(res.Timeline.Lanes(*procs, 100))
+		fmt.Println()
+		fmt.Print(res.Timeline.Summary(*procs))
+	}
+	if *verbose {
+		fmt.Printf("L1 hits=%d misses=%d  L2 hits=%d misses=%d  writebacks=%d prefetches=%d\n",
+			s.L1Hits, s.L1Misses, s.L2Hits, s.L2Misses, s.Writebacks, s.Prefetches)
+		fmt.Printf("privbuf: supplies=%d overflows=%d restores=%d  extra-invs=%d  bounces=%d\n",
+			s.PrivBufSupplies, s.PrivBufOverflows, s.PrivBufRestores, s.ExtraCacheInvs, s.ReadBounces)
+		fmt.Printf("forward progress: shrinks=%d pre-arbitrations=%d set-overflow-cuts=%d\n",
+			s.ChunkShrinks, s.PreArbitrations, s.SetOverflowCuts)
+		fmt.Printf("per-proc completion cycles: %v\n", res.PerProc)
+	}
+}

@@ -1,0 +1,105 @@
+// Command sweep regenerates the paper's evaluation artifacts: every table
+// and figure of §7, plus the distributed-arbiter extension study.
+//
+// Usage:
+//
+//	sweep -exp fig9                 # Figure 9: performance vs RC
+//	sweep -exp fig10                # Figure 10: chunk-size sensitivity
+//	sweep -exp table3               # Table 3: BulkSC characterization
+//	sweep -exp table4               # Table 4: commit & coherence
+//	sweep -exp fig11                # Figure 11: traffic breakdown
+//	sweep -exp arbiters -procs 16   # §4.2.3 distributed-arbiter ablation
+//	sweep -exp all                  # everything, in order
+//
+// The -work flag sets the per-thread instruction budget; larger runs give
+// steadier statistics (the first 30% is always excluded as warmup).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bulksc"
+	"bulksc/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment: fig9, fig10, table3, table4, fig11, arbiters, sigspace, all")
+		work  = flag.Int("work", 120_000, "dynamic instructions per thread")
+		seed  = flag.Int64("seed", 1, "simulation seed")
+		apps  = flag.String("apps", "", "comma-separated subset of applications (default: all)")
+		procs = flag.Int("procs", 16, "core count for the arbiter-scaling study")
+		par   = flag.Int("j", 0, "parallel simulations (default: NumCPU)")
+	)
+	flag.Parse()
+
+	p := experiments.Params{Work: *work, Seed: *seed, Parallelism: *par}
+	if *apps != "" {
+		p.Apps = strings.Split(*apps, ",")
+	}
+
+	run := func(name string) {
+		switch name {
+		case "fig9":
+			rows, err := experiments.Fig9(p)
+			fail(err)
+			fmt.Println("=== Figure 9: performance normalized to RC (higher is better) ===")
+			fmt.Print(experiments.FormatFig9(rows))
+		case "fig10":
+			rows, err := experiments.Fig10(p)
+			fail(err)
+			fmt.Println("=== Figure 10: BSC_dypvt chunk-size sensitivity (vs RC) ===")
+			fmt.Print(experiments.FormatFig10(rows))
+		case "table3":
+			rows, err := experiments.Table3(p)
+			fail(err)
+			fmt.Println("=== Table 3: BulkSC characterization ===")
+			fmt.Print(experiments.FormatTable3(rows))
+		case "table4":
+			rows, err := experiments.Table4(p)
+			fail(err)
+			fmt.Println("=== Table 4: commit and coherence operations (BSC_dypvt) ===")
+			fmt.Print(experiments.FormatTable4(rows))
+		case "fig11":
+			rows, err := experiments.Fig11(p)
+			fail(err)
+			fmt.Println("=== Figure 11: traffic normalized to RC (R=RC, E=exact, N=no-RSig, B=BSC_dypvt) ===")
+			fmt.Print(experiments.FormatFig11(rows))
+		case "sigspace":
+			rows, err := experiments.SigSpace(p, []string{"radix", "ocean", "water-sp", "sjbb2k"})
+			fail(err)
+			fmt.Println("=== §6 ablation: signature design space (BSC_dypvt) ===")
+			fmt.Print(experiments.FormatSigSpace(rows))
+		case "arbiters":
+			counts := []int{1, 2, 4, 8}
+			rows, err := experiments.ArbScale(p, *procs, counts)
+			fail(err)
+			fmt.Printf("=== §4.2.3 ablation: distributed arbiter at %d cores (speedup vs 1 arbiter) ===\n", *procs)
+			fmt.Print(experiments.FormatArbScale(rows, counts))
+		default:
+			fmt.Fprintf(os.Stderr, "sweep: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		fmt.Println()
+	}
+
+	if *exp == "all" {
+		for _, name := range []string{"fig9", "fig10", "table3", "table4", "fig11", "arbiters", "sigspace"} {
+			run(name)
+		}
+		return
+	}
+	run(*exp)
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+var _ = bulksc.Apps // keep the root package in the import graph for docs

@@ -1,0 +1,56 @@
+// Locks: reproduce the §3.3 discussion of explicit synchronization.
+// Critical sections execute inside chunks with no fences; mutual exclusion
+// comes from chunk atomicity, contenders are squashed, and the
+// forward-progress machinery (exponential chunk shrinking, then
+// pre-arbitration) guarantees the system never livelocks — visible here as
+// the squash/shrink counters under rising contention.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bulksc"
+)
+
+func main() {
+	fmt.Println("chunked test-and-set under contention (Figure 6 scenarios)")
+	fmt.Printf("%-22s %10s %9s %9s %9s %8s\n",
+		"scenario", "cycles", "squashes", "shrinks", "prearbs", "SC")
+	for _, sc := range []struct {
+		name    string
+		threads int
+		iters   int
+		chunk   int
+	}{
+		{"2 threads, 1000-chunk", 2, 40, 1000},
+		{"4 threads, 1000-chunk", 4, 40, 1000},
+		{"8 threads, 1000-chunk", 8, 40, 1000},
+		// A chunk much longer than the critical section (Figure 6(a)):
+		// contenders speculate through the whole lock-protected region.
+		{"8 threads, 4000-chunk", 8, 40, 4000},
+		// A chunk that barely covers the acquire (Figure 6(c)).
+		{"8 threads, 64-chunk", 8, 40, 64},
+	} {
+		prog := bulksc.DekkerLock(sc.iters, sc.threads)
+		cfg := bulksc.DefaultConfig("")
+		cfg.App = ""
+		cfg.Work = 0
+		cfg.ChunkSize = sc.chunk
+		cfg.WarmupFrac = 0
+		res, err := bulksc.RunProgram(cfg, prog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "OK"
+		if len(res.SCViolations) > 0 {
+			verdict = "VIOLATED"
+		}
+		s := res.Stats
+		fmt.Printf("%-22s %10d %9d %9d %9d %8s\n",
+			sc.name, res.Cycles, s.Squashes, s.ChunkShrinks, s.PreArbitrations, verdict)
+	}
+	fmt.Println()
+	fmt.Println("squashes rise with contention; shrinking keeps retry chunks small;")
+	fmt.Println("pre-arbitration (if triggered) serializes a repeatedly-losing processor.")
+}

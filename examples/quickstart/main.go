@@ -1,0 +1,49 @@
+// Quickstart: simulate one application under BulkSC and under the RC
+// baseline, verify sequential consistency of the BulkSC execution, and
+// compare performance — the paper's headline claim in ~40 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bulksc"
+)
+
+func main() {
+	const app = "ocean"
+
+	// The paper's preferred system: BSC_dypvt, 8 cores, 1000-instruction
+	// chunks, Bloom signatures, RSig optimization (Table 2).
+	bulk := bulksc.DefaultConfig(app)
+	bulk.Work = 80_000
+
+	rc := bulksc.Variant(app, "rc")
+	rc.Work = bulk.Work
+
+	bres, err := bulksc.Run(bulk)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rres, err := bulksc.Run(rc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if len(bres.SCViolations) > 0 {
+		log.Fatalf("BulkSC violated SC: %s", bres.SCViolations[0])
+	}
+	fmt.Printf("application:          %s (8 cores, %d instructions/thread)\n", app, bulk.Work)
+	fmt.Printf("sequential consistency: verified over %d committed chunks\n", bres.ChunksChecked)
+	fmt.Printf("RC (relaxed) runtime:   %d cycles\n", rres.Cycles)
+	fmt.Printf("BulkSC runtime:         %d cycles  (%.2fx of RC)\n",
+		bres.Cycles, float64(rres.Cycles)/float64(bres.Cycles))
+	s := bres.Stats
+	fmt.Printf("chunk commits:          %d (%.1f%% with empty W signatures)\n",
+		s.Chunks, s.EmptyWSigPct())
+	fmt.Printf("squashed instructions:  %.2f%%\n", s.SquashedPct())
+	fmt.Printf("avg signature sets:     R=%.1f  W=%.2f  Wpriv=%.1f lines\n",
+		s.AvgReadSet(), s.AvgWriteSet(), s.AvgPrivWriteSet())
+	fmt.Printf("traffic vs RC:          %.2fx\n",
+		float64(s.TotalTraffic())/float64(rres.Stats.TotalTraffic()))
+}

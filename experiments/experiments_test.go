@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"bulksc"
+)
+
+func tinyParams() Params {
+	return Params{Apps: []string{"water-sp", "radix"}, Work: 15000, Seed: 1}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 4}); g < 1.99 || g > 2.01 {
+		t.Fatalf("GeoMean(1,4) = %v, want 2", g)
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("GeoMean(nil) != 0")
+	}
+}
+
+func TestFig9SmallSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	rows, err := Fig9(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.Speedup["rc"] != 1.0 {
+			t.Errorf("%s: RC not normalized to 1 (%v)", r.App, r.Speedup["rc"])
+		}
+		if r.Speedup["sc"] >= 1.0 {
+			t.Errorf("%s: SC (%v) not slower than RC", r.App, r.Speedup["sc"])
+		}
+		if r.Speedup["dypvt"] <= r.Speedup["sc"] {
+			t.Errorf("%s: BSC_dypvt (%v) not faster than SC (%v)", r.App, r.Speedup["dypvt"], r.Speedup["sc"])
+		}
+	}
+	out := FormatFig9(rows)
+	if !strings.Contains(out, "SP2-G.M.") {
+		t.Error("formatted output missing geomean row")
+	}
+}
+
+func TestTable3SmallSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	rows, err := Table3(Params{Apps: []string{"water-sp"}, Work: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.SquashedBase < r.SquashedDypvt {
+		t.Errorf("base squash %.2f%% below dypvt %.2f%% — W pollution effect missing",
+			r.SquashedBase, r.SquashedDypvt)
+	}
+	if r.PrivWriteSet <= 1 {
+		t.Errorf("water-sp private write set %.1f implausible", r.PrivWriteSet)
+	}
+	if !strings.Contains(FormatTable3(rows), "water-sp") {
+		t.Error("format missing app")
+	}
+}
+
+func TestTable4SmallSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	rows, err := Table4(Params{Apps: []string{"radix"}, Work: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.EmptyWSigPct < 0 || r.EmptyWSigPct > 100 {
+		t.Errorf("EmptyWSigPct out of range: %v", r.EmptyWSigPct)
+	}
+	if r.LookupsPerCommit <= 0 {
+		t.Error("radix commits produced no directory lookups")
+	}
+	if !strings.Contains(FormatTable4(rows), "radix") {
+		t.Error("format missing app")
+	}
+}
+
+func TestFig11SmallSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	rows, err := Fig11(Params{Apps: []string{"water-sp"}, Work: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.Total["R"] != 1.0 {
+		t.Errorf("RC total not normalized: %v", r.Total["R"])
+	}
+	// BulkSC adds signature traffic: WrSig must be nonzero for B, zero for R.
+	if r.Bytes["R"]["WrSig"] != 0 {
+		t.Error("RC shows W-signature traffic")
+	}
+	if r.Bytes["B"]["WrSig"] == 0 {
+		t.Error("BulkSC shows no W-signature traffic")
+	}
+	// The RSig optimization must reduce RdSig bytes (N ≥ B).
+	if r.Bytes["N"]["RdSig"] < r.Bytes["B"]["RdSig"] {
+		t.Errorf("RSig optimization increased RdSig traffic: N=%v B=%v",
+			r.Bytes["N"]["RdSig"], r.Bytes["B"]["RdSig"])
+	}
+	if !strings.Contains(FormatFig11(rows), "water-sp") {
+		t.Error("format missing app")
+	}
+}
+
+func TestArbScaleSmallSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	rows, err := ArbScale(Params{Apps: []string{"water-sp"}, Work: 15000}, 8, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.Speedup[1] != 1.0 {
+		t.Errorf("baseline arbiter count not normalized: %v", r.Speedup[1])
+	}
+	if r.Cycles[2] == 0 {
+		t.Error("2-arbiter run missing")
+	}
+	if !strings.Contains(FormatArbScale(rows, []int{1, 2}), "water-sp") {
+		t.Error("format missing app")
+	}
+}
+
+func TestVariantNamesAgree(t *testing.T) {
+	for _, v := range Fig9Variants() {
+		_ = bulksc.Variant("fft", v) // panics on unknown names
+	}
+}
+
+func TestSigSpaceSmallSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	rows, err := SigSpace(Params{Work: 15000}, []string{"water-sp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(SigGeometries()) {
+		t.Fatalf("rows = %d, want one per geometry", len(rows))
+	}
+	for _, r := range rows {
+		if r.SpeedupVsRC <= 0 {
+			t.Errorf("%s/%s: nonpositive speedup", r.App, r.Geometry)
+		}
+	}
+	if !strings.Contains(FormatSigSpace(rows), "water-sp") {
+		t.Error("format missing app")
+	}
+}

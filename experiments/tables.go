@@ -1,0 +1,272 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"bulksc"
+)
+
+// Table3Row is one application's line of the paper's Table 3.
+type Table3Row struct {
+	App string
+	// Squashed Instructions (%), per configuration.
+	SquashedExact, SquashedDypvt, SquashedBase float64
+	// AliasedSquashPct is the share of BSC_dypvt squashes caused purely
+	// by signature aliasing (directly measured; exact signatures by
+	// construction have zero).
+	AliasedSquashPct float64
+	// Average Set Sizes in BSC_dypvt (cache lines).
+	ReadSet, WriteSet, PrivWriteSet float64
+	// Spec. Line Displacements (per 100k commits).
+	WriteSetDispl, ReadSetDispl float64
+	// Data from Priv. Buff. (per 1k commits).
+	PrivBufSupplies float64
+	// # of Extra Cache Invs. (per 1k commits).
+	ExtraCacheInvs float64
+}
+
+// Table3 reproduces the paper's Table 3: the exact/dypvt/base squash
+// comparison plus the BSC_dypvt characterization columns.
+func Table3(p Params) ([]Table3Row, error) {
+	res, err := runMatrix(p, []string{"exact", "dypvt", "base"}, func(app, v string) bulksc.Config {
+		cfg := bulksc.Variant(app, v)
+		cfg.CheckSC = false
+		return cfg
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table3Row
+	for _, app := range orderedApps(p) {
+		dy := res[app]["dypvt"].Stats
+		aliased := 0.0
+		if dy.Squashes > 0 {
+			aliased = 100 * float64(dy.SquashesAliased) / float64(dy.Squashes)
+		}
+		rows = append(rows, Table3Row{
+			App:              app,
+			AliasedSquashPct: aliased,
+			SquashedExact:    res[app]["exact"].Stats.SquashedPct(),
+			SquashedDypvt:    dy.SquashedPct(),
+			SquashedBase:     res[app]["base"].Stats.SquashedPct(),
+			ReadSet:          dy.AvgReadSet(),
+			WriteSet:         dy.AvgWriteSet(),
+			PrivWriteSet:     dy.AvgPrivWriteSet(),
+			WriteSetDispl:    dy.SpecWriteDisplPer100k(),
+			ReadSetDispl:     dy.SpecReadDisplPer100k(),
+			PrivBufSupplies:  dy.PrivBufPer1k(),
+			ExtraCacheInvs:   dy.ExtraInvsPer1k(),
+		})
+	}
+	return rows, nil
+}
+
+// FormatTable3 renders Table 3 with the paper's column layout.
+func FormatTable3(rows []Table3Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-11s %23s %26s %21s %9s %9s\n", "",
+		"Squashed Instrs (%)", "Avg Set Sizes (lines)", "SpecDispl/100kComm", "PrivBuf", "ExtraInv")
+	fmt.Fprintf(&b, "%-11s %7s %7s %7s %8s %8s %8s %10s %10s %9s %9s\n",
+		"app", "exact", "dypvt", "base", "Read", "Write", "PrivW", "WriteSet", "ReadSet", "/1kComm", "/1kComm")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-11s %7.2f %7.2f %7.2f %8.1f %8.2f %8.1f %10.1f %10.1f %9.1f %9.1f\n",
+			r.App, r.SquashedExact, r.SquashedDypvt, r.SquashedBase,
+			r.ReadSet, r.WriteSet, r.PrivWriteSet,
+			r.WriteSetDispl, r.ReadSetDispl, r.PrivBufSupplies, r.ExtraCacheInvs)
+	}
+	return b.String()
+}
+
+// Table4Row is one application's line of the paper's Table 4
+// (BSC_dypvt commit and coherence characterization).
+type Table4Row struct {
+	App string
+	// Signature expansion in the directory.
+	LookupsPerCommit, UnnecessaryLookupPct, UnnecessaryUpdatePct, NodesPerWSig float64
+	// Arbiter.
+	PendingWSigs, NonEmptyWListPct, RSigRequiredPct, EmptyWSigPct float64
+}
+
+// Table4 reproduces the paper's Table 4 on BSC_dypvt.
+func Table4(p Params) ([]Table4Row, error) {
+	res, err := runMatrix(p, []string{"dypvt"}, func(app, v string) bulksc.Config {
+		cfg := bulksc.Variant(app, v)
+		cfg.CheckSC = false
+		return cfg
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table4Row
+	for _, app := range orderedApps(p) {
+		s := res[app]["dypvt"].Stats
+		rows = append(rows, Table4Row{
+			App:                  app,
+			LookupsPerCommit:     s.LookupsPerCommit(),
+			UnnecessaryLookupPct: s.UnnecessaryLookupPct(),
+			UnnecessaryUpdatePct: s.UnnecessaryUpdatePct(),
+			NodesPerWSig:         s.NodesPerWSig(),
+			PendingWSigs:         s.AvgPendingWSigs(),
+			NonEmptyWListPct:     s.NonEmptyWListPct(),
+			RSigRequiredPct:      s.RSigRequiredPct(),
+			EmptyWSigPct:         s.EmptyWSigPct(),
+		})
+	}
+	return rows, nil
+}
+
+// FormatTable4 renders Table 4 with the paper's column layout.
+func FormatTable4(rows []Table4Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-11s %38s %43s\n", "", "Signature Expansion in Directory", "Arbiter")
+	fmt.Fprintf(&b, "%-11s %9s %9s %9s %9s | %8s %10s %9s %9s\n",
+		"app", "Lookups", "UnnLk%", "UnnUpd%", "Nodes/W", "PendW", "NonEmpty%", "RSigReq%", "EmptyW%")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-11s %9.1f %9.1f %9.2f %9.2f | %8.2f %10.1f %9.1f %9.1f\n",
+			r.App, r.LookupsPerCommit, r.UnnecessaryLookupPct, r.UnnecessaryUpdatePct,
+			r.NodesPerWSig, r.PendingWSigs, r.NonEmptyWListPct, r.RSigRequiredPct, r.EmptyWSigPct)
+	}
+	return b.String()
+}
+
+// Fig11Row is one application's traffic bars: bytes by category, for the
+// four systems of Figure 11, normalized to RC's total.
+type Fig11Row struct {
+	App string
+	// Bytes[system][category] with systems "R" (RC), "E" (BSC_exact),
+	// "N" (BSC_dypvt without RSig) and "B" (BSC_dypvt).
+	Bytes map[string]map[string]float64
+	// Total[system] is the RC-normalized total.
+	Total map[string]float64
+}
+
+// Fig11Systems lists the bars of Figure 11 in order.
+func Fig11Systems() []string { return []string{"R", "E", "N", "B"} }
+
+// Fig11 reproduces Figure 11's traffic breakdown.
+func Fig11(p Params) ([]Fig11Row, error) {
+	res, err := runMatrix(p, Fig11Systems(), func(app, k string) bulksc.Config {
+		switch k {
+		case "R":
+			return bulksc.Variant(app, "rc")
+		case "E":
+			cfg := bulksc.Variant(app, "exact")
+			cfg.CheckSC = false
+			return cfg
+		case "N":
+			cfg := bulksc.Variant(app, "dypvt")
+			cfg.RSigOpt = false
+			cfg.CheckSC = false
+			return cfg
+		default: // "B"
+			cfg := bulksc.Variant(app, "dypvt")
+			cfg.CheckSC = false
+			return cfg
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig11Row
+	for _, app := range orderedApps(p) {
+		row := Fig11Row{App: app,
+			Bytes: make(map[string]map[string]float64),
+			Total: make(map[string]float64)}
+		rcTotal := float64(res[app]["R"].Stats.TotalTraffic())
+		for _, sys := range Fig11Systems() {
+			st := res[app][sys].Stats
+			cats := make(map[string]float64)
+			for _, c := range bulksc.TrafficCategories() {
+				cats[c.String()] = float64(st.TrafficBytes[c]) / rcTotal
+			}
+			row.Bytes[sys] = cats
+			row.Total[sys] = float64(st.TotalTraffic()) / rcTotal
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatFig11 renders the traffic study: one line per (app, system) with
+// the per-category breakdown, all normalized to the app's RC total.
+func FormatFig11(rows []Fig11Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-11s %-3s %8s %8s %8s %8s %8s %9s\n",
+		"app", "sys", "Rd/Wr", "RdSig", "WrSig", "Inv", "Other", "Total")
+	for _, r := range rows {
+		for _, sys := range Fig11Systems() {
+			fmt.Fprintf(&b, "%-11s %-3s %8.3f %8.3f %8.3f %8.3f %8.3f %9.3f\n",
+				r.App, sys,
+				r.Bytes[sys]["Rd/Wr"], r.Bytes[sys]["RdSig"], r.Bytes[sys]["WrSig"],
+				r.Bytes[sys]["Inv"], r.Bytes[sys]["Other"], r.Total[sys])
+		}
+	}
+	return b.String()
+}
+
+// ArbScaleRow is one point of the distributed-arbiter ablation (§4.2.3):
+// BulkSC performance with 1-8 arbiter/directory modules at a given core
+// count, normalized to the single-arbiter machine.
+type ArbScaleRow struct {
+	App     string
+	Procs   int
+	Cycles  map[int]uint64  // numArbiters → cycles
+	Speedup map[int]float64 // vs 1 arbiter
+	// GArbShare is the fraction of commits that needed the G-arbiter.
+	GArbShare map[int]float64
+}
+
+// ArbScale runs the distributed-arbiter extension experiment.
+func ArbScale(p Params, procs int, arbCounts []int) ([]ArbScaleRow, error) {
+	keys := make([]string, len(arbCounts))
+	for i, n := range arbCounts {
+		keys[i] = fmt.Sprintf("%d", n)
+	}
+	res, err := runMatrix(p, keys, func(app, k string) bulksc.Config {
+		cfg := bulksc.Variant(app, "dypvt")
+		cfg.CheckSC = false
+		cfg.Procs = procs
+		fmt.Sscanf(k, "%d", &cfg.NumArbiters)
+		return cfg
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []ArbScaleRow
+	for _, app := range orderedApps(p) {
+		row := ArbScaleRow{App: app, Procs: procs,
+			Cycles:    make(map[int]uint64),
+			Speedup:   make(map[int]float64),
+			GArbShare: make(map[int]float64)}
+		base := float64(res[app][keys[0]].Cycles)
+		for i, n := range arbCounts {
+			r := res[app][keys[i]]
+			row.Cycles[n] = r.Cycles
+			row.Speedup[n] = base / float64(r.Cycles)
+			if r.Stats.CommitGrants > 0 {
+				row.GArbShare[n] = float64(r.Stats.GArbTransactions) / float64(r.Stats.CommitRequests)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatArbScale renders the arbiter-scaling ablation.
+func FormatArbScale(rows []ArbScaleRow, arbCounts []int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-11s", "app")
+	for _, n := range arbCounts {
+		fmt.Fprintf(&b, "  %4d-arb(garb%%)", n)
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-11s", r.App)
+		for _, n := range arbCounts {
+			fmt.Fprintf(&b, "  %6.2f (%4.1f)", r.Speedup[n], 100*r.GArbShare[n])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,3 @@
+module bulksc
+
+go 1.22

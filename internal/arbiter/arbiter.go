@@ -1,0 +1,250 @@
+// Package arbiter implements the commit arbitration of BulkSC (paper §4.2):
+// a state machine that stores the W signatures of all currently-committing
+// chunks and grants a permission-to-commit request only if the request's R
+// and W signatures have empty intersections with every stored W.
+//
+// The package provides the baseline single arbiter (with the RSig commit
+// bandwidth optimization of §4.2.2 and the pre-arbitration forward-progress
+// mechanism of §3.3) and the distributed arbiter with a global coordinator
+// (G-arbiter, §4.2.3) for large machines.
+package arbiter
+
+import (
+	"fmt"
+
+	"bulksc/internal/mem"
+	"bulksc/internal/network"
+	"bulksc/internal/sig"
+	"bulksc/internal/sim"
+	"bulksc/internal/stats"
+)
+
+// ProcessLat is the arbiter's internal decision latency; together with the
+// two network hops it reproduces the paper's ≈30-cycle commit arbitration
+// latency (Table 2).
+const ProcessLat sim.Time = 16
+
+// DefaultMaxSimul is Table 2's "Max. Simul. Commits".
+const DefaultMaxSimul = 8
+
+// Token identifies a granted, still-committing chunk in an arbiter's list.
+type Token uint64
+
+// Request is a permission-to-commit request. The processor fills W always;
+// under the RSig optimization R is nil and FetchR lets the arbiter pull it
+// only when its W list is non-empty.
+type Request struct {
+	Proc int
+	W    sig.Signature
+	// R is the chunk's read signature, or nil if withheld (RSig opt).
+	R sig.Signature
+	// FetchR asynchronously retrieves R from the processor, charging the
+	// extra round trip. Required when R is nil.
+	FetchR func(cb func(sig.Signature))
+	// TrueW is the chunk's exact write set, carried as simulation metadata
+	// (it rides the W message; no extra traffic is charged). The directory
+	// uses it to classify aliased lookups and invalidations.
+	TrueW map[mem.Line]struct{}
+	// Reply is invoked exactly once at the arbiter's decision event.
+	// granted=true means the chunk is serialized at this instant; order is
+	// its position in the global commit order. The caller must treat the
+	// decision instant as the chunk's logical commit point and model its
+	// own notification latency.
+	Reply func(granted bool, order uint64)
+}
+
+type pendingEntry struct {
+	w         sig.Signature
+	trueW     map[mem.Line]struct{}
+	proc      int
+	tentative bool // reserved by an in-flight G-arbiter transaction
+}
+
+// Arbiter is one arbitration module. With a single module it is the whole
+// mechanism; with several, each owns an address range and the GArbiter
+// coordinates multi-range commits.
+type Arbiter struct {
+	ID  int
+	eng *sim.Engine
+	net *network.Network
+	st  *stats.Stats
+
+	pending  map[Token]*pendingEntry
+	nextTok  Token
+	order    *uint64 // shared global commit-order counter
+	MaxSimul int
+
+	// ForwardW is set by the system: it ships a granted W signature to
+	// this arbiter's directory module and must eventually call Done(tok).
+	// For empty-W commits it is not called.
+	ForwardW func(tok Token, proc int, w sig.Signature, trueW map[mem.Line]struct{})
+
+	// Pre-arbitration state (§3.3): while lockProc ≥ 0, commit requests
+	// from other processors are denied unconditionally.
+	lockProc  int
+	lockQueue []lockWaiter
+}
+
+type lockWaiter struct {
+	proc    int
+	granted func()
+}
+
+// New returns an arbiter sharing the global order counter.
+func New(id int, eng *sim.Engine, net *network.Network, st *stats.Stats, order *uint64) *Arbiter {
+	return &Arbiter{
+		ID:       id,
+		eng:      eng,
+		net:      net,
+		st:       st,
+		pending:  make(map[Token]*pendingEntry),
+		order:    order,
+		MaxSimul: DefaultMaxSimul,
+		lockProc: -1,
+	}
+}
+
+// Pending returns the number of W signatures currently held.
+func (a *Arbiter) Pending() int { return len(a.pending) }
+
+func (a *Arbiter) noteWList() { a.st.WListChanged(uint64(a.eng.Now()), len(a.pending)) }
+
+// conflicts reports whether any pending W intersects r or w (either may be
+// nil).
+func (a *Arbiter) conflicts(r, w sig.Signature) bool {
+	for _, p := range a.pending {
+		if r != nil && p.w.Intersects(r) {
+			return true
+		}
+		if w != nil && !w.Empty() && p.w.Intersects(w) {
+			return true
+		}
+	}
+	return false
+}
+
+// Request processes a permission-to-commit request after ProcessLat cycles
+// of decision latency. It implements the RSig optimization: if the W list
+// is empty, the request is granted without ever seeing R.
+func (a *Arbiter) Request(req *Request) {
+	a.st.CommitRequests++
+	a.eng.After(ProcessLat, func() { a.decide(req) })
+}
+
+func (a *Arbiter) decide(req *Request) {
+	if a.lockProc >= 0 && a.lockProc != req.Proc {
+		a.deny(req)
+		return
+	}
+	if len(a.pending) >= a.MaxSimul {
+		a.deny(req)
+		return
+	}
+	if len(a.pending) == 0 {
+		a.grant(req)
+		return
+	}
+	// Non-empty list: R is needed. Fetch it if the RSig optimization
+	// withheld it.
+	if req.R == nil {
+		if req.FetchR == nil {
+			panic("arbiter: request without R or FetchR")
+		}
+		a.st.RSigRequired++
+		req.FetchR(func(r sig.Signature) {
+			req.R = r
+			a.decideWithR(req)
+		})
+		return
+	}
+	a.decideWithR(req)
+}
+
+func (a *Arbiter) decideWithR(req *Request) {
+	// Revalidate lock and capacity: they may have changed while R was in
+	// flight.
+	if (a.lockProc >= 0 && a.lockProc != req.Proc) || len(a.pending) >= a.MaxSimul {
+		a.deny(req)
+		return
+	}
+	if a.conflicts(req.R, req.W) {
+		a.deny(req)
+		return
+	}
+	a.grant(req)
+}
+
+func (a *Arbiter) deny(req *Request) {
+	a.st.CommitDenies++
+	req.Reply(false, 0)
+}
+
+func (a *Arbiter) grant(req *Request) {
+	a.st.CommitGrants++
+	*a.order++
+	ord := *a.order
+	if req.Proc == a.lockProc {
+		a.unlock()
+	}
+	if req.W.Empty() {
+		a.st.EmptyWCommits++
+		req.Reply(true, ord)
+		return
+	}
+	a.nextTok++
+	tok := a.nextTok
+	a.pending[tok] = &pendingEntry{w: req.W, trueW: req.TrueW, proc: req.Proc}
+	a.noteWList()
+	req.Reply(true, ord)
+	if a.ForwardW == nil {
+		panic("arbiter: ForwardW not wired")
+	}
+	a.ForwardW(tok, req.Proc, req.W, req.TrueW)
+}
+
+// Done removes a fully-committed W from the list; called by the directory
+// when all invalidation acknowledgements have been collected.
+func (a *Arbiter) Done(tok Token) {
+	if _, ok := a.pending[tok]; !ok {
+		panic(fmt.Sprintf("arbiter %d: Done for unknown token %d", a.ID, tok))
+	}
+	delete(a.pending, tok)
+	a.noteWList()
+}
+
+// PreArbitrate requests exclusive commit rights for proc (§3.3 forward
+// progress). granted fires (after arbitration latency) once the lock is
+// held; the lock is released automatically when proc's next commit is
+// granted, or by EndPreArbitration.
+func (a *Arbiter) PreArbitrate(proc int, granted func()) {
+	a.st.PreArbitrations++
+	a.eng.After(ProcessLat, func() {
+		if a.lockProc < 0 {
+			a.lockProc = proc
+			granted()
+			return
+		}
+		a.lockQueue = append(a.lockQueue, lockWaiter{proc: proc, granted: granted})
+	})
+}
+
+// EndPreArbitration releases proc's exclusive lock without a commit (e.g.
+// the chunk squashed for another reason and the processor gave up).
+func (a *Arbiter) EndPreArbitration(proc int) {
+	if a.lockProc == proc {
+		a.unlock()
+	}
+}
+
+func (a *Arbiter) unlock() {
+	a.lockProc = -1
+	if len(a.lockQueue) > 0 {
+		next := a.lockQueue[0]
+		a.lockQueue = a.lockQueue[1:]
+		a.lockProc = next.proc
+		next.granted()
+	}
+}
+
+// Locked reports the processor holding the pre-arbitration lock, or -1.
+func (a *Arbiter) Locked() int { return a.lockProc }

@@ -1,0 +1,328 @@
+package arbiter
+
+import (
+	"testing"
+
+	"bulksc/internal/mem"
+	"bulksc/internal/network"
+	"bulksc/internal/sig"
+	"bulksc/internal/sim"
+	"bulksc/internal/stats"
+)
+
+type harness struct {
+	eng   *sim.Engine
+	net   *network.Network
+	st    *stats.Stats
+	arb   *Arbiter
+	order uint64
+	fwd   []Token // ForwardW log
+}
+
+func newHarness() *harness {
+	h := &harness{eng: sim.NewEngine(1), st: stats.New()}
+	h.net = network.New(h.eng, h.st)
+	h.arb = New(0, h.eng, h.net, h.st, &h.order)
+	h.arb.ForwardW = func(tok Token, proc int, w sig.Signature, trueW map[mem.Line]struct{}) {
+		h.fwd = append(h.fwd, tok)
+	}
+	return h
+}
+
+func sigOf(lines ...mem.Line) sig.Signature {
+	s := sig.NewExact()
+	for _, l := range lines {
+		s.Add(l)
+	}
+	return s
+}
+
+func req(proc int, w, r sig.Signature, reply func(bool, uint64)) *Request {
+	return &Request{Proc: proc, W: w, R: r, Reply: reply,
+		FetchR: func(cb func(sig.Signature)) { cb(r) }}
+}
+
+func TestGrantWhenListEmpty(t *testing.T) {
+	h := newHarness()
+	var granted bool
+	var order uint64
+	h.arb.Request(req(0, sigOf(1), sigOf(2), func(g bool, o uint64) { granted, order = g, o }))
+	h.eng.Run(nil)
+	if !granted || order != 1 {
+		t.Fatalf("granted=%v order=%d, want true/1", granted, order)
+	}
+	if len(h.fwd) != 1 {
+		t.Fatal("W not forwarded to directory")
+	}
+	if h.arb.Pending() != 1 {
+		t.Fatal("granted W missing from pending list")
+	}
+}
+
+func TestEmptyWSkipsListAndForward(t *testing.T) {
+	h := newHarness()
+	var granted bool
+	h.arb.Request(req(0, sigOf(), sigOf(5), func(g bool, _ uint64) { granted = g }))
+	h.eng.Run(nil)
+	if !granted {
+		t.Fatal("empty-W request denied")
+	}
+	if h.arb.Pending() != 0 || len(h.fwd) != 0 {
+		t.Fatal("empty-W commit entered pending list or was forwarded")
+	}
+	if h.st.EmptyWCommits != 1 {
+		t.Fatal("EmptyWCommits not counted")
+	}
+}
+
+func TestDenyOnConflictWithPendingW(t *testing.T) {
+	h := newHarness()
+	h.arb.Request(req(0, sigOf(10), sigOf(), func(bool, uint64) {}))
+	h.eng.Run(nil)
+	// Conflict via R.
+	var g1 bool
+	h.arb.Request(req(1, sigOf(99), sigOf(10), func(g bool, _ uint64) { g1 = g }))
+	h.eng.Run(nil)
+	if g1 {
+		t.Fatal("request with R overlapping pending W was granted")
+	}
+	// Conflict via W.
+	var g2 bool
+	h.arb.Request(req(2, sigOf(10), sigOf(50), func(g bool, _ uint64) { g2 = g }))
+	h.eng.Run(nil)
+	if g2 {
+		t.Fatal("request with W overlapping pending W was granted")
+	}
+	// Disjoint: overlapping commits allowed.
+	var g3 bool
+	h.arb.Request(req(3, sigOf(77), sigOf(88), func(g bool, _ uint64) { g3 = g }))
+	h.eng.Run(nil)
+	if !g3 {
+		t.Fatal("disjoint concurrent commit denied")
+	}
+	if h.arb.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", h.arb.Pending())
+	}
+}
+
+func TestDoneRemovesAndUnblocks(t *testing.T) {
+	h := newHarness()
+	h.arb.Request(req(0, sigOf(10), sigOf(), func(bool, uint64) {}))
+	h.eng.Run(nil)
+	tok := h.fwd[0]
+	h.arb.Done(tok)
+	if h.arb.Pending() != 0 {
+		t.Fatal("Done did not remove pending W")
+	}
+	var g bool
+	h.arb.Request(req(1, sigOf(10), sigOf(), func(gr bool, _ uint64) { g = gr }))
+	h.eng.Run(nil)
+	if !g {
+		t.Fatal("conflicting request still denied after Done")
+	}
+}
+
+func TestRSigOptimizationFetchesROnlyWhenNeeded(t *testing.T) {
+	h := newHarness()
+	fetched := 0
+	mk := func(proc int, w, r sig.Signature, reply func(bool, uint64)) *Request {
+		return &Request{Proc: proc, W: w, Reply: reply,
+			FetchR: func(cb func(sig.Signature)) { fetched++; cb(r) }}
+	}
+	var g1 bool
+	h.arb.Request(mk(0, sigOf(10), sigOf(1), func(g bool, _ uint64) { g1 = g }))
+	h.eng.Run(nil)
+	if !g1 || fetched != 0 {
+		t.Fatalf("empty-list grant fetched R (%d times)", fetched)
+	}
+	var g2 bool
+	h.arb.Request(mk(1, sigOf(20), sigOf(2), func(g bool, _ uint64) { g2 = g }))
+	h.eng.Run(nil)
+	if !g2 || fetched != 1 {
+		t.Fatalf("non-empty-list grant: fetched=%d granted=%v", fetched, g2)
+	}
+	if h.st.RSigRequired != 1 {
+		t.Fatal("RSigRequired not counted")
+	}
+}
+
+func TestMaxSimulCommits(t *testing.T) {
+	h := newHarness()
+	h.arb.MaxSimul = 2
+	grants := 0
+	for i := 0; i < 3; i++ {
+		h.arb.Request(req(i, sigOf(mem.Line(100+i)), sigOf(), func(g bool, _ uint64) {
+			if g {
+				grants++
+			}
+		}))
+		h.eng.Run(nil)
+	}
+	if grants != 2 {
+		t.Fatalf("grants = %d, want 2 (MaxSimul)", grants)
+	}
+}
+
+func TestPreArbitrationBlocksOthers(t *testing.T) {
+	h := newHarness()
+	locked := false
+	h.arb.PreArbitrate(3, func() { locked = true })
+	h.eng.Run(nil)
+	if !locked || h.arb.Locked() != 3 {
+		t.Fatal("pre-arbitration lock not acquired")
+	}
+	var gOther, gOwner bool
+	h.arb.Request(req(1, sigOf(1), sigOf(), func(g bool, _ uint64) { gOther = g }))
+	h.eng.Run(nil)
+	if gOther {
+		t.Fatal("other processor granted during pre-arbitration")
+	}
+	h.arb.Request(req(3, sigOf(2), sigOf(), func(g bool, _ uint64) { gOwner = g }))
+	h.eng.Run(nil)
+	if !gOwner {
+		t.Fatal("lock owner denied")
+	}
+	if h.arb.Locked() != -1 {
+		t.Fatal("lock not released after owner's commit")
+	}
+}
+
+func TestPreArbitrationQueue(t *testing.T) {
+	h := newHarness()
+	var order []int
+	h.arb.PreArbitrate(1, func() { order = append(order, 1) })
+	h.eng.Run(nil)
+	h.arb.PreArbitrate(2, func() { order = append(order, 2) })
+	h.eng.Run(nil)
+	if len(order) != 1 {
+		t.Fatal("second locker acquired while first held")
+	}
+	h.arb.Request(req(1, sigOf(9), sigOf(), func(bool, uint64) {}))
+	h.eng.Run(nil)
+	if len(order) != 2 || order[1] != 2 {
+		t.Fatalf("lock queue order = %v", order)
+	}
+	h.arb.EndPreArbitration(2)
+	if h.arb.Locked() != -1 {
+		t.Fatal("EndPreArbitration did not release")
+	}
+}
+
+func TestWListStats(t *testing.T) {
+	h := newHarness()
+	h.arb.Request(req(0, sigOf(10), sigOf(), func(bool, uint64) {}))
+	h.eng.Run(nil)
+	h.eng.After(100, func() { h.arb.Done(h.fwd[0]) })
+	h.eng.Run(nil)
+	h.st.CloseWList(uint64(h.eng.Now()) + 100)
+	if h.st.NonEmptyWListPct() <= 0 {
+		t.Fatal("non-empty W list time not recorded")
+	}
+	if h.st.AvgPendingWSigs() <= 0 {
+		t.Fatal("pending integral not recorded")
+	}
+}
+
+func TestCommitOrderMonotonic(t *testing.T) {
+	h := newHarness()
+	var orders []uint64
+	for i := 0; i < 5; i++ {
+		h.arb.Request(req(i, sigOf(mem.Line(1000*i)), sigOf(), func(g bool, o uint64) {
+			if g {
+				orders = append(orders, o)
+			}
+		}))
+		h.eng.Run(nil)
+	}
+	for i := 1; i < len(orders); i++ {
+		if orders[i] <= orders[i-1] {
+			t.Fatalf("commit order not strictly increasing: %v", orders)
+		}
+	}
+}
+
+// --- distributed arbiter -------------------------------------------------
+
+func TestRangeOf(t *testing.T) {
+	if RangeOf(0, 1) != 0 {
+		t.Fatal("single module must own everything")
+	}
+	n := 4
+	counts := make([]int, n)
+	for l := mem.Line(0); l < mem.Line(4*RangeGranule*n); l++ {
+		counts[RangeOf(l, n)]++
+	}
+	for i, c := range counts {
+		if c != 4*RangeGranule {
+			t.Fatalf("module %d owns %d lines, want %d", i, c, 4*RangeGranule)
+		}
+	}
+}
+
+func TestRangesOf(t *testing.T) {
+	sets := []map[mem.Line]struct{}{
+		{mem.Line(0): {}},
+		{mem.Line(RangeGranule): {}, mem.Line(1): {}},
+	}
+	got := RangesOf(sets, 4)
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("RangesOf = %v, want [0 1]", got)
+	}
+	if r := RangesOf(nil, 4); len(r) != 1 || r[0] != 0 {
+		t.Fatalf("RangesOf(empty) = %v", r)
+	}
+}
+
+func newDistributed(n int) (*sim.Engine, *stats.Stats, []*Arbiter, *GArbiter, *[]Token) {
+	eng := sim.NewEngine(1)
+	st := stats.New()
+	nw := network.New(eng, st)
+	var order uint64
+	fwd := &[]Token{}
+	arbs := make([]*Arbiter, n)
+	for i := range arbs {
+		arbs[i] = New(i, eng, nw, st, &order)
+		arbs[i].ForwardW = func(tok Token, proc int, w sig.Signature, trueW map[mem.Line]struct{}) {
+			*fwd = append(*fwd, tok)
+		}
+	}
+	return eng, st, arbs, NewGArbiter(eng, nw, st, arbs), fwd
+}
+
+func TestGArbiterGrantsDisjoint(t *testing.T) {
+	eng, _, arbs, g, fwd := newDistributed(4)
+	var granted bool
+	r := req(0, sigOf(0, RangeGranule), sigOf(2*RangeGranule), func(gr bool, _ uint64) { granted = gr })
+	g.Request(r, []int{0, 1, 2})
+	eng.Run(nil)
+	if !granted {
+		t.Fatal("multi-range commit denied on idle machine")
+	}
+	if arbs[0].Pending() != 1 || arbs[1].Pending() != 1 || arbs[2].Pending() != 1 {
+		t.Fatal("reservation missing at involved arbiters")
+	}
+	if len(*fwd) != 3 {
+		t.Fatalf("ForwardW called %d times, want 3", len(*fwd))
+	}
+}
+
+func TestGArbiterDeniesOnPartialConflict(t *testing.T) {
+	eng, _, arbs, g, _ := newDistributed(2)
+	// Occupy arbiter 1 with a committing W on line RangeGranule.
+	arbs[1].Request(req(9, sigOf(RangeGranule), sigOf(), func(bool, uint64) {}))
+	eng.Run(nil)
+	var granted, replied bool
+	r := req(0, sigOf(0, RangeGranule), sigOf(), func(gr bool, _ uint64) { granted, replied = gr, true })
+	g.Request(r, []int{0, 1})
+	eng.Run(nil)
+	if !replied {
+		t.Fatal("no decision")
+	}
+	if granted {
+		t.Fatal("conflicting multi-range commit granted")
+	}
+	// The reservation at arbiter 0 must have been aborted.
+	if arbs[0].Pending() != 0 {
+		t.Fatal("aborted reservation leaked at arbiter 0")
+	}
+}

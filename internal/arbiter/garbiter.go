@@ -1,0 +1,161 @@
+package arbiter
+
+import (
+	"bulksc/internal/mem"
+	"bulksc/internal/network"
+	"bulksc/internal/sim"
+	"bulksc/internal/stats"
+)
+
+// reservation pairs an arbiter with the tentative token it issued during
+// phase 1 of a G-arbiter transaction.
+type reservation struct {
+	arb *Arbiter
+	tok Token
+}
+
+// RangeGranule is the interleaving granule (in lines) that maps addresses
+// to arbiter/directory modules: 64 lines = 2 KB.
+const RangeGranule = 64
+
+// RangeOf returns the arbiter/directory module owning line l in an n-module
+// machine.
+func RangeOf(l mem.Line, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int((uint64(l) / RangeGranule) % uint64(n))
+}
+
+// RangesOf returns the sorted, deduplicated set of modules covering every
+// line a chunk read or wrote. A processor derives this to decide whether a
+// commit needs one arbiter or the G-arbiter.
+func RangesOf(sets []map[mem.Line]struct{}, n int) []int {
+	if n <= 1 {
+		return []int{0}
+	}
+	seen := make([]bool, n)
+	for _, set := range sets {
+		for l := range set {
+			seen[RangeOf(l, n)] = true
+		}
+	}
+	var out []int
+	for i, s := range seen {
+		if s {
+			out = append(out, i)
+		}
+	}
+	if len(out) == 0 {
+		out = []int{0}
+	}
+	return out
+}
+
+// Reserve is the first phase of a G-arbiter transaction: the arbiter checks
+// the request against its pending list and, on success, inserts a tentative
+// entry that blocks conflicting commits until Confirm or Abort. The request
+// must carry R (the RSig optimization does not apply to multi-range
+// commits in this model).
+func (a *Arbiter) Reserve(req *Request) (Token, bool) {
+	if a.lockProc >= 0 && a.lockProc != req.Proc {
+		return 0, false
+	}
+	if len(a.pending) >= a.MaxSimul {
+		return 0, false
+	}
+	if a.conflicts(req.R, req.W) {
+		return 0, false
+	}
+	a.nextTok++
+	tok := a.nextTok
+	a.pending[tok] = &pendingEntry{w: req.W, trueW: req.TrueW, proc: req.Proc, tentative: true}
+	a.noteWList()
+	return tok, true
+}
+
+// Confirm firms a reservation and launches the directory flow for this
+// arbiter's module. Empty-W requests never reach Reserve/Confirm.
+func (a *Arbiter) Confirm(tok Token, req *Request) {
+	p, ok := a.pending[tok]
+	if !ok {
+		panic("arbiter: Confirm of unknown token")
+	}
+	p.tentative = false
+	a.ForwardW(tok, req.Proc, req.W, req.TrueW)
+}
+
+// Abort drops a reservation after a partner arbiter denied.
+func (a *Arbiter) Abort(tok Token) {
+	delete(a.pending, tok)
+	a.noteWList()
+}
+
+// GArbiter coordinates commits that span several arbiter ranges (§4.2.3,
+// Figure 8(b)). It runs the two-phase reserve/confirm protocol over the
+// network, charging the extra messages the paper describes.
+type GArbiter struct {
+	eng  *sim.Engine
+	net  *network.Network
+	st   *stats.Stats
+	Arbs []*Arbiter
+}
+
+// NewGArbiter returns a coordinator over arbs.
+func NewGArbiter(eng *sim.Engine, net *network.Network, st *stats.Stats, arbs []*Arbiter) *GArbiter {
+	return &GArbiter{eng: eng, net: net, st: st, Arbs: arbs}
+}
+
+// Request runs a multi-arbiter commit transaction across the given module
+// ids. req.R must be non-nil. The decision Reply fires at the G-arbiter's
+// combine event.
+func (g *GArbiter) Request(req *Request, ranges []int) {
+	g.st.CommitRequests++
+	g.st.GArbTransactions++
+	if len(ranges) > 1 {
+		g.st.MultiArbCommits++
+	}
+	var reserved []reservation
+	failed := false
+	replies := 0
+	// Phase 1: forward (R,W) to each involved arbiter (one hop each) and
+	// reserve. Replies return to the G-arbiter (another hop).
+	for _, idx := range ranges {
+		arb := g.Arbs[idx]
+		g.net.SendAfter(ProcessLat, stats.CatWrSig, network.SigBytes, func() {
+			g.net.Account(stats.CatRdSig, network.SigBytes) // R rides along
+			tok, ok := arb.Reserve(req)
+			g.net.Send(stats.CatOther, network.CtrlBytes, func() {
+				replies++
+				if ok {
+					reserved = append(reserved, reservation{arb, tok})
+				} else {
+					failed = true
+				}
+				if replies == len(ranges) {
+					g.combine(req, reserved, failed)
+				}
+			})
+		})
+	}
+}
+
+func (g *GArbiter) combine(req *Request, reserved []reservation, failed bool) {
+	if failed {
+		for _, r := range reserved {
+			r := r
+			g.net.Send(stats.CatOther, network.CtrlBytes, func() { r.arb.Abort(r.tok) })
+		}
+		g.st.CommitDenies++
+		req.Reply(false, 0)
+		return
+	}
+	g.st.CommitGrants++
+	*g.Arbs[0].order++
+	ord := *g.Arbs[0].order
+	for _, r := range reserved {
+		r := r
+		g.net.Send(stats.CatOther, network.CtrlBytes, func() { r.arb.Confirm(r.tok, req) })
+	}
+	req.Reply(true, ord)
+}

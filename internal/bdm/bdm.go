@@ -1,0 +1,114 @@
+// Package bdm models the Bulk Disambiguation Module attached to each L1
+// cache: the hardware that owns the signatures, performs bulk
+// disambiguation against incoming committing W signatures, and implements
+// the dynamically-private-data machinery of paper §5.2 (the Wpriv
+// signature lives in internal/chunk; the ≈24-line Private Buffer lives
+// here).
+package bdm
+
+import (
+	"bulksc/internal/chunk"
+	"bulksc/internal/mem"
+	"bulksc/internal/sig"
+)
+
+// DefaultPrivBufLines is the paper's private-buffer capacity ("≈24 lines").
+const DefaultPrivBufLines = 24
+
+// PrivEntry is one saved pre-update line version.
+type PrivEntry struct {
+	Line mem.Line
+	Slot int // chunk slot whose first private write saved it
+	Vals [mem.WordsPerLn]uint64
+}
+
+// PrivateBuffer holds the pre-update versions of lines written under the
+// dynamically-private optimization. On squash, entries restore the old
+// values; on commit, they are discarded (the write-back was skipped for
+// good). Overflow evicts an entry, which must be written back and promoted
+// to the W signature by the caller.
+type PrivateBuffer struct {
+	capacity int
+	entries  map[mem.Line]PrivEntry
+	order    []mem.Line // FIFO for overflow eviction
+}
+
+// NewPrivateBuffer returns a buffer holding up to capacity lines.
+func NewPrivateBuffer(capacity int) *PrivateBuffer {
+	return &PrivateBuffer{capacity: capacity, entries: make(map[mem.Line]PrivEntry)}
+}
+
+// Len returns the number of buffered lines.
+func (b *PrivateBuffer) Len() int { return len(b.entries) }
+
+// Has reports whether l is buffered.
+func (b *PrivateBuffer) Has(l mem.Line) bool {
+	_, ok := b.entries[l]
+	return ok
+}
+
+// Save records the pre-update version of l for chunk slot. If l is already
+// buffered (written privately by an earlier chunk in flight) the original
+// version is kept and saved=true. If the buffer is full, the new line is
+// NOT saved (saved=false): per §5.2 the overflowing line is written back
+// and its address added to W — the caller routes the write through the
+// ordinary shared path.
+func (b *PrivateBuffer) Save(l mem.Line, slot int, vals [mem.WordsPerLn]uint64) (saved bool) {
+	if _, ok := b.entries[l]; ok {
+		return true
+	}
+	if len(b.entries) >= b.capacity {
+		return false
+	}
+	b.entries[l] = PrivEntry{Line: l, Slot: slot, Vals: vals}
+	b.order = append(b.order, l)
+	return true
+}
+
+// Take removes and returns the entry for l — the "supply the old version"
+// path when another processor demands a privately-written line.
+func (b *PrivateBuffer) Take(l mem.Line) (PrivEntry, bool) {
+	e, ok := b.entries[l]
+	if ok {
+		delete(b.entries, l)
+	}
+	return e, ok
+}
+
+// DrainSlot removes and returns every entry saved by chunk slot. Used both
+// on commit (entries discarded — the write-back was successfully skipped)
+// and on squash (entries restore the old line versions).
+func (b *PrivateBuffer) DrainSlot(slot int) []PrivEntry {
+	var out []PrivEntry
+	for l, e := range b.entries {
+		if e.Slot == slot {
+			out = append(out, e)
+			delete(b.entries, l)
+		}
+	}
+	return out
+}
+
+// Clear empties the buffer.
+func (b *PrivateBuffer) Clear() {
+	b.entries = make(map[mem.Line]PrivEntry)
+	b.order = b.order[:0]
+}
+
+// Disambiguate performs bulk disambiguation of an incoming committing W
+// signature against a processor's in-flight chunks, oldest first. It
+// returns the index of the oldest conflicting *active* chunk (the squash
+// point — that chunk and all successors must be squashed, per §4.1.2) or
+// -1, plus whether the oldest conflict shares a genuine line with the
+// committer's exact write set (vs. pure signature aliasing).
+func Disambiguate(wc sig.Signature, trueW map[mem.Line]struct{}, chunks []*chunk.Chunk) (squashFrom int, genuine bool) {
+	for i, c := range chunks {
+		if c == nil || !c.Active() {
+			continue
+		}
+		if hit, g := c.ConflictsWith(wc, trueW); hit {
+			return i, g
+		}
+	}
+	return -1, false
+}

@@ -1,0 +1,167 @@
+package bdm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bulksc/internal/chunk"
+	"bulksc/internal/mem"
+	"bulksc/internal/sig"
+)
+
+func vals(seed uint64) [mem.WordsPerLn]uint64 {
+	var v [mem.WordsPerLn]uint64
+	for i := range v {
+		v[i] = seed + uint64(i)
+	}
+	return v
+}
+
+func TestPrivateBufferSaveTake(t *testing.T) {
+	b := NewPrivateBuffer(4)
+	if b.Has(1) {
+		t.Fatal("empty buffer claims a line")
+	}
+	if !b.Save(1, 0, vals(10)) {
+		t.Fatal("save failed on empty buffer")
+	}
+	if !b.Has(1) || b.Len() != 1 {
+		t.Fatal("saved line missing")
+	}
+	e, ok := b.Take(1)
+	if !ok || e.Vals != vals(10) || e.Slot != 0 {
+		t.Fatal("Take returned wrong entry")
+	}
+	if b.Has(1) || b.Len() != 0 {
+		t.Fatal("Take did not remove entry")
+	}
+}
+
+func TestSaveKeepsOriginalVersion(t *testing.T) {
+	b := NewPrivateBuffer(4)
+	b.Save(1, 0, vals(10))
+	b.Save(1, 1, vals(99)) // second save of same line: original must win
+	e, _ := b.Take(1)
+	if e.Vals != vals(10) {
+		t.Fatal("second Save overwrote the original pre-update version")
+	}
+}
+
+func TestOverflowRejectsNewLine(t *testing.T) {
+	b := NewPrivateBuffer(2)
+	b.Save(1, 0, vals(1))
+	b.Save(2, 0, vals(2))
+	if b.Save(3, 0, vals(3)) {
+		t.Fatal("save succeeded on full buffer")
+	}
+	if !b.Has(1) || !b.Has(2) || b.Has(3) {
+		t.Fatal("buffer contents wrong after overflow")
+	}
+	// A line already buffered still reports saved even when full.
+	if !b.Save(1, 1, vals(9)) {
+		t.Fatal("re-save of buffered line rejected")
+	}
+}
+
+func TestRoomAfterTake(t *testing.T) {
+	b := NewPrivateBuffer(2)
+	b.Save(1, 0, vals(1))
+	b.Save(2, 0, vals(2))
+	b.Take(1) // removed out of band
+	if !b.Save(3, 0, vals(3)) {
+		t.Fatal("save failed despite free space")
+	}
+	if !b.Has(2) || !b.Has(3) {
+		t.Fatal("entry lost")
+	}
+}
+
+func TestDrainSlot(t *testing.T) {
+	b := NewPrivateBuffer(8)
+	b.Save(1, 0, vals(1))
+	b.Save(2, 1, vals(2))
+	b.Save(3, 0, vals(3))
+	got := b.DrainSlot(0)
+	if len(got) != 2 {
+		t.Fatalf("DrainSlot(0) returned %d entries, want 2", len(got))
+	}
+	if b.Has(1) || b.Has(3) || !b.Has(2) {
+		t.Fatal("DrainSlot removed wrong entries")
+	}
+}
+
+func TestClear(t *testing.T) {
+	b := NewPrivateBuffer(8)
+	b.Save(1, 0, vals(1))
+	b.Clear()
+	if b.Len() != 0 || b.Has(1) {
+		t.Fatal("Clear left entries")
+	}
+	// capacity must be fully available again after Clear.
+	for i := mem.Line(10); i < 18; i++ {
+		if !b.Save(i, 0, vals(uint64(i))) {
+			t.Fatalf("save of line %d failed after Clear", i)
+		}
+	}
+}
+
+// Property: buffer never exceeds capacity.
+func TestQuickCapacityBound(t *testing.T) {
+	f := func(lines []uint16) bool {
+		b := NewPrivateBuffer(DefaultPrivBufLines)
+		for _, l := range lines {
+			b.Save(mem.Line(l), 0, vals(uint64(l)))
+			if b.Len() > DefaultPrivBufLines {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mkChunk(proc int, seq uint64, reads, writes []mem.Line) *chunk.Chunk {
+	c := chunk.New(sig.NewFactory(sig.KindExact), proc, seq, int(seq)%2, 0, 1000)
+	for _, l := range reads {
+		c.RecordLoad(l.Addr(), 0, false)
+	}
+	for _, l := range writes {
+		c.RecordStore(l.Addr(), 1, false)
+	}
+	return c
+}
+
+func TestDisambiguateFindsOldest(t *testing.T) {
+	c0 := mkChunk(0, 0, []mem.Line{10}, nil)
+	c1 := mkChunk(0, 1, []mem.Line{10, 20}, nil)
+	wc := sig.NewExact()
+	wc.Add(10)
+	idx, genuine := Disambiguate(wc, map[mem.Line]struct{}{10: {}}, []*chunk.Chunk{c0, c1})
+	if idx != 0 || !genuine {
+		t.Fatalf("Disambiguate = (%d, %v), want (0, true)", idx, genuine)
+	}
+}
+
+func TestDisambiguateSkipsInactive(t *testing.T) {
+	c0 := mkChunk(0, 0, []mem.Line{10}, nil)
+	c0.State = chunk.Committing // already granted: immune
+	c1 := mkChunk(0, 1, []mem.Line{10}, nil)
+	wc := sig.NewExact()
+	wc.Add(10)
+	idx, _ := Disambiguate(wc, nil, []*chunk.Chunk{c0, c1})
+	if idx != 1 {
+		t.Fatalf("Disambiguate = %d, want 1 (committing chunk is immune)", idx)
+	}
+}
+
+func TestDisambiguateNilAndClean(t *testing.T) {
+	c1 := mkChunk(0, 1, []mem.Line{20}, nil)
+	wc := sig.NewExact()
+	wc.Add(10)
+	idx, _ := Disambiguate(wc, nil, []*chunk.Chunk{nil, c1})
+	if idx != -1 {
+		t.Fatalf("Disambiguate = %d, want -1", idx)
+	}
+}

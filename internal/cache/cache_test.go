@@ -1,0 +1,248 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bulksc/internal/mem"
+	"bulksc/internal/sig"
+)
+
+// linesInSameSet returns n distinct lines mapping to the same set of c.
+func linesInSameSet(c *L1, n int) []mem.Line {
+	out := make([]mem.Line, n)
+	for i := 0; i < n; i++ {
+		out[i] = mem.Line(7 + i*c.Sets())
+	}
+	return out
+}
+
+func TestInsertAndAccess(t *testing.T) {
+	c := NewL1(256, 4)
+	if c.Access(100) != nil {
+		t.Fatal("hit on empty cache")
+	}
+	if _, ok := c.Insert(100, Shared); !ok {
+		t.Fatal("insert failed")
+	}
+	w := c.Access(100)
+	if w == nil || w.State != Shared {
+		t.Fatal("inserted line not accessible")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := NewL1(256, 4)
+	ls := linesInSameSet(c, 5)
+	for _, l := range ls[:4] {
+		c.Insert(l, Shared)
+	}
+	c.Access(ls[0]) // make line 0 most recent; LRU is now ls[1]
+	victim, ok := c.Insert(ls[4], Shared)
+	if !ok {
+		t.Fatal("insert with free LRU failed")
+	}
+	if victim.Line != ls[1] {
+		t.Fatalf("evicted %v, want %v", victim.Line, ls[1])
+	}
+	if c.Probe(ls[0]) == nil || c.Probe(ls[4]) == nil {
+		t.Fatal("expected lines missing after eviction")
+	}
+}
+
+func TestInsertExistingUpdatesState(t *testing.T) {
+	c := NewL1(64, 2)
+	c.Insert(5, Shared)
+	victim, ok := c.Insert(5, Dirty)
+	if !ok || victim.Valid() {
+		t.Fatal("re-insert displaced something")
+	}
+	if c.Probe(5).State != Dirty {
+		t.Fatal("state not upgraded")
+	}
+	if c.Occupancy() != 1 {
+		t.Fatal("duplicate ways for one line")
+	}
+}
+
+func TestPinBlocksEviction(t *testing.T) {
+	c := NewL1(256, 4)
+	ls := linesInSameSet(c, 5)
+	for _, l := range ls[:4] {
+		c.Insert(l, Dirty)
+		c.Pin(l, 0)
+	}
+	if _, ok := c.Insert(ls[4], Shared); ok {
+		t.Fatal("insert succeeded with all ways pinned (set overflow missed)")
+	}
+	if c.RoomFor(ls[4]) {
+		t.Fatal("RoomFor true with all ways pinned")
+	}
+	c.Unpin(ls[0], 0)
+	if !c.RoomFor(ls[4]) {
+		t.Fatal("RoomFor false after unpin")
+	}
+	victim, ok := c.Insert(ls[4], Shared)
+	if !ok || victim.Line != ls[0] {
+		t.Fatalf("eviction after unpin chose %v, want %v", victim.Line, ls[0])
+	}
+}
+
+func TestPinMaskPerSlot(t *testing.T) {
+	c := NewL1(64, 2)
+	c.Insert(9, Dirty)
+	c.Pin(9, 0)
+	c.Pin(9, 1)
+	c.Unpin(9, 0)
+	if c.Probe(9).PinMask != 1<<1 {
+		t.Fatalf("PinMask = %b, want slot-1 only", c.Probe(9).PinMask)
+	}
+	if c.Pin(999, 0) {
+		t.Fatal("Pin of absent line reported success")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := NewL1(64, 2)
+	c.Insert(3, Dirty)
+	if st := c.Invalidate(3); st != Dirty {
+		t.Fatalf("Invalidate returned %v, want Dirty", st)
+	}
+	if st := c.Invalidate(3); st != Invalid {
+		t.Fatalf("second Invalidate returned %v", st)
+	}
+}
+
+func TestBulkInvalidate(t *testing.T) {
+	c := NewL1(256, 4)
+	s := sig.NewBloom()
+	for i := 0; i < 10; i++ {
+		l := mem.Line(i * 1000)
+		c.Insert(l, Shared)
+		if i%2 == 0 {
+			s.Add(l)
+		}
+	}
+	var visited []mem.Line
+	n := c.BulkInvalidate(s, func(w Way) { visited = append(visited, w.Line) })
+	if n < 5 {
+		t.Fatalf("invalidated %d lines, want ≥5 (the true matches)", n)
+	}
+	for i := 0; i < 10; i += 2 {
+		if c.Probe(mem.Line(i*1000)) != nil {
+			t.Fatalf("line %d survived bulk invalidation", i*1000)
+		}
+	}
+	if len(visited) != n {
+		t.Fatal("visit callback count mismatch")
+	}
+}
+
+func TestBulkInvalidateSkipsPinned(t *testing.T) {
+	c := NewL1(256, 4)
+	s := sig.NewBloom()
+	c.Insert(42, Dirty)
+	c.Pin(42, 0)
+	s.Add(42)
+	if n := c.BulkInvalidate(s, nil); n != 0 {
+		t.Fatalf("bulk invalidation removed %d pinned lines", n)
+	}
+	if c.Probe(42) == nil {
+		t.Fatal("pinned line gone")
+	}
+}
+
+func TestLinesMatching(t *testing.T) {
+	c := NewL1(256, 4)
+	s := sig.NewExact()
+	c.Insert(1, Shared)
+	c.Insert(2, Shared)
+	s.Add(2)
+	got := c.LinesMatching(s)
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("LinesMatching = %v, want [2]", got)
+	}
+	if c.Probe(2) == nil {
+		t.Fatal("LinesMatching must not invalidate")
+	}
+}
+
+// Property: after any sequence of inserts, every line reported present maps
+// to its correct set and no set exceeds its associativity.
+func TestQuickStructuralInvariants(t *testing.T) {
+	f := func(raw []uint16) bool {
+		c := NewL1(64, 4)
+		for _, r := range raw {
+			c.Insert(mem.Line(r), Shared)
+		}
+		counts := make(map[int]int)
+		for idx := 0; idx < 64; idx++ {
+			for _, w := range c.ways[idx*4 : (idx+1)*4] {
+				if w.Valid() {
+					if int(uint64(w.Line)&63) != idx {
+						return false
+					}
+					counts[idx]++
+				}
+			}
+		}
+		for _, n := range counts {
+			if n > 4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	for _, bad := range []int{0, 3, 2048} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewL1(%d, 4) did not panic", bad)
+				}
+			}()
+			NewL1(bad, 4)
+		}()
+	}
+}
+
+func TestL2InstallAndContains(t *testing.T) {
+	l2 := NewL2(16, 2)
+	if l2.Contains(5) {
+		t.Fatal("hit on empty L2")
+	}
+	if _, ev := l2.Install(5); ev {
+		t.Fatal("install into empty set evicted")
+	}
+	if !l2.Contains(5) {
+		t.Fatal("installed line missing")
+	}
+}
+
+func TestL2Eviction(t *testing.T) {
+	l2 := NewL2(16, 2)
+	a, b, c := mem.Line(1), mem.Line(17), mem.Line(33) // same set
+	l2.Install(a)
+	l2.Install(b)
+	l2.Contains(a) // refresh a
+	victim, ev := l2.Install(c)
+	if !ev || victim != b {
+		t.Fatalf("L2 evicted %v (ev=%v), want %v", victim, ev, b)
+	}
+	if !l2.Contains(a) || !l2.Contains(c) || l2.Contains(b) {
+		t.Fatal("L2 contents wrong after eviction")
+	}
+}
+
+func TestLineStateString(t *testing.T) {
+	for st, want := range map[LineState]string{Invalid: "I", Shared: "S", Excl: "E", Dirty: "D"} {
+		if st.String() != want {
+			t.Errorf("%d.String() = %q, want %q", st, st.String(), want)
+		}
+	}
+}

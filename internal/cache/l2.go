@@ -1,0 +1,74 @@
+package cache
+
+import "bulksc/internal/mem"
+
+// L2 models the shared on-chip L2 as a set-associative tag store: the
+// simulator only needs to know whether a line hits on chip (13-cycle round
+// trip) or must come from memory (300 cycles). Values live in mem.Memory.
+type L2 struct {
+	nsets, assoc int
+	ways         []l2way
+	tick         uint64
+}
+
+type l2way struct {
+	line  mem.Line
+	valid bool
+	lru   uint64
+}
+
+// NewL2 returns an L2 tag store with nsets sets (power of two) of assoc
+// ways.
+func NewL2(nsets, assoc int) *L2 {
+	if nsets <= 0 || nsets&(nsets-1) != 0 {
+		panic("cache: L2 nsets must be a power of two")
+	}
+	return &L2{nsets: nsets, assoc: assoc, ways: make([]l2way, nsets*assoc)}
+}
+
+func (c *L2) set(l mem.Line) []l2way {
+	idx := int(uint64(l) & uint64(c.nsets-1))
+	return c.ways[idx*c.assoc : (idx+1)*c.assoc]
+}
+
+// Contains reports a hit and refreshes recency.
+func (c *L2) Contains(l mem.Line) bool {
+	s := c.set(l)
+	for i := range s {
+		if s[i].valid && s[i].line == l {
+			c.tick++
+			s[i].lru = c.tick
+			return true
+		}
+	}
+	return false
+}
+
+// Install brings l on chip, evicting LRU if needed, and returns the victim
+// line (ok ⇒ something was displaced).
+func (c *L2) Install(l mem.Line) (victim mem.Line, evicted bool) {
+	s := c.set(l)
+	var slot *l2way
+	for i := range s {
+		if s[i].valid && s[i].line == l {
+			c.tick++
+			s[i].lru = c.tick
+			return 0, false
+		}
+		if !s[i].valid && slot == nil {
+			slot = &s[i]
+		}
+	}
+	if slot == nil {
+		slot = &s[0]
+		for i := range s {
+			if s[i].lru < slot.lru {
+				slot = &s[i]
+			}
+		}
+		victim, evicted = slot.line, true
+	}
+	c.tick++
+	*slot = l2way{line: l, valid: true, lru: c.tick}
+	return victim, evicted
+}

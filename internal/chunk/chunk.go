@@ -1,0 +1,196 @@
+// Package chunk holds the per-chunk speculative state of BulkSC: the R, W
+// and Wpriv signatures, the exact line sets that back the signatures (used
+// to apply commits, to classify aliased squashes and to compute Table 3's
+// set sizes), the speculative write buffer, and the load/store logs that
+// feed the SC replay checker.
+//
+// A chunk is created at a checkpoint, accumulates accesses while the
+// processor executes it, then either commits (its buffered writes become
+// the committed memory state, in global arbitration order) or squashes
+// (everything is discarded and the processor re-executes from the
+// checkpoint).
+package chunk
+
+import (
+	"fmt"
+
+	"bulksc/internal/mem"
+	"bulksc/internal/sig"
+)
+
+// State is a chunk's lifecycle position.
+type State int
+
+const (
+	// Executing: the processor is still dispatching the chunk's
+	// instructions.
+	Executing State = iota
+	// Completed: all instructions executed; waiting for outstanding line
+	// fills before arbitration may start.
+	Completed
+	// Arbitrating: a permission-to-commit request is in flight.
+	Arbitrating
+	// Committing: permission granted; invalidations propagating.
+	Committing
+	// Committed: fully done.
+	Committed
+	// Squashed: discarded.
+	Squashed
+)
+
+func (s State) String() string {
+	return [...]string{"executing", "completed", "arbitrating", "committing", "committed", "squashed"}[s]
+}
+
+// AccessRec logs one memory access for the replay checker, in program
+// order within the chunk.
+type AccessRec struct {
+	IsStore bool
+	Addr    mem.Addr
+	Value   uint64 // store: value written; load: value observed
+}
+
+// Chunk is one dynamic chunk's speculative context.
+type Chunk struct {
+	Proc     int    // owning processor
+	Seq      uint64 // per-processor chunk sequence number
+	Slot     int    // hardware signature-pair slot (0..MaxSlots-1)
+	Checkpt  int    // stream position of the checkpoint
+	State    State
+	Target   int // instruction budget for this chunk
+	Executed int // dynamic instructions dispatched so far
+
+	// Signatures (superset encodings used by the protocol).
+	R, W, Wpriv sig.Signature
+
+	// Exact line sets backing the signatures. RSet/WSet drive commit
+	// application and stats; PrivSet backs Wpriv.
+	RSet, WSet, PrivSet map[mem.Line]struct{}
+
+	// WriteBuf holds the chunk's speculative word values (Rule1: not
+	// visible to other chunks until commit).
+	WriteBuf map[mem.Addr]uint64
+
+	// Log is the program-order access log for the replay checker.
+	Log []AccessRec
+
+	// Pending counts line fills requested by this chunk that have not
+	// arrived; arbitration may not start until it reaches zero.
+	Pending int
+
+	// CommitOrder is assigned by the arbiter at grant time.
+	CommitOrder uint64
+}
+
+// New returns a fresh chunk for proc at checkpoint pos using the given
+// signature factory.
+func New(f sig.Factory, proc int, seq uint64, slot, pos, target int) *Chunk {
+	return &Chunk{
+		Proc:     proc,
+		Seq:      seq,
+		Slot:     slot,
+		Checkpt:  pos,
+		Target:   target,
+		R:        f(),
+		W:        f(),
+		Wpriv:    f(),
+		RSet:     make(map[mem.Line]struct{}),
+		WSet:     make(map[mem.Line]struct{}),
+		PrivSet:  make(map[mem.Line]struct{}),
+		WriteBuf: make(map[mem.Addr]uint64),
+	}
+}
+
+// RecordLoad notes a load of a and the value it observed. The R signature
+// is updated unless private (the stpvt optimization skips R updates for
+// statically-private data).
+func (c *Chunk) RecordLoad(a mem.Addr, v uint64, private bool) {
+	if !private {
+		l := a.LineOf()
+		c.R.Add(l)
+		c.RSet[l] = struct{}{}
+	}
+	c.Log = append(c.Log, AccessRec{Addr: a, Value: v})
+}
+
+// RecordStore buffers a speculative store. If priv, the write goes to
+// Wpriv instead of W (paper §5: writes to private data are exempt from
+// consistency arbitration and disambiguation).
+func (c *Chunk) RecordStore(a mem.Addr, v uint64, priv bool) {
+	l := a.LineOf()
+	if priv {
+		c.Wpriv.Add(l)
+		c.PrivSet[l] = struct{}{}
+	} else {
+		c.W.Add(l)
+		c.WSet[l] = struct{}{}
+	}
+	c.WriteBuf[a.Align()] = v
+	c.Log = append(c.Log, AccessRec{IsStore: true, Addr: a, Value: v})
+}
+
+// PromoteToW moves line l from Wpriv to W, the "add back" step when a
+// dynamically-private prediction stops working (§5.2). Word values stay in
+// WriteBuf. It reports whether l was private.
+func (c *Chunk) PromoteToW(l mem.Line) bool {
+	if _, ok := c.PrivSet[l]; !ok {
+		return false
+	}
+	delete(c.PrivSet, l)
+	c.W.Add(l)
+	c.WSet[l] = struct{}{}
+	// Wpriv is a superset encoding; the stale bit is harmless (it only
+	// matters for ∈ checks on external accesses, which now also hit W).
+	return true
+}
+
+// Forward returns the chunk's buffered value for a, if any — the
+// store-to-load forwarding path within and across in-flight chunks.
+func (c *Chunk) Forward(a mem.Addr) (uint64, bool) {
+	v, ok := c.WriteBuf[a.Align()]
+	return v, ok
+}
+
+// WroteLine reports whether the chunk speculatively wrote any word of l
+// (through either W or Wpriv).
+func (c *Chunk) WroteLine(l mem.Line) bool {
+	if _, ok := c.WSet[l]; ok {
+		return true
+	}
+	_, ok := c.PrivSet[l]
+	return ok
+}
+
+// ConflictsWith reports whether an incoming committing W signature
+// collides with this chunk: (Wc ∩ R) ∪ (Wc ∩ W) ≠ ∅. Wpriv is exempt by
+// design. trueW, when non-nil, is the committer's exact write set; the
+// second result reports whether the collision is genuine (shares a real
+// line) as opposed to pure signature aliasing.
+func (c *Chunk) ConflictsWith(wc sig.Signature, trueW map[mem.Line]struct{}) (hit, genuine bool) {
+	if !wc.Intersects(c.R) && !wc.Intersects(c.W) {
+		return false, false
+	}
+	if trueW != nil {
+		for l := range trueW {
+			if _, ok := c.RSet[l]; ok {
+				return true, true
+			}
+			if _, ok := c.WSet[l]; ok {
+				return true, true
+			}
+		}
+	}
+	return true, false
+}
+
+// Active reports whether the chunk can still be squashed by an incoming
+// commit (it has not been granted commit permission itself, nor already
+// squashed).
+func (c *Chunk) Active() bool {
+	return c.State == Executing || c.State == Completed || c.State == Arbitrating
+}
+
+func (c *Chunk) String() string {
+	return fmt.Sprintf("chunk{p%d #%d %s R=%d W=%d priv=%d}",
+		c.Proc, c.Seq, c.State, len(c.RSet), len(c.WSet), len(c.PrivSet))
+}

@@ -1,0 +1,226 @@
+package chunk
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bulksc/internal/mem"
+	"bulksc/internal/sig"
+)
+
+func newChunk(k sig.Kind) *Chunk {
+	return New(sig.NewFactory(k), 0, 1, 0, 0, 1000)
+}
+
+func TestRecordLoadUpdatesR(t *testing.T) {
+	c := newChunk(sig.KindExact)
+	c.RecordLoad(0x1000, 7, false)
+	l := mem.Addr(0x1000).LineOf()
+	if !c.R.MayContain(l) {
+		t.Fatal("R signature missing loaded line")
+	}
+	if _, ok := c.RSet[l]; !ok {
+		t.Fatal("RSet missing loaded line")
+	}
+	if len(c.Log) != 1 || c.Log[0].IsStore || c.Log[0].Value != 7 {
+		t.Fatal("load log wrong")
+	}
+}
+
+func TestPrivateLoadSkipsR(t *testing.T) {
+	c := newChunk(sig.KindExact)
+	c.RecordLoad(0x2000, 1, true)
+	if !c.R.Empty() || len(c.RSet) != 0 {
+		t.Fatal("private load polluted R")
+	}
+	if len(c.Log) != 1 {
+		t.Fatal("private load not logged")
+	}
+}
+
+func TestRecordStoreRouting(t *testing.T) {
+	c := newChunk(sig.KindExact)
+	c.RecordStore(0x1000, 11, false)
+	c.RecordStore(0x3000, 22, true)
+	if !c.W.MayContain(mem.Addr(0x1000).LineOf()) {
+		t.Fatal("shared store missing from W")
+	}
+	if c.W.MayContain(mem.Addr(0x3000).LineOf()) {
+		t.Fatal("private store leaked into W")
+	}
+	if !c.Wpriv.MayContain(mem.Addr(0x3000).LineOf()) {
+		t.Fatal("private store missing from Wpriv")
+	}
+	if v, ok := c.Forward(0x1000); !ok || v != 11 {
+		t.Fatal("forwarding failed for shared store")
+	}
+	if v, ok := c.Forward(0x3000); !ok || v != 22 {
+		t.Fatal("forwarding failed for private store")
+	}
+}
+
+func TestForwardMissesOtherAddrs(t *testing.T) {
+	c := newChunk(sig.KindExact)
+	c.RecordStore(0x1000, 5, false)
+	if _, ok := c.Forward(0x1008); ok {
+		t.Fatal("forwarded from different word")
+	}
+	if v, ok := c.Forward(0x1004); !ok || v != 5 {
+		t.Fatal("sub-word address should alias its containing word")
+	}
+}
+
+func TestPromoteToW(t *testing.T) {
+	c := newChunk(sig.KindExact)
+	c.RecordStore(0x4000, 9, true)
+	l := mem.Addr(0x4000).LineOf()
+	if !c.PromoteToW(l) {
+		t.Fatal("PromoteToW failed for private line")
+	}
+	if _, ok := c.PrivSet[l]; ok {
+		t.Fatal("line still in PrivSet after promotion")
+	}
+	if !c.W.MayContain(l) {
+		t.Fatal("promoted line missing from W")
+	}
+	if c.PromoteToW(l) {
+		t.Fatal("double promotion reported success")
+	}
+	if c.PromoteToW(mem.Line(999)) {
+		t.Fatal("promotion of unknown line reported success")
+	}
+}
+
+func TestWroteLine(t *testing.T) {
+	c := newChunk(sig.KindExact)
+	c.RecordStore(0x1000, 1, false)
+	c.RecordStore(0x2000, 2, true)
+	if !c.WroteLine(mem.Addr(0x1000).LineOf()) || !c.WroteLine(mem.Addr(0x2000).LineOf()) {
+		t.Fatal("WroteLine missed a written line")
+	}
+	if c.WroteLine(mem.Addr(0x9000).LineOf()) {
+		t.Fatal("WroteLine reported unwritten line")
+	}
+}
+
+func TestConflictDetectionTrue(t *testing.T) {
+	for _, k := range []sig.Kind{sig.KindBloom, sig.KindExact} {
+		local := newChunk(k)
+		local.RecordLoad(0x1000, 0, false)
+		wc := sig.NewFactory(k)()
+		wc.Add(mem.Addr(0x1000).LineOf())
+		trueW := map[mem.Line]struct{}{mem.Addr(0x1000).LineOf(): {}}
+		hit, genuine := local.ConflictsWith(wc, trueW)
+		if !hit || !genuine {
+			t.Fatalf("%v: genuine conflict not detected (hit=%v genuine=%v)", k, hit, genuine)
+		}
+	}
+}
+
+func TestConflictDetectionWriteWrite(t *testing.T) {
+	local := newChunk(sig.KindExact)
+	local.RecordStore(0x1000, 1, false)
+	wc := sig.NewExact()
+	wc.Add(mem.Addr(0x1000).LineOf())
+	hit, _ := local.ConflictsWith(wc, nil)
+	if !hit {
+		t.Fatal("W∩W conflict not detected")
+	}
+}
+
+func TestNoConflictOnDisjoint(t *testing.T) {
+	local := newChunk(sig.KindExact)
+	local.RecordLoad(0x1000, 0, false)
+	wc := sig.NewExact()
+	wc.Add(mem.Addr(0x8000).LineOf())
+	if hit, _ := local.ConflictsWith(wc, nil); hit {
+		t.Fatal("disjoint chunks conflicted (exact sigs cannot alias)")
+	}
+}
+
+func TestPrivateWritesExemptFromConflicts(t *testing.T) {
+	local := newChunk(sig.KindExact)
+	local.RecordStore(0x5000, 1, true) // private write only
+	wc := sig.NewExact()
+	wc.Add(mem.Addr(0x5000).LineOf())
+	if hit, _ := local.ConflictsWith(wc, nil); hit {
+		t.Fatal("Wpriv participated in disambiguation")
+	}
+}
+
+func TestAliasedConflictClassification(t *testing.T) {
+	// With bloom signatures, find a case where signatures intersect but no
+	// true line is shared: brute-force search two single-line sigs that
+	// alias.
+	found := false
+	for a := mem.Line(0); a < 4096 && !found; a++ {
+		local := newChunk(sig.KindBloom)
+		local.RecordLoad(a.Addr(), 0, false)
+		for b := mem.Line(100000); b < 101000; b++ {
+			if a == b {
+				continue
+			}
+			wc := sig.NewBloom()
+			wc.Add(b)
+			trueW := map[mem.Line]struct{}{b: {}}
+			if hit, genuine := local.ConflictsWith(wc, trueW); hit {
+				if genuine {
+					t.Fatal("aliased conflict misclassified as genuine")
+				}
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Skip("no aliasing pair found in search range (hash too strong)")
+	}
+}
+
+func TestActiveStates(t *testing.T) {
+	c := newChunk(sig.KindExact)
+	for st, want := range map[State]bool{
+		Executing: true, Completed: true, Arbitrating: true,
+		Committing: false, Committed: false, Squashed: false,
+	} {
+		c.State = st
+		if c.Active() != want {
+			t.Errorf("Active() in %v = %v, want %v", st, c.Active(), want)
+		}
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	if Executing.String() != "executing" || Squashed.String() != "squashed" {
+		t.Fatal("State strings wrong")
+	}
+}
+
+// Property: a chunk always conflicts with a committing W that contains any
+// line in its R or W set (no false negatives, either signature kind).
+func TestQuickNoMissedConflicts(t *testing.T) {
+	for _, k := range []sig.Kind{sig.KindBloom, sig.KindExact} {
+		k := k
+		f := func(reads, writes []uint32, pick uint8) bool {
+			if len(reads)+len(writes) == 0 {
+				return true
+			}
+			c := newChunk(k)
+			for _, r := range reads {
+				c.RecordLoad(mem.Addr(r)*mem.LineBytes, 0, false)
+			}
+			for _, w := range writes {
+				c.RecordStore(mem.Addr(w)*mem.LineBytes, 0, false)
+			}
+			all := append(append([]uint32{}, reads...), writes...)
+			target := mem.Line(all[int(pick)%len(all)])
+			wc := sig.NewFactory(k)()
+			wc.Add(target)
+			hit, _ := c.ConflictsWith(wc, map[mem.Line]struct{}{target: {}})
+			return hit
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"bulksc/internal/chunk"
+	"bulksc/internal/mem"
+	"bulksc/internal/sig"
+)
+
+// The replay checker is the correctness oracle for the whole repository,
+// so it gets its own adversarial tests: hand-built commit logs with known
+// violations must be flagged, and known-good ones must pass.
+
+func mkLoggedChunk(proc int, seq, order uint64, ops ...chunk.AccessRec) *chunk.Chunk {
+	c := chunk.New(sig.NewFactory(sig.KindExact), proc, seq, 0, 0, 1000)
+	c.CommitOrder = order
+	c.Log = append(c.Log, ops...)
+	return c
+}
+
+func chunkLoad(addr, val uint64) chunk.AccessRec {
+	return chunk.AccessRec{Addr: mem.Addr(addr), Value: val}
+}
+
+func chunkStore(addr, val uint64) chunk.AccessRec {
+	return chunk.AccessRec{IsStore: true, Addr: mem.Addr(addr), Value: val}
+}
+
+func TestCheckerAcceptsSequentialHistory(t *testing.T) {
+	commits := []*chunk.Chunk{
+		mkLoggedChunk(0, 1, 1, chunkStore(0x1000, 7)),
+		mkLoggedChunk(1, 1, 2, chunkLoad(0x1000, 7), chunkStore(0x1000, 9)),
+		mkLoggedChunk(0, 2, 3, chunkLoad(0x1000, 9)),
+	}
+	if bad := verifySC(commits); len(bad) != 0 {
+		t.Fatalf("valid history flagged: %v", bad)
+	}
+}
+
+func TestCheckerCatchesStaleRead(t *testing.T) {
+	commits := []*chunk.Chunk{
+		mkLoggedChunk(0, 1, 1, chunkStore(0x1000, 7)),
+		mkLoggedChunk(1, 1, 2, chunkLoad(0x1000, 0)), // stale: replay has 7
+	}
+	bad := verifySC(commits)
+	if len(bad) == 0 {
+		t.Fatal("stale read not flagged")
+	}
+	if !strings.Contains(bad[0], "observed 0") {
+		t.Fatalf("unexpected finding: %s", bad[0])
+	}
+}
+
+func TestCheckerCatchesFutureRead(t *testing.T) {
+	commits := []*chunk.Chunk{
+		mkLoggedChunk(0, 1, 1, chunkLoad(0x1000, 7)), // reads a value written later
+		mkLoggedChunk(1, 1, 2, chunkStore(0x1000, 7)),
+	}
+	if bad := verifySC(commits); len(bad) == 0 {
+		t.Fatal("too-new read not flagged")
+	}
+}
+
+func TestCheckerCatchesBrokenAtomicity(t *testing.T) {
+	// Chunk at order 2 observes x before y of the order-1 chunk's writes —
+	// impossible if order-1 was atomic.
+	commits := []*chunk.Chunk{
+		mkLoggedChunk(0, 1, 1, chunkStore(0x1000, 1), chunkStore(0x2000, 1)),
+		mkLoggedChunk(1, 1, 2, chunkLoad(0x1000, 1), chunkLoad(0x2000, 0)),
+	}
+	if bad := verifySC(commits); len(bad) == 0 {
+		t.Fatal("broken chunk atomicity not flagged")
+	}
+}
+
+func TestCheckerRespectsIntraChunkOrder(t *testing.T) {
+	// A load after a store to the same address within one chunk must see
+	// the chunk's own value.
+	commits := []*chunk.Chunk{
+		mkLoggedChunk(0, 1, 1, chunkStore(0x1000, 5), chunkLoad(0x1000, 5)),
+	}
+	if bad := verifySC(commits); len(bad) != 0 {
+		t.Fatalf("own-store forwarding flagged: %v", bad)
+	}
+	commits[0].Log[1].Value = 0 // claims it saw the old value
+	if bad := verifySC(commits); len(bad) == 0 {
+		t.Fatal("violated own-store order not flagged")
+	}
+}
+
+func TestCheckerWordGranularity(t *testing.T) {
+	// Writes to different words of one line must not interfere.
+	commits := []*chunk.Chunk{
+		mkLoggedChunk(0, 1, 1, chunkStore(0x1000, 1), chunkStore(0x1008, 2)),
+		mkLoggedChunk(1, 1, 2, chunkLoad(0x1000, 1), chunkLoad(0x1008, 2)),
+	}
+	if bad := verifySC(commits); len(bad) != 0 {
+		t.Fatalf("word-granular history flagged: %v", bad)
+	}
+}
+
+func TestCheckerOrderIndependentInput(t *testing.T) {
+	// The checker sorts by CommitOrder; feeding commits out of order must
+	// not change the verdict.
+	a := mkLoggedChunk(0, 1, 2, chunkLoad(0x1000, 7))
+	b := mkLoggedChunk(1, 1, 1, chunkStore(0x1000, 7))
+	if bad := verifySC([]*chunk.Chunk{a, b}); len(bad) != 0 {
+		t.Fatalf("out-of-order input flagged: %v", bad)
+	}
+}
+
+func TestCheckerTruncatesFindings(t *testing.T) {
+	var commits []*chunk.Chunk
+	for i := uint64(0); i < 50; i++ {
+		commits = append(commits, mkLoggedChunk(0, i+1, i+1, chunkLoad(0x1000, 99)))
+	}
+	bad := verifySC(commits)
+	if len(bad) == 0 || len(bad) > 20 {
+		t.Fatalf("finding cap broken: %d findings", len(bad))
+	}
+}

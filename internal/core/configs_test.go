@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+
+	"bulksc/internal/sig"
+)
+
+// bulkVariant builds the paper's four BulkSC configurations.
+func bulkVariant(app, variant string, work int) Config {
+	cfg := DefaultConfig(app)
+	cfg.Work = work
+	switch variant {
+	case "base":
+		cfg.Dypvt = false
+	case "dypvt":
+	case "stpvt":
+		cfg.Dypvt = false
+		cfg.Stpvt = true
+	case "exact":
+		cfg.SigKind = sig.KindExact
+	default:
+		panic("unknown variant " + variant)
+	}
+	return cfg
+}
+
+// TestBulkVariantsRunAndStaySC runs every BulkSC configuration of Table 2
+// on a mixed set of applications; all must hold SC.
+func TestBulkVariantsRunAndStaySC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	for _, app := range []string{"water-ns", "radix", "ocean", "sjbb2k"} {
+		for _, variant := range []string{"base", "dypvt", "stpvt", "exact"} {
+			res, err := Run(bulkVariant(app, variant, 30000))
+			if err != nil {
+				t.Errorf("%s/%s: %v", app, variant, err)
+				continue
+			}
+			if len(res.SCViolations) > 0 {
+				t.Errorf("%s/%s: %s", app, variant, res.SCViolations[0])
+			}
+			if res.ChunksChecked == 0 {
+				t.Errorf("%s/%s: no chunks checked", app, variant)
+			}
+		}
+	}
+}
+
+// TestBaseVsDypvt checks the headline §5.2 effect: removing private writes
+// from W must shrink the average W set substantially and reduce squashes.
+func TestBaseVsDypvt(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	base, err := Run(bulkVariant("water-ns", "base", 60000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dypvt, err := Run(bulkVariant("water-ns", "dypvt", 60000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wBase, wDy := base.Stats.AvgWriteSet(), dypvt.Stats.AvgWriteSet()
+	if wDy >= wBase/2 {
+		t.Errorf("dypvt W=%.1f not well below base W=%.1f", wDy, wBase)
+	}
+	if dypvt.Stats.AvgPrivWriteSet() < 5 {
+		t.Errorf("dypvt PrivW=%.1f implausibly small", dypvt.Stats.AvgPrivWriteSet())
+	}
+	if base.Stats.AvgPrivWriteSet() != 0 {
+		t.Errorf("base recorded private writes: %v", base.Stats.AvgPrivWriteSet())
+	}
+	if dypvt.Cycles > base.Cycles {
+		t.Logf("note: dypvt (%d) not faster than base (%d) on this run", dypvt.Cycles, base.Cycles)
+	}
+	t.Logf("base: W=%.1f sq=%.2f%%; dypvt: W=%.1f priv=%.1f sq=%.2f%%",
+		wBase, base.Stats.SquashedPct(), wDy, dypvt.Stats.AvgPrivWriteSet(), dypvt.Stats.SquashedPct())
+}
+
+// TestStpvtSkipsStackReads verifies §5.1: with stack pages statically
+// private, R sets shrink and Wpriv propagation reaches the directory.
+func TestStpvtSkipsStackReads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	base, err := Run(bulkVariant("water-ns", "base", 40000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Run(bulkVariant("water-ns", "stpvt", 40000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Stats.AvgReadSet() >= base.Stats.AvgReadSet() {
+		t.Errorf("stpvt R=%.1f not below base R=%.1f (stack reads should vanish)",
+			st.Stats.AvgReadSet(), base.Stats.AvgReadSet())
+	}
+	if st.Stats.AvgPrivWriteSet() == 0 {
+		t.Error("stpvt recorded no private writes")
+	}
+}

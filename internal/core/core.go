@@ -1,0 +1,529 @@
+// Package core assembles complete simulated machines — processors, L1s,
+// BDMs, shared L2, directory modules, arbiters and network — runs a
+// workload on them, and verifies sequential consistency of BulkSC
+// executions with a replay checker.
+//
+// This is the layer the public bulksc package and all experiment harnesses
+// sit on.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"bulksc/internal/arbiter"
+	"bulksc/internal/cache"
+	"bulksc/internal/chunk"
+	"bulksc/internal/directory"
+	"bulksc/internal/mem"
+	"bulksc/internal/network"
+	"bulksc/internal/proc"
+	"bulksc/internal/sig"
+	"bulksc/internal/sim"
+	"bulksc/internal/stats"
+	"bulksc/internal/workload"
+)
+
+// ModelKind selects the consistency implementation of the machine.
+type ModelKind int
+
+const (
+	// ModelSC is the SC baseline (read + exclusive prefetching).
+	ModelSC ModelKind = iota
+	// ModelRC is the RC baseline (speculation across fences).
+	ModelRC
+	// ModelSCpp is the SC++ baseline (SHiQ).
+	ModelSCpp
+	// ModelBulk is BulkSC.
+	ModelBulk
+)
+
+func (m ModelKind) String() string {
+	return [...]string{"SC", "RC", "SC++", "BulkSC"}[m]
+}
+
+// Config describes one simulated machine + workload.
+type Config struct {
+	Model ModelKind
+	// App names a registered workload generator (see workload.All).
+	App string
+	// Procs is the core count (Table 2: 8).
+	Procs int
+	// Work is the approximate dynamic instruction count per thread.
+	Work int
+	// Seed drives all randomness (workload generation and timing jitter).
+	Seed int64
+
+	// BulkSC options (ignored by the baselines).
+	ChunkSize int      // dynamic instructions per chunk (Table 2: 1000)
+	MaxChunks int      // chunks in flight per processor (Table 2: 2)
+	SigKind   sig.Kind // bloom (real) or exact (BSC_exact)
+	// SigGeometry overrides the production 2×1024-bit Bloom geometry for
+	// the §6 signature design-space ablation. Ignored for exact
+	// signatures; nil selects the production encoding.
+	SigGeometry *sig.Geometry
+	RSigOpt     bool // §4.2.2 commit bandwidth optimization
+	Dypvt       bool // §5.2 dynamically-private data
+	Stpvt       bool // §5.1 statically-private data (stack pages)
+
+	// NumArbiters distributes the arbiter and directory into that many
+	// address-interleaved modules (§4.2.3); 1 = the paper's base system.
+	NumArbiters int
+	// DirCacheEntries limits each directory module to a directory cache
+	// of that many entries (§4.3.3); 0 = full-map.
+	DirCacheEntries int
+
+	// CheckSC runs the replay checker over every committed chunk
+	// (BulkSC only). Costs memory proportional to the access count.
+	CheckSC bool
+	// MaxCycles aborts apparent livelocks; 0 = a generous default.
+	MaxCycles uint64
+	// RecordTimeline collects commit/squash/pre-arbitration events into
+	// Result.Timeline (BulkSC only).
+	RecordTimeline bool
+	// WarmupFrac excludes the first fraction of the committed
+	// instructions from the characterization statistics (caches and
+	// private working sets must reach steady state before Table 3/4
+	// metrics mean anything). Cycles and speedups always cover the full
+	// run. 0 disables warmup exclusion.
+	WarmupFrac float64
+}
+
+// DefaultConfig returns the paper's BSC_dypvt system on 8 processors.
+func DefaultConfig(app string) Config {
+	return Config{
+		Model:       ModelBulk,
+		App:         app,
+		Procs:       8,
+		Work:        60_000,
+		Seed:        1,
+		ChunkSize:   1000,
+		MaxChunks:   2,
+		SigKind:     sig.KindBloom,
+		RSigOpt:     true,
+		Dypvt:       true,
+		NumArbiters: 1,
+		CheckSC:     true,
+		WarmupFrac:  0.3,
+	}
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Config  Config
+	Cycles  uint64
+	Stats   *stats.Stats
+	PerProc []uint64 // per-processor completion cycle
+	// SCViolations lists replay-checker findings (empty = SC held).
+	SCViolations []string
+	// ChunksChecked is how many committed chunks the checker replayed.
+	ChunksChecked int
+	// Commits holds the committed chunks in commit order when
+	// Config.CheckSC was set; tests and debugging tools inspect it.
+	Commits []*chunk.Chunk
+	// Timeline holds execution events when Config.RecordTimeline was set.
+	Timeline Timeline
+}
+
+// Speedup returns other's runtime relative to r (r.Cycles / other.Cycles
+// inverted: >1 means r is faster).
+func (r *Result) Speedup(other *Result) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(other.Cycles) / float64(r.Cycles)
+}
+
+// Run generates cfg.App and simulates it.
+func Run(cfg Config) (*Result, error) {
+	gen, err := workload.Get(cfg.App)
+	if err != nil {
+		return nil, err
+	}
+	prog := gen(cfg.Procs, cfg.Work, cfg.Seed)
+	return RunProgram(cfg, prog)
+}
+
+// RunProgram simulates an explicit program (used by the litmus tests).
+func RunProgram(cfg Config, prog *workload.Program) (*Result, error) {
+	if len(prog.Threads) != cfg.Procs {
+		cfg.Procs = len(prog.Threads)
+	}
+	if cfg.Procs < 1 || cfg.Procs > 64 {
+		return nil, fmt.Errorf("core: %d processors unsupported", cfg.Procs)
+	}
+	if cfg.NumArbiters < 1 {
+		cfg.NumArbiters = 1
+	}
+	m := buildMachine(cfg)
+	for t, ins := range prog.Threads {
+		m.addProc(cfg, t, ins)
+	}
+	m.wirePorts()
+	return m.run(cfg)
+}
+
+// machine is one assembled system.
+type machine struct {
+	cfg   Config
+	eng   *sim.Engine
+	net   *network.Network
+	st    *stats.Stats
+	memry *mem.Memory
+	pages *mem.PageTable
+	dirs  []*directory.Directory
+	arbs  []*arbiter.Arbiter
+	garb  *arbiter.GArbiter
+	env   *proc.Env
+
+	bulkProcs []*proc.BulkProc
+	convProcs []*proc.ConvProc
+
+	commits  []*chunk.Chunk // commit-order log for the checker
+	timeline Timeline
+}
+
+func buildMachine(cfg Config) *machine {
+	m := &machine{
+		cfg:   cfg,
+		eng:   sim.NewEngine(cfg.Seed),
+		st:    stats.New(),
+		memry: mem.NewMemory(),
+		pages: mem.NewPageTable(),
+	}
+	m.net = network.New(m.eng, m.st)
+	if cfg.Stpvt {
+		m.pages.MarkStacksPrivate(cfg.Procs)
+	}
+	limit := cfg.MaxCycles
+	if limit == 0 {
+		limit = 2_000_000_000
+	}
+	m.eng.SetLimit(sim.Time(limit))
+
+	l2 := cache.NewL2(32768, 8) // 8 MB / 8-way / 32 B
+	n := cfg.NumArbiters
+	var order uint64
+	orderPtr := &order
+	// The counter must outlive this frame; keep it on the machine via a
+	// closure-held pointer.
+	m.commits = nil
+	sigFactory := sig.NewFactory(cfg.SigKind)
+	if cfg.SigGeometry != nil && cfg.SigKind == sig.KindBloom {
+		sigFactory = sig.NewTunableFactory(*cfg.SigGeometry)
+	}
+	for i := 0; i < n; i++ {
+		d := directory.New(i, n, m.eng, m.net, m.st, l2)
+		d.MaxEntries = cfg.DirCacheEntries
+		d.SigFactory = sigFactory
+		m.dirs = append(m.dirs, d)
+		a := arbiter.New(i, m.eng, m.net, m.st, orderPtr)
+		m.arbs = append(m.arbs, a)
+		// Arbiter i is co-located with directory i (Figure 7(b)).
+		dd := d
+		a.ForwardW = func(tok arbiter.Token, proc int, w sig.Signature, trueW map[mem.Line]struct{}) {
+			dd.ProcessCommit(&directory.Commit{Tok: tok, Proc: proc, W: w, TrueW: trueW})
+		}
+		aa := a
+		d.OnDone = func(tok arbiter.Token) { aa.Done(tok) }
+	}
+	if n > 1 {
+		m.garb = arbiter.NewGArbiter(m.eng, m.net, m.st, m.arbs)
+	}
+	m.env = m.buildEnv()
+	return m
+}
+
+func (m *machine) dirFor(l mem.Line) *directory.Directory {
+	return m.dirs[arbiter.RangeOf(l, len(m.dirs))]
+}
+
+func (m *machine) buildEnv() *proc.Env {
+	factory := sig.NewFactory(m.cfg.SigKind)
+	if m.cfg.SigGeometry != nil && m.cfg.SigKind == sig.KindBloom {
+		factory = sig.NewTunableFactory(*m.cfg.SigGeometry)
+	}
+	env := &proc.Env{
+		Eng:    m.eng,
+		Net:    m.net,
+		St:     m.st,
+		Mem:    m.memry,
+		Pages:  m.pages,
+		Sigs:   factory,
+		NProcs: m.cfg.Procs,
+	}
+	env.ReadLine = func(p int, l mem.Line, excl bool, done func(int)) {
+		d := m.dirFor(l)
+		m.net.Send(stats.CatData, network.CtrlBytes, func() {
+			d.Read(p, l, excl, func(st cache.LineState) { done(int(st)) })
+		})
+	}
+	env.WritebackLine = func(p int, l mem.Line, drop bool) {
+		d := m.dirFor(l)
+		m.eng.After(m.net.HopLat, func() { d.Writeback(p, l, drop) })
+	}
+	env.Commit = m.routeCommit
+	env.PrivCommit = func(p int, w sig.Signature, trueW map[mem.Line]struct{}) {
+		sent := make(map[int]bool)
+		for l := range trueW {
+			idx := arbiter.RangeOf(l, len(m.dirs))
+			if sent[idx] {
+				continue
+			}
+			sent[idx] = true
+			d := m.dirs[idx]
+			m.net.Send(stats.CatWrSig, network.SigBytes, func() {
+				d.ProcessPrivCommit(&directory.Commit{Proc: p, W: w, TrueW: trueW})
+			})
+		}
+	}
+	env.PreArbitrate = func(p int, granted func()) {
+		m.net.Send(stats.CatOther, network.CtrlBytes, func() {
+			m.arbs[0].PreArbitrate(p, func() {
+				m.net.Send(stats.CatOther, network.CtrlBytes, granted)
+			})
+		})
+	}
+	env.EndPreArbitrate = func(p int) {
+		m.net.Send(stats.CatOther, network.CtrlBytes, func() {
+			m.arbs[0].EndPreArbitration(p)
+		})
+	}
+	return env
+}
+
+// routeCommit translates a processor commit request into arbitration:
+// straight to the single owning arbiter, or through the G-arbiter when the
+// chunk spans several address ranges (§4.2.3).
+func (m *machine) routeCommit(req *proc.CommitReq) {
+	areq := &arbiter.Request{
+		Proc:  req.Proc,
+		W:     req.W,
+		R:     req.R,
+		TrueW: req.TrueW,
+		Reply: req.Reply,
+	}
+	if req.R != nil {
+		// R travels with the request (no RSig optimization).
+		m.net.Account(stats.CatRdSig, network.SigBytes)
+	}
+	if req.FetchR != nil {
+		areq.FetchR = func(cb func(sig.Signature)) {
+			// Arbiter → processor → arbiter round trip for R.
+			m.net.Send(stats.CatOther, network.CtrlBytes, func() {
+				req.FetchR(func(r sig.Signature) {
+					m.net.Send(stats.CatRdSig, network.SigBytes, func() { cb(r) })
+				})
+			})
+		}
+	}
+	// An empty W signature compresses to nothing: the permission-to-commit
+	// request is a plain control message.
+	wBytes := network.SigBytes
+	if req.W.Empty() {
+		wBytes = network.CtrlBytes
+	}
+	if len(m.arbs) == 1 {
+		m.net.Send(stats.CatWrSig, wBytes, func() { m.arbs[0].Request(areq) })
+		return
+	}
+	ranges := arbiter.RangesOf(append(req.RSets, req.WSets...), len(m.arbs))
+	if len(ranges) == 1 {
+		m.net.Send(stats.CatWrSig, wBytes, func() { m.arbs[ranges[0]].Request(areq) })
+		return
+	}
+	// Multi-range: the G-arbiter needs R upfront.
+	if areq.R == nil {
+		areq.FetchR(func(r sig.Signature) {
+			areq.R = r
+			m.net.Send(stats.CatWrSig, network.SigBytes, func() { m.garb.Request(areq, ranges) })
+		})
+		return
+	}
+	m.net.Send(stats.CatWrSig, network.SigBytes, func() { m.garb.Request(areq, ranges) })
+}
+
+func (m *machine) addProc(cfg Config, id int, ins []workload.Instr) {
+	par := proc.DefaultParams()
+	if cfg.ChunkSize > 0 {
+		par.ChunkSize = cfg.ChunkSize
+	}
+	if cfg.MaxChunks > 0 {
+		par.MaxChunks = cfg.MaxChunks
+	}
+	switch cfg.Model {
+	case ModelBulk:
+		opts := proc.Opts{
+			RSigOpt:         cfg.RSigOpt,
+			Dypvt:           cfg.Dypvt,
+			Stpvt:           cfg.Stpvt,
+			PreArbThreshold: 6,
+		}
+		p := proc.NewBulkProc(id, m.env, par, opts, ins)
+		onCommit := func(ch *chunk.Chunk) {
+			if cfg.CheckSC {
+				m.commits = append(m.commits, ch)
+			}
+			if cfg.RecordTimeline {
+				m.timeline = append(m.timeline, TimelineEvent{
+					At: uint64(m.eng.Now()), Proc: ch.Proc, Kind: EvCommit,
+					Order: ch.CommitOrder, Instrs: ch.Executed,
+				})
+			}
+		}
+		if cfg.CheckSC || cfg.RecordTimeline {
+			p.OnCommit = onCommit
+		}
+		if cfg.RecordTimeline {
+			pid := id
+			p.OnSquash = func(victims, instrs int, genuine bool) {
+				m.timeline = append(m.timeline, TimelineEvent{
+					At: uint64(m.eng.Now()), Proc: pid, Kind: EvSquash,
+					Victims: victims, Instrs: instrs, Genuine: genuine,
+				})
+			}
+			p.OnPreArb = func() {
+				m.timeline = append(m.timeline, TimelineEvent{
+					At: uint64(m.eng.Now()), Proc: pid, Kind: EvPreArb,
+				})
+			}
+		}
+		m.bulkProcs = append(m.bulkProcs, p)
+	case ModelSC:
+		m.convProcs = append(m.convProcs, proc.NewConvProc(id, m.env, par, proc.SC, ins))
+	case ModelRC:
+		m.convProcs = append(m.convProcs, proc.NewConvProc(id, m.env, par, proc.RC, ins))
+	case ModelSCpp:
+		m.convProcs = append(m.convProcs, proc.NewConvProc(id, m.env, par, proc.SCpp, ins))
+	default:
+		panic("core: unknown model")
+	}
+}
+
+func (m *machine) wirePorts() {
+	var ports []directory.CachePort
+	for _, p := range m.bulkProcs {
+		ports = append(ports, p)
+	}
+	for _, p := range m.convProcs {
+		ports = append(ports, p)
+	}
+	for _, d := range m.dirs {
+		d.AttachPorts(ports)
+	}
+}
+
+func (m *machine) allDone() bool {
+	for _, p := range m.bulkProcs {
+		if !p.Finished() {
+			return false
+		}
+	}
+	for _, p := range m.convProcs {
+		if !p.Finished() {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *machine) run(cfg Config) (*Result, error) {
+	for _, p := range m.bulkProcs {
+		p.Start()
+	}
+	for _, p := range m.convProcs {
+		p.Start()
+	}
+	// Warmup exclusion: once the committed-instruction count passes the
+	// warmup fraction, snapshot the counters; the final stats subtract the
+	// snapshot so Table 3/4 metrics describe steady state only.
+	var warmBase *stats.Stats
+	var warmCycle uint64
+	if cfg.WarmupFrac > 0 {
+		target := uint64(cfg.WarmupFrac * float64(cfg.Work) * float64(cfg.Procs))
+		var poll func()
+		poll = func() {
+			if m.allDone() {
+				return
+			}
+			if m.st.CommittedInstrs >= target {
+				snap := m.st.Snapshot()
+				warmBase = &snap
+				warmCycle = uint64(m.eng.Now())
+				return
+			}
+			m.eng.After(5000, poll)
+		}
+		m.eng.After(5000, poll)
+	}
+	m.eng.Run(m.allDone)
+	if !m.allDone() {
+		return nil, fmt.Errorf("core: %s/%s deadlocked at cycle %d", cfg.Model, cfg.App, m.eng.Now())
+	}
+	res := &Result{Config: cfg, Stats: m.st}
+	var last sim.Time
+	for _, p := range m.bulkProcs {
+		res.PerProc = append(res.PerProc, uint64(p.DoneAt()))
+		if p.DoneAt() > last {
+			last = p.DoneAt()
+		}
+	}
+	for _, p := range m.convProcs {
+		res.PerProc = append(res.PerProc, uint64(p.DoneAt()))
+		if p.DoneAt() > last {
+			last = p.DoneAt()
+		}
+	}
+	res.Cycles = uint64(last)
+	m.st.Cycles = res.Cycles
+	m.st.CloseWList(res.Cycles)
+	if warmBase != nil {
+		m.st.SubtractBase(warmBase, warmCycle)
+	}
+	if cfg.CheckSC && cfg.Model == ModelBulk {
+		res.SCViolations = verifySC(m.commits)
+		res.ChunksChecked = len(m.commits)
+		res.Commits = m.commits
+	}
+	if cfg.RecordTimeline {
+		sortTimeline(m.timeline)
+		res.Timeline = m.timeline
+	}
+	return res, nil
+}
+
+// verifySC replays every committed chunk in global commit order and checks
+// that each logged load observed exactly the value the sequential replay
+// produces. This validates chunk atomicity, isolation, per-processor
+// order, forwarding, squash recovery and the private-data optimizations
+// end to end: any hole would surface as a mismatched load.
+func verifySC(commits []*chunk.Chunk) []string {
+	sorted := make([]*chunk.Chunk, len(commits))
+	copy(sorted, commits)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].CommitOrder < sorted[j].CommitOrder })
+	replay := make(map[mem.Addr]uint64)
+	var bad []string
+	perProc := make(map[int]uint64)
+	for _, ch := range sorted {
+		if ch.CommitOrder <= perProc[ch.Proc] && perProc[ch.Proc] != 0 {
+			bad = append(bad, fmt.Sprintf("proc %d chunk %d committed out of per-processor order", ch.Proc, ch.Seq))
+		}
+		perProc[ch.Proc] = ch.CommitOrder
+		for _, rec := range ch.Log {
+			a := rec.Addr.Align()
+			if rec.IsStore {
+				replay[a] = rec.Value
+				continue
+			}
+			if got := replay[a]; got != rec.Value {
+				bad = append(bad, fmt.Sprintf(
+					"proc %d chunk %d (order %d): load %#x observed %d, replay has %d",
+					ch.Proc, ch.Seq, ch.CommitOrder, uint64(rec.Addr), rec.Value, got))
+				if len(bad) >= 20 {
+					return bad
+				}
+			}
+		}
+	}
+	return bad
+}

@@ -1,0 +1,42 @@
+package core
+
+import "testing"
+
+// TestRCBarrierCompletes is a regression test for a livelock where
+// asynchronous completions re-entered the barrier's atomic block and
+// double-incremented the arrival counter (fixed by the serialBusy guard).
+func TestRCBarrierCompletes(t *testing.T) {
+	cfg := DefaultConfig("fft")
+	cfg.Model = ModelRC
+	cfg.Work = 20000
+	cfg.CheckSC = false
+	cfg.MaxCycles = 50_000_000
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBarrierHeavyAppsAllModels runs the most barrier-intensive kernels
+// under every model; any arrival-counter or generation bug deadlocks.
+func TestBarrierHeavyAppsAllModels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	for _, app := range []string{"lu", "ocean", "radix"} {
+		for _, m := range []ModelKind{ModelSC, ModelRC, ModelSCpp, ModelBulk} {
+			cfg := DefaultConfig(app)
+			cfg.Model = m
+			cfg.Work = 15000
+			cfg.CheckSC = m == ModelBulk
+			cfg.MaxCycles = 100_000_000
+			res, err := Run(cfg)
+			if err != nil {
+				t.Errorf("%s/%v: %v", app, m, err)
+				continue
+			}
+			if m == ModelBulk && len(res.SCViolations) > 0 {
+				t.Errorf("%s: %s", app, res.SCViolations[0])
+			}
+		}
+	}
+}

@@ -1,0 +1,27 @@
+package core
+
+import "testing"
+
+// TestSCAcrossSeeds runs the replay checker over every application and
+// several seeds; any consistency hole in the protocol surfaces here.
+func TestSCAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	apps := []string{"barnes", "cholesky", "fft", "fmm", "lu", "ocean", "radiosity", "radix", "raytrace", "water-ns", "water-sp", "sjbb2k", "sweb2005"}
+	for _, app := range apps {
+		for seed := int64(1); seed <= 3; seed++ {
+			cfg := DefaultConfig(app)
+			cfg.Work = 30000
+			cfg.Seed = seed
+			res, err := Run(cfg)
+			if err != nil {
+				t.Errorf("%s seed=%d: %v", app, seed, err)
+				continue
+			}
+			if len(res.SCViolations) > 0 {
+				t.Errorf("%s seed=%d: %s", app, seed, res.SCViolations[0])
+			}
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package core
+
+import "testing"
+
+func TestSmokeBulk(t *testing.T) {
+	cfg := DefaultConfig("fft")
+	cfg.Work = 20000
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("fft bulk: %s", res.Stats)
+	if len(res.SCViolations) > 0 {
+		t.Fatalf("SC violations: %v", res.SCViolations[:min(3, len(res.SCViolations))])
+	}
+}
+
+func TestSmokeBaselines(t *testing.T) {
+	for _, model := range []ModelKind{ModelSC, ModelRC, ModelSCpp} {
+		cfg := DefaultConfig("fft")
+		cfg.Model = model
+		cfg.Work = 20000
+		cfg.CheckSC = false
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", model, err)
+		}
+		t.Logf("fft %v: cycles=%d", model, res.Cycles)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

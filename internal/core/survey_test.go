@@ -1,0 +1,85 @@
+package core
+
+import "testing"
+
+// TestSurveyAllApps is the cross-model regression survey: every
+// application under every machine model, with loose assertions freezing
+// the reproduction's headline shapes (Figure 9). If a change to the
+// protocol, the timing model or a workload moves these outside their
+// bands, this fails loudly.
+func TestSurveyAllApps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("survey")
+	}
+	apps := []string{"barnes", "cholesky", "fft", "fmm", "lu", "ocean",
+		"radiosity", "radix", "raytrace", "water-ns", "water-sp", "sjbb2k", "sweb2005"}
+	for _, app := range apps {
+		var cycles [4]uint64
+		for i, model := range []ModelKind{ModelSC, ModelRC, ModelSCpp, ModelBulk} {
+			cfg := DefaultConfig(app)
+			cfg.Model = model
+			cfg.Work = 50000
+			cfg.CheckSC = model == ModelBulk
+			res, err := Run(cfg)
+			if err != nil {
+				t.Errorf("%s/%v: %v", app, model, err)
+				continue
+			}
+			cycles[i] = res.Cycles
+			if model != ModelBulk {
+				continue
+			}
+			if len(res.SCViolations) > 0 {
+				t.Errorf("%s: SC violated: %s", app, res.SCViolations[0])
+			}
+			s := res.Stats
+			sc := float64(cycles[1]) / float64(cycles[0])
+			scpp := float64(cycles[1]) / float64(cycles[2])
+			bsc := float64(cycles[1]) / float64(cycles[3])
+			t.Logf("%-10s SC=%.2f RC=1.00 SC++=%.2f BSC=%.2f | sq%%=%.2f emptyW=%.1f%% R=%.1f W=%.2f privW=%.1f chunks=%d",
+				app, sc, scpp, bsc,
+				s.SquashedPct(), s.EmptyWSigPct(), s.AvgReadSet(), s.AvgWriteSet(), s.AvgPrivWriteSet(), s.Chunks)
+
+			// Shape bands (loose on purpose; they encode orderings, not
+			// point values).
+			if sc >= 0.90 {
+				t.Errorf("%s: SC (%.2f of RC) implausibly fast — serialization lost", app, sc)
+			}
+			if scpp < 0.85 {
+				t.Errorf("%s: SC++ (%.2f of RC) too slow — SHiQ model broken", app, scpp)
+			}
+			if bsc < 0.55 {
+				t.Errorf("%s: BulkSC (%.2f of RC) far below the paper's shape", app, bsc)
+			}
+			if bsc <= sc {
+				t.Errorf("%s: BulkSC (%.2f) not faster than SC (%.2f) — the paper's whole point", app, bsc, sc)
+			}
+			if s.Chunks == 0 {
+				t.Errorf("%s: no chunks committed", app)
+			}
+		}
+	}
+}
+
+// TestSurveyLowConflictAppsBarelySquash freezes the quiet end of Table 3:
+// the almost-all-private applications must stay near zero squash under
+// BSC_dypvt.
+func TestSurveyLowConflictAppsBarelySquash(t *testing.T) {
+	if testing.Short() {
+		t.Skip("survey")
+	}
+	for _, app := range []string{"water-sp", "water-ns", "fmm"} {
+		cfg := DefaultConfig(app)
+		cfg.Work = 50000
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := res.Stats.SquashedPct(); got > 5 {
+			t.Errorf("%s: squashed %.2f%%, want ≤5%% (near-private application)", app, got)
+		}
+		if res.Stats.AvgPrivWriteSet() < 5 {
+			t.Errorf("%s: private write set %.1f implausibly small", app, res.Stats.AvgPrivWriteSet())
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTimelineRecording(t *testing.T) {
+	cfg := DefaultConfig("radiosity")
+	cfg.Work = 15000
+	cfg.RecordTimeline = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Timeline) == 0 {
+		t.Fatal("no timeline events recorded")
+	}
+	commits, squashes := 0, 0
+	var prev uint64
+	for _, ev := range res.Timeline {
+		if ev.At < prev {
+			t.Fatal("timeline not time-ordered")
+		}
+		prev = ev.At
+		switch ev.Kind {
+		case EvCommit:
+			commits++
+			if ev.Order == 0 {
+				t.Fatal("commit event without order")
+			}
+		case EvSquash:
+			squashes++
+			if ev.Victims == 0 {
+				t.Fatal("squash event without victims")
+			}
+		}
+	}
+	if uint64(commits) != res.Stats.Chunks+ /* warmup-excluded */ 0 &&
+		commits == 0 {
+		t.Fatal("no commits recorded")
+	}
+	if uint64(squashes) == 0 && res.Stats.Squashes > 0 {
+		t.Fatal("squashes in stats but none on timeline")
+	}
+}
+
+func TestTimelineDisabledByDefault(t *testing.T) {
+	cfg := DefaultConfig("water-sp")
+	cfg.Work = 10000
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Timeline) != 0 {
+		t.Fatal("timeline recorded without RecordTimeline")
+	}
+}
+
+func TestTimelineLanesRendering(t *testing.T) {
+	tl := Timeline{
+		{At: 10, Proc: 0, Kind: EvCommit, Order: 1, Instrs: 100},
+		{At: 20, Proc: 1, Kind: EvSquash, Victims: 2, Instrs: 50, Genuine: true},
+		{At: 30, Proc: 1, Kind: EvSquash, Victims: 1, Instrs: 20},
+		{At: 40, Proc: 0, Kind: EvPreArb},
+	}
+	out := tl.Lanes(2, 50)
+	if !strings.Contains(out, "p0 ") || !strings.Contains(out, "p1 ") {
+		t.Fatalf("lanes missing processors:\n%s", out)
+	}
+	if !strings.Contains(out, "C") || !strings.Contains(out, "S") ||
+		!strings.Contains(out, "s") || !strings.Contains(out, "P") {
+		t.Fatalf("lanes missing event glyphs:\n%s", out)
+	}
+	sum := tl.Summary(2)
+	if !strings.Contains(sum, "p0") || !strings.Contains(sum, "1") {
+		t.Fatalf("summary malformed:\n%s", sum)
+	}
+	if Timeline(nil).Lanes(2, 50) == "" {
+		t.Fatal("empty timeline must render a placeholder")
+	}
+}
+
+func TestTimelineEventKindStrings(t *testing.T) {
+	if EvCommit.String() != "commit" || EvSquash.String() != "squash" || EvPreArb.String() != "prearb" {
+		t.Fatal("event kind strings wrong")
+	}
+}

@@ -1,0 +1,169 @@
+package directory
+
+import (
+	"bulksc/internal/mem"
+	"bulksc/internal/network"
+	"bulksc/internal/stats"
+)
+
+// ProcessCommit is the DirBDM path: it expands a committing chunk's W
+// signature over this module's directory state, applies the Table 1 case
+// analysis, forwards W to the caches on the invalidation list, keeps reads
+// to the written lines disabled until every acknowledgement arrives, and
+// finally reports completion to the arbiter via OnDone.
+//
+// Expansion works exactly like the hardware: δ decodes the signature into
+// candidate buckets; every entry in those buckets is membership-tested;
+// matching entries are "looked up" (Table 4's Lookups per Commit), and
+// matches that the chunk did not truly write are the aliasing costs
+// (Unnecessary Lookups / Unnecessary Updates).
+func (d *Directory) ProcessCommit(c *Commit) {
+	d.st.DirCommits++
+	d.committing[c.Tok] = c
+	d.eng.After(commitProc, func() { d.expand(c) })
+}
+
+func (d *Directory) expand(c *Commit) {
+	bit := uint64(1) << uint(c.Proc)
+	invalList := uint64(0)
+	if d.st.Trace != nil {
+		d.st.Trace("t=%d dir%d expand commit tok=%d proc=%d", d.eng.Now(), d.ID, c.Tok, c.Proc)
+	}
+	mask := c.W.CandidateSets(expansionBuckets)
+	for idx := 0; idx < expansionBuckets; idx++ {
+		if !mask.Has(idx) {
+			continue
+		}
+		for l, e := range d.buckets[idx] {
+			if d.nmods > 1 && d.ownerModule(l) != d.ID {
+				continue
+			}
+			// Every entry in a candidate bucket is looked up (its tag and
+			// state are read) — Table 4's "Lookups per Commit"; entries
+			// the chunk did not truly write are the aliasing cost. The
+			// full membership test (∈, all banks) then gates the action.
+			d.st.DirLookups++
+			_, trulyWritten := c.TrueW[l]
+			if !trulyWritten {
+				d.st.DirUnnecessary++
+			}
+			if !c.W.MayContain(l) {
+				continue
+			}
+			if d.st.Trace != nil {
+				d.st.Trace("t=%d dir%d lookup line=%#x dirty=%v owner=%d sharers=%b committer=%d true=%v", d.eng.Now(), d.ID, uint64(l), e.dirty, e.owner, e.sharers, c.Proc, trulyWritten)
+			}
+			// Table 1 case analysis.
+			switch {
+			case e.dirty && e.sharers&bit == 0:
+				// Case 3: dirty, committing proc not a sharer — false
+				// positive; the committer would have fetched the line
+				// and be recorded. Do nothing.
+			case e.dirty:
+				// Case 4: committing proc already the owner. Do nothing.
+			case e.sharers&bit == 0:
+				// Case 1: not dirty, proc not a sharer — false positive.
+			default:
+				// Case 2: proc is a sharer of a non-dirty line: it
+				// becomes the owner; every other sharer joins the
+				// invalidation list.
+				invalList |= e.sharers &^ bit
+				e.sharers = bit
+				e.dirty = true
+				e.owner = uint8(c.Proc)
+				d.st.DirUpdates++
+				if !trulyWritten {
+					d.st.DirBadUpdates++
+				}
+			}
+		}
+	}
+	d.forwardToCaches(c, invalList)
+}
+
+// ownerModule maps a line to its directory module (same interleave as the
+// distributed arbiter).
+func (d *Directory) ownerModule(l mem.Line) int {
+	return int((uint64(l) / 64) % uint64(d.nmods))
+}
+
+func (d *Directory) forwardToCaches(c *Commit, invalList uint64) {
+	pendingAcks := 0
+	for p := 0; p < len(d.ports); p++ {
+		if invalList&(1<<uint(p)) == 0 {
+			continue
+		}
+		pendingAcks++
+		d.st.WSigNodeSends++
+		pp := p
+		d.net.Send(stats.CatWrSig, network.SigBytes, func() {
+			d.ports[pp].ApplyCommit(c)
+			d.eng.After(bdmProc, func() {
+				d.net.Send(stats.CatInv, network.CtrlBytes, func() {
+					pendingAcks--
+					if pendingAcks == 0 {
+						d.finishCommit(c)
+					}
+				})
+			})
+		})
+	}
+	if pendingAcks == 0 {
+		d.finishCommit(c)
+	}
+}
+
+func (d *Directory) finishCommit(c *Commit) {
+	delete(d.committing, c.Tok)
+	if c.Priv {
+		return
+	}
+	if d.OnDone == nil {
+		panic("directory: OnDone not wired")
+	}
+	// Completion message back to the arbiter.
+	d.net.Send(stats.CatOther, network.CtrlBytes, func() { d.OnDone(c.Tok) })
+}
+
+// ProcessPrivCommit propagates an stpvt Wpriv signature (§5.1): private
+// data must stay coherent because threads migrate, but it needs no
+// arbitration, no read disabling and no disambiguation. Sharer caches
+// simply invalidate matching lines.
+func (d *Directory) ProcessPrivCommit(c *Commit) {
+	c.Priv = true
+	d.eng.After(commitProc, func() { d.expandPriv(c) })
+}
+
+func (d *Directory) expandPriv(c *Commit) {
+	bit := uint64(1) << uint(c.Proc)
+	invalList := uint64(0)
+	mask := c.W.CandidateSets(expansionBuckets)
+	for idx := 0; idx < expansionBuckets; idx++ {
+		if !mask.Has(idx) {
+			continue
+		}
+		for l, e := range d.buckets[idx] {
+			if d.nmods > 1 && d.ownerModule(l) != d.ID {
+				continue
+			}
+			if !c.W.MayContain(l) {
+				continue
+			}
+			if !e.dirty && e.sharers&bit != 0 {
+				invalList |= e.sharers &^ bit
+				e.sharers = bit
+				e.dirty = true
+				e.owner = uint8(c.Proc)
+			}
+		}
+	}
+	for p := 0; p < len(d.ports); p++ {
+		if invalList&(1<<uint(p)) == 0 {
+			continue
+		}
+		pp := p
+		d.net.Send(stats.CatWrSig, network.SigBytes, func() {
+			d.ports[pp].ApplyCommit(c)
+		})
+	}
+}

@@ -1,0 +1,450 @@
+// Package directory implements the distributed directory modules of the
+// BulkSC architecture (paper §4.3) together with the shared L2 they front.
+//
+// Each module keeps full-bit-vector sharing state for the lines in its
+// address range and serves two protocols:
+//
+//   - The conventional invalidation protocol used by the SC, RC and SC++
+//     baselines (read / read-exclusive / writeback, with owner forwarding
+//     and sharer invalidation).
+//   - The BulkSC commit protocol: a DirBDM expands incoming W signatures
+//     over the directory state (the Table 1 case analysis), builds
+//     invalidation lists, forwards the signature to sharer caches,
+//     disables reads to committing lines until all acknowledgements
+//     arrive, and reports completion to the arbiter.
+//
+// Entries under a multi-step transaction are marked busy and later
+// requests queue behind them, the standard way real directories serialize
+// racing requests.
+package directory
+
+import (
+	"fmt"
+
+	"bulksc/internal/arbiter"
+	"bulksc/internal/cache"
+	"bulksc/internal/mem"
+	"bulksc/internal/network"
+	"bulksc/internal/sig"
+	"bulksc/internal/sim"
+	"bulksc/internal/stats"
+)
+
+// Latency constants (cycles). Together with the network hop they reproduce
+// Table 2's unloaded round trips: L1 miss → L2 hit ≈ 13 cycles, memory
+// ≈ 300 cycles.
+const (
+	dirAccess  sim.Time = 1   // directory/L2 tag access
+	memExtra   sim.Time = 287 // additional cycles for an off-chip access
+	cacheProc  sim.Time = 2   // remote cache access time
+	bounceWait sim.Time = 20  // retry delay for reads bounced by a commit
+	commitProc sim.Time = 4   // DirBDM signature-expansion latency
+	bdmProc    sim.Time = 5   // remote BDM disambiguation latency
+)
+
+// expansionBuckets is the granularity at which the DirBDM decodes
+// signatures (δ): directory entries are indexed into 512 buckets by their
+// low-order line bits, matching the signature's decodable bank.
+const expansionBuckets = sig.BankBits
+
+// Commit is a committing chunk's W signature in flight through the
+// directory system.
+type Commit struct {
+	Tok   arbiter.Token
+	Proc  int
+	W     sig.Signature
+	TrueW map[mem.Line]struct{}
+	// Priv marks an stpvt Wpriv propagation: caches invalidate matching
+	// lines but skip disambiguation (private data is exempt from
+	// consistency enforcement).
+	Priv bool
+}
+
+// CachePort is the directory's view of one processor's L1/BDM. All methods
+// are synchronous state changes applied at the delivery event; the
+// directory wraps them in network hops and processing latencies.
+type CachePort interface {
+	// ApplyInvalidate removes l from the cache (conventional protocol).
+	ApplyInvalidate(l mem.Line)
+	// ApplyCommit performs bulk disambiguation and bulk invalidation for
+	// an incoming committing W signature.
+	ApplyCommit(c *Commit)
+	// SnoopDirty is the owner-forwarding path for a demand request to a
+	// line the directory believes is dirty here. The port supplies the
+	// line (from the cache or, under dypvt, from the private buffer,
+	// promoting it back to W) and downgrades it to Shared. supplied
+	// reports whether the port had a forwardable committed version; holds
+	// reports whether the cache still holds the line at all — false only
+	// in the genuine "false owner" case (aliased directory updates, MESI
+	// silent-displacement analogy), in which the directory drops the
+	// owner from the sharer vector. A line speculatively re-written by an
+	// active chunk reports holds=true so its eventual commit still finds
+	// the owner in the bit vector.
+	SnoopDirty(l mem.Line) (supplied, holds bool)
+	// SnoopInvalidate is SnoopDirty plus invalidation, for conventional
+	// read-exclusive requests.
+	SnoopInvalidate(l mem.Line) bool
+}
+
+// entry is one directory entry: a full bit-vector of sharers plus the
+// dirty/owner state.
+type entry struct {
+	line    mem.Line
+	sharers uint64
+	dirty   bool
+	owner   uint8
+	busy    bool
+	waiters []func()
+	lru     uint64 // recency for the directory-cache variant
+}
+
+func (e *entry) sharerCount() int {
+	n := 0
+	for b := e.sharers; b != 0; b &= b - 1 {
+		n++
+	}
+	return n
+}
+
+// Directory is one directory module (plus its slice of the shared L2).
+type Directory struct {
+	ID    int
+	nmods int
+	eng   *sim.Engine
+	net   *network.Network
+	st    *stats.Stats
+	l2    *cache.L2
+
+	ports   []CachePort
+	buckets []map[mem.Line]*entry
+
+	// committing holds in-flight commits at this module, used for the
+	// read-disable membership checks.
+	committing map[arbiter.Token]*Commit
+
+	// OnDone reports commit completion to the owning arbiter.
+	OnDone func(tok arbiter.Token)
+
+	// SigFactory builds signatures compatible with the system's encoding;
+	// the directory-cache displacement path uses it to construct one-line
+	// signatures. Defaults to the production Bloom encoding.
+	SigFactory sig.Factory
+
+	// Directory-cache variant (§4.3.3): when MaxEntries > 0, the module
+	// holds at most that many entries and displaces with bulk
+	// disambiguation at the sharer caches.
+	MaxEntries int
+	numEntries int
+	tick       uint64
+}
+
+// New returns directory module id of nmods, fronting l2.
+func New(id, nmods int, eng *sim.Engine, net *network.Network, st *stats.Stats, l2 *cache.L2) *Directory {
+	d := &Directory{
+		ID:         id,
+		nmods:      nmods,
+		eng:        eng,
+		net:        net,
+		st:         st,
+		l2:         l2,
+		buckets:    make([]map[mem.Line]*entry, expansionBuckets),
+		committing: make(map[arbiter.Token]*Commit),
+	}
+	for i := range d.buckets {
+		d.buckets[i] = make(map[mem.Line]*entry)
+	}
+	return d
+}
+
+// AttachPorts wires the processor cache ports; must be called before any
+// request.
+func (d *Directory) AttachPorts(ports []CachePort) { d.ports = ports }
+
+func (d *Directory) bucketOf(l mem.Line) int { return int(uint64(l) & (expansionBuckets - 1)) }
+
+func (d *Directory) find(l mem.Line) *entry { return d.buckets[d.bucketOf(l)][l] }
+
+func (d *Directory) getOrCreate(l mem.Line) *entry {
+	if e := d.find(l); e != nil {
+		return e
+	}
+	if d.MaxEntries > 0 && d.numEntries >= d.MaxEntries {
+		d.displaceOne()
+	}
+	e := &entry{line: l}
+	d.buckets[d.bucketOf(l)][l] = e
+	d.numEntries++
+	d.tick++
+	e.lru = d.tick
+	return e
+}
+
+func (d *Directory) remove(l mem.Line) {
+	b := d.buckets[d.bucketOf(l)]
+	if _, ok := b[l]; ok {
+		delete(b, l)
+		d.numEntries--
+	}
+}
+
+// Entries returns the number of directory entries, for tests.
+func (d *Directory) Entries() int { return d.numEntries }
+
+// State returns the sharing state of l, for tests: sharer bitmask, dirty
+// flag, owner.
+func (d *Directory) State(l mem.Line) (sharers uint64, dirty bool, owner int) {
+	if e := d.find(l); e != nil {
+		return e.sharers, e.dirty, int(e.owner)
+	}
+	return 0, false, -1
+}
+
+// withEntry runs f once l's entry is not busy, queueing behind an ongoing
+// transaction if needed.
+func (d *Directory) withEntry(l mem.Line, f func(e *entry)) {
+	e := d.getOrCreate(l)
+	if e.busy {
+		e.waiters = append(e.waiters, func() { d.withEntry(l, f) })
+		return
+	}
+	d.tick++
+	e.lru = d.tick
+	f(e)
+}
+
+func (d *Directory) release(e *entry) {
+	e.busy = false
+	ws := e.waiters
+	e.waiters = nil
+	for _, w := range ws {
+		w()
+	}
+}
+
+// l2Latency returns the module-side access latency for line l and installs
+// it on chip.
+func (d *Directory) l2Latency(l mem.Line) sim.Time {
+	if d.l2.Contains(l) {
+		d.st.L2Hits++
+		return dirAccess
+	}
+	d.st.L2Misses++
+	d.l2.Install(l)
+	return dirAccess + memExtra
+}
+
+// ---------------------------------------------------------------------------
+// Conventional protocol (SC / RC / SC++ baselines)
+// ---------------------------------------------------------------------------
+
+// Read serves a demand miss from proc at the module-arrival event. excl
+// requests exclusive ownership (a write miss or upgrade). done runs at the
+// requester when data (and, for excl, all invalidation acks) have arrived;
+// it receives the granted line state.
+//
+// The same entry point serves BulkSC demand misses with excl=false; those
+// additionally go through the read-disable bounce check.
+func (d *Directory) Read(proc int, l mem.Line, excl bool, done func(st cache.LineState)) {
+	if d.bounced(l) {
+		d.st.ReadBounces++
+		d.st.AddTraffic(stats.CatOther, network.CtrlBytes)
+		d.eng.After(bounceWait, func() { d.Read(proc, l, excl, done) })
+		return
+	}
+	if d.st.Trace != nil {
+		d.st.Trace("t=%d dir%d read line=%#x proc=%d excl=%v", d.eng.Now(), d.ID, uint64(l), proc, excl)
+	}
+	d.withEntry(l, func(e *entry) {
+		if excl {
+			d.readExcl(proc, e, done)
+		} else {
+			d.readShared(proc, e, done)
+		}
+	})
+}
+
+func (d *Directory) bounced(l mem.Line) bool {
+	for _, c := range d.committing {
+		if !c.Priv && c.W.MayContain(l) {
+			return true
+		}
+	}
+	return false
+}
+
+func (d *Directory) readShared(proc int, e *entry, done func(cache.LineState)) {
+	bit := uint64(1) << uint(proc)
+	if e.dirty && int(e.owner) != proc {
+		e.busy = true
+		owner := int(e.owner)
+		l := e.line
+		// The transaction's outcome is decided now: the line becomes
+		// shared by the requester. Commit-signature expansion may observe
+		// the entry while the snoop is in flight, so the state must never
+		// show a transient "dirty at the committer" — that would take
+		// Table 1's no-op case and skip the invalidation list, breaking
+		// the reader's squash guarantee.
+		e.dirty = false
+		e.sharers |= bit
+		// Forward to owner; owner supplies the line and downgrades.
+		d.net.SendAfter(dirAccess, stats.CatOther, network.CtrlBytes, func() {
+			had, holds := d.ports[owner].SnoopDirty(l)
+			if had {
+				// Owner sends the line to the requester directly and a
+				// writeback copy to the directory.
+				d.st.AddTraffic(stats.CatData, network.DataBytes)
+				d.st.Writebacks++
+			}
+			d.eng.After(cacheProc, func() {
+				d.net.Send(stats.CatData, network.DataBytes, func() {
+					if !holds && !(e.dirty && int(e.owner) == owner) {
+						// False owner (aliased directory update): the
+						// owner silently lacked the line; memory is
+						// current. Removing the stale sharer late is
+						// conservative — unless a commit re-dirtied the
+						// entry under this same owner while the snoop
+						// was in flight, in which case the bit is the
+						// new ownership and must stay.
+						e.sharers &^= 1 << uint(owner)
+					}
+					d.release(e)
+					done(cache.Shared)
+				})
+			})
+		})
+		return
+	}
+	lat := d.l2Latency(e.line)
+	st := cache.Shared
+	if e.sharers == 0 || e.sharers == bit {
+		st = cache.Excl
+	}
+	e.sharers |= bit
+	if e.dirty && int(e.owner) == proc {
+		st = cache.Dirty
+	}
+	d.net.SendAfter(lat, stats.CatData, network.DataBytes, func() { done(st) })
+}
+
+func (d *Directory) readExcl(proc int, e *entry, done func(cache.LineState)) {
+	bit := uint64(1) << uint(proc)
+	e.busy = true
+	l := e.line
+	finish := func(extra sim.Time) {
+		d.eng.After(extra, func() {
+			e.sharers = bit
+			e.dirty = true
+			e.owner = uint8(proc)
+			d.net.Send(stats.CatData, network.DataBytes, func() {
+				d.release(e)
+				done(cache.Dirty)
+			})
+		})
+	}
+	if e.dirty && int(e.owner) != proc {
+		owner := int(e.owner)
+		d.net.SendAfter(dirAccess, stats.CatInv, network.CtrlBytes, func() {
+			had := d.ports[owner].SnoopInvalidate(l)
+			if had {
+				d.st.AddTraffic(stats.CatData, network.DataBytes)
+				d.st.Writebacks++
+			}
+			d.st.ConvInvalidations++
+			d.net.Send(stats.CatInv, network.CtrlBytes, func() { finish(0) })
+		})
+		return
+	}
+	// Invalidate every other sharer, collect acks.
+	pendingAcks := 0
+	for p := 0; p < len(d.ports); p++ {
+		pbit := uint64(1) << uint(p)
+		if p == proc || e.sharers&pbit == 0 {
+			continue
+		}
+		pendingAcks++
+		pp := p
+		d.net.SendAfter(dirAccess, stats.CatInv, network.CtrlBytes, func() {
+			d.ports[pp].ApplyInvalidate(l)
+			d.st.ConvInvalidations++
+			d.net.Send(stats.CatInv, network.CtrlBytes, func() {
+				pendingAcks--
+				if pendingAcks == 0 {
+					finish(d.l2Latency(l))
+				}
+			})
+		})
+	}
+	if pendingAcks == 0 {
+		finish(d.l2Latency(l))
+	}
+}
+
+// Writeback retires a dirty line from proc's cache (eviction or explicit
+// writeback). drop removes proc from the sharer vector as well.
+func (d *Directory) Writeback(proc int, l mem.Line, drop bool) {
+	d.st.Writebacks++
+	d.withEntry(l, func(e *entry) {
+		if e.dirty && int(e.owner) == proc {
+			e.dirty = false
+		}
+		if drop {
+			e.sharers &^= 1 << uint(proc)
+		}
+		d.l2.Install(l)
+	})
+}
+
+// Evicted records the silent eviction of a clean line; conventional
+// protocols leave the stale sharer bit (it only costs a harmless future
+// invalidation), matching MESI practice and the paper's false-owner
+// discussion.
+func (d *Directory) Evicted(proc int, l mem.Line) {}
+
+// displaceOne implements the directory-cache displacement protocol
+// (§4.3.3): the LRU entry's address is built into a one-line signature and
+// sent to all sharer caches for bulk disambiguation (possibly squashing
+// chunks) and invalidation; dirty copies are written back.
+func (d *Directory) displaceOne() {
+	var victim *entry
+	for _, b := range d.buckets {
+		for _, e := range b {
+			if e.busy {
+				continue
+			}
+			if victim == nil || e.lru < victim.lru {
+				victim = e
+			}
+		}
+	}
+	if victim == nil {
+		return
+	}
+	d.st.DirCacheEvicts++
+	l := victim.line
+	f := d.SigFactory
+	if f == nil {
+		f = sig.NewFactory(sig.KindBloom)
+	}
+	one := f()
+	one.Add(l)
+	c := &Commit{Proc: -1, W: one, TrueW: map[mem.Line]struct{}{l: {}}}
+	for p := 0; p < len(d.ports); p++ {
+		if victim.sharers&(1<<uint(p)) == 0 {
+			continue
+		}
+		pp := p
+		d.net.Send(stats.CatWrSig, network.SigBytes, func() {
+			d.ports[pp].ApplyCommit(c)
+			d.net.Send(stats.CatInv, network.CtrlBytes, func() {})
+		})
+	}
+	if victim.dirty {
+		d.st.Writebacks++
+		d.l2.Install(l)
+	}
+	d.remove(l)
+}
+
+func (d *Directory) String() string {
+	return fmt.Sprintf("dir%d{entries=%d committing=%d}", d.ID, d.numEntries, len(d.committing))
+}

@@ -1,0 +1,148 @@
+package directory
+
+import (
+	"math/rand"
+	"testing"
+
+	"bulksc/internal/arbiter"
+	"bulksc/internal/cache"
+	"bulksc/internal/mem"
+	"bulksc/internal/sig"
+)
+
+// TestPropertyRandomOperationStorm drives the directory with randomized
+// interleavings of demand reads, exclusive reads, writebacks and BulkSC
+// commits, then checks the protocol invariants that every higher layer
+// depends on:
+//
+//  1. dirty entries have exactly one sharer (the owner);
+//  2. every ProcessCommit eventually reports done to the arbiter, exactly
+//     once;
+//  3. every completed read produced a reply;
+//  4. entries never exceed the directory-cache capacity when one is set.
+func TestPropertyRandomOperationStorm(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			h := newDirHarness(4)
+			if seed%2 == 0 {
+				h.dir.MaxEntries = 24
+			}
+			lines := func() mem.Line { return mem.Line(rng.Intn(40)) }
+			reads, replies := 0, 0
+			commits := 0
+			var tok arbiter.Token
+			for op := 0; op < 400; op++ {
+				switch rng.Intn(10) {
+				case 0, 1, 2, 3:
+					reads++
+					h.dir.Read(rng.Intn(4), lines(), false, func(cache.LineState) { replies++ })
+				case 4:
+					reads++
+					h.dir.Read(rng.Intn(4), lines(), true, func(cache.LineState) { replies++ })
+				case 5:
+					h.dir.Writeback(rng.Intn(4), lines(), rng.Intn(2) == 0)
+				case 6, 7:
+					// Make the snooped owner actually dirty half the time.
+					l := lines()
+					if _, dirty, owner := h.dir.State(l); dirty && rng.Intn(2) == 0 {
+						h.ports[owner].dirtyLines[l] = true
+					}
+					reads++
+					h.dir.Read(rng.Intn(4), l, false, func(cache.LineState) { replies++ })
+				default:
+					tok++
+					commits++
+					w := sig.NewExact()
+					trueW := map[mem.Line]struct{}{}
+					for i := 0; i < 1+rng.Intn(4); i++ {
+						l := lines()
+						w.Add(l)
+						trueW[l] = struct{}{}
+					}
+					h.dir.ProcessCommit(&Commit{Tok: tok, Proc: rng.Intn(4), W: w, TrueW: trueW})
+				}
+				// Occasionally let the system quiesce mid-storm.
+				if rng.Intn(8) == 0 {
+					h.eng.Run(nil)
+				}
+			}
+			h.eng.Run(nil)
+
+			if replies != reads {
+				t.Fatalf("seed %d: %d reads but %d replies", seed, reads, replies)
+			}
+			if len(h.done) != commits {
+				t.Fatalf("seed %d: %d commits but %d done callbacks", seed, commits, len(h.done))
+			}
+			seen := map[arbiter.Token]bool{}
+			for _, tk := range h.done {
+				if seen[tk] {
+					t.Fatalf("seed %d: token %d completed twice", seed, tk)
+				}
+				seen[tk] = true
+			}
+			for l := mem.Line(0); l < 40; l++ {
+				sharers, dirty, owner := h.dir.State(l)
+				if !dirty {
+					continue
+				}
+				n := 0
+				for b := sharers; b != 0; b &= b - 1 {
+					n++
+				}
+				if n != 1 {
+					t.Fatalf("seed %d: dirty line %v has %d sharers (owner %d, mask %b)",
+						seed, l, n, owner, sharers)
+				}
+				if sharers != 1<<uint(owner) {
+					t.Fatalf("seed %d: dirty line %v owner %d not the single sharer (%b)",
+						seed, l, owner, sharers)
+				}
+			}
+			if h.dir.MaxEntries > 0 && h.dir.Entries() > h.dir.MaxEntries {
+				t.Fatalf("seed %d: directory cache holds %d entries, cap %d",
+					seed, h.dir.Entries(), h.dir.MaxEntries)
+			}
+		})
+	}
+}
+
+// TestPropertyCommitInvalidatesAllStaleSharers: after a commit of lines
+// genuinely shared by other processors completes, every one of those
+// processors has received the W signature.
+func TestPropertyCommitInvalidatesAllStaleSharers(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		rng := rand.New(rand.NewSource(seed * 97))
+		h := newDirHarness(4)
+		committer := rng.Intn(4)
+		l := mem.Line(rng.Intn(100))
+		var sharers []int
+		h.read(committer, l, false)
+		for p := 0; p < 4; p++ {
+			if p != committer && rng.Intn(2) == 0 {
+				h.read(p, l, false)
+				sharers = append(sharers, p)
+			}
+		}
+		w := sig.NewExact()
+		w.Add(l)
+		h.dir.ProcessCommit(&Commit{Tok: 1, Proc: committer, W: w,
+			TrueW: map[mem.Line]struct{}{l: {}}})
+		h.eng.Run(nil)
+		for _, p := range sharers {
+			if len(h.ports[p].commits) != 1 {
+				t.Fatalf("seed %d: sharer %d received %d signatures, want 1",
+					seed, p, len(h.ports[p].commits))
+			}
+		}
+		if len(h.ports[committer].commits) != 0 {
+			t.Fatalf("seed %d: committer received its own signature", seed)
+		}
+		_, dirty, owner := h.dir.State(l)
+		if !dirty || owner != committer {
+			t.Fatalf("seed %d: ownership not transferred to committer", seed)
+		}
+	}
+}

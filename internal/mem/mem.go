@@ -1,0 +1,116 @@
+// Package mem defines the simulated address space: word addresses, 32-byte
+// cache lines, 4 KB pages with a private/shared attribute, and the standard
+// layout (shared heap, per-thread stacks, synchronization region) that the
+// workload generators allocate into.
+package mem
+
+import "fmt"
+
+// Geometry constants shared by the whole simulator. These match the paper's
+// Table 2 (32 B lines) and conventional 4 KB pages.
+const (
+	LineBytes  = 32
+	LineShift  = 5
+	WordBytes  = 8
+	WordsPerLn = LineBytes / WordBytes
+	PageBytes  = 4096
+	PageShift  = 12
+)
+
+// Addr is a byte address in the simulated address space. Workloads issue
+// word-aligned accesses; the consistency machinery operates on lines.
+type Addr uint64
+
+// Line is a cache-line address (byte address >> LineShift).
+type Line uint64
+
+// Page is a page number (byte address >> PageShift).
+type Page uint64
+
+// LineOf returns the cache line containing a.
+func (a Addr) LineOf() Line { return Line(a >> LineShift) }
+
+// PageOf returns the page containing a.
+func (a Addr) PageOf() Page { return Page(a >> PageShift) }
+
+// WordIndex returns the index of a's word within its line.
+func (a Addr) WordIndex() int { return int(a>>3) & (WordsPerLn - 1) }
+
+// Align returns a aligned down to its word.
+func (a Addr) Align() Addr { return a &^ (WordBytes - 1) }
+
+// Addr returns the first byte address of the line.
+func (l Line) Addr() Addr { return Addr(l) << LineShift }
+
+// PageOf returns the page containing the line.
+func (l Line) PageOf() Page { return Page(l >> (PageShift - LineShift)) }
+
+func (l Line) String() string { return fmt.Sprintf("L%#x", uint64(l)) }
+
+// Address-space layout. Each region is far enough from the others that
+// lines never straddle regions. Stacks are per-thread, 1 MB apart.
+const (
+	HeapBase  Addr = 0x0000_1000_0000
+	HeapSize       = 512 << 20
+	StackBase Addr = 0x0000_7000_0000
+	StackSize      = 1 << 20 // per-thread
+	SyncBase  Addr = 0x0000_F000_0000
+	SyncSize       = 1 << 20
+)
+
+// StackAddr returns an address within thread tid's stack region at offset
+// off (wrapped into the hot part of the region and word-aligned). Each
+// thread's stack top carries a per-thread scatter, as OS stack
+// randomization provides: without it, the 1 MB stack stride is a multiple
+// of the signature's address window and different threads' stacks would
+// alias perfectly in signature space.
+func StackAddr(tid int, off uint64) Addr {
+	scatter := (uint64(tid) * 2654435761) % (StackSize / 2)
+	scatter &^= LineBytes - 1
+	return (StackBase + Addr(uint64(tid)*StackSize+scatter) + Addr(off%(StackSize/2))).Align()
+}
+
+// HeapAddr returns a word-aligned heap address at offset off (wrapped).
+func HeapAddr(off uint64) Addr { return (HeapBase + Addr(off%HeapSize)).Align() }
+
+// SyncAddr returns the address of synchronization variable i. Each sync
+// variable gets its own cache line to avoid false sharing between locks.
+func SyncAddr(i int) Addr { return SyncBase + Addr(i)*LineBytes }
+
+// IsStack reports whether a falls in any thread's stack region. Used by the
+// statically-private-data optimization (BSC_stpvt), which treats all stack
+// references as private, exactly as the paper's evaluation does.
+func IsStack(a Addr) bool { return a >= StackBase && a < SyncBase }
+
+// IsSync reports whether a falls in the synchronization region.
+func IsSync(a Addr) bool { return a >= SyncBase }
+
+// PageTable records the static private/shared page attribute checked "at
+// address translation time" (paper §5.1). Pages default to shared.
+type PageTable struct {
+	private map[Page]bool
+}
+
+// NewPageTable returns an empty page table (all pages shared).
+func NewPageTable() *PageTable { return &PageTable{private: make(map[Page]bool)} }
+
+// MarkPrivate marks every page overlapping [base, base+size) as private.
+func (pt *PageTable) MarkPrivate(base Addr, size uint64) {
+	for p := base.PageOf(); p <= (base + Addr(size) - 1).PageOf(); p++ {
+		pt.private[p] = true
+	}
+}
+
+// MarkStacksPrivate marks all nthreads stack regions private, the policy
+// the paper uses for BSC_stpvt.
+func (pt *PageTable) MarkStacksPrivate(nthreads int) {
+	for t := 0; t < nthreads; t++ {
+		pt.MarkPrivate(StackAddr(t, 0), StackSize)
+	}
+}
+
+// Private reports whether a lies on a private page.
+func (pt *PageTable) Private(a Addr) bool { return pt.private[a.PageOf()] }
+
+// PrivateLine reports whether line l lies on a private page.
+func (pt *PageTable) PrivateLine(l Line) bool { return pt.private[l.PageOf()] }

@@ -1,0 +1,150 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLineAndPageArithmetic(t *testing.T) {
+	cases := []struct {
+		a    Addr
+		line Line
+		widx int
+	}{
+		{0, 0, 0},
+		{8, 0, 1},
+		{31, 0, 3},
+		{32, 1, 0},
+		{0x1000, 0x80, 0},
+		{0x1038, 0x81, 3},
+	}
+	for _, c := range cases {
+		if got := c.a.LineOf(); got != c.line {
+			t.Errorf("LineOf(%#x) = %v, want %v", uint64(c.a), got, c.line)
+		}
+		if got := c.a.WordIndex(); got != c.widx {
+			t.Errorf("WordIndex(%#x) = %d, want %d", uint64(c.a), got, c.widx)
+		}
+	}
+}
+
+func TestLineRoundTrip(t *testing.T) {
+	f := func(raw uint32) bool {
+		a := Addr(raw).Align()
+		return a.LineOf().Addr() <= a && a < a.LineOf().Addr()+LineBytes
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegionsDisjoint(t *testing.T) {
+	if HeapBase+HeapSize > StackBase {
+		t.Fatal("heap overlaps stacks")
+	}
+	if StackAddr(63, StackSize-8) >= SyncBase {
+		t.Fatal("stacks overlap sync region for 64 threads")
+	}
+}
+
+func TestStackAddrClassification(t *testing.T) {
+	for tid := 0; tid < 16; tid++ {
+		a := StackAddr(tid, 1234)
+		if !IsStack(a) {
+			t.Errorf("StackAddr(%d) not classified as stack", tid)
+		}
+		if IsSync(a) {
+			t.Errorf("StackAddr(%d) classified as sync", tid)
+		}
+	}
+	if IsStack(HeapAddr(100)) {
+		t.Error("heap address classified as stack")
+	}
+	if !IsSync(SyncAddr(3)) {
+		t.Error("sync address not classified as sync")
+	}
+}
+
+func TestSyncAddrsOnDistinctLines(t *testing.T) {
+	seen := make(map[Line]bool)
+	for i := 0; i < 256; i++ {
+		l := SyncAddr(i).LineOf()
+		if seen[l] {
+			t.Fatalf("sync vars share line %v", l)
+		}
+		seen[l] = true
+	}
+}
+
+func TestPageTable(t *testing.T) {
+	pt := NewPageTable()
+	pt.MarkStacksPrivate(8)
+	if !pt.Private(StackAddr(0, 0)) || !pt.Private(StackAddr(7, StackSize-8)) {
+		t.Error("stack pages not private")
+	}
+	if pt.Private(HeapAddr(0)) {
+		t.Error("heap page private")
+	}
+	if pt.Private(SyncAddr(0)) {
+		t.Error("sync page private")
+	}
+	if !pt.PrivateLine(StackAddr(3, 4096).LineOf()) {
+		t.Error("PrivateLine disagrees with Private")
+	}
+}
+
+func TestMarkPrivateSpansPages(t *testing.T) {
+	pt := NewPageTable()
+	base := HeapAddr(0) + PageBytes/2
+	pt.MarkPrivate(base, PageBytes) // straddles two pages
+	if !pt.Private(base) || !pt.Private(base+PageBytes-8) {
+		t.Error("straddling region not fully private")
+	}
+}
+
+func TestMemoryLoadStore(t *testing.T) {
+	m := NewMemory()
+	if m.Load(0x1000) != 0 {
+		t.Error("unwritten word not zero")
+	}
+	m.Store(0x1000, 42)
+	if m.Load(0x1000) != 42 {
+		t.Error("store not visible")
+	}
+	if m.Load(0x1008) != 0 {
+		t.Error("adjacent word clobbered")
+	}
+	m.Store(0x1004, 7) // unaligned: must alias the containing word
+	if m.Load(0x1000) != 7 {
+		t.Error("unaligned store did not alias containing word")
+	}
+}
+
+func TestMemoryLineOps(t *testing.T) {
+	m := NewMemory()
+	l := Addr(0x2000).LineOf()
+	for i := 0; i < WordsPerLn; i++ {
+		m.Store(0x2000+Addr(i*WordBytes), uint64(i+1))
+	}
+	vals := m.LoadLine(l)
+	for i, v := range vals {
+		if v != uint64(i+1) {
+			t.Fatalf("LoadLine word %d = %d, want %d", i, v, i+1)
+		}
+	}
+	var zero [WordsPerLn]uint64
+	m.StoreLine(l, zero)
+	if m.Load(0x2000) != 0 || m.Load(0x2018) != 0 {
+		t.Error("StoreLine did not restore words")
+	}
+}
+
+func TestFootprint(t *testing.T) {
+	m := NewMemory()
+	m.Store(0, 1)
+	m.Store(8, 1)
+	m.Store(8, 2) // same word
+	if m.Footprint() != 2 {
+		t.Fatalf("Footprint = %d, want 2", m.Footprint())
+	}
+}

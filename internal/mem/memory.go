@@ -1,0 +1,47 @@
+package mem
+
+// Memory is the simulated global (committed) memory state, tracked at word
+// granularity. The simulator stores abstract uint64 values rather than real
+// program data: workloads write distinct tokens, which lets the SC replay
+// checker verify exactly which store each load observed.
+//
+// Memory represents only the architecturally committed state. Speculative
+// chunk updates live in per-chunk write buffers (internal/chunk) until
+// commit, per the paper's Rule1.
+type Memory struct {
+	words map[Addr]uint64
+}
+
+// NewMemory returns zero-initialized memory.
+func NewMemory() *Memory { return &Memory{words: make(map[Addr]uint64)} }
+
+// Load returns the committed value of the word containing a. Unwritten
+// words read as zero.
+func (m *Memory) Load(a Addr) uint64 { return m.words[a.Align()] }
+
+// Store sets the committed value of the word containing a.
+func (m *Memory) Store(a Addr, v uint64) { m.words[a.Align()] = v }
+
+// LoadLine returns the committed values of all words of line l, used when a
+// whole line must be checkpointed (the dypvt private buffer).
+func (m *Memory) LoadLine(l Line) [WordsPerLn]uint64 {
+	var vals [WordsPerLn]uint64
+	base := l.Addr()
+	for i := 0; i < WordsPerLn; i++ {
+		vals[i] = m.words[base+Addr(i*WordBytes)]
+	}
+	return vals
+}
+
+// StoreLine writes a whole line of word values, used when restoring a line
+// from the private buffer after a squash.
+func (m *Memory) StoreLine(l Line, vals [WordsPerLn]uint64) {
+	base := l.Addr()
+	for i := 0; i < WordsPerLn; i++ {
+		m.words[base+Addr(i*WordBytes)] = vals[i]
+	}
+}
+
+// Footprint returns the number of distinct words ever written, a cheap
+// sanity metric for workload generators.
+func (m *Memory) Footprint() int { return len(m.words) }

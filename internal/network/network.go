@@ -1,0 +1,61 @@
+// Package network models the generic interconnection network of the BulkSC
+// architecture (paper Figure 5): a fabric connecting processors, directory
+// modules and arbiters.
+//
+// The model is latency + accounting, matching the paper's "unloaded
+// machine" methodology (Table 2): each message is delivered after a fixed
+// per-hop latency, and its bytes are charged to one of Figure 11's traffic
+// categories. Contention is not modeled; the paper's bandwidth argument is
+// made in bytes transferred, which this package reproduces exactly.
+package network
+
+import (
+	"bulksc/internal/sim"
+	"bulksc/internal/stats"
+)
+
+// Standard message sizes in bytes. Control messages carry a header only;
+// data messages carry a 32 B line; signature messages carry a compressed
+// ≈350-bit signature (44 B, see sig.CompressedBytes).
+const (
+	CtrlBytes = 8
+	DataBytes = 8 + 32
+	SigBytes  = 8 + 44
+)
+
+// Network delivers messages between system components.
+type Network struct {
+	eng *sim.Engine
+	st  *stats.Stats
+	// HopLat is the one-way latency between any two components. The
+	// default reproduces the paper's 13-cycle L2 round trip (two hops
+	// minus cache access time).
+	HopLat sim.Time
+}
+
+// New returns a network over engine eng recording traffic into st.
+func New(eng *sim.Engine, st *stats.Stats) *Network {
+	return &Network{eng: eng, st: st, HopLat: 6}
+}
+
+// Send charges a message of b bytes to category c and delivers it (runs f)
+// one hop later.
+func (n *Network) Send(c stats.Category, b int, f func()) {
+	n.st.AddTraffic(c, b)
+	n.eng.After(n.HopLat, f)
+}
+
+// SendAfter is Send with extra cycles of source-side occupancy or
+// processing delay before the hop.
+func (n *Network) SendAfter(extra sim.Time, c stats.Category, b int, f func()) {
+	n.st.AddTraffic(c, b)
+	n.eng.After(n.HopLat+extra, f)
+}
+
+// Account charges traffic without scheduling a delivery, for piggybacked
+// payloads whose timing rides an existing message.
+func (n *Network) Account(c stats.Category, b int) { n.st.AddTraffic(c, b) }
+
+// Engine exposes the underlying engine for components that only hold the
+// network.
+func (n *Network) Engine() *sim.Engine { return n.eng }

@@ -1,0 +1,65 @@
+package network
+
+import (
+	"testing"
+
+	"bulksc/internal/sim"
+	"bulksc/internal/stats"
+)
+
+func newNet() (*Network, *sim.Engine, *stats.Stats) {
+	eng := sim.NewEngine(1)
+	st := stats.New()
+	return New(eng, st), eng, st
+}
+
+func TestSendDeliversAfterHop(t *testing.T) {
+	n, eng, _ := newNet()
+	var at sim.Time
+	n.Send(stats.CatData, DataBytes, func() { at = eng.Now() })
+	eng.Run(nil)
+	if at != n.HopLat {
+		t.Fatalf("delivered at %d, want %d", at, n.HopLat)
+	}
+}
+
+func TestSendAfterAddsDelay(t *testing.T) {
+	n, eng, _ := newNet()
+	var at sim.Time
+	n.SendAfter(10, stats.CatOther, CtrlBytes, func() { at = eng.Now() })
+	eng.Run(nil)
+	if at != n.HopLat+10 {
+		t.Fatalf("delivered at %d, want %d", at, n.HopLat+10)
+	}
+}
+
+func TestTrafficCharged(t *testing.T) {
+	n, eng, st := newNet()
+	n.Send(stats.CatWrSig, SigBytes, func() {})
+	n.Send(stats.CatInv, CtrlBytes, func() {})
+	n.Account(stats.CatRdSig, SigBytes)
+	eng.Run(nil)
+	if st.TrafficBytes[stats.CatWrSig] != SigBytes {
+		t.Error("WrSig bytes wrong")
+	}
+	if st.TrafficBytes[stats.CatInv] != CtrlBytes {
+		t.Error("Inv bytes wrong")
+	}
+	if st.TrafficBytes[stats.CatRdSig] != SigBytes {
+		t.Error("Account did not charge")
+	}
+	if st.Messages[stats.CatWrSig] != 1 || st.Messages[stats.CatRdSig] != 1 {
+		t.Error("message counts wrong")
+	}
+}
+
+func TestMessagesOrderedByLatency(t *testing.T) {
+	n, eng, _ := newNet()
+	var order []int
+	n.SendAfter(20, stats.CatOther, CtrlBytes, func() { order = append(order, 2) })
+	n.Send(stats.CatOther, CtrlBytes, func() { order = append(order, 1) })
+	eng.Run(nil)
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("delivery order %v", order)
+	}
+}

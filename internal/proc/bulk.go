@@ -1,0 +1,671 @@
+package proc
+
+import (
+	"fmt"
+
+	"bulksc/internal/bdm"
+	"bulksc/internal/cache"
+	"bulksc/internal/chunk"
+	"bulksc/internal/mem"
+	"bulksc/internal/network"
+	"bulksc/internal/sim"
+	"bulksc/internal/stats"
+	"bulksc/internal/workload"
+)
+
+// Opts selects the BulkSC configuration variants of the paper's Table 2.
+type Opts struct {
+	// RSigOpt enables the R-signature commit bandwidth optimization
+	// (§4.2.2); part of the baseline BulkSC system.
+	RSigOpt bool
+	// Dypvt enables the dynamically-private data optimization (§5.2).
+	Dypvt bool
+	// Stpvt enables the statically-private data optimization (§5.1);
+	// stack pages are the private section, as in the paper's evaluation.
+	Stpvt bool
+	// PreArbThreshold is the squash streak that triggers pre-arbitration.
+	PreArbThreshold int
+}
+
+// DefaultOpts returns the BSC_base configuration: RSig on, private-data
+// optimizations off.
+func DefaultOpts() Opts { return Opts{RSigOpt: true, PreArbThreshold: 6} }
+
+// minChunk is the floor of exponential chunk shrinking.
+const minChunk = 32
+
+// batchInstrs bounds how many instructions one step event dispatches
+// before yielding, setting the timing granularity of within-chunk events.
+const batchInstrs = 32
+
+// BulkProc is one BulkSC processor: core, checkpoints, L1 and BDM.
+type BulkProc struct {
+	id   int
+	env  *Env
+	par  Params
+	opts Opts
+	l1   *cache.L1
+
+	f           fetcher
+	checkpoints []fetchState // per slot
+
+	chunks   []*chunk.Chunk // live chunks, oldest first (incl. committing)
+	slotBusy []bool
+	cur      *chunk.Chunk
+	chunkSeq uint64
+	storeSeq uint64
+
+	privBuf *bdm.PrivateBuffer
+
+	inflight map[mem.Line]*fetchReq
+	misses   []missEntry
+	dispatch uint64 // instructions dispatched (incl. later squashed)
+
+	squashStreak  int
+	preArbing     bool
+	preArbGranted bool
+	commitCount   uint64 // chunks this processor has committed
+	pendingClose  bool   // set-overflow requested an early chunk close
+
+	scheduled bool
+	finished  bool
+	doneAt    sim.Time
+
+	// OnCommit is invoked at each chunk's commit instant (arbiter
+	// decision time), in global commit order — the replay checker hook.
+	OnCommit func(ch *chunk.Chunk)
+	// OnSquash is invoked at each squash with the victim count, the
+	// instructions discarded, and whether the conflict was genuine — the
+	// timeline recorder hook.
+	OnSquash func(victims, instrs int, genuine bool)
+	// OnPreArb is invoked when a pre-arbitration grant arrives.
+	OnPreArb func()
+}
+
+type fetchReq struct {
+	waiters []func()
+	// poisoned marks a fetch overtaken by a committing W signature: the
+	// reply data is stale the moment it arrives, so the line is not
+	// installed (the MSHR "invalidate on arrival" rule). Without this,
+	// the racing reply would reinstall a line the directory no longer
+	// records us as sharing, and later commits would miss us.
+	poisoned bool
+}
+
+type missEntry struct {
+	idx  uint64
+	done bool
+}
+
+// NewBulkProc builds processor id over stream ins.
+func NewBulkProc(id int, env *Env, par Params, opts Opts, ins []workload.Instr) *BulkProc {
+	p := &BulkProc{
+		id:          id,
+		env:         env,
+		par:         par,
+		opts:        opts,
+		l1:          cache.NewL1(256, 4), // 32 KB / 4-way / 32 B
+		f:           newFetcher(ins),
+		checkpoints: make([]fetchState, par.MaxChunks),
+		slotBusy:    make([]bool, par.MaxChunks),
+		privBuf:     bdm.NewPrivateBuffer(bdm.DefaultPrivBufLines),
+		inflight:    make(map[mem.Line]*fetchReq),
+	}
+	return p
+}
+
+// Start schedules the processor's first dispatch event.
+func (p *BulkProc) Start() { p.kick() }
+
+// Finished reports whether the stream has fully committed.
+func (p *BulkProc) Finished() bool { return p.finished }
+
+// DoneAt returns the cycle the last chunk committed.
+func (p *BulkProc) DoneAt() sim.Time { return p.doneAt }
+
+// L1 exposes the cache for tests.
+func (p *BulkProc) L1() *cache.L1 { return p.l1 }
+
+// DebugState summarizes the interpreter position for deadlock diagnostics.
+func (p *BulkProc) DebugState() string {
+	cur := "nil"
+	if p.cur != nil {
+		cur = p.cur.String()
+	}
+	return fmt.Sprintf("bulk{fin=%v pos=%d/%d phase=%d barriers=%d live=%d cur=%s streak=%d preArb=%v inflight=%d}",
+		p.finished, p.f.pos, len(p.f.ins), p.f.barPhase, p.f.barriersDone,
+		len(p.chunks), cur, p.squashStreak, p.preArbing, len(p.inflight))
+}
+
+func (p *BulkProc) kick() {
+	if p.scheduled || p.finished {
+		return
+	}
+	p.scheduled = true
+	p.env.Eng.After(0, p.step)
+}
+
+func (p *BulkProc) kickAt(d sim.Time) {
+	if p.scheduled || p.finished {
+		return
+	}
+	p.scheduled = true
+	p.env.Eng.After(d, p.step)
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch loop
+// ---------------------------------------------------------------------------
+
+func (p *BulkProc) step() {
+	p.scheduled = false
+	if p.finished {
+		return
+	}
+	consumed := 0
+	for consumed < batchInstrs {
+		if p.cur == nil {
+			if !p.openChunk() {
+				return // stalled on chunk slots; grant arrival kicks
+			}
+		}
+		if len(p.inflight) >= p.par.MSHRs {
+			return // stalled on MSHRs; fetch arrival kicks
+		}
+		if p.robFull() {
+			return // stalled on ROB; miss completion kicks
+		}
+		if p.f.done() {
+			p.endOfStream()
+			return
+		}
+		in := p.f.current()
+		switch in.Kind {
+		case workload.OpCompute:
+			n := p.f.computeLeft
+			if n == 0 {
+				n = in.N
+			}
+			take := uint32(batchInstrs - consumed)
+			if take > n {
+				take = n
+			}
+			n -= take
+			if n == 0 {
+				p.f.computeLeft = 0
+				p.f.pos++
+			} else {
+				p.f.computeLeft = n
+			}
+			p.account(int(take))
+			consumed += int(take)
+		case workload.OpLoad:
+			p.doLoad(in.Addr)
+			p.f.pos++
+			p.account(1)
+			consumed++
+		case workload.OpStore:
+			p.doStore(in.Addr, p.token())
+			p.f.pos++
+			p.account(1)
+			consumed++
+		case workload.OpAcquire:
+			spin := p.doAcquire(in.Addr)
+			if spin {
+				// A hot spin iteration costs a handful of instructions
+				// (load, test, branch, pause).
+				p.account(6)
+				consumed += 6
+			} else {
+				p.account(2)
+				consumed += 2
+			}
+			if spin {
+				p.maybeCloseChunk()
+				p.yieldFor(p.par.SpinBackoff)
+				return
+			}
+		case workload.OpRelease:
+			p.doStore(in.Addr, 0)
+			p.f.pos++
+			p.account(1)
+			consumed++
+		case workload.OpBarrier:
+			waiting, ops := p.doBarrier(in)
+			if waiting {
+				ops += 4 // spin-loop overhead instructions
+			}
+			p.account(ops)
+			consumed += ops
+			if waiting {
+				p.maybeCloseChunk()
+				p.yieldFor(p.par.SpinBackoff)
+				return
+			}
+		case workload.OpIO:
+			// §4.1.3: uncached operations cannot be speculative. Close
+			// the current chunk, wait for every in-flight chunk to
+			// commit, perform the operation, then resume in a new chunk.
+			if p.cur.Executed > 0 {
+				p.pendingClose = true
+				p.maybeCloseChunk()
+				return // grant arrival kicks
+			}
+			if len(p.chunks) > 1 {
+				// The empty current chunk waits behind committing ones.
+				return
+			}
+			p.f.pos++
+			p.account(1)
+			consumed++
+			// The operation is non-speculative: close the one-instruction
+			// chunk immediately (its signatures are empty, so it can
+			// never be squashed and the I/O never re-executes).
+			p.pendingClose = true
+			p.maybeCloseChunk()
+			p.yieldFor(sim.Time(in.N))
+			return
+		default:
+			panic(fmt.Sprintf("proc %d: unexpected op %v", p.id, in.Kind))
+		}
+		p.maybeCloseChunk()
+		if p.cur == nil && p.f.done() {
+			// Stream drained exactly at a chunk boundary.
+			p.endOfStream()
+			return
+		}
+	}
+	p.yieldFor(sim.Time(consumed) / sim.Time(p.par.IssueWidth))
+}
+
+// account charges n dispatched instructions to the current chunk.
+func (p *BulkProc) account(n int) {
+	p.dispatch += uint64(n)
+	p.cur.Executed += n
+}
+
+// maybeCloseChunk completes the executing chunk when it has reached its
+// instruction budget or a cache-set overflow forced an early end.
+func (p *BulkProc) maybeCloseChunk() {
+	if p.cur != nil && (p.pendingClose || p.cur.Executed >= p.cur.Target) {
+		p.pendingClose = false
+		p.closeChunk()
+	}
+}
+
+func (p *BulkProc) yieldFor(d sim.Time) {
+	if d < 1 {
+		d = 1
+	}
+	p.kickAt(d)
+}
+
+func (p *BulkProc) token() uint64 {
+	p.storeSeq++
+	return uint64(p.id+1)<<40 | p.storeSeq
+}
+
+func (p *BulkProc) robFull() bool {
+	for len(p.misses) > 0 && p.misses[0].done {
+		p.misses = p.misses[1:]
+	}
+	return len(p.misses) > 0 && p.dispatch-p.misses[0].idx >= uint64(p.par.ROB)
+}
+
+// ---------------------------------------------------------------------------
+// Values
+// ---------------------------------------------------------------------------
+
+// forwardValue returns the newest buffered value for addr among the
+// uncommitted chunks (store-to-load forwarding within and across chunks).
+// Chunks that have been granted commit are excluded: their stores are
+// already part of committed memory, where later commits may legitimately
+// overwrite them — forwarding from a lingering buffer would serve stale
+// values.
+func (p *BulkProc) forwardValue(a mem.Addr) (uint64, bool) {
+	for i := len(p.chunks) - 1; i >= 0; i-- {
+		ch := p.chunks[i]
+		if !ch.Active() {
+			continue
+		}
+		if v, ok := ch.Forward(a); ok {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// readValue returns the value a load of addr observes right now:
+// forwarding first, then committed memory.
+func (p *BulkProc) readValue(a mem.Addr) uint64 {
+	if v, ok := p.forwardValue(a); ok {
+		return v
+	}
+	return p.env.Mem.Load(a)
+}
+
+// ---------------------------------------------------------------------------
+// Loads and stores
+// ---------------------------------------------------------------------------
+
+func (p *BulkProc) doLoad(a mem.Addr) {
+	priv := p.opts.Stpvt && p.env.Pages.Private(a)
+	fwdVal, hadFwd := p.forwardValue(a)
+	v := fwdVal
+	if !hadFwd {
+		v = p.env.Mem.Load(a)
+	}
+	p.cur.RecordLoad(a, v, priv)
+	logIdx := len(p.cur.Log) - 1
+	l := a.LineOf()
+	if p.l1.Access(l) != nil {
+		p.env.St.L1Hits++
+		return
+	}
+	p.env.St.L1Misses++
+	idx := p.dispatch
+	p.misses = append(p.misses, missEntry{idx: idx})
+	ch := p.cur
+	ch.Pending++
+	p.fetch(l, func() {
+		for i := range p.misses {
+			if p.misses[i].idx == idx && !p.misses[i].done {
+				p.misses[i].done = true
+				break
+			}
+		}
+		if ch.State != chunk.Squashed {
+			if !hadFwd {
+				// A missing load architecturally reads when the data
+				// arrives — after the home directory has snooped the
+				// owner. This matters for lines whose owner updates them
+				// under the dynamically-private optimization: those
+				// commits are invisible to arbitration, so the value
+				// must be the one the snoop supplies, not the one at
+				// dispatch.
+				ch.Log[logIdx].Value = p.env.Mem.Load(a)
+			}
+			ch.Pending--
+			p.tryRequestCommit(ch)
+		}
+		p.kick()
+	})
+}
+
+func (p *BulkProc) doStore(a mem.Addr, val uint64) {
+	l := a.LineOf()
+	w := p.l1.Probe(l)
+	priv := false
+	switch {
+	case p.opts.Stpvt && p.env.Pages.Private(a):
+		priv = true
+	case p.writtenPrivatelyByLive(l):
+		// Follow the predecessor chunk's classification.
+		priv = true
+	case p.writtenByLive(l):
+		priv = false
+	case w != nil && w.State == cache.Dirty:
+		// First write in this chunk to a dirty non-speculative line.
+		if p.opts.Dypvt && p.privBuf.Save(l, p.cur.Slot, p.env.Mem.LoadLine(l)) {
+			// §5.2: keep the line dirty, save the pre-update version,
+			// route the write to Wpriv, and skip the writeback.
+			priv = true
+		} else {
+			// Base BulkSC — or a private-buffer overflow (§5.2): the
+			// committed version is written back first so memory holds it
+			// while the cache copy turns speculative, and the write goes
+			// through W.
+			if p.opts.Dypvt {
+				p.env.St.PrivBufOverflows++
+			}
+			p.env.St.AddTraffic(stats.CatData, network.DataBytes)
+			p.env.WritebackLine(p.id, l, false)
+			w.State = cache.Shared
+		}
+	}
+	p.cur.RecordStore(a, val, priv)
+	if w != nil {
+		p.l1.Pin(l, p.cur.Slot)
+		return
+	}
+	// Store miss: the line must be received before the chunk commits, but
+	// the store itself retires immediately (stores are stall-free, §6).
+	if !p.l1.RoomFor(l) {
+		// Cache-set overflow: finish the chunk early (§4.1.2). The store
+		// has already been recorded in this chunk; the close is deferred
+		// to the dispatch loop so accounting stays consistent.
+		p.env.St.SetOverflowCuts++
+		p.pendingClose = true
+	}
+	p.pinOnArrival(l, p.cur)
+}
+
+// pinOnArrival fetches l (if not already in flight) and pins it for ch
+// when it arrives.
+func (p *BulkProc) pinOnArrival(l mem.Line, ch *chunk.Chunk) {
+	p.env.St.L1Misses++
+	ch.Pending++
+	p.fetch(l, func() {
+		if ch.State != chunk.Squashed {
+			if ch.WroteLine(l) {
+				p.l1.Pin(l, ch.Slot)
+			}
+			ch.Pending--
+			p.tryRequestCommit(ch)
+		}
+		p.kick()
+	})
+}
+
+func (p *BulkProc) writtenByLive(l mem.Line) bool {
+	for _, ch := range p.chunks {
+		if ch.Active() && ch.WroteLine(l) {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *BulkProc) writtenPrivatelyByLive(l mem.Line) bool {
+	for _, ch := range p.chunks {
+		if !ch.Active() {
+			continue
+		}
+		if _, ok := ch.PrivSet[l]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// fetch requests line l from its home directory, coalescing with an
+// outstanding request (one MSHR per line).
+func (p *BulkProc) fetch(l mem.Line, done func()) {
+	if req, ok := p.inflight[l]; ok && !req.poisoned {
+		req.waiters = append(req.waiters, done)
+		return
+	}
+	// Fresh request — or a replacement for a poisoned one, whose data is
+	// dead on arrival. Coalescing onto a poisoned request would be a
+	// consistency hole: no new demand read would reach the directory, so
+	// this processor would never be re-registered as a sharer and later
+	// commits could miss it.
+	req := &fetchReq{waiters: []func(){done}}
+	p.inflight[l] = req
+	p.env.ReadLine(p.id, l, false, func(stateHint int) {
+		if p.inflight[l] == req {
+			delete(p.inflight, l)
+		}
+		if req.poisoned {
+			// Invalidate-on-arrival: wake the waiters without caching
+			// the stale data; value-dependent consumers re-fetch.
+			for _, w := range req.waiters {
+				w()
+			}
+			return
+		}
+		victim, ok := p.l1.Insert(l, cache.LineState(stateHint))
+		if !ok {
+			// All ways pinned: hold the line in the MSHR virtually and
+			// retry shortly; commit of the pinning chunk frees a way.
+			p.inflight[l] = req
+			p.env.Eng.After(10, func() {
+				if p.inflight[l] == req {
+					delete(p.inflight, l)
+				}
+				p.installOrRetry(l, cache.LineState(stateHint), req)
+			})
+			return
+		}
+		p.handleVictim(victim)
+		for _, w := range req.waiters {
+			w()
+		}
+	})
+}
+
+func (p *BulkProc) installOrRetry(l mem.Line, st cache.LineState, req *fetchReq) {
+	if req.poisoned {
+		for _, w := range req.waiters {
+			w()
+		}
+		return
+	}
+	victim, ok := p.l1.Insert(l, st)
+	if !ok {
+		if _, busy := p.inflight[l]; !busy {
+			p.inflight[l] = req
+		}
+		p.env.Eng.After(10, func() {
+			if p.inflight[l] == req {
+				delete(p.inflight, l)
+			}
+			p.installOrRetry(l, st, req)
+		})
+		return
+	}
+	p.handleVictim(victim)
+	for _, w := range req.waiters {
+		w()
+	}
+}
+
+// handleVictim accounts for a displaced line: dirty lines write back;
+// displacements of speculatively-read lines are safe (the R signature
+// remembers them) but counted for Table 3.
+func (p *BulkProc) handleVictim(v cache.Way) {
+	if !v.Valid() {
+		return
+	}
+	for _, ch := range p.chunks {
+		if ch.State == chunk.Squashed || !ch.Active() {
+			continue
+		}
+		if _, ok := ch.RSet[v.Line]; ok {
+			p.env.St.SpecReadDispl++
+			break
+		}
+	}
+	if v.State == cache.Dirty {
+		p.env.St.AddTraffic(stats.CatData, network.DataBytes)
+		p.env.WritebackLine(p.id, v.Line, true)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Synchronization interpretation
+// ---------------------------------------------------------------------------
+
+// doAcquire attempts one acquire iteration. It returns true if the
+// processor should back off and retry — either the line is still on its
+// way (a value-dependent operation must read the arrived data, which by
+// then reflects any private-buffer snoop at the owner) or the lock is
+// held. The interpreter position stays on the acquire.
+func (p *BulkProc) doAcquire(lock mem.Addr) bool {
+	if !p.ensureLine(lock.LineOf()) {
+		return true
+	}
+	v := p.readValue(lock)
+	p.cur.RecordLoad(lock, v, false)
+	if v != 0 {
+		p.env.St.SpinInstrs++
+		return true
+	}
+	// Test-and-set succeeds: the load and store stay in one chunk, whose
+	// atomicity makes the pair an atomic RMW (§3.3).
+	p.doStore(lock, 1)
+	p.f.pos++
+	return false
+}
+
+// doBarrier executes one iteration of the centralized sense-reversing
+// barrier (lock-protected arrival counter + generation flag, the ANL
+// macro structure). Returns whether the processor must keep waiting, plus
+// the number of instructions the iteration consumed.
+//
+// Phase 0 (arrive): test-and-set the barrier lock, bump the counter, and
+// — as the last arriver — reset it and publish the new generation; the
+// whole block executes within one chunk, whose atomicity makes it a
+// critical section. Phase 1 (wait): spin on the generation flag only, so
+// arrivals do not disturb waiting chunks' read sets.
+func (p *BulkProc) doBarrier(in workload.Instr) (waiting bool, ops int) {
+	target := p.f.barrierTarget()
+	lock, count, gen := in.Addr, barrierCount(in), barrierGen(in)
+	if p.f.barPhase == 0 {
+		if !p.ensureLine(lock.LineOf()) || !p.ensureLine(count.LineOf()) {
+			return true, 1
+		}
+		v := p.readValue(lock)
+		p.cur.RecordLoad(lock, v, false)
+		if v != 0 {
+			p.env.St.SpinInstrs++
+			return true, 2
+		}
+		p.doStore(lock, 1)
+		c := p.readValue(count)
+		p.cur.RecordLoad(count, c, false)
+		if c+1 >= uint64(in.N) {
+			p.doStore(count, 0)
+			p.doStore(gen, target)
+		} else {
+			p.doStore(count, c+1)
+		}
+		p.doStore(lock, 0)
+		p.f.barPhase = 1
+		return false, 8
+	}
+	if !p.ensureLine(gen.LineOf()) {
+		return true, 1
+	}
+	g := p.readValue(gen)
+	p.cur.RecordLoad(gen, g, false)
+	if g < target {
+		p.env.St.SpinInstrs++
+		return true, 2
+	}
+	p.f.pos++
+	p.f.barriersDone++
+	p.f.barPhase = 0
+	return false, 2
+}
+
+// ensureLine reports whether l is present (touching recency); if absent it
+// starts the fetch and arranges a dispatch retry at arrival. Sync
+// micro-ops are value-dependent, so they only read present lines.
+func (p *BulkProc) ensureLine(l mem.Line) bool {
+	if p.l1.Access(l) != nil {
+		p.env.St.L1Hits++
+		return true
+	}
+	p.env.St.L1Misses++
+	ch := p.cur
+	ch.Pending++
+	p.fetch(l, func() {
+		if ch.State != chunk.Squashed {
+			ch.Pending--
+			p.tryRequestCommit(ch)
+		}
+		p.kick()
+	})
+	return false
+}

@@ -1,0 +1,411 @@
+package proc
+
+import (
+	"fmt"
+
+	"bulksc/internal/bdm"
+	"bulksc/internal/cache"
+	"bulksc/internal/chunk"
+	"bulksc/internal/directory"
+	"bulksc/internal/mem"
+	"bulksc/internal/sig"
+	"bulksc/internal/sim"
+)
+
+// This file holds the chunk lifecycle of BulkProc: creation, completion,
+// commit arbitration, squash handling, forward progress, and the cache
+// port the directory drives.
+
+// openChunk starts a new chunk at the current interpreter position if a
+// hardware slot (signature pair + checkpoint) is free.
+func (p *BulkProc) openChunk() bool {
+	slot := -1
+	for s, busy := range p.slotBusy {
+		if !busy {
+			slot = s
+			break
+		}
+	}
+	if slot < 0 {
+		return false
+	}
+	target := p.par.ChunkSize
+	if p.squashStreak > 0 {
+		// Forward progress: exponentially smaller chunks after squashes
+		// (§3.3).
+		target >>= uint(p.squashStreak)
+		if target < minChunk {
+			target = minChunk
+		}
+		if target < p.par.ChunkSize {
+			p.env.St.ChunkShrinks++
+		}
+	}
+	p.chunkSeq++
+	ch := chunk.New(p.env.Sigs, p.id, p.chunkSeq, slot, p.f.pos, target)
+	p.checkpoints[slot] = p.f.checkpoint()
+	p.slotBusy[slot] = true
+	p.chunks = append(p.chunks, ch)
+	p.cur = ch
+	return true
+}
+
+// closeChunk completes the executing chunk and tries to start arbitration.
+func (p *BulkProc) closeChunk() {
+	ch := p.cur
+	p.cur = nil
+	ch.State = chunk.Completed
+	p.tryRequestCommit(ch)
+}
+
+// tryRequestCommit sends a permission-to-commit request if the chunk is
+// completed, all its line fills arrived (which also closes the
+// signature-update vulnerability window of §3.2.1 — forwards are recorded
+// in R instantly in this model), and every older chunk has been granted.
+func (p *BulkProc) tryRequestCommit(ch *chunk.Chunk) {
+	if ch.State != chunk.Completed || ch.Pending > 0 {
+		return
+	}
+	if len(p.chunks) == 0 || p.chunks[0] != ch {
+		return // in-order commit requests (§4.1.2)
+	}
+	ch.State = chunk.Arbitrating
+	p.sendCommit(ch)
+}
+
+// sendCommit builds and routes the arbitration request for ch.
+func (p *BulkProc) sendCommit(ch *chunk.Chunk) {
+	req := &CommitReq{
+		Proc:  p.id,
+		W:     ch.W,
+		RSets: []map[mem.Line]struct{}{ch.RSet},
+		WSets: []map[mem.Line]struct{}{ch.WSet},
+		TrueW: ch.WSet,
+	}
+	if p.opts.RSigOpt {
+		req.FetchR = func(cb func(sig.Signature)) { cb(ch.R) }
+	} else {
+		req.R = ch.R
+	}
+	req.Reply = func(granted bool, order uint64) {
+		p.commitReply(ch, granted, order)
+	}
+	p.env.Commit(req)
+}
+
+func (p *BulkProc) commitReply(ch *chunk.Chunk, granted bool, order uint64) {
+	if ch.State == chunk.Squashed {
+		// The chunk died while the request was in flight. A denial needs
+		// nothing; a grant becomes a no-op commit (no memory update) —
+		// the directory flow it triggered is conservative but harmless.
+		if granted {
+			p.env.St.CommitCancels++
+		}
+		return
+	}
+	if ch.State != chunk.Arbitrating {
+		panic(fmt.Sprintf("proc %d: commit reply in state %v", p.id, ch.State))
+	}
+	if !granted {
+		// Retry after a jittered backoff.
+		back := sim.Time(20 + p.env.Eng.Rand().Intn(25))
+		p.env.Eng.After(p.env.Net.HopLat+back, func() {
+			if ch.State == chunk.Arbitrating {
+				p.sendCommit(ch)
+			}
+		})
+		return
+	}
+	p.applyCommit(ch, order)
+	p.env.Eng.After(p.env.Net.HopLat, func() { p.grantArrived(ch) })
+}
+
+// applyCommit makes ch's updates the committed memory state at the
+// arbiter's decision instant — the chunk's serialization point.
+func (p *BulkProc) applyCommit(ch *chunk.Chunk, order uint64) {
+	if p.env.St.Trace != nil {
+		p.env.St.Trace("t=%d proc%d APPLY chunk=%d order=%d W=%d priv=%d", p.env.Eng.Now(), p.id, ch.Seq, order, len(ch.WSet), len(ch.PrivSet))
+	}
+	ch.State = chunk.Committing
+	ch.CommitOrder = order
+	for a, v := range ch.WriteBuf {
+		p.env.Mem.Store(a, v)
+	}
+	st := p.env.St
+	st.Chunks++
+	st.CommittedInstrs += uint64(ch.Executed)
+	st.SumRSetLines += uint64(len(ch.RSet))
+	st.SumWSetLines += uint64(len(ch.WSet))
+	st.SumPrivWSetLines += uint64(len(ch.PrivSet))
+	// Speculatively written lines become dirty non-speculative.
+	for l := range ch.WSet {
+		p.unpinToDirty(l, ch.Slot)
+	}
+	for l := range ch.PrivSet {
+		p.unpinToDirty(l, ch.Slot)
+	}
+	p.privBuf.DrainSlot(ch.Slot) // write-backs successfully skipped
+	if p.opts.Stpvt && !ch.Wpriv.Empty() {
+		p.env.PrivCommit(p.id, ch.Wpriv, ch.PrivSet)
+	}
+	p.squashStreak = 0
+	p.commitCount++
+	if p.preArbing {
+		// Release the exclusive commit window explicitly: the single-
+		// arbiter grant path auto-unlocks, but distributed-arbiter
+		// commits go through Reserve/Confirm, which does not.
+		p.preArbing = false
+		p.preArbGranted = false
+		p.env.EndPreArbitrate(p.id)
+	}
+	if p.OnCommit != nil {
+		p.OnCommit(ch)
+	}
+}
+
+func (p *BulkProc) unpinToDirty(l mem.Line, slot int) {
+	if w := p.l1.Unpin(l, slot); w != nil && w.Valid() && w.PinMask == 0 {
+		w.State = cache.Dirty
+	}
+}
+
+// grantArrived runs when the grant reaches the processor: the chunk's
+// hardware slot frees and the next completed chunk may arbitrate.
+func (p *BulkProc) grantArrived(ch *chunk.Chunk) {
+	for i, c := range p.chunks {
+		if c == ch {
+			p.chunks = append(p.chunks[:i], p.chunks[i+1:]...)
+			break
+		}
+	}
+	ch.State = chunk.Committed
+	p.slotBusy[ch.Slot] = false
+	if len(p.chunks) > 0 {
+		p.tryRequestCommit(p.chunks[0])
+	}
+	if p.f.done() && p.cur == nil && len(p.chunks) == 0 {
+		p.finished = true
+		p.doneAt = p.env.Eng.Now()
+		return
+	}
+	p.kick()
+}
+
+// endOfStream closes the final chunk (whatever its size) and finishes once
+// everything committed.
+func (p *BulkProc) endOfStream() {
+	if p.cur != nil {
+		if p.cur.Executed == 0 && len(p.chunks) > 0 && p.chunks[len(p.chunks)-1] == p.cur {
+			// Empty trailing chunk: discard it silently.
+			p.chunks = p.chunks[:len(p.chunks)-1]
+			p.slotBusy[p.cur.Slot] = false
+			p.cur = nil
+		} else if p.cur != nil {
+			p.closeChunk()
+		}
+	}
+	if len(p.chunks) == 0 {
+		p.finished = true
+		p.doneAt = p.env.Eng.Now()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Squash handling
+// ---------------------------------------------------------------------------
+
+// squashFrom discards ch and every younger chunk, rewinds the interpreter
+// to ch's checkpoint, and applies the forward-progress escalation.
+func (p *BulkProc) squashFrom(idx int, genuine bool) {
+	victims := p.chunks[idx:]
+	p.chunks = p.chunks[:idx]
+	st := p.env.St
+	for i, ch := range victims {
+		ch.State = chunk.Squashed
+		st.Squashes++
+		if i > 0 {
+			st.SquashCascades++
+		}
+		st.SquashedInstrs += uint64(ch.Executed)
+		for l := range ch.WSet {
+			p.dropSpecLine(l, ch, false)
+		}
+		for l := range ch.PrivSet {
+			p.dropSpecLine(l, ch, true)
+		}
+		restored := p.privBuf.DrainSlot(ch.Slot)
+		st.PrivBufRestores += uint64(len(restored))
+		p.slotBusy[ch.Slot] = false
+	}
+	if genuine {
+		st.SquashesTrue++
+	} else {
+		st.SquashesAliased++
+	}
+	if p.OnSquash != nil {
+		wasted := 0
+		for _, ch := range victims {
+			wasted += ch.Executed
+		}
+		p.OnSquash(len(victims), wasted, genuine)
+	}
+	if p.env.St.Trace != nil {
+		p.env.St.Trace("t=%d proc%d SQUASH from chunk=%d (%d victims)", p.env.Eng.Now(), p.id, victims[0].Seq, len(victims))
+	}
+	oldest := victims[0]
+	p.f.restore(p.checkpoints[oldest.Slot])
+	p.cur = nil
+	p.squashStreak++
+	if p.squashStreak >= p.opts.PreArbThreshold && !p.preArbing {
+		p.preArbing = true
+		p.env.PreArbitrate(p.id, func() {
+			if !p.preArbing {
+				// Stale grant: the request sat in the arbiter's queue
+				// while we committed (or timed out) and stopped wanting
+				// exclusivity. Hand the lock straight back or it leaks
+				// forever.
+				p.env.EndPreArbitrate(p.id)
+				return
+			}
+			p.preArbGranted = true
+			if p.OnPreArb != nil {
+				p.OnPreArb()
+			}
+			// Deadlock guard: if we are spin-waiting on a lock whose
+			// holder now cannot commit its release (we block every other
+			// commit), nothing ever frees us. Release the exclusive
+			// window if we fail to commit within a generous bound.
+			commitsAtGrant := p.commitCount
+			p.env.Eng.After(sim.Time(8*p.par.ChunkSize+20000), func() {
+				if p.preArbing && p.commitCount == commitsAtGrant {
+					p.preArbing = false
+					p.preArbGranted = false
+					p.squashStreak = 0
+					p.env.EndPreArbitrate(p.id)
+				}
+			})
+		})
+	}
+	// Pipeline refill before re-execution.
+	p.kickAt(p.par.SquashPenalty)
+}
+
+// dropSpecLine unpins a squashed chunk's line. Lines written under the
+// dynamically-private optimization are restored from the private buffer —
+// the cache keeps the (old) committed version, so the line stays valid and
+// dirty. Ordinary speculative lines are invalidated.
+func (p *BulkProc) dropSpecLine(l mem.Line, ch *chunk.Chunk, priv bool) {
+	w := p.l1.Unpin(l, ch.Slot)
+	if w == nil || !w.Valid() || w.PinMask != 0 {
+		return
+	}
+	if priv && p.opts.Dypvt {
+		// The cache keeps the committed version (restored from the
+		// private buffer); the line stays valid and dirty.
+		w.State = cache.Dirty
+		return
+	}
+	p.l1.Invalidate(l)
+}
+
+// ---------------------------------------------------------------------------
+// directory.CachePort
+// ---------------------------------------------------------------------------
+
+// ApplyCommit is the BDM's reaction to an incoming committing W signature:
+// bulk disambiguation against the live chunks, then bulk invalidation of
+// matching committed lines.
+func (p *BulkProc) ApplyCommit(c *directory.Commit) {
+	if c.Proc == p.id {
+		return
+	}
+	if p.env.St.Trace != nil {
+		p.env.St.Trace("t=%d proc%d recv Wsig from proc%d (chunks=%d)", p.env.Eng.Now(), p.id, c.Proc, len(p.chunks))
+	}
+	// Incoming signatures always disambiguate — including stpvt Wpriv
+	// propagations. Genuinely private lines never appear in another
+	// processor's R/W sets, so this costs nothing in the intended case;
+	// for an *aliased* Wpriv signature it is required for soundness: the
+	// expansion may have claimed directory ownership of a shared line and
+	// reset its sharer vector, and any chunk that read that line stale
+	// must die here or nothing will ever squash it.
+	if idx, genuine := bdm.Disambiguate(c.W, c.TrueW, p.chunks); idx >= 0 {
+		p.squashFrom(idx, genuine)
+	}
+	st := p.env.St
+	p.l1.BulkInvalidate(c.W, func(w cache.Way) {
+		if _, ok := c.TrueW[w.Line]; ok {
+			st.CacheInvs++
+		} else {
+			st.ExtraCacheInvs++
+		}
+	})
+	// Replies racing with this commit carry stale data: invalidate on
+	// arrival instead of installing.
+	for l, req := range p.inflight {
+		if c.W.MayContain(l) {
+			req.poisoned = true
+		}
+	}
+}
+
+// ApplyInvalidate serves conventional invalidations; under BulkSC it only
+// appears in mixed configurations (directory-cache displacement fallback).
+func (p *BulkProc) ApplyInvalidate(l mem.Line) {
+	if w := p.l1.Probe(l); w != nil && w.PinMask == 0 {
+		p.l1.Invalidate(l)
+	}
+}
+
+// SnoopDirty supplies a line the directory believes dirty here. The
+// dypvt path: if any live chunk wrote the line privately, the private
+// prediction has failed — the committed (pre-update) version is supplied
+// (from the private buffer when present, otherwise from memory, where the
+// last committed chunk left it) and the line is promoted back into W in
+// every live chunk, so future commits arbitrate and disambiguate it
+// (§5.2).
+func (p *BulkProc) SnoopDirty(l mem.Line) (supplied, holds bool) {
+	promoted := false
+	for _, ch := range p.chunks {
+		if ch.Active() && ch.PromoteToW(l) {
+			promoted = true
+		}
+	}
+	if p.privBuf.Has(l) {
+		p.env.St.PrivBufSupplies++
+		p.privBuf.Take(l)
+		return true, true
+	}
+	if promoted {
+		// Privately written but no buffered pre-image (a predecessor's
+		// commit drained it): memory holds the committed version; we
+		// keep our (speculative) copy and stay a sharer.
+		p.env.St.PrivBufSupplies++
+		return true, true
+	}
+	w := p.l1.Probe(l)
+	if w == nil || !w.Valid() {
+		// Genuinely absent: the directory's dirty bit came from an
+		// aliased update; memory is current.
+		return false, false
+	}
+	if w.PinMask != 0 {
+		// Speculatively W-written by an active chunk: memory holds the
+		// committed version, but we do hold the line — we must remain in
+		// the sharer vector so the chunk's commit invalidates the other
+		// sharers (Table 1 case 2).
+		return false, true
+	}
+	if w.State == cache.Dirty {
+		w.State = cache.Shared
+		return true, true
+	}
+	return false, true
+}
+
+// SnoopInvalidate is SnoopDirty plus invalidation (conventional RdX).
+func (p *BulkProc) SnoopInvalidate(l mem.Line) bool {
+	had, _ := p.SnoopDirty(l)
+	p.ApplyInvalidate(l)
+	return had
+}

@@ -1,0 +1,652 @@
+package proc
+
+import (
+	"fmt"
+
+	"bulksc/internal/cache"
+	"bulksc/internal/directory"
+	"bulksc/internal/mem"
+	"bulksc/internal/network"
+	"bulksc/internal/sim"
+	"bulksc/internal/stats"
+	"bulksc/internal/workload"
+)
+
+// Model selects the conventional consistency implementation.
+type Model int
+
+const (
+	// SC is sequential consistency with hardware prefetching for reads
+	// and exclusive prefetching for writes [Gharachorloo et al. 91], the
+	// paper's SC baseline: memory operations complete one at a time, but
+	// upcoming lines are prefetched into the cache so that most complete
+	// quickly.
+	SC Model = iota
+	// RC is release consistency with speculative execution across fences
+	// and exclusive prefetching for writes: loads perform at dispatch,
+	// stores drain from a store buffer, fences impose no stalls.
+	RC
+	// SCpp is SC++ [Gniady et al. 99]: RC-like speculative execution with
+	// a Speculative History Queue; an external invalidation that hits a
+	// speculatively-performed access rolls the processor back.
+	SCpp
+)
+
+func (m Model) String() string {
+	return [...]string{"SC", "RC", "SC++"}[m]
+}
+
+// scSerial is the retirement serialization cost per memory operation under
+// SC: with read/exclusive prefetching, a prefetched operation still
+// occupies the ordering point for about a cycle.
+const scSerial sim.Time = 1
+
+// ConvProc is a conventional processor running one of the baseline models.
+type ConvProc struct {
+	id    int
+	env   *Env
+	par   Params
+	model Model
+	l1    *cache.L1
+
+	f        fetcher
+	dispatch uint64
+	storeSeq uint64
+
+	inflight map[mem.Line]*fetchReq
+	misses   []missEntry
+
+	// Store buffer (RC/SC++): FIFO of pending stores; values forward to
+	// younger loads.
+	storeQ    []convStore
+	draining  bool
+	storeFwd  map[mem.Addr]uint64
+	fwdCounts map[mem.Addr]int
+
+	// SC++ speculative window: line → last access index.
+	specLines map[mem.Line]uint64
+
+	scheduled bool
+	finished  bool
+	doneAt    sim.Time
+	// serialBusy guards the asynchronous serialized operations (SC memory
+	// chain, barrier blocks): while one is in flight, stray kicks from
+	// store drains or miss completions must not re-dispatch the same
+	// instruction.
+	serialBusy bool
+}
+
+type convStore struct {
+	addr mem.Addr
+	val  uint64
+}
+
+// NewConvProc builds a conventional processor over stream ins.
+func NewConvProc(id int, env *Env, par Params, model Model, ins []workload.Instr) *ConvProc {
+	return &ConvProc{
+		id:        id,
+		env:       env,
+		par:       par,
+		model:     model,
+		l1:        cache.NewL1(256, 4),
+		f:         newFetcher(ins),
+		inflight:  make(map[mem.Line]*fetchReq),
+		storeFwd:  make(map[mem.Addr]uint64),
+		fwdCounts: make(map[mem.Addr]int),
+		specLines: make(map[mem.Line]uint64),
+	}
+}
+
+// Start schedules the first event.
+func (p *ConvProc) Start() { p.kick() }
+
+// DebugState summarizes the processor's interpreter position, for test
+// diagnostics on apparent deadlocks.
+func (p *ConvProc) DebugState() string {
+	return fmt.Sprintf("conv{finished=%v pos=%d/%d phase=%d barriers=%d storeQ=%d inflight=%d scheduled=%v}",
+		p.finished, p.f.pos, len(p.f.ins), p.f.barPhase, p.f.barriersDone, len(p.storeQ), len(p.inflight), p.scheduled)
+}
+
+// Finished reports stream completion.
+func (p *ConvProc) Finished() bool { return p.finished }
+
+// DoneAt returns the completion cycle.
+func (p *ConvProc) DoneAt() sim.Time { return p.doneAt }
+
+func (p *ConvProc) kick() {
+	if p.scheduled || p.finished {
+		return
+	}
+	p.scheduled = true
+	p.env.Eng.After(0, p.step)
+}
+
+func (p *ConvProc) kickAt(d sim.Time) {
+	if p.scheduled || p.finished {
+		return
+	}
+	if d < 1 {
+		d = 1
+	}
+	p.scheduled = true
+	p.env.Eng.After(d, p.step)
+}
+
+func (p *ConvProc) finish() {
+	p.finished = true
+	p.doneAt = p.env.Eng.Now()
+}
+
+// step is the dispatch event. SC serializes memory operations; RC/SC++
+// overlap them.
+func (p *ConvProc) step() {
+	p.scheduled = false
+	if p.finished || p.serialBusy {
+		return
+	}
+	if p.model == SC {
+		p.scStep()
+		return
+	}
+	p.rcStep()
+}
+
+// beginSerial marks an asynchronous serialized operation in flight; the
+// returned resume clears the guard and schedules the next dispatch event.
+func (p *ConvProc) beginSerial() func(sim.Time) {
+	p.serialBusy = true
+	return func(d sim.Time) {
+		p.serialBusy = false
+		p.kickAt(d)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Shared fetch machinery
+// ---------------------------------------------------------------------------
+
+func (p *ConvProc) fetch(l mem.Line, excl bool, done func()) {
+	if req, ok := p.inflight[l]; ok {
+		req.waiters = append(req.waiters, done)
+		return
+	}
+	req := &fetchReq{}
+	if done != nil {
+		req.waiters = append(req.waiters, done)
+	}
+	p.inflight[l] = req
+	p.env.ReadLine(p.id, l, excl, func(stateHint int) {
+		delete(p.inflight, l)
+		victim, ok := p.l1.Insert(l, cache.LineState(stateHint))
+		if !ok {
+			panic("conv proc: insert failed (no pinning in conventional mode)")
+		}
+		if victim.Valid() && victim.State == cache.Dirty {
+			p.env.St.AddTraffic(stats.CatData, network.DataBytes)
+			p.env.WritebackLine(p.id, victim.Line, true)
+		}
+		for _, w := range req.waiters {
+			w()
+		}
+	})
+}
+
+// prefetchAhead scans the upcoming stream and issues read/exclusive
+// prefetches for the next few memory operations — the SC baseline's
+// optimization (reads) and the exclusive-prefetch optimization shared by
+// SC and RC.
+func (p *ConvProc) prefetchAhead(k int) {
+	pos := p.f.pos
+	for n := 0; n < k && pos < len(p.f.ins); pos++ {
+		in := p.f.ins[pos]
+		var l mem.Line
+		var excl bool
+		switch in.Kind {
+		case workload.OpLoad:
+			l, excl = in.Addr.LineOf(), false
+		case workload.OpStore:
+			l, excl = in.Addr.LineOf(), true
+		case workload.OpAcquire, workload.OpRelease:
+			l, excl = in.Addr.LineOf(), true
+		case workload.OpEnd:
+			return
+		default:
+			continue
+		}
+		n++
+		if w := p.l1.Probe(l); w != nil {
+			if !excl || w.State == cache.Dirty || w.State == cache.Excl {
+				continue
+			}
+		}
+		if _, busy := p.inflight[l]; busy {
+			continue
+		}
+		if len(p.inflight) >= p.par.MSHRs {
+			return
+		}
+		p.env.St.Prefetches++
+		p.fetch(l, excl, nil)
+	}
+}
+
+// owner reports whether the cache can complete a store locally.
+func (p *ConvProc) owner(l mem.Line) bool {
+	w := p.l1.Probe(l)
+	return w != nil && (w.State == cache.Dirty || w.State == cache.Excl)
+}
+
+func (p *ConvProc) token() uint64 {
+	p.storeSeq++
+	return uint64(p.id+1)<<40 | p.storeSeq
+}
+
+// noteAccess records a line in the SC++ speculative window.
+func (p *ConvProc) noteAccess(l mem.Line) {
+	if p.model == SCpp {
+		p.specLines[l] = p.dispatch
+	}
+}
+
+// readValue reads addr with store-buffer forwarding.
+func (p *ConvProc) readValue(a mem.Addr) uint64 {
+	if v, ok := p.storeFwd[a.Align()]; ok {
+		return v
+	}
+	return p.env.Mem.Load(a)
+}
+
+// ---------------------------------------------------------------------------
+// SC: serialized interpretation with prefetching
+// ---------------------------------------------------------------------------
+
+func (p *ConvProc) scStep() {
+	if p.f.done() {
+		p.finish()
+		return
+	}
+	in := p.f.current()
+	switch in.Kind {
+	case workload.OpCompute:
+		n := p.f.computeLeft
+		if n == 0 {
+			n = in.N
+		}
+		p.f.computeLeft = 0
+		p.f.pos++
+		p.dispatch += uint64(n)
+		p.env.St.CommittedInstrs += uint64(n)
+		p.prefetchAhead(p.par.MSHRs)
+		p.kickAt(sim.Time(n) / sim.Time(p.par.IssueWidth))
+	case workload.OpLoad:
+		resume := p.beginSerial()
+		p.scAccess(in.Addr, false, func() {
+			p.env.Mem.Load(in.Addr) // architectural read at this instant
+			p.f.pos++
+			p.retire(1)
+			resume(scSerial)
+		})
+	case workload.OpStore:
+		resume := p.beginSerial()
+		p.scAccess(in.Addr, true, func() {
+			p.env.Mem.Store(in.Addr, p.token())
+			p.markDirty(in.Addr.LineOf())
+			p.f.pos++
+			p.retire(1)
+			resume(scSerial)
+		})
+	case workload.OpRelease:
+		resume := p.beginSerial()
+		p.scAccess(in.Addr, true, func() {
+			p.env.Mem.Store(in.Addr, 0)
+			p.markDirty(in.Addr.LineOf())
+			p.f.pos++
+			p.retire(1)
+			resume(scSerial)
+		})
+	case workload.OpAcquire:
+		resume := p.beginSerial()
+		p.scAccess(in.Addr, true, func() {
+			if p.env.Mem.Load(in.Addr) == 0 {
+				p.env.Mem.Store(in.Addr, 1)
+				p.markDirty(in.Addr.LineOf())
+				p.f.pos++
+				p.retire(2)
+				resume(scSerial)
+				return
+			}
+			p.retire(2)
+			p.env.St.SpinInstrs++
+			resume(p.par.SpinBackoff)
+		})
+	case workload.OpBarrier:
+		p.convBarrier(in, p.beginSerial())
+	case workload.OpIO:
+		// Uncached operation: fully serialized at the device latency.
+		p.f.pos++
+		p.retire(1)
+		p.kickAt(sim.Time(in.N))
+	default:
+		panic(fmt.Sprintf("conv proc %d: op %v", p.id, in.Kind))
+	}
+}
+
+// scAccess brings the line in (counting hit/miss) and runs perform when
+// the operation may complete.
+func (p *ConvProc) scAccess(a mem.Addr, excl bool, perform func()) {
+	l := a.LineOf()
+	p.noteAccess(l)
+	w := p.l1.Access(l)
+	if w != nil && (!excl || w.State == cache.Dirty || w.State == cache.Excl) {
+		p.env.St.L1Hits++
+		p.prefetchAhead(p.par.MSHRs)
+		p.env.Eng.After(p.par.L1Hit, perform)
+		return
+	}
+	p.env.St.L1Misses++
+	p.prefetchAhead(p.par.MSHRs)
+	p.fetch(l, excl, perform)
+}
+
+func (p *ConvProc) markDirty(l mem.Line) {
+	if w := p.l1.Probe(l); w != nil {
+		w.State = cache.Dirty
+	}
+}
+
+func (p *ConvProc) retire(n int) {
+	p.dispatch += uint64(n)
+	p.env.St.CommittedInstrs += uint64(n)
+}
+
+// convBarrier interprets the centralized barrier for the conventional
+// models. The lock-protected arrival block executes atomically at its
+// perform event (the lock is therefore never observed held); waiters spin
+// on the generation flag. resume is called asynchronously with the delay
+// before the next dispatch event.
+func (p *ConvProc) convBarrier(in workload.Instr, resume func(sim.Time)) {
+	target := p.f.barrierTarget()
+	count, gen := barrierCount(in), barrierGen(in)
+	if p.f.barPhase == 0 {
+		p.scAccess(count, true, func() {
+			c := p.env.Mem.Load(count)
+			if c+1 >= uint64(in.N) {
+				p.env.Mem.Store(count, 0)
+				p.env.Mem.Store(gen, target)
+				p.markDirty(gen.LineOf())
+			} else {
+				p.env.Mem.Store(count, c+1)
+			}
+			p.markDirty(count.LineOf())
+			p.noteAccess(count.LineOf())
+			p.retire(6)
+			p.f.barPhase = 1
+			resume(scSerial)
+		})
+		return
+	}
+	p.scAccess(gen, false, func() {
+		g := p.env.Mem.Load(gen)
+		p.noteAccess(gen.LineOf())
+		p.retire(2)
+		if g < target {
+			p.env.St.SpinInstrs++
+			resume(p.par.SpinBackoff)
+			return
+		}
+		p.f.pos++
+		p.f.barriersDone++
+		p.f.barPhase = 0
+		resume(scSerial)
+	})
+}
+
+// ---------------------------------------------------------------------------
+// RC / SC++: overlapped dispatch
+// ---------------------------------------------------------------------------
+
+func (p *ConvProc) rcStep() {
+	consumed := 0
+	for consumed < batchInstrs {
+		if len(p.inflight) >= p.par.MSHRs {
+			return // fetch completion kicks
+		}
+		if p.robFullConv() {
+			return
+		}
+		if len(p.storeQ) >= p.par.LSQ {
+			return // store drain kicks
+		}
+		if p.f.done() {
+			if len(p.storeQ) > 0 {
+				return // drain completes first
+			}
+			p.finish()
+			return
+		}
+		in := p.f.current()
+		switch in.Kind {
+		case workload.OpCompute:
+			n := p.f.computeLeft
+			if n == 0 {
+				n = in.N
+			}
+			take := uint32(batchInstrs - consumed)
+			if take > n {
+				take = n
+			}
+			n -= take
+			if n == 0 {
+				p.f.computeLeft = 0
+				p.f.pos++
+			} else {
+				p.f.computeLeft = n
+			}
+			p.retire(int(take))
+			consumed += int(take)
+		case workload.OpLoad:
+			p.rcLoad(in.Addr)
+			p.f.pos++
+			consumed++
+		case workload.OpStore:
+			p.rcStore(in.Addr, p.token())
+			p.f.pos++
+			consumed++
+		case workload.OpRelease:
+			// Release: a store; RC speculates across the fence.
+			p.rcStore(in.Addr, 0)
+			p.f.pos++
+			consumed++
+		case workload.OpAcquire:
+			// Atomic RMW: wait for the store buffer to drain, then
+			// perform atomically through the serial path.
+			if len(p.storeQ) > 0 {
+				return // drain completion kicks
+			}
+			done := p.rcAcquire(in.Addr)
+			consumed += 2
+			if !done {
+				p.yield(p.par.SpinBackoff)
+				return
+			}
+		case workload.OpBarrier:
+			// Barriers stall dispatch; the async barrier machinery
+			// re-kicks the processor.
+			if len(p.storeQ) > 0 {
+				return // drain first; completion kicks
+			}
+			p.convBarrier(in, p.beginSerial())
+			return
+		case workload.OpIO:
+			// Uncached: drain the store buffer and outstanding loads,
+			// then pay the device latency.
+			if len(p.storeQ) > 0 || len(p.misses) > 0 {
+				p.pruneMisses()
+				if len(p.storeQ) > 0 || len(p.misses) > 0 {
+					return // completions kick
+				}
+			}
+			p.f.pos++
+			p.retire(1)
+			p.yield(sim.Time(in.N))
+			return
+		default:
+			panic(fmt.Sprintf("conv proc %d: op %v", p.id, in.Kind))
+		}
+	}
+	p.yield(sim.Time(consumed) / sim.Time(p.par.IssueWidth))
+}
+
+func (p *ConvProc) yield(d sim.Time) { p.kickAt(d) }
+
+func (p *ConvProc) robFullConv() bool {
+	p.pruneMisses()
+	return len(p.misses) > 0 && p.dispatch-p.misses[0].idx >= uint64(p.par.ROB)
+}
+
+// pruneMisses pops completed entries off the outstanding-miss FIFO.
+func (p *ConvProc) pruneMisses() {
+	for len(p.misses) > 0 && p.misses[0].done {
+		p.misses = p.misses[1:]
+	}
+}
+
+// rcLoad performs a load at dispatch (speculative loads; SC++'s SHiQ and
+// RC's weak ordering both allow this) and tracks the miss for ROB
+// occupancy.
+func (p *ConvProc) rcLoad(a mem.Addr) {
+	p.retire(1)
+	l := a.LineOf()
+	p.noteAccess(l)
+	p.readValue(a) // architectural read at this instant
+	if p.l1.Access(l) != nil {
+		p.env.St.L1Hits++
+		return
+	}
+	p.env.St.L1Misses++
+	idx := p.dispatch
+	p.misses = append(p.misses, missEntry{idx: idx})
+	p.fetch(l, false, func() {
+		for i := range p.misses {
+			if p.misses[i].idx == idx && !p.misses[i].done {
+				p.misses[i].done = true
+				break
+			}
+		}
+		p.kick()
+	})
+}
+
+// rcStore buffers a store; the buffer drains in order, acquiring exclusive
+// ownership per line (with exclusive prefetch, usually already held).
+func (p *ConvProc) rcStore(a mem.Addr, val uint64) {
+	p.retire(1)
+	p.noteAccess(a.LineOf())
+	p.storeQ = append(p.storeQ, convStore{addr: a, val: val})
+	p.storeFwd[a.Align()] = val
+	p.fwdCounts[a.Align()]++
+	p.prefetchAhead(2)
+	p.drainStores()
+}
+
+func (p *ConvProc) drainStores() {
+	if p.draining || len(p.storeQ) == 0 {
+		return
+	}
+	p.draining = true
+	s := p.storeQ[0]
+	l := s.addr.LineOf()
+	perform := func() {
+		p.env.Mem.Store(s.addr, s.val)
+		p.markDirty(l)
+		p.storeQ = p.storeQ[1:]
+		a := s.addr.Align()
+		p.fwdCounts[a]--
+		if p.fwdCounts[a] == 0 {
+			delete(p.storeFwd, a)
+			delete(p.fwdCounts, a)
+		}
+		p.draining = false
+		p.env.Eng.After(1, func() {
+			p.drainStores()
+			p.kick()
+		})
+	}
+	if p.owner(l) {
+		p.env.St.L1Hits++
+		p.env.Eng.After(p.par.L1Hit, perform)
+		return
+	}
+	p.env.St.L1Misses++
+	p.fetch(l, true, perform)
+}
+
+// rcAcquire performs an atomic test-and-set with the store buffer empty.
+// Returns success.
+func (p *ConvProc) rcAcquire(lock mem.Addr) bool {
+	p.retire(2)
+	p.noteAccess(lock.LineOf())
+	if p.env.Mem.Load(lock) != 0 {
+		p.env.St.SpinInstrs++
+		return false
+	}
+	p.env.Mem.Store(lock, 1)
+	p.markDirty(lock.LineOf())
+	if !p.owner(lock.LineOf()) {
+		// Pay the ownership latency by pausing dispatch.
+		p.env.St.L1Misses++
+		p.fetch(lock.LineOf(), true, func() { p.kick() })
+	}
+	p.f.pos++
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// directory.CachePort
+// ---------------------------------------------------------------------------
+
+// ApplyInvalidate removes the line; under SC++ an invalidation hitting the
+// speculative window forces a rollback (timing and statistics; the
+// re-execution reads the same sequentially-consistent values).
+func (p *ConvProc) ApplyInvalidate(l mem.Line) {
+	p.l1.Invalidate(l)
+	if p.model != SCpp {
+		return
+	}
+	if idx, ok := p.specLines[l]; ok && p.dispatch-idx < uint64(p.par.SHiQ) {
+		p.env.St.SHiQViolations++
+		wasted := p.dispatch - idx
+		if wasted > uint64(p.par.SHiQ) {
+			wasted = uint64(p.par.SHiQ)
+		}
+		p.env.St.SquashedInstrs += wasted
+		delete(p.specLines, l)
+		// Rollback penalty: refill plus re-execution time.
+		p.kickAt(p.par.SquashPenalty + sim.Time(wasted)/sim.Time(p.par.IssueWidth))
+	}
+}
+
+// ApplyCommit should never reach a conventional processor.
+func (p *ConvProc) ApplyCommit(c *directory.Commit) {
+	panic("conv proc: received a BulkSC commit")
+}
+
+// SnoopDirty supplies a dirty line and downgrades it.
+func (p *ConvProc) SnoopDirty(l mem.Line) (supplied, holds bool) {
+	w := p.l1.Probe(l)
+	if w == nil {
+		return false, false
+	}
+	if w.State == cache.Dirty {
+		w.State = cache.Shared
+		return true, true
+	}
+	return false, true
+}
+
+// SnoopInvalidate supplies and invalidates.
+func (p *ConvProc) SnoopInvalidate(l mem.Line) bool {
+	had, _ := p.SnoopDirty(l)
+	p.ApplyInvalidate(l)
+	return had
+}

@@ -1,0 +1,159 @@
+// Package proc implements the processor models:
+//
+//   - BulkProc — the BulkSC processor (§3, §4.1): checkpointed chunk
+//     execution with full memory reordering inside and across chunks,
+//     per-chunk R/W/Wpriv signatures, speculative stores buffered in the
+//     L1, commit arbitration, bulk disambiguation squashes, exponential
+//     chunk shrinking and pre-arbitration for forward progress, and the
+//     statically/dynamically-private data optimizations of §5.
+//   - ConvProc — the conventional baselines: SC with read and exclusive
+//     prefetching [Gharachorloo et al.], RC with speculation across fences
+//     and exclusive prefetching, and SC++ with a SHiQ [Gniady et al.] —
+//     exactly the comparison points of the paper's evaluation.
+//
+// Timing uses an analytic-overlap model on top of the discrete-event
+// engine: non-memory instructions advance the dispatch clock at the issue
+// width; memory operations perform at engine events, so their global
+// interleaving (and thus every value read) is well defined; the
+// per-model ordering constraints decide how much memory latency each
+// model exposes. This keeps what distinguishes SC, RC, SC++ and BulkSC —
+// exposure vs. overlap, squashes, commit costs — while staying fast
+// enough to sweep the paper's full evaluation matrix.
+package proc
+
+import (
+	"bulksc/internal/mem"
+	"bulksc/internal/network"
+	"bulksc/internal/sig"
+	"bulksc/internal/sim"
+	"bulksc/internal/stats"
+	"bulksc/internal/workload"
+)
+
+// Params are the core parameters from the paper's Table 2.
+type Params struct {
+	IssueWidth    int      // instructions dispatched per cycle
+	ROB           int      // reorder-buffer entries
+	MSHRs         int      // outstanding line fetches
+	LSQ           int      // store-buffer entries (conventional models)
+	L1Hit         sim.Time // L1 round trip
+	SquashPenalty sim.Time // pipeline refill after a squash
+	ChunkSize     int      // dynamic instructions per chunk (BulkSC)
+	MaxChunks     int      // chunks in flight per processor (BulkSC)
+	SpinBackoff   sim.Time // cycles between spin-loop retries
+	SHiQ          int      // SC++ speculative history queue entries
+}
+
+// DefaultParams returns Table 2's processor configuration.
+func DefaultParams() Params {
+	return Params{
+		IssueWidth:    4,
+		ROB:           176,
+		MSHRs:         8,
+		LSQ:           56,
+		L1Hit:         2,
+		SquashPenalty: 17,
+		ChunkSize:     1000,
+		MaxChunks:     2,
+		SpinBackoff:   3,
+		SHiQ:          2048,
+	}
+}
+
+// MemRequest is a demand line request routed to the owning directory.
+type MemRequest struct {
+	Proc int
+	Line mem.Line
+	Excl bool
+	Done func(granted LineStateHint)
+}
+
+// LineStateHint mirrors cache.LineState without importing it here; the
+// concrete procs convert.
+type LineStateHint int
+
+// Env bundles the system services a processor needs. It is assembled by
+// internal/core when wiring a machine.
+type Env struct {
+	Eng    *sim.Engine
+	Net    *network.Network
+	St     *stats.Stats
+	Mem    *mem.Memory
+	Pages  *mem.PageTable
+	Sigs   sig.Factory
+	NProcs int
+
+	// ReadLine routes a demand miss to the owning directory module and
+	// calls done at the requester when data arrives. The hint is the
+	// granted cache state encoded as an int (cache.LineState).
+	ReadLine func(proc int, l mem.Line, excl bool, done func(stateHint int))
+	// WritebackLine retires a dirty line to its home module.
+	WritebackLine func(proc int, l mem.Line, drop bool)
+	// Commit routes a permission-to-commit request to the arbitration
+	// system (single arbiter or G-arbiter, per configuration). rset and
+	// wset are the chunk's exact line sets, used only for routing and
+	// simulation metadata.
+	Commit func(req *CommitReq)
+	// PrivCommit propagates an stpvt Wpriv signature to the directories.
+	PrivCommit func(proc int, w sig.Signature, trueW map[mem.Line]struct{})
+	// PreArbitrate requests exclusive commit rights (forward progress).
+	PreArbitrate func(proc int, granted func())
+	// EndPreArbitrate releases them without a commit.
+	EndPreArbitrate func(proc int)
+}
+
+// CommitReq is the processor-side view of a permission-to-commit request;
+// core translates it into arbiter requests.
+type CommitReq struct {
+	Proc  int
+	W     sig.Signature
+	R     sig.Signature // nil under the RSig optimization
+	RSets []map[mem.Line]struct{}
+	WSets []map[mem.Line]struct{}
+	// FetchR retrieves R with its round-trip cost.
+	FetchR func(cb func(sig.Signature))
+	TrueW  map[mem.Line]struct{}
+	Reply  func(granted bool, order uint64)
+}
+
+// ---------------------------------------------------------------------------
+// Stream interpreter state
+// ---------------------------------------------------------------------------
+
+// fetchState is the architectural interpreter position; it is exactly what
+// a checkpoint must capture to re-execute a chunk.
+type fetchState struct {
+	pos          int    // index into the static stream
+	computeLeft  uint32 // remaining instructions of a split compute block
+	barriersDone int    // dynamic barriers completed (fixes barrier targets)
+	barPhase     int    // 0 = not yet arrived at current barrier, 1 = waiting
+}
+
+// fetcher interprets one thread's static stream.
+type fetcher struct {
+	ins []workload.Instr
+	fetchState
+}
+
+func newFetcher(ins []workload.Instr) fetcher { return fetcher{ins: ins} }
+
+// current returns the instruction at the interpreter position.
+func (f *fetcher) current() workload.Instr { return f.ins[f.pos] }
+
+// done reports end of stream.
+func (f *fetcher) done() bool { return f.ins[f.pos].Kind == workload.OpEnd }
+
+// checkpoint captures the interpreter position.
+func (f *fetcher) checkpoint() fetchState { return f.fetchState }
+
+// restore rewinds to a checkpoint.
+func (f *fetcher) restore(s fetchState) { f.fetchState = s }
+
+// barrierTarget returns the generation this thread's next barrier must
+// reach: one past the barriers already completed.
+func (f *fetcher) barrierTarget() uint64 { return uint64(f.barriersDone) + 1 }
+
+// Barrier state layout: the instruction's Addr is the barrier lock; the
+// arrival counter and generation flag live on the next two sync lines.
+func barrierCount(in workload.Instr) mem.Addr { return in.Addr + mem.LineBytes }
+func barrierGen(in workload.Instr) mem.Addr   { return in.Addr + 2*mem.LineBytes }

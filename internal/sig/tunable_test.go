@@ -1,0 +1,132 @@
+package sig
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bulksc/internal/mem"
+)
+
+func geoms() []Geometry {
+	return []Geometry{
+		DefaultGeometry(),
+		{Banks: 1, BankBits: 2048, WindowBits: 16},
+		{Banks: 4, BankBits: 512, WindowBits: 16},
+		{Banks: 2, BankBits: 2048, WindowBits: 18},
+	}
+}
+
+func TestTunableSoundness(t *testing.T) {
+	for _, g := range geoms() {
+		f := func(lines []uint32, shared uint32) bool {
+			a, b := NewTunable(g), NewTunable(g)
+			for _, l := range lines {
+				a.Add(mem.Line(l))
+				if !a.MayContain(mem.Line(l)) {
+					return false
+				}
+			}
+			a.Add(mem.Line(shared))
+			b.Add(mem.Line(shared))
+			return a.Intersects(b)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+			t.Fatalf("%v: %v", g, err)
+		}
+	}
+}
+
+func TestTunableCandidateSetsCover(t *testing.T) {
+	for _, g := range geoms() {
+		s := NewTunable(g)
+		for i := 0; i < 50; i++ {
+			s.Add(mem.Line(i * 37))
+		}
+		m := s.CandidateSets(256)
+		for i := 0; i < 50; i++ {
+			if !m.Has((i * 37) & 255) {
+				t.Fatalf("%v: candidate set missing for line %d", g, i*37)
+			}
+		}
+	}
+}
+
+func TestTunableMatchesProductionGeometry(t *testing.T) {
+	// The production Bloom and a Tunable with DefaultGeometry must agree
+	// on membership and intersection verdicts for any inputs.
+	f := func(linesA, linesB []uint16, probe uint16) bool {
+		pa, pb := NewBloom(), NewBloom()
+		ta, tb := NewTunable(DefaultGeometry()), NewTunable(DefaultGeometry())
+		for _, l := range linesA {
+			pa.Add(mem.Line(l))
+			ta.Add(mem.Line(l))
+		}
+		for _, l := range linesB {
+			pb.Add(mem.Line(l))
+			tb.Add(mem.Line(l))
+		}
+		if pa.MayContain(mem.Line(probe)) != ta.MayContain(mem.Line(probe)) {
+			return false
+		}
+		return pa.Intersects(pb) == ta.Intersects(tb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTunableUnionClear(t *testing.T) {
+	g := DefaultGeometry()
+	a, b := NewTunable(g), NewTunable(g)
+	a.Add(1)
+	b.Add(2)
+	a.UnionWith(b)
+	if !a.MayContain(1) || !a.MayContain(2) {
+		t.Fatal("union lost a member")
+	}
+	a.Clear()
+	if !a.Empty() || a.MayContain(1) {
+		t.Fatal("clear failed")
+	}
+}
+
+func TestTunableTransferScales(t *testing.T) {
+	small := NewTunable(Geometry{Banks: 1, BankBits: 512, WindowBits: 16})
+	big := NewTunable(Geometry{Banks: 4, BankBits: 2048, WindowBits: 16})
+	if small.TransferBytes() >= big.TransferBytes() {
+		t.Fatal("transfer size does not scale with geometry")
+	}
+	if NewTunable(DefaultGeometry()).TransferBytes() != CompressedBytes {
+		t.Fatal("default geometry transfer size mismatch")
+	}
+}
+
+func TestGeometryValidation(t *testing.T) {
+	for _, bad := range []Geometry{
+		{Banks: 0, BankBits: 1024, WindowBits: 16},
+		{Banks: 9, BankBits: 1024, WindowBits: 16},
+		{Banks: 2, BankBits: 300, WindowBits: 16},
+		{Banks: 2, BankBits: 1024, WindowBits: 5},
+	} {
+		if bad.Valid() == nil {
+			t.Errorf("geometry %v accepted", bad)
+		}
+	}
+	if DefaultGeometry().Valid() != nil {
+		t.Error("default geometry rejected")
+	}
+	if DefaultGeometry().TotalBits() != 2048 {
+		t.Error("default geometry is not 2 Kbit")
+	}
+}
+
+func TestTunableMixedGeometryPanics(t *testing.T) {
+	a := NewTunable(DefaultGeometry())
+	b := NewTunable(Geometry{Banks: 4, BankBits: 512, WindowBits: 16})
+	defer func() {
+		if recover() == nil {
+			t.Error("mixed-geometry intersection did not panic")
+		}
+	}()
+	a.Intersects(b)
+}

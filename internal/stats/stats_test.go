@@ -1,0 +1,143 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCategoryStrings(t *testing.T) {
+	want := []string{"Rd/Wr", "RdSig", "WrSig", "Inv", "Other"}
+	for i, c := range Categories() {
+		if c.String() != want[i] {
+			t.Errorf("category %d = %q, want %q", i, c.String(), want[i])
+		}
+	}
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	s := New()
+	s.AddTraffic(CatData, 40)
+	s.AddTraffic(CatData, 40)
+	s.AddTraffic(CatWrSig, 52)
+	if s.TrafficBytes[CatData] != 80 || s.Messages[CatData] != 2 {
+		t.Error("CatData accounting wrong")
+	}
+	if s.TotalTraffic() != 132 {
+		t.Errorf("TotalTraffic = %d, want 132", s.TotalTraffic())
+	}
+}
+
+func TestSquashedPct(t *testing.T) {
+	s := New()
+	if s.SquashedPct() != 0 {
+		t.Error("empty stats should report 0%")
+	}
+	s.CommittedInstrs = 900
+	s.SquashedInstrs = 100
+	if got := s.SquashedPct(); got != 10 {
+		t.Errorf("SquashedPct = %v, want 10", got)
+	}
+}
+
+func TestSetSizeAverages(t *testing.T) {
+	s := New()
+	s.Chunks = 4
+	s.SumRSetLines = 100
+	s.SumWSetLines = 8
+	s.SumPrivWSetLines = 40
+	if s.AvgReadSet() != 25 || s.AvgWriteSet() != 2 || s.AvgPrivWriteSet() != 10 {
+		t.Errorf("averages wrong: %v %v %v", s.AvgReadSet(), s.AvgWriteSet(), s.AvgPrivWriteSet())
+	}
+}
+
+func TestRates(t *testing.T) {
+	s := New()
+	s.Chunks = 200_000
+	s.SpecReadDispl = 4
+	s.PrivBufSupplies = 600
+	s.ExtraCacheInvs = 200
+	if got := s.SpecReadDisplPer100k(); got != 2 {
+		t.Errorf("SpecReadDisplPer100k = %v, want 2", got)
+	}
+	if got := s.PrivBufPer1k(); got != 3 {
+		t.Errorf("PrivBufPer1k = %v, want 3", got)
+	}
+	if got := s.ExtraInvsPer1k(); got != 1 {
+		t.Errorf("ExtraInvsPer1k = %v, want 1", got)
+	}
+}
+
+func TestDirectoryMetrics(t *testing.T) {
+	s := New()
+	s.DirCommits = 10
+	s.DirLookups = 70
+	s.DirUnnecessary = 7
+	s.DirUpdates = 50
+	s.DirBadUpdates = 1
+	s.WSigNodeSends = 5
+	if s.LookupsPerCommit() != 7 {
+		t.Errorf("LookupsPerCommit = %v", s.LookupsPerCommit())
+	}
+	if s.UnnecessaryLookupPct() != 10 {
+		t.Errorf("UnnecessaryLookupPct = %v", s.UnnecessaryLookupPct())
+	}
+	if s.UnnecessaryUpdatePct() != 2 {
+		t.Errorf("UnnecessaryUpdatePct = %v", s.UnnecessaryUpdatePct())
+	}
+	if s.NodesPerWSig() != 0.5 {
+		t.Errorf("NodesPerWSig = %v", s.NodesPerWSig())
+	}
+}
+
+func TestWListIntegrals(t *testing.T) {
+	s := New()
+	// 0..100: empty; 100..150: 1 pending; 150..200: 2 pending; 200..400: 0.
+	s.WListChanged(100, 1)
+	s.WListChanged(150, 2)
+	s.WListChanged(200, 0)
+	s.CloseWList(400)
+	// Integral = 0*100 + 1*50 + 2*50 + 0*200 = 150 over 400 cycles.
+	if got := s.AvgPendingWSigs(); got != 150.0/400.0 {
+		t.Errorf("AvgPendingWSigs = %v, want 0.375", got)
+	}
+	// Non-empty from 100 to 200 = 100 of 400 cycles.
+	if got := s.NonEmptyWListPct(); got != 25 {
+		t.Errorf("NonEmptyWListPct = %v, want 25", got)
+	}
+}
+
+func TestCommitPcts(t *testing.T) {
+	s := New()
+	s.Chunks = 200
+	s.RSigRequired = 10
+	s.EmptyWCommits = 172
+	if s.RSigRequiredPct() != 5 {
+		t.Errorf("RSigRequiredPct = %v, want 5", s.RSigRequiredPct())
+	}
+	if s.EmptyWSigPct() != 86 {
+		t.Errorf("EmptyWSigPct = %v, want 86", s.EmptyWSigPct())
+	}
+}
+
+func TestZeroDenominatorsSafe(t *testing.T) {
+	s := New()
+	for _, f := range []func() float64{
+		s.SquashedPct, s.AvgReadSet, s.AvgWriteSet, s.AvgPrivWriteSet,
+		s.SpecWriteDisplPer100k, s.SpecReadDisplPer100k, s.PrivBufPer1k,
+		s.ExtraInvsPer1k, s.LookupsPerCommit, s.UnnecessaryLookupPct,
+		s.UnnecessaryUpdatePct, s.NodesPerWSig, s.AvgPendingWSigs,
+		s.NonEmptyWListPct, s.RSigRequiredPct, s.EmptyWSigPct,
+	} {
+		if got := f(); got != 0 {
+			t.Errorf("zero stats produced %v", got)
+		}
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	s := New()
+	s.Cycles = 1234
+	if !strings.Contains(s.String(), "cycles=1234") {
+		t.Errorf("String() = %q", s.String())
+	}
+}

@@ -1,0 +1,546 @@
+package workload
+
+import "math/rand"
+
+// This file defines the evaluation suite: synthetic kernels reproducing
+// the sharing structure of the eleven SPLASH-2 applications the paper runs
+// (all but volrend, as in the paper) and of the SPECjbb2000 / SPECweb2005
+// commercial workloads. Each generator documents which behavioural
+// fingerprints of the paper's Tables 3/4 it is built to reproduce.
+//
+// Three design rules keep the chunk-level statistics in the paper's
+// regime:
+//
+//  1. Private updates walk working windows whose revisit period exceeds
+//     the two-chunks-in-flight overlap (several thousand instructions), so
+//     a line's rewrite finds it dirty non-speculative — the pattern the
+//     dynamically-private optimization captures. Hotter windows would
+//     inherit W classification from the in-flight predecessor chunk
+//     forever; colder ones would never leave the warmup transient.
+//  2. Synchronization is sparse: locks amortized over thousands of
+//     instructions and barriers over 5-15k, approaching (on a compressed
+//     scale) the real codes, where chunked commit makes sync sections
+//     serialize at chunk granularity.
+//  3. Shared writes are deliberate and metered per application: boundary
+//     rows (ocean), transposed blocks (fft), scattered permutation writes
+//     (radix), pivot panels (lu), logs and order tables (commercial).
+
+// Per-app slot indices keep heap regions disjoint.
+const (
+	slotBarnes = iota
+	slotCholesky
+	slotFFT
+	slotFMM
+	slotLU
+	slotOcean
+	slotRadiosity
+	slotRadix
+	slotRaytrace
+	slotWaterNS
+	slotWaterSP
+	slotSjbb
+	slotSweb
+	slotLitmus
+)
+
+// randRead issues n loads at random words of r.
+func randRead(b *Builder, r Region, n, computePer int, rng *rand.Rand) {
+	for i := 0; i < n; i++ {
+		b.Load(r.Word(rng.Intn(r.Words)))
+		b.Compute(computePer)
+	}
+}
+
+// rmwUnderLock acquires lock, does a small read-modify-write burst on
+// words near base, and releases.
+func rmwUnderLock(b *Builder, lock int, r Region, base, words int) {
+	b.Acquire(lock)
+	for i := 0; i < words; i++ {
+		b.Load(r.Word(base + i))
+		b.Compute(2)
+		b.Store(r.Word(base + i))
+	}
+	b.Release(lock)
+}
+
+// privateRMW models compute on a thread-private working window: loads and
+// stores walking a cyclic window of `window` words (the caller sizes the
+// window so the cycle period spans several chunks).
+func privateRMW(b *Builder, r Region, base, window, n, computePer int, cursor *int) {
+	for i := 0; i < n; i++ {
+		a := r.Word(base + *cursor)
+		b.Load(a)
+		b.Compute(computePer)
+		b.Store(a)
+		*cursor = (*cursor + 1) % window
+	}
+}
+
+func init() {
+	Register("fft", genFFT)
+	Register("lu", genLU)
+	Register("radix", genRadix)
+	Register("barnes", genBarnes)
+	Register("fmm", genFMM)
+	Register("ocean", genOcean)
+	Register("cholesky", genCholesky)
+	Register("radiosity", genRadiosity)
+	Register("raytrace", genRaytrace)
+	Register("water-ns", genWaterNS)
+	Register("water-sp", genWaterSP)
+	Register("sjbb2k", genSjbb)
+	Register("sweb2005", genSweb)
+}
+
+// genFFT: long butterfly phases over the thread's rows with a private
+// scratch window, then an all-to-all transpose, one barrier per phase
+// pair (~10k instructions). Fingerprints: large R, a few transposed
+// output lines per chunk in W, large private write set, high empty-W
+// fraction.
+func genFFT(nthreads, work int, seed int64) *Program {
+	data := NewRegion(slotFFT, 0, 1<<15)
+	scratch := NewRegion(slotFFT, 1, 1<<15)
+	part := data.Words / nthreads
+	scrPart := scratch.Words / nthreads
+	const window = 320
+	return BuildIter("fft", nthreads, work, seed, func(b *Builder, iter int) {
+		mine := b.Tid() * part
+		scr := b.Tid() * scrPart
+		cursor := 0
+		// Butterfly passes: read own rows, write the scratch window.
+		for i := 0; i < 2000; i++ {
+			b.Load(data.Word(mine + (iter*389+i*3)%part))
+			b.Compute(4)
+			if i%3 == 0 {
+				b.Store(scratch.Word(scr + cursor))
+				cursor = (cursor + 1) % window
+			}
+			b.Compute(2)
+			if i%64 == 0 {
+				b.StackWork(20)
+			}
+		}
+		// Transpose: read a block from every other partition, write a
+		// couple of words into own partition (re-read by others).
+		for o := 1; o < b.NThreads(); o++ {
+			other := ((b.Tid() + o) % b.NThreads()) * part
+			at := b.Rng().Intn(part - 32)
+			for i := 0; i < 16; i++ {
+				b.Load(data.Word(other + at + i))
+				b.Compute(4)
+			}
+			b.Store(data.Word(mine + (at+o*127)%part))
+			b.Compute(3)
+			b.Store(data.Word(mine + (at+o*255)%part))
+		}
+		b.Barrier()
+	})
+}
+
+// genLU: blocked dense LU, one barrier per step (~7k instructions). The
+// step owner factors the pivot block (shared writes: everyone read it);
+// everyone reads the pivot and updates own blocks in a slow private
+// window. Fingerprints: small R, small W concentrated in owner chunks,
+// high empty-W fraction.
+func genLU(nthreads, work int, seed int64) *Program {
+	const blockWords = 256
+	pivot := NewRegion(slotLU, 0, blockWords*16)
+	blocks := NewRegion(slotLU, 1, 1<<14)
+	myWords := blocks.Words / nthreads
+	const window = 768
+	return BuildIter("lu", nthreads, work, seed, func(b *Builder, step int) {
+		mine := b.Tid() * myWords
+		owner := step % b.NThreads()
+		pbase := (step % 16) * blockWords
+		cursor := step * 768 % window
+		if b.Tid() == owner {
+			for i := 0; i < blockWords; i++ {
+				b.Load(pivot.Word(pbase + i))
+				b.Compute(8)
+				b.Store(pivot.Word(pbase + i))
+			}
+		} else {
+			b.StackWork(blockWords * 10)
+		}
+		b.Barrier()
+		// Everyone reads the pivot block and updates own blocks.
+		for i := 0; i < blockWords; i++ {
+			b.Load(pivot.Word(pbase + i))
+			b.Compute(5)
+		}
+		privateRMW(b, blocks, mine, window, 512, 9, &cursor)
+		b.StackWork(128)
+	})
+}
+
+// genRadix: radix sort. Long sequential key-reading passes with private
+// counting, then scattered permutation writes into a >2 MB shared array.
+// The paper's anomalous application: moderate W, heavy signature aliasing
+// (scattered writes across a region larger than the signature's address
+// window), ~1/3 empty-W commits, barrier-heavy.
+func genRadix(nthreads, work int, seed int64) *Program {
+	keys := NewRegion(slotRadix, 0, 3<<17) // 3 MB source
+	dest := NewRegion(slotRadix, 1, 3<<17) // 3 MB destination
+	hist := NewRegion(slotRadix, 2, 2048)
+	part := keys.Words / nthreads
+	return BuildIter("radix", nthreads, work, seed, func(b *Builder, iter int) {
+		mine := b.Tid() * part
+		pos := iter * 3000
+		// Local pass: sequential key reads + private counting.
+		for i := 0; i < 2400; i++ {
+			b.Load(keys.Word(mine + (pos+i)%part))
+			b.Compute(3)
+			if i%16 == 15 {
+				b.StackWork(10)
+			}
+		}
+		// Merge local histogram into the global one under a striped lock.
+		hbase := b.Rng().Intn(hist.Words - 8)
+		rmwUnderLock(b, slotRadix*8+hbase%16, hist, hbase, 3)
+		// Permutation pass: scattered writes into the shared destination.
+		for i := 0; i < 600; i++ {
+			b.Load(keys.Word(mine + (pos+2400+i)%part))
+			b.Compute(4)
+			if i%8 == 0 {
+				b.Store(dest.Word(b.Rng().Intn(dest.Words)))
+			}
+		}
+		b.Barrier()
+	})
+}
+
+// genBarnes: Barnes-Hut N-body. A read-mostly shared octree traversed
+// with temporal locality; per-thread bodies updated in a slow private
+// window; rare tree-cell updates under striped locks; very rare barriers.
+// Fingerprints: mid-size R, near-zero W, ~95% empty-W commits.
+func genBarnes(nthreads, work int, seed int64) *Program {
+	tree := NewRegion(slotBarnes, 0, 1<<15)
+	bodies := NewRegion(slotBarnes, 1, 1<<15)
+	part := bodies.Words / nthreads
+	const window = 128
+	return BuildIter("barnes", nthreads, work, seed, func(b *Builder, iter int) {
+		mine := b.Tid() * part
+		cursor := iter * 4 % window
+		node := b.Rng().Intn(tree.Words / 8)
+		for i := 0; i < 20; i++ {
+			b.Load(tree.Word(node*8 + i%8))
+			b.Compute(7)
+			if i%4 == 3 {
+				node = (node + 1 + b.Rng().Intn(16)) % (tree.Words / 8)
+			}
+		}
+		privateRMW(b, bodies, mine, window, 4, 5, &cursor)
+		b.StackWork(48)
+		if b.Rng().Intn(64) == 0 {
+			cell := b.Rng().Intn(256)
+			rmwUnderLock(b, slotBarnes*8+cell%6, tree, cell*16, 2)
+		}
+		if b.StructRng().Intn(400) == 0 {
+			b.Barrier()
+		}
+	})
+}
+
+// genFMM: fast multipole method — like barnes with heavier private
+// computation per interaction and even less shared writing.
+func genFMM(nthreads, work int, seed int64) *Program {
+	cells := NewRegion(slotFMM, 0, 1<<15)
+	mine := NewRegion(slotFMM, 1, 1<<14)
+	part := mine.Words / nthreads
+	const window = 64
+	return BuildIter("fmm", nthreads, work, seed, func(b *Builder, iter int) {
+		base := b.Tid() * part
+		cursor := iter * 3 % window
+		cell := b.Rng().Intn(cells.Words / 16)
+		for i := 0; i < 24; i++ {
+			b.Load(cells.Word(cell*16 + i%16))
+			b.Compute(9)
+		}
+		privateRMW(b, mine, base, window, 3, 6, &cursor)
+		b.StackWork(64)
+		if b.Rng().Intn(120) == 0 {
+			cellW := b.Rng().Intn(128)
+			rmwUnderLock(b, slotFMM*8+cellW%4, cells, cellW*8, 1)
+		}
+		if b.StructRng().Intn(500) == 0 {
+			b.Barrier()
+		}
+	})
+}
+
+// genOcean: red-black stencil over row-partitioned grids, one barrier per
+// sweep (~6k instructions). Boundary-row rewrites are genuine shared
+// writes (the suite's largest W); interior rows cycle slowly in place.
+func genOcean(nthreads, work int, seed int64) *Program {
+	grid := NewRegion(slotOcean, 0, 1<<15)
+	rowWords := 64
+	rows := grid.Words / rowWords
+	bandRows := rows / nthreads
+	return BuildIter("ocean", nthreads, work, seed, func(b *Builder, iter int) {
+		first := b.Tid() * bandRows
+		// Read neighbour boundary rows.
+		for _, nb := range []int{first - 1, first + bandRows} {
+			if nb < 0 || nb >= rows {
+				b.StackWork(rowWords * 3)
+				continue
+			}
+			for i := 0; i < rowWords; i += 2 {
+				b.Load(grid.Word(nb*rowWords + i))
+				b.Compute(4)
+			}
+		}
+		// Rewrite stretches of own boundary rows (shared with neighbour).
+		for _, edgeRow := range []int{first, first + bandRows - 1} {
+			at := (iter * 24) % (rowWords - 48)
+			for i := 0; i < 48; i += 2 {
+				b.Load(grid.Word(edgeRow*rowWords + at + i))
+				b.Compute(8)
+				b.Store(grid.Word(edgeRow*rowWords + at + i))
+			}
+		}
+		// Sweep interior rows in place (private after warmup).
+		r0 := first + 1 + (iter*12)%(bandRows-14)
+		for r := r0; r < r0+12; r++ {
+			for i := 0; i < rowWords; i += 4 {
+				b.Load(grid.Word(r*rowWords + i))
+				b.Load(grid.Word(r*rowWords + i + 2))
+				b.Compute(14)
+				b.Store(grid.Word(r*rowWords + i))
+			}
+		}
+		b.StackWork(64)
+		b.Barrier()
+	})
+}
+
+// genCholesky: sparse supernodal factorization driven by a lock-protected
+// task queue with long tasks (~5k instructions). Fingerprints: the
+// largest SPLASH-2 read set, small W, high empty-W fraction, low squash
+// rate.
+func genCholesky(nthreads, work int, seed int64) *Program {
+	panels := NewRegion(slotCholesky, 0, 1<<16)
+	queue := NewRegion(slotCholesky, 1, 64)
+	blocks := NewRegion(slotCholesky, 2, 1<<14)
+	part := blocks.Words / nthreads
+	const window = 128
+	return BuildIter("cholesky", nthreads, work, seed, func(b *Builder, iter int) {
+		base := b.Tid() * part
+		cursor := iter * 80 % 128
+		// Dequeue a task (short critical section, long task body).
+		rmwUnderLock(b, slotCholesky*8, queue, 0, 1)
+		// Read a large panel with clustering.
+		p := b.Rng().Intn(panels.Words / 512)
+		for i := 0; i < 640; i++ {
+			b.Load(panels.Word(p*512 + (i*3)%512))
+			b.Compute(5)
+			if i%80 == 79 {
+				b.StackWork(24)
+			}
+		}
+		// Update own blocks in a slow private window.
+		privateRMW(b, blocks, base, window, 80, 4, &cursor)
+		// Occasionally publish a finished supernode (shared write).
+		if b.Rng().Intn(10) == 0 {
+			b.Store(panels.Word(p*512 + b.Rng().Intn(8)))
+		}
+	})
+}
+
+// genRadiosity: irregular task-parallel light transport with work
+// stealing and ~5k-instruction tasks under striped per-patch locks.
+// Fingerprints: moderate R, a noticeable squash rate from irregular
+// sharing, high private-buffer supply rate when patches migrate.
+func genRadiosity(nthreads, work int, seed int64) *Program {
+	patches := NewRegion(slotRadiosity, 0, 1<<15)
+	queues := NewRegion(slotRadiosity, 1, 256)
+	nPatches := patches.Words / 64
+	return BuildIter("radiosity", nthreads, work, seed, func(b *Builder, iter int) {
+		// Each thread mostly works its own patch neighbourhood.
+		myPatch := (b.Tid()*nPatches/b.NThreads() + iter) % nPatches
+		if b.Rng().Intn(12) == 0 {
+			myPatch = b.Rng().Intn(nPatches)
+			victim := b.Rng().Intn(b.NThreads())
+			rmwUnderLock(b, slotRadiosity*8+victim%4, queues, victim*8, 1)
+		}
+		lock := slotRadiosity*8 + 8 + myPatch%24
+		b.Acquire(lock)
+		for i := 0; i < 64; i++ {
+			b.Load(patches.Word(myPatch*64 + i))
+			b.Compute(5)
+			if i%8 == 0 {
+				b.Store(patches.Word(myPatch*64 + i))
+			}
+		}
+		b.Release(lock)
+		// Gather incident energy from random patches (read-only).
+		randRead(b, patches, 16, 6, b.Rng())
+		b.StackWork(420)
+	})
+}
+
+// genRaytrace: a read-only scene traversed heavily (~4k instructions per
+// tile), one hot task-queue lock — the suite's highest genuine conflict
+// rate — and a private framebuffer window.
+func genRaytrace(nthreads, work int, seed int64) *Program {
+	scene := NewRegion(slotRaytrace, 0, 1<<16)
+	queue := NewRegion(slotRaytrace, 1, 16)
+	frame := NewRegion(slotRaytrace, 2, 1<<14)
+	part := frame.Words / nthreads
+	const window = 64
+	return BuildIter("raytrace", nthreads, work, seed, func(b *Builder, iter int) {
+		base := b.Tid() * part
+		cursor := iter * 24 % 64
+		// Grab a tile from the single queue.
+		rmwUnderLock(b, slotRaytrace*8, queue, 0, 1)
+		// Trace: long clustered read chains through the scene.
+		node := b.Rng().Intn(scene.Words / 8)
+		for i := 0; i < 480; i++ {
+			b.Load(scene.Word((node*8 + i*5) % scene.Words))
+			b.Compute(6)
+			if i%16 == 15 {
+				node = b.Rng().Intn(scene.Words / 8)
+			}
+			if i%60 == 59 {
+				b.StackWork(16)
+			}
+		}
+		// Write the pixel tile into the private window.
+		for i := 0; i < 24; i++ {
+			b.Store(frame.Word(base + cursor))
+			cursor = (cursor + 1) % window
+			b.Compute(2)
+		}
+	})
+}
+
+// genWater builds water-ns / water-sp: molecular dynamics with almost
+// everything private. Positions are published once per long timestep (the
+// only shared writes); remote position reads are occasional. water-sp
+// (spatial boxes) reads fewer remote molecules than water-ns (O(n²)
+// pairs). Fingerprints: ≥95% empty-W commits, near-zero squashes, large
+// private write sets.
+func genWater(slot int, name string, remoteEvery int) Generator {
+	return func(nthreads, work int, seed int64) *Program {
+		pos := NewRegion(slot, 0, 1<<12)
+		acc := NewRegion(slot, 1, 1<<14)
+		global := NewRegion(slot, 2, 64)
+		posPart := pos.Words / nthreads
+		accPart := acc.Words / nthreads
+		const window = 320
+		return BuildIter(name, nthreads, work, seed, func(b *Builder, iter int) {
+			pbase := b.Tid() * posPart
+			abase := b.Tid() * accPart
+			cursor := iter * 10 % window
+			// Once per long timestep, publish a few position words.
+			if iter%96 == 0 {
+				at := (iter / 96 * 8) % (posPart - 8)
+				for i := 0; i < 8; i++ {
+					b.Store(pos.Word(pbase + at + i))
+					b.Compute(3)
+				}
+			}
+			// Private force accumulation.
+			privateRMW(b, acc, abase, window, 5, 16, &cursor)
+			// Occasional remote position reads.
+			if iter%remoteEvery == 0 {
+				other := b.Rng().Intn(b.NThreads())
+				at := b.Rng().Intn(posPart - 4)
+				for i := 0; i < 4; i++ {
+					b.Load(pos.Word(other*posPart + at + i))
+					b.Compute(8)
+				}
+			}
+			b.StackWork(28)
+			b.Compute(44)
+			// Very rare global accumulation.
+			if b.Rng().Intn(400) == 0 {
+				rmwUnderLock(b, slot*8, global, 0, 2)
+			}
+			if b.StructRng().Intn(600) == 0 {
+				b.Barrier()
+			}
+		})
+	}
+}
+
+func genWaterNS(nthreads, work int, seed int64) *Program {
+	return genWater(slotWaterNS, "water-ns", 3)(nthreads, work, seed)
+}
+
+func genWaterSP(nthreads, work int, seed int64) *Program {
+	return genWater(slotWaterSP, "water-sp", 8)(nthreads, work, seed)
+}
+
+// genSjbb: SPECjbb2000 proxy — warehouse transactions (~2.5k
+// instructions) over private B-tree-ish records, a large shared item
+// catalog, order insertions into shared tables under striped locks, and
+// occasional cross-warehouse payments. Fingerprints: large R, moderate W,
+// ~50% empty-W commits, big footprint.
+func genSjbb(nthreads, work int, seed int64) *Program {
+	catalog := NewRegion(slotSjbb, 0, 3<<17) // 3 MB shared catalog
+	warehouses := NewRegion(slotSjbb, 1, 1<<16)
+	orders := NewRegion(slotSjbb, 2, 1<<15)
+	part := warehouses.Words / nthreads
+	const window = 96
+	return BuildIter("sjbb2k", nthreads, work, seed, func(b *Builder, iter int) {
+		base := b.Tid() * part
+		cursor := iter * 40 % 96
+		// Catalog lookups: pointer-chasing reads over a big region.
+		for i := 0; i < 60; i++ {
+			b.Load(catalog.Word(b.Rng().Intn(catalog.Words)))
+			b.Compute(5)
+		}
+		// Warehouse transaction: clustered private record updates.
+		privateRMW(b, warehouses, base, window, 40, 5, &cursor)
+		b.StackWork(120)
+		// Order insertion into a shared table under a striped lock.
+		o := b.Rng().Intn(orders.Words - 4)
+		rmwUnderLock(b, slotSjbb*8+o%16, orders, o, 2)
+		// Occasional journal flush: an uncached I/O operation (§4.1.3).
+		if b.Rng().Intn(60) == 0 {
+			b.IO(400)
+		}
+		// Cross-warehouse payment sometimes (true sharing).
+		if b.Rng().Intn(10) == 0 {
+			other := b.Rng().Intn(b.NThreads())
+			ob := other * part
+			at := b.Rng().Intn(part - 2)
+			b.Load(warehouses.Word(ob + at))
+			b.Compute(3)
+			b.Store(warehouses.Word(ob + at))
+		}
+	})
+}
+
+// genSweb: SPECweb2005 proxy — a very large read-mostly page cache (the
+// suite's biggest read sets and spec-read displacement rates), session
+// metadata under striped locks, and append-style log writes (fresh lines,
+// honest shared W).
+func genSweb(nthreads, work int, seed int64) *Program {
+	pages := NewRegion(slotSweb, 0, 3<<17) // 3 MB page cache
+	sessions := NewRegion(slotSweb, 1, 1<<14)
+	logs := NewRegion(slotSweb, 2, 1<<15)
+	logPart := logs.Words / nthreads
+	return BuildIter("sweb2005", nthreads, work, seed, func(b *Builder, iter int) {
+		// Serve a request: stream a page (long sequential reads from a
+		// random spot of the big cache).
+		at := b.Rng().Intn(pages.Words - 512)
+		for i := 0; i < 300; i++ {
+			b.Load(pages.Word(at + i))
+			b.Compute(3)
+		}
+		// Session update under a striped lock.
+		s := b.Rng().Intn(sessions.Words - 4)
+		rmwUnderLock(b, slotSweb*8+s%16, sessions, s, 2)
+		// Append to the log partition (fresh lines, single writer).
+		logPos := (iter * 8) % logPart
+		for i := 0; i < 8; i++ {
+			b.Store(logs.Word(b.Tid()*logPart + (logPos+i)%logPart))
+		}
+		// Occasionally the response goes out on the wire: uncached I/O.
+		if b.Rng().Intn(40) == 0 {
+			b.IO(300)
+		}
+		b.StackWork(96)
+	})
+}

@@ -1,0 +1,36 @@
+package bulksc
+
+import "bulksc/internal/workload"
+
+// Litmus-test constructors, re-exported for examples and downstream
+// consistency testing. Each returns a Program to pass to RunProgram; the
+// replay checker (Config.CheckSC) validates BulkSC outcomes.
+
+// StoreBuffering is the SB litmus test: T0 stores x then loads y; T1
+// stores y then loads x. SC forbids both loads observing the initial
+// values.
+func StoreBuffering(pad int) *Program { return workload.StoreBuffering(pad) }
+
+// MessagePassing is the MP litmus test: a data write followed by a flag
+// write, raced by a reader. SC forbids seeing the flag without the data.
+func MessagePassing(pad int) *Program { return workload.MessagePassing(pad) }
+
+// IRIW is the independent-reads-of-independent-writes test: two writers,
+// two readers; SC forbids the readers disagreeing on the write order.
+func IRIW(pad int) *Program { return workload.IRIW(pad) }
+
+// DekkerLock stresses chunked test-and-set mutual exclusion.
+func DekkerLock(iters, nthreads int) *Program { return workload.DekkerLock(iters, nthreads) }
+
+// CoherenceOrder hammers one word from four threads; the replay checker
+// validates a single write serialization order.
+func CoherenceOrder(iters int) *Program { return workload.CoherenceOrder(iters) }
+
+// LoadBuffering is the LB litmus test (load→store order).
+func LoadBuffering(pad int) *Program { return workload.LoadBuffering(pad) }
+
+// WRC is the write-to-read-causality litmus test.
+func WRC(pad int) *Program { return workload.WRC(pad) }
+
+// CoRR is the coherence read-read litmus test.
+func CoRR(pad int) *Program { return workload.CoRR(pad) }
