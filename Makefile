@@ -1,0 +1,43 @@
+# Development entry points. `make check` is the gate every PR must pass;
+# it is what scripts/check.sh runs in CI.
+
+GO ?= go
+
+.PHONY: check fmt vet build test race bench bench-json golden clean
+
+check: ## full PR gate: format, vet, build, tests, race on the sweep fan-out
+	./scripts/check.sh
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# experiments/experiments.go fans simulations out across goroutines; run it
+# under the race detector explicitly.
+race:
+	$(GO) test -race ./experiments
+
+# Headline + micro benchmarks (human-readable).
+bench:
+	$(GO) test -run xxx -bench 'Fig9' -benchmem -benchtime 1x .
+	$(GO) test -run xxx -bench . -benchmem ./internal/sim ./internal/sig ./internal/chunk
+
+# Machine-readable perf snapshot tracked across PRs.
+bench-json:
+	$(GO) run ./cmd/bench2json -o BENCH_core.json
+
+# Regenerate the golden determinism table — ONLY after a deliberate
+# behavioral change; performance-only PRs must leave it untouched.
+golden:
+	$(GO) test ./internal/core -run TestGoldenDeterminism -update-golden
+
+clean:
+	rm -f bulksc.test cpu.pprof mem.pprof trace.out

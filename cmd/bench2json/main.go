@@ -1,0 +1,161 @@
+// Command bench2json runs the headline performance benchmark — the Figure
+// 9 sweep at the canonical benchWork=60k operating point — under
+// testing.Benchmark and writes a machine-readable summary to
+// BENCH_core.json, so the repository's perf trajectory (ns/op, allocs/op,
+// bytes/op and the Fig9 geomeans) is tracked across PRs instead of living
+// in ephemeral shell scrollback.
+//
+// Usage:
+//
+//	go run ./cmd/bench2json                # writes ./BENCH_core.json
+//	go run ./cmd/bench2json -o out.json -work 60000 -n 3
+//
+// The output also embeds the micro-benchmarks guarding the three hot
+// layers rebuilt by the allocation-free overhaul: the event engine's
+// schedule+fire loop, the Bloom signature intersect/union fast paths, and
+// the pooled chunk access loop.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"bulksc/experiments"
+	"bulksc/internal/mem"
+	"bulksc/internal/sig"
+	"bulksc/internal/sim"
+)
+
+// Bench is one benchmark's measurement.
+type Bench struct {
+	Name      string  `json:"name"`
+	N         int     `json:"n"`
+	NsPerOp   float64 `json:"ns_per_op"`
+	AllocsOp  float64 `json:"allocs_per_op"`
+	BytesOp   float64 `json:"bytes_per_op"`
+	ExtraKeys any     `json:"extra,omitempty"`
+}
+
+// Report is the BENCH_core.json schema.
+type Report struct {
+	GeneratedAt string             `json:"generated_at"`
+	GoVersion   string             `json:"go_version"`
+	GOARCH      string             `json:"goarch"`
+	NumCPU      int                `json:"num_cpu"`
+	BenchWork   int                `json:"bench_work"`
+	Fig9        Bench              `json:"fig9"`
+	Fig9GeoMean map[string]float64 `json:"fig9_geomean"` // variant → perf vs RC
+	Micro       []Bench            `json:"micro"`
+}
+
+func measure(name string, f func(b *testing.B)) Bench {
+	r := testing.Benchmark(f)
+	return Bench{
+		Name:     name,
+		N:        r.N,
+		NsPerOp:  float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsOp: float64(r.AllocsPerOp()),
+		BytesOp:  float64(r.AllocedBytesPerOp()),
+	}
+}
+
+func main() {
+	var (
+		out  = flag.String("o", "BENCH_core.json", "output file")
+		work = flag.Int("work", 60_000, "per-thread instruction budget for the Fig9 sweep")
+		seed = flag.Int64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	rep := Report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		BenchWork:   *work,
+	}
+
+	// Headline: the Figure 9 sweep, the acceptance benchmark for perf PRs.
+	var gm experiments.Fig9Row
+	// A single Fig9 sweep takes well over testing's 1 s benchtime, so
+	// testing.Benchmark settles at N=1 — one full sweep, measured.
+	fig9 := func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rows, err := experiments.Fig9(experiments.Params{Work: *work, Seed: *seed})
+			if err != nil {
+				b.Fatal(err)
+			}
+			gm = experiments.Fig9GeoMeanRow(rows)
+		}
+	}
+	rep.Fig9 = measure("BenchmarkFig9", fig9)
+	rep.Fig9GeoMean = gm.Speedup
+
+	// Micro-benchmarks over the rebuilt hot layers (inlined equivalents of
+	// the *_test.go benchmarks, so this binary needs no test linkage).
+	rep.Micro = append(rep.Micro,
+		measure("BenchmarkEngineSchedule", func(b *testing.B) {
+			e := sim.NewEngine(1)
+			var fire func(any)
+			fire = func(arg any) {
+				c := arg.(*int)
+				*c++
+				e.AfterCall(sim.Time(1+*c%7), fire, arg)
+			}
+			counters := make([]int, 64)
+			for i := range counters {
+				e.AfterCall(sim.Time(i%5+1), fire, &counters[i])
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Step()
+			}
+		}),
+		measure("BenchmarkBloomIntersect", func(b *testing.B) {
+			x, y := sig.NewBloom(), sig.NewBloom()
+			for i := 0; i < 30; i++ {
+				x.Add(mem.Line(i * 3))
+				y.Add(mem.Line(i*3 + 100000))
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				x.Intersects(y)
+			}
+		}),
+		measure("BenchmarkBloomUnion", func(b *testing.B) {
+			acc, w := sig.NewBloom(), sig.NewBloom()
+			for i := 0; i < 30; i++ {
+				w.Add(mem.Line(i * 17))
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				acc.UnionWith(w)
+				if i%256 == 0 {
+					acc.Clear()
+				}
+			}
+		}),
+	)
+
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: Fig9 %.0f ns/op, %.0f allocs/op, geomean dypvt=%.3f\n",
+		*out, rep.Fig9.NsPerOp, rep.Fig9.AllocsOp, rep.Fig9GeoMean["dypvt"])
+}

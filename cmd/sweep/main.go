@@ -13,12 +13,22 @@
 //
 // The -work flag sets the per-thread instruction budget; larger runs give
 // steadier statistics (the first 30% is always excluded as warmup).
+//
+// Profiling (for performance PRs — attach the resulting profiles as
+// evidence):
+//
+//	sweep -exp fig9 -cpuprofile cpu.pprof   # go tool pprof cpu.pprof
+//	sweep -exp fig9 -memprofile mem.pprof   # allocation profile at exit
+//	sweep -exp fig9 -trace trace.out        # go tool trace trace.out
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"strings"
 
 	"bulksc"
@@ -33,8 +43,34 @@ func main() {
 		apps  = flag.String("apps", "", "comma-separated subset of applications (default: all)")
 		procs = flag.Int("procs", 16, "core count for the arbiter-scaling study")
 		par   = flag.Int("j", 0, "parallel simulations (default: NumCPU)")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
+		tracefile  = flag.String("trace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		fail(err)
+		fail(pprof.StartCPUProfile(f))
+		defer func() { pprof.StopCPUProfile(); f.Close() }()
+	}
+	if *tracefile != "" {
+		f, err := os.Create(*tracefile)
+		fail(err)
+		fail(trace.Start(f))
+		defer func() { trace.Stop(); f.Close() }()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			fail(err)
+			runtime.GC() // materialize the final live heap
+			fail(pprof.Lookup("allocs").WriteTo(f, 0))
+			f.Close()
+		}()
+	}
 
 	p := experiments.Params{Work: *work, Seed: *seed, Parallelism: *par}
 	if *apps != "" {

@@ -12,7 +12,7 @@ package arbiter
 import (
 	"fmt"
 
-	"bulksc/internal/mem"
+	"bulksc/internal/lineset"
 	"bulksc/internal/network"
 	"bulksc/internal/sig"
 	"bulksc/internal/sim"
@@ -44,7 +44,7 @@ type Request struct {
 	// TrueW is the chunk's exact write set, carried as simulation metadata
 	// (it rides the W message; no extra traffic is charged). The directory
 	// uses it to classify aliased lookups and invalidations.
-	TrueW map[mem.Line]struct{}
+	TrueW *lineset.Set
 	// Reply is invoked exactly once at the arbiter's decision event.
 	// granted=true means the chunk is serialized at this instant; order is
 	// its position in the global commit order. The caller must treat the
@@ -55,7 +55,7 @@ type Request struct {
 
 type pendingEntry struct {
 	w         sig.Signature
-	trueW     map[mem.Line]struct{}
+	trueW     *lineset.Set
 	proc      int
 	tentative bool // reserved by an in-flight G-arbiter transaction
 }
@@ -77,7 +77,7 @@ type Arbiter struct {
 	// ForwardW is set by the system: it ships a granted W signature to
 	// this arbiter's directory module and must eventually call Done(tok).
 	// For empty-W commits it is not called.
-	ForwardW func(tok Token, proc int, w sig.Signature, trueW map[mem.Line]struct{})
+	ForwardW func(tok Token, proc int, w sig.Signature, trueW *lineset.Set)
 
 	// Pre-arbitration state (§3.3): while lockProc ≥ 0, commit requests
 	// from other processors are denied unconditionally.

@@ -3,6 +3,7 @@ package arbiter
 import (
 	"testing"
 
+	"bulksc/internal/lineset"
 	"bulksc/internal/mem"
 	"bulksc/internal/network"
 	"bulksc/internal/sig"
@@ -23,7 +24,7 @@ func newHarness() *harness {
 	h := &harness{eng: sim.NewEngine(1), st: stats.New()}
 	h.net = network.New(h.eng, h.st)
 	h.arb = New(0, h.eng, h.net, h.st, &h.order)
-	h.arb.ForwardW = func(tok Token, proc int, w sig.Signature, trueW map[mem.Line]struct{}) {
+	h.arb.ForwardW = func(tok Token, proc int, w sig.Signature, trueW *lineset.Set) {
 		h.fwd = append(h.fwd, tok)
 	}
 	return h
@@ -260,9 +261,9 @@ func TestRangeOf(t *testing.T) {
 }
 
 func TestRangesOf(t *testing.T) {
-	sets := []map[mem.Line]struct{}{
-		{mem.Line(0): {}},
-		{mem.Line(RangeGranule): {}, mem.Line(1): {}},
+	sets := []*lineset.Set{
+		lineset.NewSetOf(0),
+		lineset.NewSetOf(mem.Line(RangeGranule), 1),
 	}
 	got := RangesOf(sets, 4)
 	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
@@ -282,7 +283,7 @@ func newDistributed(n int) (*sim.Engine, *stats.Stats, []*Arbiter, *GArbiter, *[
 	arbs := make([]*Arbiter, n)
 	for i := range arbs {
 		arbs[i] = New(i, eng, nw, st, &order)
-		arbs[i].ForwardW = func(tok Token, proc int, w sig.Signature, trueW map[mem.Line]struct{}) {
+		arbs[i].ForwardW = func(tok Token, proc int, w sig.Signature, trueW *lineset.Set) {
 			*fwd = append(*fwd, tok)
 		}
 	}

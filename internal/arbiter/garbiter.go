@@ -1,6 +1,7 @@
 package arbiter
 
 import (
+	"bulksc/internal/lineset"
 	"bulksc/internal/mem"
 	"bulksc/internal/network"
 	"bulksc/internal/sim"
@@ -30,15 +31,15 @@ func RangeOf(l mem.Line, n int) int {
 // RangesOf returns the sorted, deduplicated set of modules covering every
 // line a chunk read or wrote. A processor derives this to decide whether a
 // commit needs one arbiter or the G-arbiter.
-func RangesOf(sets []map[mem.Line]struct{}, n int) []int {
+func RangesOf(sets []*lineset.Set, n int) []int {
 	if n <= 1 {
 		return []int{0}
 	}
 	seen := make([]bool, n)
 	for _, set := range sets {
-		for l := range set {
+		set.ForEach(func(l mem.Line) {
 			seen[RangeOf(l, n)] = true
-		}
+		})
 	}
 	var out []int
 	for i, s := range seen {

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"bulksc/internal/lineset"
 	"bulksc/internal/mem"
 	"bulksc/internal/network"
 	"bulksc/internal/sig"
@@ -27,17 +28,17 @@ func TestPropertySerializationInvariant(t *testing.T) {
 		arb := New(0, eng, nw, st, &order)
 
 		// pending tracks the exact W sets of granted, not-yet-done chunks.
-		pending := map[Token]map[mem.Line]struct{}{}
+		pending := map[Token]*lineset.Set{}
 		var nextDone []Token
-		arb.ForwardW = func(tok Token, proc int, w sig.Signature, trueW map[mem.Line]struct{}) {
+		arb.ForwardW = func(tok Token, proc int, w sig.Signature, trueW *lineset.Set) {
 			// Invariant 1: the new W set is disjoint from all pending.
 			for other, set := range pending {
-				for l := range trueW {
-					if _, ok := set[l]; ok {
+				trueW.ForEach(func(l mem.Line) {
+					if set.Has(l) {
 						t.Fatalf("seed %d: granted W overlaps pending token %d on line %v",
 							seed, other, l)
 					}
-				}
+				})
 			}
 			pending[tok] = trueW
 			// Complete after a random delay.
@@ -52,17 +53,17 @@ func TestPropertySerializationInvariant(t *testing.T) {
 		for i := 0; i < 300; i++ {
 			w := sig.NewExact()
 			r := sig.NewExact()
-			trueW := map[mem.Line]struct{}{}
-			trueR := map[mem.Line]struct{}{}
+			trueW := &lineset.Set{}
+			trueR := &lineset.Set{}
 			for j := 0; j < rng.Intn(4); j++ {
 				l := mem.Line(rng.Intn(30))
 				w.Add(l)
-				trueW[l] = struct{}{}
+				trueW.Add(l)
 			}
 			for j := 0; j < 1+rng.Intn(6); j++ {
 				l := mem.Line(rng.Intn(30))
 				r.Add(l)
-				trueR[l] = struct{}{}
+				trueR.Add(l)
 			}
 			req := &Request{
 				Proc:   rng.Intn(8),
@@ -83,28 +84,27 @@ func TestPropertySerializationInvariant(t *testing.T) {
 						if set == nil {
 							continue
 						}
-						same := len(set) == len(trueW)
+						same := set.Len() == trueW.Len()
 						if same {
-							for l := range trueW {
-								if _, ok := set[l]; !ok {
+							trueW.ForEach(func(l mem.Line) {
+								if !set.Has(l) {
 									same = false
-									break
 								}
-							}
+							})
 						}
 						if same {
 							continue // our own just-inserted entry
 						}
-						for l := range trueR {
-							if _, ok := set[l]; ok {
+						trueR.ForEach(func(l mem.Line) {
+							if set.Has(l) {
 								t.Fatalf("seed %d: grant with R overlapping a pending W (line %v)", seed, l)
 							}
-						}
-						for l := range trueW {
-							if _, ok := set[l]; ok {
+						})
+						trueW.ForEach(func(l mem.Line) {
+							if set.Has(l) {
 								t.Fatalf("seed %d: grant with W overlapping a pending W (line %v)", seed, l)
 							}
-						}
+						})
 					}
 				},
 			}
@@ -135,7 +135,7 @@ func TestPropertyCommitOrderIsTotalAndGapFree(t *testing.T) {
 	nw := network.New(eng, st)
 	var order uint64
 	arb := New(0, eng, nw, st, &order)
-	arb.ForwardW = func(tok Token, proc int, w sig.Signature, trueW map[mem.Line]struct{}) {
+	arb.ForwardW = func(tok Token, proc int, w sig.Signature, trueW *lineset.Set) {
 		eng.After(3, func() { arb.Done(tok) })
 	}
 	var got []uint64

@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"bulksc/internal/chunk"
+	"bulksc/internal/lineset"
 	"bulksc/internal/mem"
 	"bulksc/internal/sig"
 )
@@ -81,12 +82,21 @@ func TestDrainSlot(t *testing.T) {
 	b.Save(1, 0, vals(1))
 	b.Save(2, 1, vals(2))
 	b.Save(3, 0, vals(3))
-	got := b.DrainSlot(0)
+	got := b.DrainSlot(0, nil)
 	if len(got) != 2 {
 		t.Fatalf("DrainSlot(0) returned %d entries, want 2", len(got))
 	}
+	if got[0].Line != 1 || got[1].Line != 3 {
+		t.Fatalf("DrainSlot order wrong: %d, %d (want insertion order 1, 3)", got[0].Line, got[1].Line)
+	}
 	if b.Has(1) || b.Has(3) || !b.Has(2) {
 		t.Fatal("DrainSlot removed wrong entries")
+	}
+	// Draining appends to the caller's buffer without clobbering it.
+	scratch := got[:0]
+	scratch = b.DrainSlot(1, scratch)
+	if len(scratch) != 1 || scratch[0].Line != 2 || b.Len() != 0 {
+		t.Fatal("DrainSlot into reused scratch buffer wrong")
 	}
 }
 
@@ -138,7 +148,7 @@ func TestDisambiguateFindsOldest(t *testing.T) {
 	c1 := mkChunk(0, 1, []mem.Line{10, 20}, nil)
 	wc := sig.NewExact()
 	wc.Add(10)
-	idx, genuine := Disambiguate(wc, map[mem.Line]struct{}{10: {}}, []*chunk.Chunk{c0, c1})
+	idx, genuine := Disambiguate(wc, lineset.NewSetOf(10), []*chunk.Chunk{c0, c1})
 	if idx != 0 || !genuine {
 		t.Fatalf("Disambiguate = (%d, %v), want (0, true)", idx, genuine)
 	}

@@ -9,11 +9,19 @@
 // the committed memory state, in global arbitration order) or squashes
 // (everything is discarded and the processor re-executes from the
 // checkpoint).
+//
+// The exact sets are open-addressed lineset structures rather than Go
+// maps, and chunks are recycled through a Pool across squash/re-execute
+// cycles: squash-heavy applications (radix, raytrace) churn chunk state
+// constantly, and pooling makes a re-executed chunk's bookkeeping
+// allocation-free. A generation counter (Gen) guards stale references —
+// any callback that may outlive a squash must capture Gen and compare.
 package chunk
 
 import (
 	"fmt"
 
+	"bulksc/internal/lineset"
 	"bulksc/internal/mem"
 	"bulksc/internal/sig"
 )
@@ -47,7 +55,7 @@ func (s State) String() string {
 type AccessRec struct {
 	IsStore bool
 	Addr    mem.Addr
-	Value   uint64 // store: value written; load: value observed
+	Value   uint64 // store: value written; load: load observed
 }
 
 // Chunk is one dynamic chunk's speculative context.
@@ -60,16 +68,21 @@ type Chunk struct {
 	Target   int // instruction budget for this chunk
 	Executed int // dynamic instructions dispatched so far
 
+	// Gen is the recycling generation. Pool.Put bumps it; callbacks that
+	// may fire after a squash capture it and bail on mismatch, so pooled
+	// reuse can never corrupt a successor chunk.
+	Gen uint64
+
 	// Signatures (superset encodings used by the protocol).
 	R, W, Wpriv sig.Signature
 
 	// Exact line sets backing the signatures. RSet/WSet drive commit
 	// application and stats; PrivSet backs Wpriv.
-	RSet, WSet, PrivSet map[mem.Line]struct{}
+	RSet, WSet, PrivSet lineset.Set
 
 	// WriteBuf holds the chunk's speculative word values (Rule1: not
 	// visible to other chunks until commit).
-	WriteBuf map[mem.Addr]uint64
+	WriteBuf lineset.Map
 
 	// Log is the program-order access log for the replay checker.
 	Log []AccessRec
@@ -78,6 +91,12 @@ type Chunk struct {
 	// arrived; arbitration may not start until it reaches zero.
 	Pending int
 
+	// ReqsOut counts commit requests in flight through the arbitration
+	// system. A squashed chunk may be recycled only at zero: while a
+	// request is out, the arbiter (and, after a grant, the directory) hold
+	// references to the chunk's signatures and exact sets.
+	ReqsOut int
+
 	// CommitOrder is assigned by the arbiter at grant time.
 	CommitOrder uint64
 }
@@ -85,20 +104,28 @@ type Chunk struct {
 // New returns a fresh chunk for proc at checkpoint pos using the given
 // signature factory.
 func New(f sig.Factory, proc int, seq uint64, slot, pos, target int) *Chunk {
-	return &Chunk{
-		Proc:     proc,
-		Seq:      seq,
-		Slot:     slot,
-		Checkpt:  pos,
-		Target:   target,
-		R:        f(),
-		W:        f(),
-		Wpriv:    f(),
-		RSet:     make(map[mem.Line]struct{}),
-		WSet:     make(map[mem.Line]struct{}),
-		PrivSet:  make(map[mem.Line]struct{}),
-		WriteBuf: make(map[mem.Addr]uint64),
+	c := &Chunk{
+		R:     f(),
+		W:     f(),
+		Wpriv: f(),
 	}
+	c.init(proc, seq, slot, pos, target)
+	return c
+}
+
+// init (re)sets the per-execution fields; signatures and sets must already
+// be empty.
+func (c *Chunk) init(proc int, seq uint64, slot, pos, target int) {
+	c.Proc = proc
+	c.Seq = seq
+	c.Slot = slot
+	c.Checkpt = pos
+	c.State = Executing
+	c.Target = target
+	c.Executed = 0
+	c.Pending = 0
+	c.ReqsOut = 0
+	c.CommitOrder = 0
 }
 
 // RecordLoad notes a load of a and the value it observed. The R signature
@@ -108,7 +135,7 @@ func (c *Chunk) RecordLoad(a mem.Addr, v uint64, private bool) {
 	if !private {
 		l := a.LineOf()
 		c.R.Add(l)
-		c.RSet[l] = struct{}{}
+		c.RSet.Add(l)
 	}
 	c.Log = append(c.Log, AccessRec{Addr: a, Value: v})
 }
@@ -120,12 +147,12 @@ func (c *Chunk) RecordStore(a mem.Addr, v uint64, priv bool) {
 	l := a.LineOf()
 	if priv {
 		c.Wpriv.Add(l)
-		c.PrivSet[l] = struct{}{}
+		c.PrivSet.Add(l)
 	} else {
 		c.W.Add(l)
-		c.WSet[l] = struct{}{}
+		c.WSet.Add(l)
 	}
-	c.WriteBuf[a.Align()] = v
+	c.WriteBuf.Put(a.Align(), v)
 	c.Log = append(c.Log, AccessRec{IsStore: true, Addr: a, Value: v})
 }
 
@@ -133,12 +160,11 @@ func (c *Chunk) RecordStore(a mem.Addr, v uint64, priv bool) {
 // dynamically-private prediction stops working (§5.2). Word values stay in
 // WriteBuf. It reports whether l was private.
 func (c *Chunk) PromoteToW(l mem.Line) bool {
-	if _, ok := c.PrivSet[l]; !ok {
+	if !c.PrivSet.Remove(l) {
 		return false
 	}
-	delete(c.PrivSet, l)
 	c.W.Add(l)
-	c.WSet[l] = struct{}{}
+	c.WSet.Add(l)
 	// Wpriv is a superset encoding; the stale bit is harmless (it only
 	// matters for ∈ checks on external accesses, which now also hit W).
 	return true
@@ -147,18 +173,13 @@ func (c *Chunk) PromoteToW(l mem.Line) bool {
 // Forward returns the chunk's buffered value for a, if any — the
 // store-to-load forwarding path within and across in-flight chunks.
 func (c *Chunk) Forward(a mem.Addr) (uint64, bool) {
-	v, ok := c.WriteBuf[a.Align()]
-	return v, ok
+	return c.WriteBuf.Get(a.Align())
 }
 
 // WroteLine reports whether the chunk speculatively wrote any word of l
 // (through either W or Wpriv).
 func (c *Chunk) WroteLine(l mem.Line) bool {
-	if _, ok := c.WSet[l]; ok {
-		return true
-	}
-	_, ok := c.PrivSet[l]
-	return ok
+	return c.WSet.Has(l) || c.PrivSet.Has(l)
 }
 
 // ConflictsWith reports whether an incoming committing W signature
@@ -166,21 +187,21 @@ func (c *Chunk) WroteLine(l mem.Line) bool {
 // design. trueW, when non-nil, is the committer's exact write set; the
 // second result reports whether the collision is genuine (shares a real
 // line) as opposed to pure signature aliasing.
-func (c *Chunk) ConflictsWith(wc sig.Signature, trueW map[mem.Line]struct{}) (hit, genuine bool) {
+func (c *Chunk) ConflictsWith(wc sig.Signature, trueW *lineset.Set) (hit, genuine bool) {
 	if !wc.Intersects(c.R) && !wc.Intersects(c.W) {
 		return false, false
 	}
 	if trueW != nil {
-		for l := range trueW {
-			if _, ok := c.RSet[l]; ok {
-				return true, true
+		trueW.ForEach(func(l mem.Line) {
+			if genuine {
+				return
 			}
-			if _, ok := c.WSet[l]; ok {
-				return true, true
+			if c.RSet.Has(l) || c.WSet.Has(l) {
+				genuine = true
 			}
-		}
+		})
 	}
-	return true, false
+	return true, genuine
 }
 
 // Active reports whether the chunk can still be squashed by an incoming
@@ -192,5 +213,52 @@ func (c *Chunk) Active() bool {
 
 func (c *Chunk) String() string {
 	return fmt.Sprintf("chunk{p%d #%d %s R=%d W=%d priv=%d}",
-		c.Proc, c.Seq, c.State, len(c.RSet), len(c.WSet), len(c.PrivSet))
+		c.Proc, c.Seq, c.State, c.RSet.Len(), c.WSet.Len(), c.PrivSet.Len())
+}
+
+// ---------------------------------------------------------------------------
+// Pooling
+// ---------------------------------------------------------------------------
+
+// Pool recycles Chunk objects — including their signatures, exact sets,
+// write buffers and logs — across squash/re-execute cycles. It is owned by
+// one processor (the simulator is single-goroutine per machine; machines
+// running in parallel each have their own pools).
+//
+// Only chunks with no live external references may be returned: in
+// practice the squash path, where the chunk's signatures were never handed
+// to the arbiter/directory pipeline (see proc's reqInFlight tracking).
+// Committed chunks are NOT pooled — the replay checker and timeline may
+// retain them, and the directory may still be expanding their W.
+type Pool struct {
+	free []*Chunk
+}
+
+// Get returns a ready chunk, recycling a pooled one when available.
+func (p *Pool) Get(f sig.Factory, proc int, seq uint64, slot, pos, target int) *Chunk {
+	n := len(p.free)
+	if n == 0 {
+		return New(f, proc, seq, slot, pos, target)
+	}
+	c := p.free[n-1]
+	p.free[n-1] = nil
+	p.free = p.free[:n-1]
+	c.init(proc, seq, slot, pos, target)
+	return c
+}
+
+// Put recycles c. The caller asserts no external component still holds a
+// reference that could mutate or read c later; in-processor callbacks are
+// defused by the Gen bump.
+func (p *Pool) Put(c *Chunk) {
+	c.Gen++
+	c.R.Clear()
+	c.W.Clear()
+	c.Wpriv.Clear()
+	c.RSet.Reset()
+	c.WSet.Reset()
+	c.PrivSet.Reset()
+	c.WriteBuf.Reset()
+	c.Log = c.Log[:0]
+	p.free = append(p.free, c)
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"bulksc/internal/lineset"
 	"bulksc/internal/mem"
 	"bulksc/internal/sig"
 )
@@ -19,7 +20,7 @@ func TestRecordLoadUpdatesR(t *testing.T) {
 	if !c.R.MayContain(l) {
 		t.Fatal("R signature missing loaded line")
 	}
-	if _, ok := c.RSet[l]; !ok {
+	if !c.RSet.Has(l) {
 		t.Fatal("RSet missing loaded line")
 	}
 	if len(c.Log) != 1 || c.Log[0].IsStore || c.Log[0].Value != 7 {
@@ -30,7 +31,7 @@ func TestRecordLoadUpdatesR(t *testing.T) {
 func TestPrivateLoadSkipsR(t *testing.T) {
 	c := newChunk(sig.KindExact)
 	c.RecordLoad(0x2000, 1, true)
-	if !c.R.Empty() || len(c.RSet) != 0 {
+	if !c.R.Empty() || c.RSet.Len() != 0 {
 		t.Fatal("private load polluted R")
 	}
 	if len(c.Log) != 1 {
@@ -77,7 +78,7 @@ func TestPromoteToW(t *testing.T) {
 	if !c.PromoteToW(l) {
 		t.Fatal("PromoteToW failed for private line")
 	}
-	if _, ok := c.PrivSet[l]; ok {
+	if c.PrivSet.Has(l) {
 		t.Fatal("line still in PrivSet after promotion")
 	}
 	if !c.W.MayContain(l) {
@@ -109,7 +110,7 @@ func TestConflictDetectionTrue(t *testing.T) {
 		local.RecordLoad(0x1000, 0, false)
 		wc := sig.NewFactory(k)()
 		wc.Add(mem.Addr(0x1000).LineOf())
-		trueW := map[mem.Line]struct{}{mem.Addr(0x1000).LineOf(): {}}
+		trueW := lineset.NewSetOf(mem.Addr(0x1000).LineOf())
 		hit, genuine := local.ConflictsWith(wc, trueW)
 		if !hit || !genuine {
 			t.Fatalf("%v: genuine conflict not detected (hit=%v genuine=%v)", k, hit, genuine)
@@ -162,7 +163,7 @@ func TestAliasedConflictClassification(t *testing.T) {
 			}
 			wc := sig.NewBloom()
 			wc.Add(b)
-			trueW := map[mem.Line]struct{}{b: {}}
+			trueW := lineset.NewSetOf(b)
 			if hit, genuine := local.ConflictsWith(wc, trueW); hit {
 				if genuine {
 					t.Fatal("aliased conflict misclassified as genuine")
@@ -216,11 +217,41 @@ func TestQuickNoMissedConflicts(t *testing.T) {
 			target := mem.Line(all[int(pick)%len(all)])
 			wc := sig.NewFactory(k)()
 			wc.Add(target)
-			hit, _ := c.ConflictsWith(wc, map[mem.Line]struct{}{target: {}})
+			hit, _ := c.ConflictsWith(wc, lineset.NewSetOf(target))
 			return hit
 		}
 		if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
 			t.Fatalf("%v: %v", k, err)
 		}
+	}
+}
+
+// BenchmarkChunkAccessLoop measures the per-access bookkeeping of an
+// executing chunk through a full squash/re-execute recycle: pooled Get,
+// a realistic load/store mix (RecordLoad/RecordStore with forwarding
+// probes), then Put. This is the loop that dominates squash-heavy apps
+// (radix, raytrace); steady state must be allocation-free — the pooled
+// chunk's signatures, open-addressed sets, write buffer and log all reuse
+// their backing storage.
+func BenchmarkChunkAccessLoop(b *testing.B) {
+	f := sig.NewFactory(sig.KindBloom)
+	var pool Pool
+	const accesses = 64 // lines touched per simulated chunk body
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := pool.Get(f, 0, uint64(i), 0, 0, 1000)
+		for j := 0; j < accesses; j++ {
+			a := mem.Addr(j*64 + (i&7)*4096)
+			if j&3 == 0 {
+				c.RecordStore(a, uint64(j), j&7 == 0)
+			} else {
+				if v, ok := c.Forward(a); ok {
+					_ = v
+				}
+				c.RecordLoad(a, uint64(j), false)
+			}
+		}
+		pool.Put(c) // squash path: recycle everything
 	}
 }

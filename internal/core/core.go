@@ -15,6 +15,7 @@ import (
 	"bulksc/internal/cache"
 	"bulksc/internal/chunk"
 	"bulksc/internal/directory"
+	"bulksc/internal/lineset"
 	"bulksc/internal/mem"
 	"bulksc/internal/network"
 	"bulksc/internal/proc"
@@ -221,7 +222,7 @@ func buildMachine(cfg Config) *machine {
 		m.arbs = append(m.arbs, a)
 		// Arbiter i is co-located with directory i (Figure 7(b)).
 		dd := d
-		a.ForwardW = func(tok arbiter.Token, proc int, w sig.Signature, trueW map[mem.Line]struct{}) {
+		a.ForwardW = func(tok arbiter.Token, proc int, w sig.Signature, trueW *lineset.Set) {
 			dd.ProcessCommit(&directory.Commit{Tok: tok, Proc: proc, W: w, TrueW: trueW})
 		}
 		aa := a
@@ -252,30 +253,29 @@ func (m *machine) buildEnv() *proc.Env {
 		Sigs:   factory,
 		NProcs: m.cfg.Procs,
 	}
+	// The directory internalizes the request hop and the reply delivery
+	// through pooled transaction records, so these wrappers are plain
+	// routing — no per-miss closures.
 	env.ReadLine = func(p int, l mem.Line, excl bool, done func(int)) {
-		d := m.dirFor(l)
-		m.net.Send(stats.CatData, network.CtrlBytes, func() {
-			d.Read(p, l, excl, func(st cache.LineState) { done(int(st)) })
-		})
+		m.dirFor(l).Read(p, l, excl, done)
 	}
 	env.WritebackLine = func(p int, l mem.Line, drop bool) {
-		d := m.dirFor(l)
-		m.eng.After(m.net.HopLat, func() { d.Writeback(p, l, drop) })
+		m.dirFor(l).Writeback(p, l, drop)
 	}
 	env.Commit = m.routeCommit
-	env.PrivCommit = func(p int, w sig.Signature, trueW map[mem.Line]struct{}) {
-		sent := make(map[int]bool)
-		for l := range trueW {
+	env.PrivCommit = func(p int, w sig.Signature, trueW *lineset.Set) {
+		var sent [64]bool
+		trueW.ForEach(func(l mem.Line) {
 			idx := arbiter.RangeOf(l, len(m.dirs))
 			if sent[idx] {
-				continue
+				return
 			}
 			sent[idx] = true
 			d := m.dirs[idx]
 			m.net.Send(stats.CatWrSig, network.SigBytes, func() {
 				d.ProcessPrivCommit(&directory.Commit{Proc: p, W: w, TrueW: trueW})
 			})
-		}
+		})
 	}
 	env.PreArbitrate = func(p int, granted func()) {
 		m.net.Send(stats.CatOther, network.CtrlBytes, func() {

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"sort"
+)
+
+// DeterminismHash folds a run's observable outcome into one 64-bit value.
+// It covers everything the paper's artifacts are computed from — final and
+// per-processor cycle counts, chunk/squash/commit counters, traffic bytes,
+// directory activity, replay-checker verdicts and, when the run collected
+// them, the complete committed access logs in global commit order.
+//
+// The hash is the contract that gates performance work: any rewrite of the
+// engine, the signatures, the chunk state or the directory must leave every
+// seed-fixed run's hash bit-identical. Internal representation changes
+// (pooling, open addressing, heap layout) do not appear in the hash;
+// behavioral changes do.
+func (r *Result) DeterminismHash() uint64 {
+	h := newHasher()
+	h.u64(r.Cycles)
+	h.u64(uint64(len(r.PerProc)))
+	for _, c := range r.PerProc {
+		h.u64(c)
+	}
+	st := r.Stats
+	h.u64(st.Chunks)
+	h.u64(st.Squashes)
+	h.u64(st.SquashesTrue)
+	h.u64(st.SquashesAliased)
+	h.u64(st.SquashCascades)
+	h.u64(st.CommittedInstrs)
+	h.u64(st.SquashedInstrs)
+	h.u64(st.TotalTraffic())
+	h.u64(st.CommitRequests)
+	h.u64(st.CommitGrants)
+	h.u64(st.CommitDenies)
+	h.u64(st.EmptyWCommits)
+	h.u64(st.RSigRequired)
+	h.u64(st.DirCommits)
+	h.u64(st.DirLookups)
+	h.u64(st.DirUpdates)
+	h.u64(st.L1Hits)
+	h.u64(st.L1Misses)
+	h.u64(st.L2Hits)
+	h.u64(st.L2Misses)
+	h.u64(st.CacheInvs)
+	h.u64(st.ExtraCacheInvs)
+	h.u64(st.Writebacks)
+	h.u64(uint64(len(r.SCViolations)))
+	h.u64(uint64(r.ChunksChecked))
+	// Full committed access history, in global commit order. This is the
+	// strongest part of the contract: every load value and store value of
+	// every committed chunk must be reproduced exactly.
+	if len(r.Commits) > 0 {
+		sorted := make([]int, len(r.Commits))
+		for i := range sorted {
+			sorted[i] = i
+		}
+		sort.Slice(sorted, func(a, b int) bool {
+			return r.Commits[sorted[a]].CommitOrder < r.Commits[sorted[b]].CommitOrder
+		})
+		for _, i := range sorted {
+			ch := r.Commits[i]
+			h.u64(uint64(ch.Proc))
+			h.u64(ch.Seq)
+			h.u64(ch.CommitOrder)
+			h.u64(uint64(ch.Executed))
+			for _, rec := range ch.Log {
+				if rec.IsStore {
+					h.u64(1)
+				} else {
+					h.u64(0)
+				}
+				h.u64(uint64(rec.Addr))
+				h.u64(rec.Value)
+			}
+		}
+	}
+	return h.sum
+}
+
+// hasher is FNV-1a over little-endian u64 words, inlined to avoid pulling
+// hash/fnv + encoding/binary into the hot determinism check.
+type hasher struct{ sum uint64 }
+
+func newHasher() *hasher { return &hasher{sum: 14695981039346656037} }
+
+func (h *hasher) u64(v uint64) {
+	for i := 0; i < 8; i++ {
+		h.sum ^= v & 0xff
+		h.sum *= 1099511628211
+		v >>= 8
+	}
+}

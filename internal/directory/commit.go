@@ -19,7 +19,7 @@ import (
 // (Unnecessary Lookups / Unnecessary Updates).
 func (d *Directory) ProcessCommit(c *Commit) {
 	d.st.DirCommits++
-	d.committing[c.Tok] = c
+	d.committing = append(d.committing, c)
 	d.eng.After(commitProc, func() { d.expand(c) })
 }
 
@@ -34,7 +34,13 @@ func (d *Directory) expand(c *Commit) {
 		if !mask.Has(idx) {
 			continue
 		}
-		for l, e := range d.buckets[idx] {
+		b := &d.buckets[idx]
+		for i, k := range b.keys {
+			if k == 0 {
+				continue
+			}
+			l := mem.Line(k - 1)
+			e := b.vals[i]
 			if d.nmods > 1 && d.ownerModule(l) != d.ID {
 				continue
 			}
@@ -43,7 +49,7 @@ func (d *Directory) expand(c *Commit) {
 			// the chunk did not truly write are the aliasing cost. The
 			// full membership test (∈, all banks) then gates the action.
 			d.st.DirLookups++
-			_, trulyWritten := c.TrueW[l]
+			trulyWritten := c.TrueW.Has(l)
 			if !trulyWritten {
 				d.st.DirUnnecessary++
 			}
@@ -114,7 +120,12 @@ func (d *Directory) forwardToCaches(c *Commit, invalList uint64) {
 }
 
 func (d *Directory) finishCommit(c *Commit) {
-	delete(d.committing, c.Tok)
+	for i, cc := range d.committing {
+		if cc == c {
+			d.committing = append(d.committing[:i], d.committing[i+1:]...)
+			break
+		}
+	}
 	if c.Priv {
 		return
 	}
@@ -142,7 +153,13 @@ func (d *Directory) expandPriv(c *Commit) {
 		if !mask.Has(idx) {
 			continue
 		}
-		for l, e := range d.buckets[idx] {
+		b := &d.buckets[idx]
+		for i, k := range b.keys {
+			if k == 0 {
+				continue
+			}
+			l := mem.Line(k - 1)
+			e := b.vals[i]
 			if d.nmods > 1 && d.ownerModule(l) != d.ID {
 				continue
 			}

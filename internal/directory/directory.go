@@ -23,6 +23,7 @@ import (
 
 	"bulksc/internal/arbiter"
 	"bulksc/internal/cache"
+	"bulksc/internal/lineset"
 	"bulksc/internal/mem"
 	"bulksc/internal/network"
 	"bulksc/internal/sig"
@@ -53,7 +54,7 @@ type Commit struct {
 	Tok   arbiter.Token
 	Proc  int
 	W     sig.Signature
-	TrueW map[mem.Line]struct{}
+	TrueW *lineset.Set
 	// Priv marks an stpvt Wpriv propagation: caches invalidate matching
 	// lines but skip disambiguation (private data is exempt from
 	// consistency enforcement).
@@ -87,15 +88,139 @@ type CachePort interface {
 }
 
 // entry is one directory entry: a full bit-vector of sharers plus the
-// dirty/owner state.
+// dirty/owner state. Entries are recycled through the directory's free
+// list; their pointers must stay stable while a transaction is in flight
+// (multi-event paths like readShared capture the entry across network
+// hops), which is why buckets hold *entry rather than inline values and
+// why only non-busy entries are ever displaced.
 type entry struct {
 	line    mem.Line
 	sharers uint64
 	dirty   bool
 	owner   uint8
 	busy    bool
-	waiters []func()
+	waiters []func(e *entry)
 	lru     uint64 // recency for the directory-cache variant
+}
+
+// entryMap is an open-addressed map from line to *entry — one per
+// expansion bucket. Same idiom as package lineset: linear probing over a
+// flat key array (line+1, 0 marks empty), Fibonacci hashing, tombstone-free
+// backward-shift deletion, growth at 75% load. Compared to the Go map it
+// replaces, lookups touch one flat array, inserts don't allocate per
+// bucket-chain node, and iteration (the DirBDM expansion walk) is slot
+// order — deterministic for a fixed history.
+type entryMap struct {
+	keys []uint64
+	vals []*entry
+	n    int
+}
+
+// emMinSlots keeps first allocation small: entries spread over 512 buckets,
+// so most buckets hold only a handful of lines.
+const emMinSlots = 8
+
+func emHash(key uint64, mask int) int {
+	return int((key*0x9e3779b97f4a7c15)>>33) & mask
+}
+
+func (m *entryMap) get(l mem.Line) *entry {
+	if m.n == 0 {
+		return nil
+	}
+	mask := len(m.keys) - 1
+	k := uint64(l) + 1
+	for i := emHash(k, mask); ; i = (i + 1) & mask {
+		v := m.keys[i]
+		if v == k {
+			return m.vals[i]
+		}
+		if v == 0 {
+			return nil
+		}
+	}
+}
+
+func (m *entryMap) put(l mem.Line, e *entry) {
+	if m.keys == nil {
+		m.keys = make([]uint64, emMinSlots)
+		m.vals = make([]*entry, emMinSlots)
+	} else if m.n*4 >= len(m.keys)*3 {
+		m.grow()
+	}
+	mask := len(m.keys) - 1
+	k := uint64(l) + 1
+	for i := emHash(k, mask); ; i = (i + 1) & mask {
+		v := m.keys[i]
+		if v == k {
+			m.vals[i] = e
+			return
+		}
+		if v == 0 {
+			m.keys[i] = k
+			m.vals[i] = e
+			m.n++
+			return
+		}
+	}
+}
+
+func (m *entryMap) del(l mem.Line) bool {
+	if m.n == 0 {
+		return false
+	}
+	mask := len(m.keys) - 1
+	k := uint64(l) + 1
+	i := emHash(k, mask)
+	for {
+		v := m.keys[i]
+		if v == 0 {
+			return false
+		}
+		if v == k {
+			break
+		}
+		i = (i + 1) & mask
+	}
+	m.keys[i] = 0
+	m.vals[i] = nil
+	m.n--
+	// Backward-shift compaction keeps probe chains tombstone-free.
+	j := i
+	for {
+		j = (j + 1) & mask
+		v := m.keys[j]
+		if v == 0 {
+			return true
+		}
+		home := emHash(v, mask)
+		if (j-home)&mask >= (j-i)&mask {
+			m.keys[i] = v
+			m.vals[i] = m.vals[j]
+			m.keys[j] = 0
+			m.vals[j] = nil
+			i = j
+		}
+	}
+}
+
+func (m *entryMap) grow() {
+	oldK, oldV := m.keys, m.vals
+	m.keys = make([]uint64, len(oldK)*2)
+	m.vals = make([]*entry, len(oldK)*2)
+	mask := len(m.keys) - 1
+	for j, k := range oldK {
+		if k == 0 {
+			continue
+		}
+		for i := emHash(k, mask); ; i = (i + 1) & mask {
+			if m.keys[i] == 0 {
+				m.keys[i] = k
+				m.vals[i] = oldV[j]
+				break
+			}
+		}
+	}
 }
 
 func (e *entry) sharerCount() int {
@@ -116,11 +241,22 @@ type Directory struct {
 	l2    *cache.L2
 
 	ports   []CachePort
-	buckets []map[mem.Line]*entry
+	buckets []entryMap
+	free    []*entry // recycled entries (see entry doc on pointer stability)
+	// slab batch-allocates fresh entries. Directory entries are long-lived
+	// (one per tracked line) and pointer-stable, so they cannot be pooled
+	// while alive — but carving them out of block allocations cuts the
+	// allocator calls for a cold sweep by the slab size.
+	slab   []entry
+	wsFree [][]func(e *entry)
+	rtFree []*readTxn // recycled read-transaction records
+	wbFree []*wbTxn   // recycled writeback-transaction records
 
 	// committing holds in-flight commits at this module, used for the
-	// read-disable membership checks.
-	committing map[arbiter.Token]*Commit
+	// read-disable membership checks. A short slice, not a map: it is
+	// scanned on every demand read and rarely holds more than a couple of
+	// commits.
+	committing []*Commit
 
 	// OnDone reports commit completion to the owning arbiter.
 	OnDone func(tok arbiter.Token)
@@ -140,20 +276,15 @@ type Directory struct {
 
 // New returns directory module id of nmods, fronting l2.
 func New(id, nmods int, eng *sim.Engine, net *network.Network, st *stats.Stats, l2 *cache.L2) *Directory {
-	d := &Directory{
-		ID:         id,
-		nmods:      nmods,
-		eng:        eng,
-		net:        net,
-		st:         st,
-		l2:         l2,
-		buckets:    make([]map[mem.Line]*entry, expansionBuckets),
-		committing: make(map[arbiter.Token]*Commit),
+	return &Directory{
+		ID:      id,
+		nmods:   nmods,
+		eng:     eng,
+		net:     net,
+		st:      st,
+		l2:      l2,
+		buckets: make([]entryMap, expansionBuckets),
 	}
-	for i := range d.buckets {
-		d.buckets[i] = make(map[mem.Line]*entry)
-	}
-	return d
 }
 
 // AttachPorts wires the processor cache ports; must be called before any
@@ -162,17 +293,32 @@ func (d *Directory) AttachPorts(ports []CachePort) { d.ports = ports }
 
 func (d *Directory) bucketOf(l mem.Line) int { return int(uint64(l) & (expansionBuckets - 1)) }
 
-func (d *Directory) find(l mem.Line) *entry { return d.buckets[d.bucketOf(l)][l] }
+func (d *Directory) find(l mem.Line) *entry { return d.buckets[d.bucketOf(l)].get(l) }
 
 func (d *Directory) getOrCreate(l mem.Line) *entry {
-	if e := d.find(l); e != nil {
+	b := &d.buckets[d.bucketOf(l)]
+	if e := b.get(l); e != nil {
 		return e
 	}
 	if d.MaxEntries > 0 && d.numEntries >= d.MaxEntries {
 		d.displaceOne()
 	}
-	e := &entry{line: l}
-	d.buckets[d.bucketOf(l)][l] = e
+	var e *entry
+	if n := len(d.free); n > 0 {
+		e = d.free[n-1]
+		d.free[n-1] = nil
+		d.free = d.free[:n-1]
+		ws := e.waiters[:0]
+		*e = entry{line: l, waiters: ws}
+	} else {
+		if len(d.slab) == 0 {
+			d.slab = make([]entry, 256)
+		}
+		e = &d.slab[0]
+		d.slab = d.slab[1:]
+		e.line = l
+	}
+	b.put(l, e)
 	d.numEntries++
 	d.tick++
 	e.lru = d.tick
@@ -180,10 +326,11 @@ func (d *Directory) getOrCreate(l mem.Line) *entry {
 }
 
 func (d *Directory) remove(l mem.Line) {
-	b := d.buckets[d.bucketOf(l)]
-	if _, ok := b[l]; ok {
-		delete(b, l)
+	b := &d.buckets[d.bucketOf(l)]
+	if e := b.get(l); e != nil {
+		b.del(l)
 		d.numEntries--
+		d.free = append(d.free, e)
 	}
 }
 
@@ -200,11 +347,20 @@ func (d *Directory) State(l mem.Line) (sharers uint64, dirty bool, owner int) {
 }
 
 // withEntry runs f once l's entry is not busy, queueing behind an ongoing
-// transaction if needed.
+// transaction if needed. Waiters are the bare continuations — no wrapper
+// closure is allocated per queued request — and their backing slices are
+// recycled through wsFree.
 func (d *Directory) withEntry(l mem.Line, f func(e *entry)) {
 	e := d.getOrCreate(l)
 	if e.busy {
-		e.waiters = append(e.waiters, func() { d.withEntry(l, f) })
+		if e.waiters == nil {
+			if n := len(d.wsFree); n > 0 {
+				e.waiters = d.wsFree[n-1]
+				d.wsFree[n-1] = nil
+				d.wsFree = d.wsFree[:n-1]
+			}
+		}
+		e.waiters = append(e.waiters, f)
 		return
 	}
 	d.tick++
@@ -216,9 +372,16 @@ func (d *Directory) release(e *entry) {
 	e.busy = false
 	ws := e.waiters
 	e.waiters = nil
-	for _, w := range ws {
-		w()
+	if ws == nil {
+		return
 	}
+	// A waiter may find the entry busy again and re-queue onto a fresh
+	// slice, so detach before iterating; the drained slice is recycled.
+	for i, f := range ws {
+		ws[i] = nil
+		d.withEntry(e.line, f)
+	}
+	d.wsFree = append(d.wsFree, ws[:0])
 }
 
 // l2Latency returns the module-side access latency for line l and installs
@@ -237,30 +400,88 @@ func (d *Directory) l2Latency(l mem.Line) sim.Time {
 // Conventional protocol (SC / RC / SC++ baselines)
 // ---------------------------------------------------------------------------
 
-// Read serves a demand miss from proc at the module-arrival event. excl
-// requests exclusive ownership (a write miss or upgrade). done runs at the
-// requester when data (and, for excl, all invalidation acks) have arrived;
-// it receives the granted line state.
+// readTxn is one pooled demand-read transaction. The record carries the
+// request from the requester-side Read call through the module-arrival
+// event (readArriveCB), bounce retries, the entry wait queue (startFn) and
+// — on the common clean path — the data delivery (readDeliverCB), all
+// without per-request closures. The rarer multi-hop paths (owner forward,
+// sharer invalidation) release the record up front and fall back to
+// closures.
+type readTxn struct {
+	d       *Directory
+	proc    int
+	l       mem.Line
+	excl    bool
+	done    func(stateHint int)
+	st      int            // granted state for the clean delivery path
+	startFn func(e *entry) // bound t.start, reused across the pool
+}
+
+func readArriveCB(arg any)  { arg.(*readTxn).arrive() }
+func readDeliverCB(arg any) { arg.(*readTxn).deliver() }
+
+func (d *Directory) newReadTxn(proc int, l mem.Line, excl bool, done func(int)) *readTxn {
+	var t *readTxn
+	if n := len(d.rtFree); n > 0 {
+		t = d.rtFree[n-1]
+		d.rtFree[n-1] = nil
+		d.rtFree = d.rtFree[:n-1]
+	} else {
+		t = &readTxn{d: d}
+		t.startFn = t.start
+	}
+	t.proc, t.l, t.excl, t.done = proc, l, excl, done
+	return t
+}
+
+func (d *Directory) freeReadTxn(t *readTxn) {
+	t.done = nil
+	d.rtFree = append(d.rtFree, t)
+}
+
+// Read routes a demand miss from proc to this module: the request message
+// is charged and delivered one hop later, where it is served at the
+// module-arrival event. excl requests exclusive ownership (a write miss or
+// upgrade). done runs at the requester when data (and, for excl, all
+// invalidation acks) have arrived; it receives the granted line state as
+// an int-typed cache.LineState hint.
 //
 // The same entry point serves BulkSC demand misses with excl=false; those
 // additionally go through the read-disable bounce check.
-func (d *Directory) Read(proc int, l mem.Line, excl bool, done func(st cache.LineState)) {
-	if d.bounced(l) {
+func (d *Directory) Read(proc int, l mem.Line, excl bool, done func(stateHint int)) {
+	t := d.newReadTxn(proc, l, excl, done)
+	d.net.SendCall(stats.CatData, network.CtrlBytes, readArriveCB, t)
+}
+
+// arrive serves the request at the module: bounce committing lines, then
+// take (or queue for) the directory entry.
+func (t *readTxn) arrive() {
+	d := t.d
+	if d.bounced(t.l) {
 		d.st.ReadBounces++
 		d.st.AddTraffic(stats.CatOther, network.CtrlBytes)
-		d.eng.After(bounceWait, func() { d.Read(proc, l, excl, done) })
+		d.eng.AfterCall(bounceWait, readArriveCB, t)
 		return
 	}
 	if d.st.Trace != nil {
-		d.st.Trace("t=%d dir%d read line=%#x proc=%d excl=%v", d.eng.Now(), d.ID, uint64(l), proc, excl)
+		d.st.Trace("t=%d dir%d read line=%#x proc=%d excl=%v", d.eng.Now(), d.ID, uint64(t.l), t.proc, t.excl)
 	}
-	d.withEntry(l, func(e *entry) {
-		if excl {
-			d.readExcl(proc, e, done)
-		} else {
-			d.readShared(proc, e, done)
-		}
-	})
+	d.withEntry(t.l, t.startFn)
+}
+
+func (t *readTxn) start(e *entry) {
+	if t.excl {
+		t.d.readExcl(t, e)
+	} else {
+		t.d.readShared(t, e)
+	}
+}
+
+// deliver completes the clean read path at the requester.
+func (t *readTxn) deliver() {
+	done, st := t.done, t.st
+	t.d.freeReadTxn(t)
+	done(st)
 }
 
 func (d *Directory) bounced(l mem.Line) bool {
@@ -272,9 +493,14 @@ func (d *Directory) bounced(l mem.Line) bool {
 	return false
 }
 
-func (d *Directory) readShared(proc int, e *entry, done func(cache.LineState)) {
+func (d *Directory) readShared(t *readTxn, e *entry) {
+	proc := t.proc
 	bit := uint64(1) << uint(proc)
 	if e.dirty && int(e.owner) != proc {
+		// Owner-forward path: multi-hop, rare — release the pooled record
+		// and let the closures carry the state.
+		done := t.done
+		d.freeReadTxn(t)
 		e.busy = true
 		owner := int(e.owner)
 		l := e.line
@@ -308,12 +534,14 @@ func (d *Directory) readShared(proc int, e *entry, done func(cache.LineState)) {
 						e.sharers &^= 1 << uint(owner)
 					}
 					d.release(e)
-					done(cache.Shared)
+					done(int(cache.Shared))
 				})
 			})
 		})
 		return
 	}
+	// Clean path — the overwhelmingly common one: the module answers from
+	// L2/memory; the same pooled record rides the data message back.
 	lat := d.l2Latency(e.line)
 	st := cache.Shared
 	if e.sharers == 0 || e.sharers == bit {
@@ -323,10 +551,13 @@ func (d *Directory) readShared(proc int, e *entry, done func(cache.LineState)) {
 	if e.dirty && int(e.owner) == proc {
 		st = cache.Dirty
 	}
-	d.net.SendAfter(lat, stats.CatData, network.DataBytes, func() { done(st) })
+	t.st = int(st)
+	d.net.SendAfterCall(lat, stats.CatData, network.DataBytes, readDeliverCB, t)
 }
 
-func (d *Directory) readExcl(proc int, e *entry, done func(cache.LineState)) {
+func (d *Directory) readExcl(t *readTxn, e *entry) {
+	proc, done := t.proc, t.done
+	d.freeReadTxn(t) // multi-hop path: closures carry the state
 	bit := uint64(1) << uint(proc)
 	e.busy = true
 	l := e.line
@@ -337,7 +568,7 @@ func (d *Directory) readExcl(proc int, e *entry, done func(cache.LineState)) {
 			e.owner = uint8(proc)
 			d.net.Send(stats.CatData, network.DataBytes, func() {
 				d.release(e)
-				done(cache.Dirty)
+				done(int(cache.Dirty))
 			})
 		})
 	}
@@ -379,19 +610,55 @@ func (d *Directory) readExcl(proc int, e *entry, done func(cache.LineState)) {
 	}
 }
 
+// wbTxn is one pooled writeback in flight from a cache to this module.
+type wbTxn struct {
+	d       *Directory
+	proc    int
+	l       mem.Line
+	drop    bool
+	applyFn func(e *entry) // bound t.apply, reused across the pool
+}
+
+func wbArriveCB(arg any) { arg.(*wbTxn).arrive() }
+
+func (d *Directory) newWbTxn(proc int, l mem.Line, drop bool) *wbTxn {
+	var t *wbTxn
+	if n := len(d.wbFree); n > 0 {
+		t = d.wbFree[n-1]
+		d.wbFree[n-1] = nil
+		d.wbFree = d.wbFree[:n-1]
+	} else {
+		t = &wbTxn{d: d}
+		t.applyFn = t.apply
+	}
+	t.proc, t.l, t.drop = proc, l, drop
+	return t
+}
+
 // Writeback retires a dirty line from proc's cache (eviction or explicit
-// writeback). drop removes proc from the sharer vector as well.
+// writeback), applied at the module one hop later. drop removes proc from
+// the sharer vector as well. The data traffic is charged by the evicting
+// cache.
 func (d *Directory) Writeback(proc int, l mem.Line, drop bool) {
-	d.st.Writebacks++
-	d.withEntry(l, func(e *entry) {
-		if e.dirty && int(e.owner) == proc {
-			e.dirty = false
-		}
-		if drop {
-			e.sharers &^= 1 << uint(proc)
-		}
-		d.l2.Install(l)
-	})
+	t := d.newWbTxn(proc, l, drop)
+	d.eng.AfterCall(d.net.HopLat, wbArriveCB, t)
+}
+
+func (t *wbTxn) arrive() {
+	t.d.st.Writebacks++
+	t.d.withEntry(t.l, t.applyFn)
+}
+
+func (t *wbTxn) apply(e *entry) {
+	d := t.d
+	if e.dirty && int(e.owner) == t.proc {
+		e.dirty = false
+	}
+	if t.drop {
+		e.sharers &^= 1 << uint(t.proc)
+	}
+	d.l2.Install(t.l)
+	d.wbFree = append(d.wbFree, t)
 }
 
 // Evicted records the silent eviction of a clean line; conventional
@@ -406,8 +673,16 @@ func (d *Directory) Evicted(proc int, l mem.Line) {}
 // chunks) and invalidation; dirty copies are written back.
 func (d *Directory) displaceOne() {
 	var victim *entry
-	for _, b := range d.buckets {
-		for _, e := range b {
+	for bi := range d.buckets {
+		b := &d.buckets[bi]
+		if b.n == 0 {
+			continue
+		}
+		for i, k := range b.keys {
+			if k == 0 {
+				continue
+			}
+			e := b.vals[i]
 			if e.busy {
 				continue
 			}
@@ -427,7 +702,7 @@ func (d *Directory) displaceOne() {
 	}
 	one := f()
 	one.Add(l)
-	c := &Commit{Proc: -1, W: one, TrueW: map[mem.Line]struct{}{l: {}}}
+	c := &Commit{Proc: -1, W: one, TrueW: lineset.NewSetOf(l)}
 	for p := 0; p < len(d.ports); p++ {
 		if victim.sharers&(1<<uint(p)) == 0 {
 			continue

@@ -5,6 +5,7 @@ import (
 
 	"bulksc/internal/arbiter"
 	"bulksc/internal/cache"
+	"bulksc/internal/lineset"
 	"bulksc/internal/mem"
 	"bulksc/internal/network"
 	"bulksc/internal/sig"
@@ -62,7 +63,7 @@ func newDirHarness(nprocs int) *dirHarness {
 func (h *dirHarness) read(proc int, l mem.Line, excl bool) cache.LineState {
 	var got cache.LineState
 	replied := false
-	h.dir.Read(proc, l, excl, func(st cache.LineState) { got = st; replied = true })
+	h.dir.Read(proc, l, excl, func(st int) { got = cache.LineState(st); replied = true })
 	h.eng.Run(nil)
 	if !replied {
 		panic("read never completed")
@@ -190,10 +191,10 @@ func TestWritebackClearsDirty(t *testing.T) {
 
 func commitOf(proc int, tok arbiter.Token, lines ...mem.Line) *Commit {
 	w := sig.NewExact()
-	trueW := make(map[mem.Line]struct{})
+	trueW := &lineset.Set{}
 	for _, l := range lines {
 		w.Add(l)
-		trueW[l] = struct{}{}
+		trueW.Add(l)
 	}
 	return &Commit{Tok: tok, Proc: proc, W: w, TrueW: trueW}
 }
@@ -290,7 +291,7 @@ func TestReadBouncedDuringCommit(t *testing.T) {
 	// instead, issue a read at the same time and observe the bounce stat.
 	h.dir.ProcessCommit(commitOf(0, 9, 100))
 	gotRead := false
-	h.dir.Read(2, 100, false, func(cache.LineState) { gotRead = true })
+	h.dir.Read(2, 100, false, func(int) { gotRead = true })
 	h.eng.Run(nil)
 	if !gotRead {
 		t.Fatal("bounced read never completed")
@@ -327,8 +328,8 @@ func TestBusyEntrySerializesRequests(t *testing.T) {
 	h.ports[0].dirtyLines[100] = true
 	// Two concurrent reads race on the dirty line; both must complete.
 	done := 0
-	h.dir.Read(1, 100, false, func(cache.LineState) { done++ })
-	h.dir.Read(2, 100, false, func(cache.LineState) { done++ })
+	h.dir.Read(1, 100, false, func(int) { done++ })
+	h.dir.Read(2, 100, false, func(int) { done++ })
 	h.eng.Run(nil)
 	if done != 2 {
 		t.Fatalf("%d of 2 racing reads completed", done)

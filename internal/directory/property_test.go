@@ -5,7 +5,7 @@ import (
 	"testing"
 
 	"bulksc/internal/arbiter"
-	"bulksc/internal/cache"
+	"bulksc/internal/lineset"
 	"bulksc/internal/mem"
 	"bulksc/internal/sig"
 )
@@ -37,10 +37,10 @@ func TestPropertyRandomOperationStorm(t *testing.T) {
 				switch rng.Intn(10) {
 				case 0, 1, 2, 3:
 					reads++
-					h.dir.Read(rng.Intn(4), lines(), false, func(cache.LineState) { replies++ })
+					h.dir.Read(rng.Intn(4), lines(), false, func(int) { replies++ })
 				case 4:
 					reads++
-					h.dir.Read(rng.Intn(4), lines(), true, func(cache.LineState) { replies++ })
+					h.dir.Read(rng.Intn(4), lines(), true, func(int) { replies++ })
 				case 5:
 					h.dir.Writeback(rng.Intn(4), lines(), rng.Intn(2) == 0)
 				case 6, 7:
@@ -50,16 +50,16 @@ func TestPropertyRandomOperationStorm(t *testing.T) {
 						h.ports[owner].dirtyLines[l] = true
 					}
 					reads++
-					h.dir.Read(rng.Intn(4), l, false, func(cache.LineState) { replies++ })
+					h.dir.Read(rng.Intn(4), l, false, func(int) { replies++ })
 				default:
 					tok++
 					commits++
 					w := sig.NewExact()
-					trueW := map[mem.Line]struct{}{}
+					trueW := &lineset.Set{}
 					for i := 0; i < 1+rng.Intn(4); i++ {
 						l := lines()
 						w.Add(l)
-						trueW[l] = struct{}{}
+						trueW.Add(l)
 					}
 					h.dir.ProcessCommit(&Commit{Tok: tok, Proc: rng.Intn(4), W: w, TrueW: trueW})
 				}
@@ -129,7 +129,7 @@ func TestPropertyCommitInvalidatesAllStaleSharers(t *testing.T) {
 		w := sig.NewExact()
 		w.Add(l)
 		h.dir.ProcessCommit(&Commit{Tok: 1, Proc: committer, W: w,
-			TrueW: map[mem.Line]struct{}{l: {}}})
+			TrueW: lineset.NewSetOf(l)})
 		h.eng.Run(nil)
 		for _, p := range sharers {
 			if len(h.ports[p].commits) != 1 {

@@ -1,0 +1,272 @@
+// Package lineset provides the open-addressed line-set and word-map
+// structures backing the simulator's hot per-chunk state (exact R/W/Wpriv
+// sets, speculative write buffers) and its exact-signature encoding.
+//
+// Both structures are designed for the chunk churn of squash-heavy
+// workloads: linear probing over flat []uint64 slots (no per-entry
+// allocation, no bucket pointers), tombstone-free deletion by backward
+// shifting, and Reset() that zeroes in place instead of reallocating, so a
+// pooled chunk's sets reach steady state with no allocation at all.
+// Iteration order is slot order — deterministic for a fixed insertion
+// history, unlike Go maps — which keeps whole-system runs bit-reproducible.
+package lineset
+
+import "bulksc/internal/mem"
+
+// minSlots is the initial table size (power of two). Most chunks touch a
+// few dozen lines; 16 slots avoids growth for small chunks while costing
+// 128 bytes.
+const minSlots = 16
+
+// hashmul is the 64-bit golden-ratio multiplier (Fibonacci hashing).
+const hashmul = 0x9e3779b97f4a7c15
+
+// Set is an open-addressed set of cache lines. The zero value is an empty
+// set ready for use. Slots store line+1 so 0 marks an empty slot.
+type Set struct {
+	slots []uint64
+	n     int
+}
+
+func hashIdx(key uint64, mask int) int {
+	return int((key*hashmul)>>33) & mask
+}
+
+// Len returns the number of lines in the set.
+func (s *Set) Len() int { return s.n }
+
+// Has reports whether l is in the set.
+func (s *Set) Has(l mem.Line) bool {
+	if s.n == 0 {
+		return false
+	}
+	mask := len(s.slots) - 1
+	k := uint64(l) + 1
+	for i := hashIdx(k, mask); ; i = (i + 1) & mask {
+		v := s.slots[i]
+		if v == k {
+			return true
+		}
+		if v == 0 {
+			return false
+		}
+	}
+}
+
+// Add inserts l and reports whether it was newly added.
+func (s *Set) Add(l mem.Line) bool {
+	if s.slots == nil {
+		s.slots = make([]uint64, minSlots)
+	} else if s.n*4 >= len(s.slots)*3 {
+		s.grow()
+	}
+	mask := len(s.slots) - 1
+	k := uint64(l) + 1
+	for i := hashIdx(k, mask); ; i = (i + 1) & mask {
+		v := s.slots[i]
+		if v == k {
+			return false
+		}
+		if v == 0 {
+			s.slots[i] = k
+			s.n++
+			return true
+		}
+	}
+}
+
+// Remove deletes l, reporting whether it was present. Deletion is
+// tombstone-free: the probe chain after the vacated slot is compacted by
+// backward shifting, so lookups never degrade.
+func (s *Set) Remove(l mem.Line) bool {
+	if s.n == 0 {
+		return false
+	}
+	mask := len(s.slots) - 1
+	k := uint64(l) + 1
+	i := hashIdx(k, mask)
+	for {
+		v := s.slots[i]
+		if v == 0 {
+			return false
+		}
+		if v == k {
+			break
+		}
+		i = (i + 1) & mask
+	}
+	s.slots[i] = 0
+	s.n--
+	// Backward-shift compaction.
+	j := i
+	for {
+		j = (j + 1) & mask
+		v := s.slots[j]
+		if v == 0 {
+			return true
+		}
+		home := hashIdx(v, mask)
+		if (j-home)&mask >= (j-i)&mask {
+			s.slots[i] = v
+			s.slots[j] = 0
+			i = j
+		}
+	}
+}
+
+// Reset empties the set in place, keeping the allocated table.
+func (s *Set) Reset() {
+	if s.n == 0 {
+		return
+	}
+	clear(s.slots)
+	s.n = 0
+}
+
+// ForEach calls f for every line, in slot order (deterministic for a fixed
+// insertion/removal history).
+func (s *Set) ForEach(f func(mem.Line)) {
+	if s.n == 0 {
+		return
+	}
+	for _, v := range s.slots {
+		if v != 0 {
+			f(mem.Line(v - 1))
+		}
+	}
+}
+
+// AppendTo appends the set's lines to dst in slot order and returns it.
+func (s *Set) AppendTo(dst []mem.Line) []mem.Line {
+	if s.n == 0 {
+		return dst
+	}
+	for _, v := range s.slots {
+		if v != 0 {
+			dst = append(dst, mem.Line(v-1))
+		}
+	}
+	return dst
+}
+
+func (s *Set) grow() {
+	old := s.slots
+	s.slots = make([]uint64, len(old)*2)
+	mask := len(s.slots) - 1
+	for _, k := range old {
+		if k == 0 {
+			continue
+		}
+		for i := hashIdx(k, mask); ; i = (i + 1) & mask {
+			if s.slots[i] == 0 {
+				s.slots[i] = k
+				break
+			}
+		}
+	}
+}
+
+// NewSetOf returns a set holding the given lines; a convenience for tests
+// and one-line commits.
+func NewSetOf(lines ...mem.Line) *Set {
+	s := &Set{}
+	for _, l := range lines {
+		s.Add(l)
+	}
+	return s
+}
+
+// Map is an open-addressed map from word-aligned addresses to 64-bit
+// values — the chunk's speculative write buffer. The zero value is an empty
+// map ready for use. Keys store addr+1 so 0 marks an empty slot.
+type Map struct {
+	keys []uint64
+	vals []uint64
+	n    int
+}
+
+// Len returns the number of entries.
+func (m *Map) Len() int { return m.n }
+
+// Get returns the value stored for a.
+func (m *Map) Get(a mem.Addr) (uint64, bool) {
+	if m.n == 0 {
+		return 0, false
+	}
+	mask := len(m.keys) - 1
+	k := uint64(a) + 1
+	for i := hashIdx(k, mask); ; i = (i + 1) & mask {
+		v := m.keys[i]
+		if v == k {
+			return m.vals[i], true
+		}
+		if v == 0 {
+			return 0, false
+		}
+	}
+}
+
+// Put stores val for a, overwriting any previous value.
+func (m *Map) Put(a mem.Addr, val uint64) {
+	if m.keys == nil {
+		m.keys = make([]uint64, minSlots)
+		m.vals = make([]uint64, minSlots)
+	} else if m.n*4 >= len(m.keys)*3 {
+		m.grow()
+	}
+	mask := len(m.keys) - 1
+	k := uint64(a) + 1
+	for i := hashIdx(k, mask); ; i = (i + 1) & mask {
+		v := m.keys[i]
+		if v == k {
+			m.vals[i] = val
+			return
+		}
+		if v == 0 {
+			m.keys[i] = k
+			m.vals[i] = val
+			m.n++
+			return
+		}
+	}
+}
+
+// Reset empties the map in place, keeping the allocated tables.
+func (m *Map) Reset() {
+	if m.n == 0 {
+		return
+	}
+	clear(m.keys)
+	m.n = 0
+}
+
+// ForEach calls f for every (addr, value) pair, in slot order.
+func (m *Map) ForEach(f func(a mem.Addr, v uint64)) {
+	if m.n == 0 {
+		return
+	}
+	for i, k := range m.keys {
+		if k != 0 {
+			f(mem.Addr(k-1), m.vals[i])
+		}
+	}
+}
+
+func (m *Map) grow() {
+	oldK, oldV := m.keys, m.vals
+	m.keys = make([]uint64, len(oldK)*2)
+	m.vals = make([]uint64, len(oldK)*2)
+	mask := len(m.keys) - 1
+	for j, k := range oldK {
+		if k == 0 {
+			continue
+		}
+		for i := hashIdx(k, mask); ; i = (i + 1) & mask {
+			if m.keys[i] == 0 {
+				m.keys[i] = k
+				m.vals[i] = oldV[j]
+				break
+			}
+		}
+	}
+}

@@ -52,6 +52,22 @@ func (n *Network) SendAfter(extra sim.Time, c stats.Category, b int, f func()) {
 	n.eng.After(n.HopLat+extra, f)
 }
 
+// SendCall is the allocation-free form of Send: it delivers cb(arg) one
+// hop later through the engine's typed-callback path, so hot protocol
+// layers can reuse one long-lived callback and thread per-message state
+// through a pooled record instead of capturing it in a closure.
+func (n *Network) SendCall(c stats.Category, b int, cb func(any), arg any) {
+	n.st.AddTraffic(c, b)
+	n.eng.AfterCall(n.HopLat, cb, arg)
+}
+
+// SendAfterCall is SendCall with extra cycles of source-side occupancy or
+// processing delay before the hop.
+func (n *Network) SendAfterCall(extra sim.Time, c stats.Category, b int, cb func(any), arg any) {
+	n.st.AddTraffic(c, b)
+	n.eng.AfterCall(n.HopLat+extra, cb, arg)
+}
+
 // Account charges traffic without scheduling a delivery, for piggybacked
 // payloads whose timing rides an existing message.
 func (n *Network) Account(c stats.Category, b int) { n.st.AddTraffic(c, b) }

@@ -55,10 +55,26 @@ type BulkProc struct {
 	chunkSeq uint64
 	storeSeq uint64
 
+	// pool recycles squashed chunks (never committed ones — the replay
+	// checker and the directory pipeline may retain those). A chunk enters
+	// the pool only when no commit request of its is still in flight; all
+	// callbacks that can outlive a squash carry a Gen guard.
+	pool chunk.Pool
+	// stepFn is p.step captured once; rebuilding the method value on every
+	// kick allocates, and kick is the single most scheduled event.
+	stepFn func()
+	// privScratch is the reusable drain buffer for PrivateBuffer.DrainSlot.
+	privScratch []bdm.PrivEntry
+
 	privBuf *bdm.PrivateBuffer
 
 	inflight map[mem.Line]*fetchReq
+	// reqFree recycles fetch-request records together with their bound
+	// arrival callbacks and waiter storage.
+	reqFree []*fetchReq
+	// misses is a head-indexed FIFO (see ConvProc.misses).
 	misses   []missEntry
+	missHead int
 	dispatch uint64 // instructions dispatched (incl. later squashed)
 
 	squashStreak  int
@@ -83,13 +99,38 @@ type BulkProc struct {
 }
 
 type fetchReq struct {
-	waiters []func()
+	p       *BulkProc
+	l       mem.Line
+	st      cache.LineState // granted state, kept across install retries
+	waiters []bulkWaiter
 	// poisoned marks a fetch overtaken by a committing W signature: the
 	// reply data is stale the moment it arrives, so the line is not
 	// installed (the MSHR "invalidate on arrival" rule). Without this,
 	// the racing reply would reinstall a line the directory no longer
 	// records us as sharing, and later commits would miss us.
 	poisoned bool
+	// arriveFn is the bound arrival continuation, created once per pooled
+	// record and handed to Env.ReadLine on every reuse.
+	arriveFn func(stateHint int)
+}
+
+// Waiter kinds: what to do for one fill-dependent consumer when the line
+// (or its poisoned tombstone) arrives. The record replaces the per-fetch
+// capture closures of doLoad, pinOnArrival and ensureLine.
+const (
+	wLoad   uint8 = iota // speculative load: complete miss, refresh value
+	wPin                 // store miss: pin the line for the chunk
+	wEnsure              // sync micro-op: re-dispatch when present
+)
+
+type bulkWaiter struct {
+	kind   uint8
+	hadFwd bool         // wLoad: value was store-forwarded at dispatch
+	ch     *chunk.Chunk // chunk the access belongs to
+	gen    uint64       // chunk generation guard
+	idx    uint64       // wLoad: dispatch index in the miss FIFO
+	logIdx int          // wLoad: access-log slot to refresh
+	a      mem.Addr     // wLoad: accessed address
 }
 
 type missEntry struct {
@@ -111,6 +152,7 @@ func NewBulkProc(id int, env *Env, par Params, opts Opts, ins []workload.Instr) 
 		privBuf:     bdm.NewPrivateBuffer(bdm.DefaultPrivBufLines),
 		inflight:    make(map[mem.Line]*fetchReq),
 	}
+	p.stepFn = p.step
 	return p
 }
 
@@ -142,7 +184,7 @@ func (p *BulkProc) kick() {
 		return
 	}
 	p.scheduled = true
-	p.env.Eng.After(0, p.step)
+	p.env.Eng.After(0, p.stepFn)
 }
 
 func (p *BulkProc) kickAt(d sim.Time) {
@@ -150,7 +192,7 @@ func (p *BulkProc) kickAt(d sim.Time) {
 		return
 	}
 	p.scheduled = true
-	p.env.Eng.After(d, p.step)
+	p.env.Eng.After(d, p.stepFn)
 }
 
 // ---------------------------------------------------------------------------
@@ -306,10 +348,25 @@ func (p *BulkProc) token() uint64 {
 }
 
 func (p *BulkProc) robFull() bool {
-	for len(p.misses) > 0 && p.misses[0].done {
-		p.misses = p.misses[1:]
+	for p.missHead < len(p.misses) && p.misses[p.missHead].done {
+		p.missHead++
 	}
-	return len(p.misses) > 0 && p.dispatch-p.misses[0].idx >= uint64(p.par.ROB)
+	if p.missHead == len(p.misses) {
+		p.misses = p.misses[:0]
+		p.missHead = 0
+	}
+	return p.missHead < len(p.misses) && p.dispatch-p.misses[p.missHead].idx >= uint64(p.par.ROB)
+}
+
+// missComplete marks the oldest outstanding miss with dispatch index idx
+// done.
+func (p *BulkProc) missComplete(idx uint64) {
+	for i := p.missHead; i < len(p.misses); i++ {
+		if p.misses[i].idx == idx && !p.misses[i].done {
+			p.misses[i].done = true
+			return
+		}
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -367,28 +424,16 @@ func (p *BulkProc) doLoad(a mem.Addr) {
 	p.misses = append(p.misses, missEntry{idx: idx})
 	ch := p.cur
 	ch.Pending++
-	p.fetch(l, func() {
-		for i := range p.misses {
-			if p.misses[i].idx == idx && !p.misses[i].done {
-				p.misses[i].done = true
-				break
-			}
-		}
-		if ch.State != chunk.Squashed {
-			if !hadFwd {
-				// A missing load architecturally reads when the data
-				// arrives — after the home directory has snooped the
-				// owner. This matters for lines whose owner updates them
-				// under the dynamically-private optimization: those
-				// commits are invisible to arbitration, so the value
-				// must be the one the snoop supplies, not the one at
-				// dispatch.
-				ch.Log[logIdx].Value = p.env.Mem.Load(a)
-			}
-			ch.Pending--
-			p.tryRequestCommit(ch)
-		}
-		p.kick()
+	// The wLoad waiter completes the miss and — when the value was not
+	// store-forwarded — refreshes the logged value at arrival: a missing
+	// load architecturally reads when the data arrives, after the home
+	// directory has snooped the owner. This matters for lines whose owner
+	// updates them under the dynamically-private optimization: those
+	// commits are invisible to arbitration, so the value must be the one
+	// the snoop supplies, not the one at dispatch.
+	p.fetchWaiter(l, bulkWaiter{
+		kind: wLoad, hadFwd: hadFwd,
+		ch: ch, gen: ch.Gen, idx: idx, logIdx: logIdx, a: a,
 	})
 }
 
@@ -445,16 +490,7 @@ func (p *BulkProc) doStore(a mem.Addr, val uint64) {
 func (p *BulkProc) pinOnArrival(l mem.Line, ch *chunk.Chunk) {
 	p.env.St.L1Misses++
 	ch.Pending++
-	p.fetch(l, func() {
-		if ch.State != chunk.Squashed {
-			if ch.WroteLine(l) {
-				p.l1.Pin(l, ch.Slot)
-			}
-			ch.Pending--
-			p.tryRequestCommit(ch)
-		}
-		p.kick()
-	})
+	p.fetchWaiter(l, bulkWaiter{kind: wPin, ch: ch, gen: ch.Gen})
 }
 
 func (p *BulkProc) writtenByLive(l mem.Line) bool {
@@ -471,18 +507,20 @@ func (p *BulkProc) writtenPrivatelyByLive(l mem.Line) bool {
 		if !ch.Active() {
 			continue
 		}
-		if _, ok := ch.PrivSet[l]; ok {
+		if ch.PrivSet.Has(l) {
 			return true
 		}
 	}
 	return false
 }
 
-// fetch requests line l from its home directory, coalescing with an
-// outstanding request (one MSHR per line).
-func (p *BulkProc) fetch(l mem.Line, done func()) {
+// fetchWaiter requests line l from its home directory on behalf of waiter
+// w, coalescing with an outstanding request (one MSHR per line). The
+// request record, its waiter storage and its arrival continuation are all
+// pooled; a steady-state miss allocates nothing.
+func (p *BulkProc) fetchWaiter(l mem.Line, w bulkWaiter) {
 	if req, ok := p.inflight[l]; ok && !req.poisoned {
-		req.waiters = append(req.waiters, done)
+		req.waiters = append(req.waiters, w)
 		return
 	}
 	// Fresh request — or a replacement for a poisoned one, whose data is
@@ -490,64 +528,122 @@ func (p *BulkProc) fetch(l mem.Line, done func()) {
 	// consistency hole: no new demand read would reach the directory, so
 	// this processor would never be re-registered as a sharer and later
 	// commits could miss it.
-	req := &fetchReq{waiters: []func(){done}}
+	req := p.newReq(l)
+	req.waiters = append(req.waiters, w)
 	p.inflight[l] = req
-	p.env.ReadLine(p.id, l, false, func(stateHint int) {
-		if p.inflight[l] == req {
-			delete(p.inflight, l)
-		}
-		if req.poisoned {
-			// Invalidate-on-arrival: wake the waiters without caching
-			// the stale data; value-dependent consumers re-fetch.
-			for _, w := range req.waiters {
-				w()
-			}
-			return
-		}
-		victim, ok := p.l1.Insert(l, cache.LineState(stateHint))
-		if !ok {
-			// All ways pinned: hold the line in the MSHR virtually and
-			// retry shortly; commit of the pinning chunk frees a way.
-			p.inflight[l] = req
-			p.env.Eng.After(10, func() {
-				if p.inflight[l] == req {
-					delete(p.inflight, l)
-				}
-				p.installOrRetry(l, cache.LineState(stateHint), req)
-			})
-			return
-		}
-		p.handleVictim(victim)
-		for _, w := range req.waiters {
-			w()
-		}
-	})
+	p.env.ReadLine(p.id, l, false, req.arriveFn)
 }
 
-func (p *BulkProc) installOrRetry(l mem.Line, st cache.LineState, req *fetchReq) {
-	if req.poisoned {
-		for _, w := range req.waiters {
-			w()
-		}
+func (p *BulkProc) newReq(l mem.Line) *fetchReq {
+	var r *fetchReq
+	if n := len(p.reqFree); n > 0 {
+		r = p.reqFree[n-1]
+		p.reqFree[n-1] = nil
+		p.reqFree = p.reqFree[:n-1]
+		r.poisoned = false
+	} else {
+		r = &fetchReq{p: p}
+		r.arriveFn = r.arrive
+	}
+	r.l = l
+	return r
+}
+
+func (p *BulkProc) freeReq(r *fetchReq) {
+	for i := range r.waiters {
+		r.waiters[i] = bulkWaiter{} // drop chunk references
+	}
+	r.waiters = r.waiters[:0]
+	p.reqFree = append(p.reqFree, r)
+}
+
+// arrive runs at the requester when the reply lands: install (or poison-
+// discard) the line, then serve the waiters.
+func (r *fetchReq) arrive(stateHint int) {
+	p, l := r.p, r.l
+	if p.inflight[l] == r {
+		delete(p.inflight, l)
+	}
+	if r.poisoned {
+		// Invalidate-on-arrival: wake the waiters without caching the
+		// stale data; value-dependent consumers re-fetch.
+		p.runWaiters(r)
 		return
 	}
-	victim, ok := p.l1.Insert(l, st)
+	victim, ok := p.l1.Insert(l, cache.LineState(stateHint))
 	if !ok {
-		if _, busy := p.inflight[l]; !busy {
-			p.inflight[l] = req
-		}
-		p.env.Eng.After(10, func() {
-			if p.inflight[l] == req {
-				delete(p.inflight, l)
-			}
-			p.installOrRetry(l, st, req)
-		})
+		// All ways pinned: hold the line in the MSHR virtually and retry
+		// shortly; commit of the pinning chunk frees a way.
+		p.inflight[l] = r
+		r.st = cache.LineState(stateHint)
+		p.env.Eng.AfterCall(10, bulkRetryCB, r)
 		return
 	}
 	p.handleVictim(victim)
-	for _, w := range req.waiters {
-		w()
+	p.runWaiters(r)
+}
+
+// bulkRetryCB re-attempts a blocked install through the engine's typed-
+// callback path; the pooled request is the payload, so retries allocate
+// nothing.
+func bulkRetryCB(arg any) { arg.(*fetchReq).retryInstall() }
+
+func (r *fetchReq) retryInstall() {
+	p, l := r.p, r.l
+	if p.inflight[l] == r {
+		delete(p.inflight, l)
 	}
+	if r.poisoned {
+		p.runWaiters(r)
+		return
+	}
+	victim, ok := p.l1.Insert(l, r.st)
+	if !ok {
+		if _, busy := p.inflight[l]; !busy {
+			p.inflight[l] = r
+		}
+		p.env.Eng.AfterCall(10, bulkRetryCB, r)
+		return
+	}
+	p.handleVictim(victim)
+	p.runWaiters(r)
+}
+
+// runWaiters serves every consumer of the arrived (or poisoned) fill and
+// recycles the request. Each case replicates the capture closure it
+// replaced; the Gen guard defuses waiters whose chunk died or was
+// recycled while the fill was in flight.
+func (p *BulkProc) runWaiters(r *fetchReq) {
+	for i := range r.waiters {
+		w := &r.waiters[i]
+		ch := w.ch
+		switch w.kind {
+		case wLoad:
+			p.missComplete(w.idx)
+			if ch.Gen == w.gen && ch.State != chunk.Squashed {
+				if !w.hadFwd {
+					ch.Log[w.logIdx].Value = p.env.Mem.Load(w.a)
+				}
+				ch.Pending--
+				p.tryRequestCommit(ch)
+			}
+		case wPin:
+			if ch.Gen == w.gen && ch.State != chunk.Squashed {
+				if ch.WroteLine(r.l) {
+					p.l1.Pin(r.l, ch.Slot)
+				}
+				ch.Pending--
+				p.tryRequestCommit(ch)
+			}
+		case wEnsure:
+			if ch.Gen == w.gen && ch.State != chunk.Squashed {
+				ch.Pending--
+				p.tryRequestCommit(ch)
+			}
+		}
+		p.kick()
+	}
+	p.freeReq(r)
 }
 
 // handleVictim accounts for a displaced line: dirty lines write back;
@@ -561,7 +657,7 @@ func (p *BulkProc) handleVictim(v cache.Way) {
 		if ch.State == chunk.Squashed || !ch.Active() {
 			continue
 		}
-		if _, ok := ch.RSet[v.Line]; ok {
+		if ch.RSet.Has(v.Line) {
 			p.env.St.SpecReadDispl++
 			break
 		}
@@ -660,12 +756,6 @@ func (p *BulkProc) ensureLine(l mem.Line) bool {
 	p.env.St.L1Misses++
 	ch := p.cur
 	ch.Pending++
-	p.fetch(l, func() {
-		if ch.State != chunk.Squashed {
-			ch.Pending--
-			p.tryRequestCommit(ch)
-		}
-		p.kick()
-	})
+	p.fetchWaiter(l, bulkWaiter{kind: wEnsure, ch: ch, gen: ch.Gen})
 	return false
 }

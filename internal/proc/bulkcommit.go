@@ -7,6 +7,7 @@ import (
 	"bulksc/internal/cache"
 	"bulksc/internal/chunk"
 	"bulksc/internal/directory"
+	"bulksc/internal/lineset"
 	"bulksc/internal/mem"
 	"bulksc/internal/sig"
 	"bulksc/internal/sim"
@@ -42,7 +43,7 @@ func (p *BulkProc) openChunk() bool {
 		}
 	}
 	p.chunkSeq++
-	ch := chunk.New(p.env.Sigs, p.id, p.chunkSeq, slot, p.f.pos, target)
+	ch := p.pool.Get(p.env.Sigs, p.id, p.chunkSeq, slot, p.f.pos, target)
 	p.checkpoints[slot] = p.f.checkpoint()
 	p.slotBusy[slot] = true
 	p.chunks = append(p.chunks, ch)
@@ -75,12 +76,13 @@ func (p *BulkProc) tryRequestCommit(ch *chunk.Chunk) {
 
 // sendCommit builds and routes the arbitration request for ch.
 func (p *BulkProc) sendCommit(ch *chunk.Chunk) {
+	ch.ReqsOut++
 	req := &CommitReq{
 		Proc:  p.id,
 		W:     ch.W,
-		RSets: []map[mem.Line]struct{}{ch.RSet},
-		WSets: []map[mem.Line]struct{}{ch.WSet},
-		TrueW: ch.WSet,
+		RSets: []*lineset.Set{&ch.RSet},
+		WSets: []*lineset.Set{&ch.WSet},
+		TrueW: &ch.WSet,
 	}
 	if p.opts.RSigOpt {
 		req.FetchR = func(cb func(sig.Signature)) { cb(ch.R) }
@@ -94,12 +96,20 @@ func (p *BulkProc) sendCommit(ch *chunk.Chunk) {
 }
 
 func (p *BulkProc) commitReply(ch *chunk.Chunk, granted bool, order uint64) {
+	ch.ReqsOut--
 	if ch.State == chunk.Squashed {
 		// The chunk died while the request was in flight. A denial needs
 		// nothing; a grant becomes a no-op commit (no memory update) —
 		// the directory flow it triggered is conservative but harmless.
 		if granted {
+			// The arbiter's pending list and the directory pipeline still
+			// reference the chunk's W and exact write set; the chunk must
+			// not be recycled (rare: stats.CommitCancels).
 			p.env.St.CommitCancels++
+		} else if ch.ReqsOut == 0 {
+			// Denied after the squash: nothing external holds the chunk any
+			// more, so it can join the pool now.
+			p.pool.Put(ch)
 		}
 		return
 	}
@@ -107,10 +117,12 @@ func (p *BulkProc) commitReply(ch *chunk.Chunk, granted bool, order uint64) {
 		panic(fmt.Sprintf("proc %d: commit reply in state %v", p.id, ch.State))
 	}
 	if !granted {
-		// Retry after a jittered backoff.
+		// Retry after a jittered backoff. The closure may outlive a squash
+		// and even a recycling of ch; the Gen guard defuses it then.
 		back := sim.Time(20 + p.env.Eng.Rand().Intn(25))
+		gen := ch.Gen
 		p.env.Eng.After(p.env.Net.HopLat+back, func() {
-			if ch.State == chunk.Arbitrating {
+			if ch.Gen == gen && ch.State == chunk.Arbitrating {
 				p.sendCommit(ch)
 			}
 		})
@@ -124,29 +136,30 @@ func (p *BulkProc) commitReply(ch *chunk.Chunk, granted bool, order uint64) {
 // arbiter's decision instant — the chunk's serialization point.
 func (p *BulkProc) applyCommit(ch *chunk.Chunk, order uint64) {
 	if p.env.St.Trace != nil {
-		p.env.St.Trace("t=%d proc%d APPLY chunk=%d order=%d W=%d priv=%d", p.env.Eng.Now(), p.id, ch.Seq, order, len(ch.WSet), len(ch.PrivSet))
+		p.env.St.Trace("t=%d proc%d APPLY chunk=%d order=%d W=%d priv=%d", p.env.Eng.Now(), p.id, ch.Seq, order, ch.WSet.Len(), ch.PrivSet.Len())
 	}
 	ch.State = chunk.Committing
 	ch.CommitOrder = order
-	for a, v := range ch.WriteBuf {
+	ch.WriteBuf.ForEach(func(a mem.Addr, v uint64) {
 		p.env.Mem.Store(a, v)
-	}
+	})
 	st := p.env.St
 	st.Chunks++
 	st.CommittedInstrs += uint64(ch.Executed)
-	st.SumRSetLines += uint64(len(ch.RSet))
-	st.SumWSetLines += uint64(len(ch.WSet))
-	st.SumPrivWSetLines += uint64(len(ch.PrivSet))
+	st.SumRSetLines += uint64(ch.RSet.Len())
+	st.SumWSetLines += uint64(ch.WSet.Len())
+	st.SumPrivWSetLines += uint64(ch.PrivSet.Len())
 	// Speculatively written lines become dirty non-speculative.
-	for l := range ch.WSet {
+	ch.WSet.ForEach(func(l mem.Line) {
 		p.unpinToDirty(l, ch.Slot)
-	}
-	for l := range ch.PrivSet {
+	})
+	ch.PrivSet.ForEach(func(l mem.Line) {
 		p.unpinToDirty(l, ch.Slot)
-	}
-	p.privBuf.DrainSlot(ch.Slot) // write-backs successfully skipped
+	})
+	// Write-backs successfully skipped; the saved pre-images are dead.
+	p.privScratch = p.privBuf.DrainSlot(ch.Slot, p.privScratch[:0])
 	if p.opts.Stpvt && !ch.Wpriv.Empty() {
-		p.env.PrivCommit(p.id, ch.Wpriv, ch.PrivSet)
+		p.env.PrivCommit(p.id, ch.Wpriv, &ch.PrivSet)
 	}
 	p.squashStreak = 0
 	p.commitCount++
@@ -227,14 +240,14 @@ func (p *BulkProc) squashFrom(idx int, genuine bool) {
 			st.SquashCascades++
 		}
 		st.SquashedInstrs += uint64(ch.Executed)
-		for l := range ch.WSet {
+		ch.WSet.ForEach(func(l mem.Line) {
 			p.dropSpecLine(l, ch, false)
-		}
-		for l := range ch.PrivSet {
+		})
+		ch.PrivSet.ForEach(func(l mem.Line) {
 			p.dropSpecLine(l, ch, true)
-		}
-		restored := p.privBuf.DrainSlot(ch.Slot)
-		st.PrivBufRestores += uint64(len(restored))
+		})
+		p.privScratch = p.privBuf.DrainSlot(ch.Slot, p.privScratch[:0])
+		st.PrivBufRestores += uint64(len(p.privScratch))
 		p.slotBusy[ch.Slot] = false
 	}
 	if genuine {
@@ -286,6 +299,15 @@ func (p *BulkProc) squashFrom(idx int, genuine bool) {
 			})
 		})
 	}
+	// Recycle the victims. Chunks with a commit request still in flight are
+	// skipped here: commitReply recycles them on a posthumous denial and
+	// leaks them on a posthumous grant (the arbiter/directory pipeline then
+	// holds their signatures until commit completion).
+	for _, ch := range victims {
+		if ch.ReqsOut == 0 {
+			p.pool.Put(ch)
+		}
+	}
 	// Pipeline refill before re-execution.
 	p.kickAt(p.par.SquashPenalty)
 }
@@ -334,7 +356,7 @@ func (p *BulkProc) ApplyCommit(c *directory.Commit) {
 	}
 	st := p.env.St
 	p.l1.BulkInvalidate(c.W, func(w cache.Way) {
-		if _, ok := c.TrueW[w.Line]; ok {
+		if c.TrueW.Has(w.Line) {
 			st.CacheInvs++
 		} else {
 			st.ExtraCacheInvs++

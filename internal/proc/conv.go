@@ -53,12 +53,20 @@ type ConvProc struct {
 	dispatch uint64
 	storeSeq uint64
 
-	inflight map[mem.Line]*fetchReq
+	inflight map[mem.Line]*convReq
+	// reqFree recycles fetch-request records; each keeps its bound arrival
+	// callback, so a steady-state miss allocates nothing.
+	reqFree []*convReq
+	// misses is a head-indexed FIFO: completed entries advance missHead
+	// instead of reslicing, and the storage is reset in place once drained,
+	// so the backing array is reused for the whole run.
 	misses   []missEntry
+	missHead int
 
-	// Store buffer (RC/SC++): FIFO of pending stores; values forward to
-	// younger loads.
+	// Store buffer (RC/SC++): head-indexed FIFO of pending stores; values
+	// forward to younger loads.
 	storeQ    []convStore
+	sqHead    int
 	draining  bool
 	storeFwd  map[mem.Addr]uint64
 	fwdCounts map[mem.Addr]int
@@ -74,6 +82,15 @@ type ConvProc struct {
 	// store drains or miss completions must not re-dispatch the same
 	// instruction.
 	serialBusy bool
+
+	// Bound continuations, captured once at construction. Method values
+	// (p.step, p.performSerial, …) allocate a closure at every use; these
+	// fields make the hot dispatch/perform/drain events allocation-free.
+	stepFn          func()
+	performSerialFn func()
+	drainPerformFn  func()
+	drainNextFn     func()
+	kickFn          func()
 }
 
 type convStore struct {
@@ -81,20 +98,44 @@ type convStore struct {
 	val  uint64
 }
 
+// convReq is one outstanding line fetch of a conventional processor. It is
+// pooled: the record and its bound arrival callback are reused across
+// misses, and the waiter slice keeps its capacity.
+type convReq struct {
+	p        *ConvProc
+	l        mem.Line
+	waiters  []convWaiter
+	arriveFn func(stateHint int)
+}
+
+// convWaiter is one party waiting on a line fill: either a long-lived
+// continuation fn, or (fn == nil) a speculative-load miss identified by its
+// dispatch index, completed inline without a per-miss closure.
+type convWaiter struct {
+	fn  func()
+	idx uint64
+}
+
 // NewConvProc builds a conventional processor over stream ins.
 func NewConvProc(id int, env *Env, par Params, model Model, ins []workload.Instr) *ConvProc {
-	return &ConvProc{
+	p := &ConvProc{
 		id:        id,
 		env:       env,
 		par:       par,
 		model:     model,
 		l1:        cache.NewL1(256, 4),
 		f:         newFetcher(ins),
-		inflight:  make(map[mem.Line]*fetchReq),
+		inflight:  make(map[mem.Line]*convReq),
 		storeFwd:  make(map[mem.Addr]uint64),
 		fwdCounts: make(map[mem.Addr]int),
 		specLines: make(map[mem.Line]uint64),
 	}
+	p.stepFn = p.step
+	p.performSerialFn = p.performSerial
+	p.drainPerformFn = p.drainPerform
+	p.drainNextFn = p.drainNext
+	p.kickFn = p.kick
+	return p
 }
 
 // Start schedules the first event.
@@ -104,7 +145,7 @@ func (p *ConvProc) Start() { p.kick() }
 // diagnostics on apparent deadlocks.
 func (p *ConvProc) DebugState() string {
 	return fmt.Sprintf("conv{finished=%v pos=%d/%d phase=%d barriers=%d storeQ=%d inflight=%d scheduled=%v}",
-		p.finished, p.f.pos, len(p.f.ins), p.f.barPhase, p.f.barriersDone, len(p.storeQ), len(p.inflight), p.scheduled)
+		p.finished, p.f.pos, len(p.f.ins), p.f.barPhase, p.f.barriersDone, p.storeQLen(), len(p.inflight), p.scheduled)
 }
 
 // Finished reports stream completion.
@@ -118,7 +159,7 @@ func (p *ConvProc) kick() {
 		return
 	}
 	p.scheduled = true
-	p.env.Eng.After(0, p.step)
+	p.env.Eng.After(0, p.stepFn)
 }
 
 func (p *ConvProc) kickAt(d sim.Time) {
@@ -129,7 +170,7 @@ func (p *ConvProc) kickAt(d sim.Time) {
 		d = 1
 	}
 	p.scheduled = true
-	p.env.Eng.After(d, p.step)
+	p.env.Eng.After(d, p.stepFn)
 }
 
 func (p *ConvProc) finish() {
@@ -151,44 +192,102 @@ func (p *ConvProc) step() {
 	p.rcStep()
 }
 
-// beginSerial marks an asynchronous serialized operation in flight; the
-// returned resume clears the guard and schedules the next dispatch event.
-func (p *ConvProc) beginSerial() func(sim.Time) {
-	p.serialBusy = true
-	return func(d sim.Time) {
-		p.serialBusy = false
-		p.kickAt(d)
-	}
+// resumeSerial ends an asynchronous serialized operation (begun by setting
+// serialBusy) and schedules the next dispatch event after d cycles.
+func (p *ConvProc) resumeSerial(d sim.Time) {
+	p.serialBusy = false
+	p.kickAt(d)
 }
 
 // ---------------------------------------------------------------------------
 // Shared fetch machinery
 // ---------------------------------------------------------------------------
 
+func (p *ConvProc) newReq(l mem.Line) *convReq {
+	var r *convReq
+	if n := len(p.reqFree); n > 0 {
+		r = p.reqFree[n-1]
+		p.reqFree[n-1] = nil
+		p.reqFree = p.reqFree[:n-1]
+	} else {
+		r = &convReq{p: p}
+		r.arriveFn = r.arrive
+	}
+	r.l = l
+	return r
+}
+
+func (p *ConvProc) freeReq(r *convReq) {
+	for i := range r.waiters {
+		r.waiters[i] = convWaiter{}
+	}
+	r.waiters = r.waiters[:0]
+	p.reqFree = append(p.reqFree, r)
+}
+
+// arrive is the fill-completion continuation for one pooled request; it is
+// bound once per record and handed to Env.ReadLine on every reuse.
+func (r *convReq) arrive(stateHint int) {
+	p, l := r.p, r.l
+	delete(p.inflight, l)
+	victim, ok := p.l1.Insert(l, cache.LineState(stateHint))
+	if !ok {
+		panic("conv proc: insert failed (no pinning in conventional mode)")
+	}
+	if victim.Valid() && victim.State == cache.Dirty {
+		p.env.St.AddTraffic(stats.CatData, network.DataBytes)
+		p.env.WritebackLine(p.id, victim.Line, true)
+	}
+	for i := range r.waiters {
+		w := r.waiters[i]
+		if w.fn != nil {
+			w.fn()
+		} else {
+			p.missComplete(w.idx)
+			p.kick()
+		}
+	}
+	p.freeReq(r)
+}
+
 func (p *ConvProc) fetch(l mem.Line, excl bool, done func()) {
 	if req, ok := p.inflight[l]; ok {
-		req.waiters = append(req.waiters, done)
+		if done != nil {
+			req.waiters = append(req.waiters, convWaiter{fn: done})
+		}
 		return
 	}
-	req := &fetchReq{}
+	req := p.newReq(l)
 	if done != nil {
-		req.waiters = append(req.waiters, done)
+		req.waiters = append(req.waiters, convWaiter{fn: done})
 	}
 	p.inflight[l] = req
-	p.env.ReadLine(p.id, l, excl, func(stateHint int) {
-		delete(p.inflight, l)
-		victim, ok := p.l1.Insert(l, cache.LineState(stateHint))
-		if !ok {
-			panic("conv proc: insert failed (no pinning in conventional mode)")
+	p.env.ReadLine(p.id, l, excl, req.arriveFn)
+}
+
+// fetchLoadMiss fetches l on behalf of the speculative load at dispatch
+// index idx; completion marks the miss entry done and kicks dispatch,
+// without a per-miss closure.
+func (p *ConvProc) fetchLoadMiss(l mem.Line, idx uint64) {
+	if req, ok := p.inflight[l]; ok {
+		req.waiters = append(req.waiters, convWaiter{idx: idx})
+		return
+	}
+	req := p.newReq(l)
+	req.waiters = append(req.waiters, convWaiter{idx: idx})
+	p.inflight[l] = req
+	p.env.ReadLine(p.id, l, false, req.arriveFn)
+}
+
+// missComplete marks the oldest outstanding miss with dispatch index idx
+// done.
+func (p *ConvProc) missComplete(idx uint64) {
+	for i := p.missHead; i < len(p.misses); i++ {
+		if p.misses[i].idx == idx && !p.misses[i].done {
+			p.misses[i].done = true
+			return
 		}
-		if victim.Valid() && victim.State == cache.Dirty {
-			p.env.St.AddTraffic(stats.CatData, network.DataBytes)
-			p.env.WritebackLine(p.id, victim.Line, true)
-		}
-		for _, w := range req.waiters {
-			w()
-		}
-	})
+	}
 }
 
 // prefetchAhead scans the upcoming stream and issues read/exclusive
@@ -279,48 +378,14 @@ func (p *ConvProc) scStep() {
 		p.prefetchAhead(p.par.MSHRs)
 		p.kickAt(sim.Time(n) / sim.Time(p.par.IssueWidth))
 	case workload.OpLoad:
-		resume := p.beginSerial()
-		p.scAccess(in.Addr, false, func() {
-			p.env.Mem.Load(in.Addr) // architectural read at this instant
-			p.f.pos++
-			p.retire(1)
-			resume(scSerial)
-		})
-	case workload.OpStore:
-		resume := p.beginSerial()
-		p.scAccess(in.Addr, true, func() {
-			p.env.Mem.Store(in.Addr, p.token())
-			p.markDirty(in.Addr.LineOf())
-			p.f.pos++
-			p.retire(1)
-			resume(scSerial)
-		})
-	case workload.OpRelease:
-		resume := p.beginSerial()
-		p.scAccess(in.Addr, true, func() {
-			p.env.Mem.Store(in.Addr, 0)
-			p.markDirty(in.Addr.LineOf())
-			p.f.pos++
-			p.retire(1)
-			resume(scSerial)
-		})
-	case workload.OpAcquire:
-		resume := p.beginSerial()
-		p.scAccess(in.Addr, true, func() {
-			if p.env.Mem.Load(in.Addr) == 0 {
-				p.env.Mem.Store(in.Addr, 1)
-				p.markDirty(in.Addr.LineOf())
-				p.f.pos++
-				p.retire(2)
-				resume(scSerial)
-				return
-			}
-			p.retire(2)
-			p.env.St.SpinInstrs++
-			resume(p.par.SpinBackoff)
-		})
+		p.serialBusy = true
+		p.scAccess(in.Addr, false, p.performSerialFn)
+	case workload.OpStore, workload.OpRelease, workload.OpAcquire:
+		p.serialBusy = true
+		p.scAccess(in.Addr, true, p.performSerialFn)
 	case workload.OpBarrier:
-		p.convBarrier(in, p.beginSerial())
+		p.serialBusy = true
+		p.convBarrier()
 	case workload.OpIO:
 		// Uncached operation: fully serialized at the device latency.
 		p.f.pos++
@@ -328,6 +393,54 @@ func (p *ConvProc) scStep() {
 		p.kickAt(sim.Time(in.N))
 	default:
 		panic(fmt.Sprintf("conv proc %d: op %v", p.id, in.Kind))
+	}
+}
+
+// performSerial completes the serialized memory operation at the current
+// interpreter position. It is the single bound continuation behind every
+// SC access and barrier micro-step: serialBusy guarantees the interpreter
+// has not advanced since dispatch, so the instruction (and barrier phase)
+// is re-read here instead of being captured in a per-operation closure.
+func (p *ConvProc) performSerial() {
+	in := p.f.current()
+	switch in.Kind {
+	case workload.OpLoad:
+		p.env.Mem.Load(in.Addr) // architectural read at this instant
+		p.f.pos++
+		p.retire(1)
+		p.resumeSerial(scSerial)
+	case workload.OpStore:
+		p.env.Mem.Store(in.Addr, p.token())
+		p.markDirty(in.Addr.LineOf())
+		p.f.pos++
+		p.retire(1)
+		p.resumeSerial(scSerial)
+	case workload.OpRelease:
+		p.env.Mem.Store(in.Addr, 0)
+		p.markDirty(in.Addr.LineOf())
+		p.f.pos++
+		p.retire(1)
+		p.resumeSerial(scSerial)
+	case workload.OpAcquire:
+		if p.env.Mem.Load(in.Addr) == 0 {
+			p.env.Mem.Store(in.Addr, 1)
+			p.markDirty(in.Addr.LineOf())
+			p.f.pos++
+			p.retire(2)
+			p.resumeSerial(scSerial)
+			return
+		}
+		p.retire(2)
+		p.env.St.SpinInstrs++
+		p.resumeSerial(p.par.SpinBackoff)
+	case workload.OpBarrier:
+		if p.f.barPhase == 0 {
+			p.barArrive(in)
+		} else {
+			p.barWait(in)
+		}
+	default:
+		panic(fmt.Sprintf("conv proc %d: perform on op %v", p.id, in.Kind))
 	}
 }
 
@@ -362,43 +475,54 @@ func (p *ConvProc) retire(n int) {
 // convBarrier interprets the centralized barrier for the conventional
 // models. The lock-protected arrival block executes atomically at its
 // perform event (the lock is therefore never observed held); waiters spin
-// on the generation flag. resume is called asynchronously with the delay
-// before the next dispatch event.
-func (p *ConvProc) convBarrier(in workload.Instr, resume func(sim.Time)) {
-	target := p.f.barrierTarget()
-	count, gen := barrierCount(in), barrierGen(in)
+// on the generation flag. Callers set serialBusy first; the perform
+// micro-steps (barArrive, barWait) clear it through resumeSerial.
+func (p *ConvProc) convBarrier() {
+	in := p.f.current()
 	if p.f.barPhase == 0 {
-		p.scAccess(count, true, func() {
-			c := p.env.Mem.Load(count)
-			if c+1 >= uint64(in.N) {
-				p.env.Mem.Store(count, 0)
-				p.env.Mem.Store(gen, target)
-				p.markDirty(gen.LineOf())
-			} else {
-				p.env.Mem.Store(count, c+1)
-			}
-			p.markDirty(count.LineOf())
-			p.noteAccess(count.LineOf())
-			p.retire(6)
-			p.f.barPhase = 1
-			resume(scSerial)
-		})
+		p.scAccess(barrierCount(in), true, p.performSerialFn)
 		return
 	}
-	p.scAccess(gen, false, func() {
-		g := p.env.Mem.Load(gen)
-		p.noteAccess(gen.LineOf())
-		p.retire(2)
-		if g < target {
-			p.env.St.SpinInstrs++
-			resume(p.par.SpinBackoff)
-			return
-		}
-		p.f.pos++
-		p.f.barriersDone++
-		p.f.barPhase = 0
-		resume(scSerial)
-	})
+	p.scAccess(barrierGen(in), false, p.performSerialFn)
+}
+
+// barArrive is the barrier arrival block, run at the perform event of the
+// counter-line access while barPhase is still 0.
+func (p *ConvProc) barArrive(in workload.Instr) {
+	target := p.f.barrierTarget()
+	count, gen := barrierCount(in), barrierGen(in)
+	c := p.env.Mem.Load(count)
+	if c+1 >= uint64(in.N) {
+		p.env.Mem.Store(count, 0)
+		p.env.Mem.Store(gen, target)
+		p.markDirty(gen.LineOf())
+	} else {
+		p.env.Mem.Store(count, c+1)
+	}
+	p.markDirty(count.LineOf())
+	p.noteAccess(count.LineOf())
+	p.retire(6)
+	p.f.barPhase = 1
+	p.resumeSerial(scSerial)
+}
+
+// barWait is one generation-flag spin iteration, run at the perform event
+// of the flag-line access while barPhase is 1.
+func (p *ConvProc) barWait(in workload.Instr) {
+	target := p.f.barrierTarget()
+	gen := barrierGen(in)
+	g := p.env.Mem.Load(gen)
+	p.noteAccess(gen.LineOf())
+	p.retire(2)
+	if g < target {
+		p.env.St.SpinInstrs++
+		p.resumeSerial(p.par.SpinBackoff)
+		return
+	}
+	p.f.pos++
+	p.f.barriersDone++
+	p.f.barPhase = 0
+	p.resumeSerial(scSerial)
 }
 
 // ---------------------------------------------------------------------------
@@ -414,11 +538,11 @@ func (p *ConvProc) rcStep() {
 		if p.robFullConv() {
 			return
 		}
-		if len(p.storeQ) >= p.par.LSQ {
+		if p.storeQLen() >= p.par.LSQ {
 			return // store drain kicks
 		}
 		if p.f.done() {
-			if len(p.storeQ) > 0 {
+			if p.storeQLen() > 0 {
 				return // drain completes first
 			}
 			p.finish()
@@ -460,7 +584,7 @@ func (p *ConvProc) rcStep() {
 		case workload.OpAcquire:
 			// Atomic RMW: wait for the store buffer to drain, then
 			// perform atomically through the serial path.
-			if len(p.storeQ) > 0 {
+			if p.storeQLen() > 0 {
 				return // drain completion kicks
 			}
 			done := p.rcAcquire(in.Addr)
@@ -472,17 +596,18 @@ func (p *ConvProc) rcStep() {
 		case workload.OpBarrier:
 			// Barriers stall dispatch; the async barrier machinery
 			// re-kicks the processor.
-			if len(p.storeQ) > 0 {
+			if p.storeQLen() > 0 {
 				return // drain first; completion kicks
 			}
-			p.convBarrier(in, p.beginSerial())
+			p.serialBusy = true
+			p.convBarrier()
 			return
 		case workload.OpIO:
 			// Uncached: drain the store buffer and outstanding loads,
 			// then pay the device latency.
-			if len(p.storeQ) > 0 || len(p.misses) > 0 {
+			if p.storeQLen() > 0 || p.missLen() > 0 {
 				p.pruneMisses()
-				if len(p.storeQ) > 0 || len(p.misses) > 0 {
+				if p.storeQLen() > 0 || p.missLen() > 0 {
 					return // completions kick
 				}
 			}
@@ -499,15 +624,24 @@ func (p *ConvProc) rcStep() {
 
 func (p *ConvProc) yield(d sim.Time) { p.kickAt(d) }
 
+// storeQLen and missLen are the logical FIFO lengths under head indexing.
+func (p *ConvProc) storeQLen() int { return len(p.storeQ) - p.sqHead }
+func (p *ConvProc) missLen() int   { return len(p.misses) - p.missHead }
+
 func (p *ConvProc) robFullConv() bool {
 	p.pruneMisses()
-	return len(p.misses) > 0 && p.dispatch-p.misses[0].idx >= uint64(p.par.ROB)
+	return p.missLen() > 0 && p.dispatch-p.misses[p.missHead].idx >= uint64(p.par.ROB)
 }
 
-// pruneMisses pops completed entries off the outstanding-miss FIFO.
+// pruneMisses advances the head past completed entries; once the FIFO
+// drains, the backing array is reset in place for reuse.
 func (p *ConvProc) pruneMisses() {
-	for len(p.misses) > 0 && p.misses[0].done {
-		p.misses = p.misses[1:]
+	for p.missHead < len(p.misses) && p.misses[p.missHead].done {
+		p.missHead++
+	}
+	if p.missHead == len(p.misses) {
+		p.misses = p.misses[:0]
+		p.missHead = 0
 	}
 }
 
@@ -526,15 +660,7 @@ func (p *ConvProc) rcLoad(a mem.Addr) {
 	p.env.St.L1Misses++
 	idx := p.dispatch
 	p.misses = append(p.misses, missEntry{idx: idx})
-	p.fetch(l, false, func() {
-		for i := range p.misses {
-			if p.misses[i].idx == idx && !p.misses[i].done {
-				p.misses[i].done = true
-				break
-			}
-		}
-		p.kick()
-	})
+	p.fetchLoadMiss(l, idx)
 }
 
 // rcStore buffers a store; the buffer drains in order, acquiring exclusive
@@ -550,35 +676,45 @@ func (p *ConvProc) rcStore(a mem.Addr, val uint64) {
 }
 
 func (p *ConvProc) drainStores() {
-	if p.draining || len(p.storeQ) == 0 {
+	if p.draining || p.storeQLen() == 0 {
 		return
 	}
 	p.draining = true
-	s := p.storeQ[0]
-	l := s.addr.LineOf()
-	perform := func() {
-		p.env.Mem.Store(s.addr, s.val)
-		p.markDirty(l)
-		p.storeQ = p.storeQ[1:]
-		a := s.addr.Align()
-		p.fwdCounts[a]--
-		if p.fwdCounts[a] == 0 {
-			delete(p.storeFwd, a)
-			delete(p.fwdCounts, a)
-		}
-		p.draining = false
-		p.env.Eng.After(1, func() {
-			p.drainStores()
-			p.kick()
-		})
-	}
+	l := p.storeQ[p.sqHead].addr.LineOf()
 	if p.owner(l) {
 		p.env.St.L1Hits++
-		p.env.Eng.After(p.par.L1Hit, perform)
+		p.env.Eng.After(p.par.L1Hit, p.drainPerformFn)
 		return
 	}
 	p.env.St.L1Misses++
-	p.fetch(l, true, perform)
+	p.fetch(l, true, p.drainPerformFn)
+}
+
+// drainPerform commits the store at the buffer head. The head is stable
+// between drainStores and this event: draining guards re-entry and only
+// this method pops, so the entry is re-read here instead of captured.
+func (p *ConvProc) drainPerform() {
+	s := p.storeQ[p.sqHead]
+	p.env.Mem.Store(s.addr, s.val)
+	p.markDirty(s.addr.LineOf())
+	p.sqHead++
+	if p.sqHead == len(p.storeQ) {
+		p.storeQ = p.storeQ[:0]
+		p.sqHead = 0
+	}
+	a := s.addr.Align()
+	p.fwdCounts[a]--
+	if p.fwdCounts[a] == 0 {
+		delete(p.storeFwd, a)
+		delete(p.fwdCounts, a)
+	}
+	p.draining = false
+	p.env.Eng.After(1, p.drainNextFn)
+}
+
+func (p *ConvProc) drainNext() {
+	p.drainStores()
+	p.kick()
 }
 
 // rcAcquire performs an atomic test-and-set with the store buffer empty.
@@ -595,7 +731,7 @@ func (p *ConvProc) rcAcquire(lock mem.Addr) bool {
 	if !p.owner(lock.LineOf()) {
 		// Pay the ownership latency by pausing dispatch.
 		p.env.St.L1Misses++
-		p.fetch(lock.LineOf(), true, func() { p.kick() })
+		p.fetch(lock.LineOf(), true, p.kickFn)
 	}
 	p.f.pos++
 	return true

@@ -22,6 +22,7 @@
 package proc
 
 import (
+	"bulksc/internal/lineset"
 	"bulksc/internal/mem"
 	"bulksc/internal/network"
 	"bulksc/internal/sig"
@@ -60,18 +61,6 @@ func DefaultParams() Params {
 	}
 }
 
-// MemRequest is a demand line request routed to the owning directory.
-type MemRequest struct {
-	Proc int
-	Line mem.Line
-	Excl bool
-	Done func(granted LineStateHint)
-}
-
-// LineStateHint mirrors cache.LineState without importing it here; the
-// concrete procs convert.
-type LineStateHint int
-
 // Env bundles the system services a processor needs. It is assembled by
 // internal/core when wiring a machine.
 type Env struct {
@@ -84,8 +73,9 @@ type Env struct {
 	NProcs int
 
 	// ReadLine routes a demand miss to the owning directory module and
-	// calls done at the requester when data arrives. The hint is the
-	// granted cache state encoded as an int (cache.LineState).
+	// calls done at the requester with the granted line state (an int-typed
+	// cache.LineState hint, widened to avoid an import cycle in callers)
+	// when data arrives.
 	ReadLine func(proc int, l mem.Line, excl bool, done func(stateHint int))
 	// WritebackLine retires a dirty line to its home module.
 	WritebackLine func(proc int, l mem.Line, drop bool)
@@ -95,7 +85,7 @@ type Env struct {
 	// simulation metadata.
 	Commit func(req *CommitReq)
 	// PrivCommit propagates an stpvt Wpriv signature to the directories.
-	PrivCommit func(proc int, w sig.Signature, trueW map[mem.Line]struct{})
+	PrivCommit func(proc int, w sig.Signature, trueW *lineset.Set)
 	// PreArbitrate requests exclusive commit rights (forward progress).
 	PreArbitrate func(proc int, granted func())
 	// EndPreArbitrate releases them without a commit.
@@ -108,11 +98,11 @@ type CommitReq struct {
 	Proc  int
 	W     sig.Signature
 	R     sig.Signature // nil under the RSig optimization
-	RSets []map[mem.Line]struct{}
-	WSets []map[mem.Line]struct{}
+	RSets []*lineset.Set
+	WSets []*lineset.Set
 	// FetchR retrieves R with its round-trip cost.
 	FetchR func(cb func(sig.Signature))
-	TrueW  map[mem.Line]struct{}
+	TrueW  *lineset.Set
 	Reply  func(granted bool, order uint64)
 }
 

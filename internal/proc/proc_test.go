@@ -5,6 +5,7 @@ import (
 
 	"bulksc/internal/cache"
 	"bulksc/internal/chunk"
+	"bulksc/internal/lineset"
 	"bulksc/internal/mem"
 	"bulksc/internal/network"
 	"bulksc/internal/sig"
@@ -57,7 +58,7 @@ func newFakeEnv() *fakeEnv {
 			req.Reply(true, fe.order)
 		})
 	}
-	fe.env.PrivCommit = func(p int, w sig.Signature, trueW map[mem.Line]struct{}) {}
+	fe.env.PrivCommit = func(p int, w sig.Signature, trueW *lineset.Set) {}
 	fe.env.PreArbitrate = func(p int, granted func()) { fe.eng.After(10, granted) }
 	fe.env.EndPreArbitrate = func(p int) {}
 	return fe
@@ -357,7 +358,7 @@ func TestBulkProcIO(t *testing.T) {
 	p := NewBulkProc(0, fe.env, DefaultParams(), DefaultOpts(), ins)
 	var ioCommitSeen bool
 	p.OnCommit = func(ch *chunk.Chunk) {
-		if len(ch.WSet) == 0 && len(ch.RSet) == 0 && ch.Executed == 1 {
+		if ch.WSet.Len() == 0 && ch.RSet.Len() == 0 && ch.Executed == 1 {
 			ioCommitSeen = true
 		}
 	}

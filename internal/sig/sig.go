@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"bulksc/internal/lineset"
 	"bulksc/internal/mem"
 )
 
@@ -129,9 +130,16 @@ func NewFactory(k Kind) Factory {
 
 // Bloom is the banked Bloom-filter signature. The zero value is an empty
 // signature ready for use.
+//
+// Alongside the bit banks it caches a per-bank nonempty-word summary (bit
+// w of sum[b] set iff banks[b][w] != 0). Intersects and UnionWith walk
+// only the words the summary selects, so the arbiter's W-list scan — the
+// hottest signature consumer — short-circuits disjoint signatures after a
+// single 16-bit AND per bank instead of 16 word ANDs.
 type Bloom struct {
 	banks [Banks][BankWords]uint64
-	n     int // insertions (not distinct lines)
+	sum   [Banks]uint16 // nonempty-word summary, one bit per bank word
+	n     int           // insertions (not distinct lines)
 }
 
 // NewBloom returns an empty Bloom signature.
@@ -165,6 +173,7 @@ func (s *Bloom) Add(l mem.Line) {
 	for b := 0; b < Banks; b++ {
 		h := bankHash(b, l)
 		s.banks[b][h>>6] |= 1 << (h & 63)
+		s.sum[b] |= 1 << (h >> 6)
 	}
 	s.n++
 }
@@ -194,27 +203,40 @@ func (s *Bloom) Intersects(other Signature) bool {
 		return false
 	}
 	for b := 0; b < Banks; b++ {
-		any := uint64(0)
-		for w := 0; w < BankWords; w++ {
-			any |= s.banks[b][w] & o.banks[b][w]
+		// Word-level fast path: only words nonempty in BOTH operands can
+		// contribute to the AND; if no such word exists the bank's AND is
+		// empty and the signatures cannot share an address.
+		m := s.sum[b] & o.sum[b]
+		if m == 0 {
+			return false
 		}
-		if any == 0 {
+		hit := false
+		for ; m != 0; m &= m - 1 {
+			w := bits.TrailingZeros16(m)
+			if s.banks[b][w]&o.banks[b][w] != 0 {
+				hit = true
+				break
+			}
+		}
+		if !hit {
 			return false
 		}
 	}
 	return true
 }
 
-// UnionWith ORs other into s.
+// UnionWith ORs other into s, touching only other's nonempty words.
 func (s *Bloom) UnionWith(other Signature) {
 	o, ok := other.(*Bloom)
 	if !ok {
 		panic(fmt.Sprintf("sig: union of bloom with %T", other))
 	}
 	for b := 0; b < Banks; b++ {
-		for w := 0; w < BankWords; w++ {
+		for m := o.sum[b]; m != 0; m &= m - 1 {
+			w := bits.TrailingZeros16(m)
 			s.banks[b][w] |= o.banks[b][w]
 		}
+		s.sum[b] |= o.sum[b]
 	}
 	s.n += o.n
 }
@@ -234,8 +256,10 @@ func (s *Bloom) CandidateSets(nsets int) SetMask {
 		panic(fmt.Sprintf("sig: CandidateSets with nsets=%d", nsets))
 	}
 	var m SetMask
-	for p := 0; p < BankBits; p++ {
-		if s.banks[0][p>>6]&(1<<(uint(p)&63)) != 0 {
+	for mw := s.sum[0]; mw != 0; mw &= mw - 1 {
+		wi := bits.TrailingZeros16(mw)
+		for word := s.banks[0][wi]; word != 0; word &= word - 1 {
+			p := wi<<6 + bits.TrailingZeros64(word)
 			m.set(p & (nsets - 1))
 		}
 	}
@@ -284,23 +308,21 @@ func (s *Bloom) Kind() Kind { return KindBloom }
 // ---------------------------------------------------------------------------
 
 // Exact is the alias-free signature used for the BSC_exact configuration:
-// a plain set of lines with the same interface and the same modeled
-// transfer cost.
+// an open-addressed set of lines with the same interface and the same
+// modeled transfer cost. The lineset backing makes Clear() an in-place
+// reset, so pooled chunks recycle exact signatures without reallocation.
 type Exact struct {
-	lines map[mem.Line]struct{}
+	lines lineset.Set
 }
 
 // NewExact returns an empty exact signature.
-func NewExact() *Exact { return &Exact{lines: make(map[mem.Line]struct{})} }
+func NewExact() *Exact { return &Exact{} }
 
 // Add inserts line l.
-func (s *Exact) Add(l mem.Line) { s.lines[l] = struct{}{} }
+func (s *Exact) Add(l mem.Line) { s.lines.Add(l) }
 
 // MayContain is exact membership.
-func (s *Exact) MayContain(l mem.Line) bool {
-	_, ok := s.lines[l]
-	return ok
-}
+func (s *Exact) MayContain(l mem.Line) bool { return s.lines.Has(l) }
 
 // Intersects is exact set intersection non-emptiness.
 func (s *Exact) Intersects(other Signature) bool {
@@ -308,16 +330,17 @@ func (s *Exact) Intersects(other Signature) bool {
 	if !ok {
 		panic(fmt.Sprintf("sig: intersecting exact with %T", other))
 	}
-	a, b := s.lines, o.lines
-	if len(b) < len(a) {
+	a, b := &s.lines, &o.lines
+	if b.Len() < a.Len() {
 		a, b = b, a
 	}
-	for l := range a {
-		if _, ok := b[l]; ok {
-			return true
+	hit := false
+	a.ForEach(func(l mem.Line) {
+		if !hit && b.Has(l) {
+			hit = true
 		}
-	}
-	return false
+	})
+	return hit
 }
 
 // UnionWith inserts all of other's lines.
@@ -326,16 +349,14 @@ func (s *Exact) UnionWith(other Signature) {
 	if !ok {
 		panic(fmt.Sprintf("sig: union of exact with %T", other))
 	}
-	for l := range o.lines {
-		s.lines[l] = struct{}{}
-	}
+	o.lines.ForEach(func(l mem.Line) { s.lines.Add(l) })
 }
 
 // Empty reports whether the set is empty.
-func (s *Exact) Empty() bool { return len(s.lines) == 0 }
+func (s *Exact) Empty() bool { return s.lines.Len() == 0 }
 
-// Clear resets the set.
-func (s *Exact) Clear() { s.lines = make(map[mem.Line]struct{}) }
+// Clear resets the set in place.
+func (s *Exact) Clear() { s.lines.Reset() }
 
 // CandidateSets selects exactly the sets of the encoded lines.
 func (s *Exact) CandidateSets(nsets int) SetMask {
@@ -343,14 +364,12 @@ func (s *Exact) CandidateSets(nsets int) SetMask {
 		panic(fmt.Sprintf("sig: CandidateSets with nsets=%d", nsets))
 	}
 	var m SetMask
-	for l := range s.lines {
-		m.set(int(uint64(l) & uint64(nsets-1)))
-	}
+	s.lines.ForEach(func(l mem.Line) { m.set(int(uint64(l) & uint64(nsets-1))) })
 	return m
 }
 
 // EstimateCount is the exact count.
-func (s *Exact) EstimateCount() int { return len(s.lines) }
+func (s *Exact) EstimateCount() int { return s.lines.Len() }
 
 // TransferBytes matches the Bloom cost: BSC_exact isolates aliasing
 // effects, not transfer-size effects.

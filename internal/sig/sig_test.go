@@ -292,19 +292,58 @@ func TestKindString(t *testing.T) {
 
 func BenchmarkBloomAdd(b *testing.B) {
 	s := NewBloom()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s.Add(mem.Line(i))
 	}
 }
 
-func BenchmarkBloomIntersects(b *testing.B) {
+// BenchmarkBloomIntersect measures the arbiter's hottest signature
+// operation on realistically-sized disjoint operands (the common case the
+// nonempty-word summary short-circuits).
+func BenchmarkBloomIntersect(b *testing.B) {
 	x, y := NewBloom(), NewBloom()
 	for i := 0; i < 30; i++ {
 		x.Add(mem.Line(i * 3))
 		y.Add(mem.Line(i*3 + 100000))
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		x.Intersects(y)
+	}
+}
+
+// BenchmarkBloomIntersectHit is the overlapping-operand control: the scan
+// must walk shared nonempty words until a bit collision is found.
+func BenchmarkBloomIntersectHit(b *testing.B) {
+	x, y := NewBloom(), NewBloom()
+	for i := 0; i < 30; i++ {
+		x.Add(mem.Line(i * 3))
+		y.Add(mem.Line(i*3 + 100000))
+	}
+	y.Add(mem.Line(45)) // one genuinely shared line
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Intersects(y)
+	}
+}
+
+// BenchmarkBloomUnion measures W-signature accumulation (directory commit
+// expansion, arbiter W-list maintenance): only the operand's nonempty
+// words are ORed into the accumulator.
+func BenchmarkBloomUnion(b *testing.B) {
+	acc, w := NewBloom(), NewBloom()
+	for i := 0; i < 30; i++ {
+		w.Add(mem.Line(i * 17))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc.UnionWith(w)
+		if i%256 == 0 {
+			acc.Clear() // keep occupancy realistic instead of saturating
+		}
 	}
 }

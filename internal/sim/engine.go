@@ -6,10 +6,18 @@
 // scheduled for the same cycle fire in the order they were scheduled. All
 // simulator components run on a single goroutine, so no locking is needed
 // and results are bit-reproducible for a given seed.
+//
+// Performance architecture: the queue is a monomorphic 4-ary heap of event
+// records stored inline in one slice. Unlike container/heap there is no
+// interface boxing — push and pop never allocate in steady state, and the
+// flat 4-ary layout does ~half the compare/swap levels of a binary heap on
+// the simulator's queue depths. Each record carries either a plain func()
+// or a typed callback + payload word (AtCall/AfterCall), letting hot
+// schedulers avoid per-event closure captures entirely by reusing one
+// callback and threading state through the payload.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 )
@@ -17,42 +25,33 @@ import (
 // Time is a simulation timestamp in processor cycles.
 type Time uint64
 
-// Event is a scheduled callback.
+// event is one scheduled callback record. Records live inline in the
+// engine's heap slice — they are the "pool"; append reuses the slice's
+// capacity, so steady-state scheduling performs zero allocations.
 type event struct {
-	at   Time
-	seq  uint64
-	fire func()
+	at  Time
+	seq uint64
+	fn  func()    // plain closure form (At/After)
+	cb  func(any) // typed-callback form (AtCall/AfterCall)
+	arg any       // payload for cb; an interface holding a pointer does not allocate
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
-}
+// arity of the event heap. 4-ary trades slightly more comparisons per
+// sift-down for half the tree depth and much better cache locality than a
+// binary heap; on the simulator's typical queue depths (tens to a few
+// hundred events) it measures fastest.
+const arity = 4
 
 // Engine is a discrete-event simulator clock and scheduler.
 // The zero value is not usable; construct with NewEngine.
 type Engine struct {
-	now    Time
-	seq    uint64
-	events eventHeap
-	rng    *rand.Rand
-	// Fired counts events executed, as a cheap progress/livelock metric.
+	now  Time
+	seq  uint64
+	heap []event
+	rng  *rand.Rand
+	// fired counts events executed, as a cheap progress/livelock metric.
 	fired uint64
-	// Limit aborts the run if the clock passes it (0 = no limit).
+	// limit aborts the run if the clock passes it (0 = no limit).
 	limit Time
 }
 
@@ -84,22 +83,96 @@ func (e *Engine) At(t Time, f func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: t, seq: e.seq, fire: f})
+	e.push(event{at: t, seq: e.seq, fn: f})
 }
 
 // After schedules f to run d cycles from now.
 func (e *Engine) After(d Time, f func()) { e.At(e.now+d, f) }
 
+// AtCall schedules cb(arg) at absolute time t. It is the allocation-free
+// scheduling form: hot callers keep one long-lived cb (typically a bound
+// method) and pass per-event state through arg — a pointer-shaped payload
+// does not allocate when stored in the interface word.
+func (e *Engine) AtCall(t Time, cb func(any), arg any) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
+	}
+	e.seq++
+	e.push(event{at: t, seq: e.seq, cb: cb, arg: arg})
+}
+
+// AfterCall schedules cb(arg) d cycles from now.
+func (e *Engine) AfterCall(d Time, cb func(any), arg any) { e.AtCall(e.now+d, cb, arg) }
+
 // Pending reports the number of scheduled events not yet fired.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// less orders events by (time, sequence), the determinism contract.
+func (a *event) less(b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// push appends ev and restores the heap property by sifting up.
+func (e *Engine) push(ev event) {
+	h := append(e.heap, ev)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / arity
+		if !h[i].less(&h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	e.heap = h
+}
+
+// pop removes and returns the earliest event. The vacated tail slot is
+// zeroed so the slice does not retain dead closures or payloads.
+func (e *Engine) pop() event {
+	h := e.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // release references held by the record
+	h = h[:n]
+	// Sift down.
+	i := 0
+	for {
+		first := i*arity + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + arity
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if h[c].less(&h[best]) {
+				best = c
+			}
+		}
+		if !h[best].less(&h[i]) {
+			break
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+	e.heap = h
+	return top
+}
 
 // Step fires the single earliest event and returns true, or returns false
 // if the queue is empty.
 func (e *Engine) Step() bool {
-	if len(e.events) == 0 {
+	if len(e.heap) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(event)
+	ev := e.pop()
 	if ev.at > e.now {
 		e.now = ev.at
 	}
@@ -107,7 +180,11 @@ func (e *Engine) Step() bool {
 		panic(fmt.Sprintf("sim: cycle limit %d exceeded (now %d, %d events fired); likely livelock", e.limit, e.now, e.fired))
 	}
 	e.fired++
-	ev.fire()
+	if ev.cb != nil {
+		ev.cb(ev.arg)
+	} else {
+		ev.fn()
+	}
 	return true
 }
 
@@ -123,7 +200,7 @@ func (e *Engine) Run(stop func() bool) {
 
 // RunUntil fires events until the clock reaches t or the queue drains.
 func (e *Engine) RunUntil(t Time) {
-	for len(e.events) > 0 && e.events[0].at <= t {
+	for len(e.heap) > 0 && e.heap[0].at <= t {
 		e.Step()
 	}
 	if e.now < t {

@@ -1,0 +1,48 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineSchedule measures the steady-state schedule+fire loop the
+// whole simulator is built on: a self-rescheduling event population of
+// realistic depth. Must report ~0 allocs/op — the heap records live inline
+// in the engine's slice and AfterCall needs no closure capture.
+func BenchmarkEngineSchedule(b *testing.B) {
+	const population = 64 // typical live-event count of an 8-core machine
+	e := NewEngine(1)
+	var fire func(any)
+	fire = func(arg any) {
+		n := arg.(*int)
+		*n++
+		e.AfterCall(Time(1+*n%7), fire, arg)
+	}
+	counters := make([]int, population)
+	for i := range counters {
+		e.AfterCall(Time(i%5+1), fire, &counters[i])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+// BenchmarkEngineClosure is the closure-form control: same loop through
+// At/After with per-event captures, for comparing the two scheduling forms.
+func BenchmarkEngineClosure(b *testing.B) {
+	const population = 64
+	e := NewEngine(1)
+	n := 0
+	var self func()
+	self = func() {
+		n++
+		e.After(Time(1+n%7), self)
+	}
+	for i := 0; i < population; i++ {
+		e.After(Time(i%5+1), self)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}

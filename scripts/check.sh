@@ -1,0 +1,29 @@
+#!/bin/sh
+# The PR gate: formatting, static checks, build, full tests, and the race
+# detector over the parallel sweep fan-out in experiments/. Run from the
+# repository root (or via `make check`).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race ./experiments =="
+go test -race ./experiments
+
+echo "check: all green"
