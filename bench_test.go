@@ -186,6 +186,7 @@ func BenchmarkApp(b *testing.B) {
 				cfg := bulksc.DefaultConfig(app)
 				cfg.Work = benchWork
 				cfg.CheckSC = false
+				cfg.Witness = false
 				res, err := bulksc.Run(cfg)
 				if err != nil {
 					b.Fatal(err)

@@ -127,9 +127,13 @@ func Variant(app, variant string) Config {
 	case "rc":
 		cfg.Model = ModelRC
 		cfg.CheckSC = false
+		// RC relaxes store→load order by design; witness findings would
+		// describe the model, not a bug.
+		cfg.Witness = false
 	case "sc++":
 		cfg.Model = ModelSCpp
 		cfg.CheckSC = false
+		cfg.Witness = false
 	default:
 		panic("bulksc: unknown variant " + variant)
 	}

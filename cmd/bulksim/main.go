@@ -43,6 +43,9 @@ func main() {
 		cfg.CheckSC = *check
 		cfg.RecordTimeline = *timeline
 	}
+	if cfg.Model == bulksc.ModelBulk || cfg.Model == bulksc.ModelSC {
+		cfg.Witness = *check
+	}
 
 	res, err := bulksc.Run(cfg)
 	if err != nil {
@@ -53,6 +56,16 @@ func main() {
 	fmt.Printf("%s / %s: %d cycles, %d instructions committed (%.2f IPC/core)\n",
 		*app, *variant, res.Cycles, s.CommittedInstrs,
 		float64(s.CommittedInstrs)/float64(res.Cycles)/float64(*procs))
+	if len(res.WitnessViolations) > 0 {
+		fmt.Println("SC WITNESS VIOLATIONS:")
+		for _, v := range res.WitnessViolations {
+			fmt.Println(" ", v)
+		}
+		os.Exit(2)
+	}
+	if cfg.Witness {
+		fmt.Printf("SC witness verified: %d chunks, %d accesses\n", res.WitnessChunks, res.WitnessAccesses)
+	}
 	if cfg.Model == bulksc.ModelBulk {
 		if len(res.SCViolations) > 0 {
 			fmt.Println("SC VIOLATIONS:")

@@ -14,6 +14,10 @@
 // The -work flag sets the per-thread instruction budget; larger runs give
 // steadier statistics (the first 30% is always excluded as warmup).
 //
+// The -sccheck flag runs the online SC-witness checker (internal/sccheck)
+// alongside every SC-claiming simulation of the sweep; any witness
+// violation aborts the sweep with a diagnostic.
+//
 // Profiling (for performance PRs — attach the resulting profiles as
 // evidence):
 //
@@ -43,6 +47,7 @@ func main() {
 		apps  = flag.String("apps", "", "comma-separated subset of applications (default: all)")
 		procs = flag.Int("procs", 16, "core count for the arbiter-scaling study")
 		par   = flag.Int("j", 0, "parallel simulations (default: NumCPU)")
+		scchk = flag.Bool("sccheck", false, "run the online SC-witness checker on every SC-claiming simulation (fails the sweep on a violation)")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
@@ -72,7 +77,7 @@ func main() {
 		}()
 	}
 
-	p := experiments.Params{Work: *work, Seed: *seed, Parallelism: *par}
+	p := experiments.Params{Work: *work, Seed: *seed, Parallelism: *par, Witness: *scchk}
 	if *apps != "" {
 		p.Apps = strings.Split(*apps, ",")
 	}

@@ -32,6 +32,7 @@ func main() {
 			cfg.ChunkSize = chunk
 			cfg.SigKind = kind
 			cfg.CheckSC = false
+			cfg.Witness = false // timing sweep; correctness gated in tests
 			res, err := bulksc.Run(cfg)
 			if err != nil {
 				log.Fatal(err)

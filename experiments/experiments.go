@@ -38,6 +38,11 @@ type Params struct {
 	Seed int64
 	// Parallelism bounds concurrent simulations (default NumCPU).
 	Parallelism int
+	// Witness enables the online SC-witness checker (internal/sccheck)
+	// for every SC-claiming run of the sweep (BulkSC and the SC
+	// baseline); a witness violation fails the sweep. Off by default:
+	// performance sweeps pay for it only when asked (cmd/sweep -sccheck).
+	Witness bool
 }
 
 func (p Params) withDefaults() Params {
@@ -82,6 +87,9 @@ func runMatrix(p Params, keys []string, mk func(app, key string) bulksc.Config) 
 		cfg := mk(j.app, j.key)
 		cfg.Work = p.Work
 		cfg.Seed = p.Seed
+		// The witness checker gates only the models that claim SC; RC and
+		// SC++ relax store→load order by design.
+		cfg.Witness = p.Witness && (cfg.Model == bulksc.ModelBulk || cfg.Model == bulksc.ModelSC)
 		wg.Add(1)
 		sem <- struct{}{}
 		go func() {
@@ -95,6 +103,10 @@ func runMatrix(p Params, keys []string, mk func(app, key string) bulksc.Config) 
 			}
 			if len(res.SCViolations) > 0 {
 				errs = append(errs, fmt.Errorf("%s/%s: SC violated: %s", j.app, j.key, res.SCViolations[0]))
+				return
+			}
+			if len(res.WitnessViolations) > 0 {
+				errs = append(errs, fmt.Errorf("%s/%s: SC witness violated: %s", j.app, j.key, res.WitnessViolations[0]))
 				return
 			}
 			results[j.app][j.key] = res

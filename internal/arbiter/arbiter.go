@@ -229,8 +229,19 @@ func (a *Arbiter) PreArbitrate(proc int, granted func()) {
 }
 
 // EndPreArbitration releases proc's exclusive lock without a commit (e.g.
-// the chunk squashed for another reason and the processor gave up).
+// the chunk squashed for another reason and the processor gave up). If proc
+// is still queued rather than holding the lock, its entry is removed so a
+// later unlock cannot hand the lock to a processor that abandoned the
+// request — a stale grant would fire a callback into a chunk that no longer
+// exists and stall every other waiter behind the orphaned lock.
 func (a *Arbiter) EndPreArbitration(proc int) {
+	keep := a.lockQueue[:0]
+	for _, w := range a.lockQueue {
+		if w.proc != proc {
+			keep = append(keep, w)
+		}
+	}
+	a.lockQueue = keep
 	if a.lockProc == proc {
 		a.unlock()
 	}

@@ -209,6 +209,64 @@ func TestPreArbitrationQueue(t *testing.T) {
 	}
 }
 
+// TestEndPreArbitrationRemovesQueuedWaiter: a processor that gives up on
+// pre-arbitration while still *queued* (not holding the lock) must be
+// removed from the queue. Otherwise the next unlock hands the lock to a
+// processor that abandoned the request: its granted callback fires into a
+// dead chunk and the orphaned lock stalls every other waiter forever.
+func TestEndPreArbitrationRemovesQueuedWaiter(t *testing.T) {
+	h := newHarness()
+	staleGrant := false
+	h.arb.PreArbitrate(0, func() {})
+	h.eng.Run(nil)
+	h.arb.PreArbitrate(1, func() { staleGrant = true })
+	h.eng.Run(nil)
+	if h.arb.Locked() != 0 {
+		t.Fatal("P0 should hold the lock")
+	}
+
+	// P1 gives up while still queued.
+	h.arb.EndPreArbitration(1)
+	if h.arb.Locked() != 0 {
+		t.Fatal("EndPreArbitration of a waiter must not disturb the holder")
+	}
+
+	// P0's commit releases the lock; it must NOT go to the departed P1.
+	h.arb.Request(req(0, sigOf(7), sigOf(), func(bool, uint64) {}))
+	h.eng.Run(nil)
+	if staleGrant {
+		t.Fatal("lock granted to a waiter that called EndPreArbitration")
+	}
+	if h.arb.Locked() != -1 {
+		t.Fatalf("lock held by %d, want free", h.arb.Locked())
+	}
+}
+
+// TestEndPreArbitrationKeepsOtherWaiters: removing one queued waiter must
+// not drop the others — the remaining valid waiter still gets the lock.
+func TestEndPreArbitrationKeepsOtherWaiters(t *testing.T) {
+	h := newHarness()
+	var granted []int
+	h.arb.PreArbitrate(0, func() { granted = append(granted, 0) })
+	h.eng.Run(nil)
+	h.arb.PreArbitrate(1, func() { granted = append(granted, 1) })
+	h.eng.Run(nil)
+	h.arb.PreArbitrate(2, func() { granted = append(granted, 2) })
+	h.eng.Run(nil)
+
+	h.arb.EndPreArbitration(1) // P1 abandons; P2 still waiting
+
+	h.arb.Request(req(0, sigOf(8), sigOf(), func(bool, uint64) {}))
+	h.eng.Run(nil)
+	if h.arb.Locked() != 2 {
+		t.Fatalf("lock held by %d, want 2 (the remaining waiter)", h.arb.Locked())
+	}
+	want := []int{0, 2}
+	if len(granted) != 2 || granted[0] != want[0] || granted[1] != want[1] {
+		t.Fatalf("grant order = %v, want %v", granted, want)
+	}
+}
+
 func TestWListStats(t *testing.T) {
 	h := newHarness()
 	h.arb.Request(req(0, sigOf(10), sigOf(), func(bool, uint64) {}))

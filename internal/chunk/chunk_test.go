@@ -226,6 +226,48 @@ func TestQuickNoMissedConflicts(t *testing.T) {
 	}
 }
 
+// TestPoolRecycledChunkIsPristine: a chunk recycled through the pool after
+// a squash must behave exactly like a fresh one — in particular its write
+// buffer must not forward values buffered by the previous incarnation.
+// Before Map.Reset scrubbed its value table, a recycled chunk could leak
+// the squashed chunk's speculative stores to a later Forward probe.
+func TestPoolRecycledChunkIsPristine(t *testing.T) {
+	f := sig.NewFactory(sig.KindExact)
+	var pool Pool
+	c := pool.Get(f, 0, 1, 0, 0, 1000)
+	for i := 0; i < 32; i++ {
+		a := mem.Addr(i * 8)
+		c.RecordStore(a, 0xbad0+uint64(i), i%2 == 0)
+		c.RecordLoad(a+4096, uint64(i), false)
+	}
+	gen := c.Gen
+	pool.Put(c) // squash path
+
+	r := pool.Get(f, 3, 9, 1, 7, 500)
+	if r != c {
+		t.Fatal("pool did not recycle the chunk")
+	}
+	if r.Gen != gen+1 {
+		t.Fatalf("Gen = %d, want %d (stale callbacks must be defused)", r.Gen, gen+1)
+	}
+	if r.Proc != 3 || r.Seq != 9 || r.State != Executing || len(r.Log) != 0 {
+		t.Fatalf("recycled chunk not reinitialized: %v", r)
+	}
+	for i := 0; i < 32; i++ {
+		a := mem.Addr(i * 8)
+		if v, ok := r.Forward(a); ok {
+			t.Fatalf("recycled chunk forwards stale value %#x for addr %d", v, a)
+		}
+		l := a.LineOf()
+		if r.RSet.Has(mem.Addr(i*8+4096).LineOf()) || r.WSet.Has(l) || r.PrivSet.Has(l) {
+			t.Fatal("recycled chunk retains previous incarnation's sets")
+		}
+	}
+	if !r.R.Empty() || !r.W.Empty() || !r.Wpriv.Empty() {
+		t.Fatal("recycled chunk retains previous incarnation's signatures")
+	}
+}
+
 // BenchmarkChunkAccessLoop measures the per-access bookkeeping of an
 // executing chunk through a full squash/re-execute recycle: pooled Get,
 // a realistic load/store mix (RecordLoad/RecordStore with forwarding

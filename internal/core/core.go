@@ -19,6 +19,7 @@ import (
 	"bulksc/internal/mem"
 	"bulksc/internal/network"
 	"bulksc/internal/proc"
+	"bulksc/internal/sccheck"
 	"bulksc/internal/sig"
 	"bulksc/internal/sim"
 	"bulksc/internal/stats"
@@ -77,6 +78,14 @@ type Config struct {
 	// CheckSC runs the replay checker over every committed chunk
 	// (BulkSC only). Costs memory proportional to the access count.
 	CheckSC bool
+	// Witness runs the online SC-witness checker (internal/sccheck) over
+	// the execution: chunk commits under BulkSC, architectural accesses
+	// under the conventional models. Unlike CheckSC it keeps only
+	// O(footprint) state, so it can gate long runs. Findings land in
+	// Result.WitnessViolations. Note that RC (and SC++, which shares RC's
+	// dispatch path) genuinely relaxes store→load order; witness findings
+	// for those models describe the relaxation rather than a bug.
+	Witness bool
 	// MaxCycles aborts apparent livelocks; 0 = a generous default.
 	MaxCycles uint64
 	// RecordTimeline collects commit/squash/pre-arbitration events into
@@ -105,6 +114,7 @@ func DefaultConfig(app string) Config {
 		Dypvt:       true,
 		NumArbiters: 1,
 		CheckSC:     true,
+		Witness:     true,
 		WarmupFrac:  0.3,
 	}
 }
@@ -122,6 +132,15 @@ type Result struct {
 	// Commits holds the committed chunks in commit order when
 	// Config.CheckSC was set; tests and debugging tools inspect it.
 	Commits []*chunk.Chunk
+	// WitnessViolations lists online SC-witness checker findings when
+	// Config.Witness was set (empty = all witness obligations held).
+	// Deliberately excluded from DeterminismHash: golden hashes pin the
+	// simulated execution, not the diagnostic instrumentation.
+	WitnessViolations []string
+	// WitnessChunks and WitnessAccesses count what the witness checker
+	// examined (also excluded from DeterminismHash).
+	WitnessChunks   int
+	WitnessAccesses uint64
 	// Timeline holds execution events when Config.RecordTimeline was set.
 	Timeline Timeline
 }
@@ -181,6 +200,7 @@ type machine struct {
 	convProcs []*proc.ConvProc
 
 	commits  []*chunk.Chunk // commit-order log for the checker
+	witness  *sccheck.Checker
 	timeline Timeline
 }
 
@@ -193,6 +213,9 @@ func buildMachine(cfg Config) *machine {
 		pages: mem.NewPageTable(),
 	}
 	m.net = network.New(m.eng, m.st)
+	if cfg.Witness {
+		m.witness = sccheck.New()
+	}
 	if cfg.Stpvt {
 		m.pages.MarkStacksPrivate(cfg.Procs)
 	}
@@ -364,6 +387,12 @@ func (m *machine) addProc(cfg Config, id int, ins []workload.Instr) {
 			if cfg.CheckSC {
 				m.commits = append(m.commits, ch)
 			}
+			if m.witness != nil {
+				// OnCommit fires at the arbiter's grant event, so chunks
+				// arrive here in global commit order — exactly the
+				// serialization the witness checker validates.
+				m.witness.CommitChunk(ch)
+			}
 			if cfg.RecordTimeline {
 				m.timeline = append(m.timeline, TimelineEvent{
 					At: uint64(m.eng.Now()), Proc: ch.Proc, Kind: EvCommit,
@@ -371,7 +400,7 @@ func (m *machine) addProc(cfg Config, id int, ins []workload.Instr) {
 				})
 			}
 		}
-		if cfg.CheckSC || cfg.RecordTimeline {
+		if cfg.CheckSC || cfg.RecordTimeline || m.witness != nil {
 			p.OnCommit = onCommit
 		}
 		if cfg.RecordTimeline {
@@ -390,14 +419,25 @@ func (m *machine) addProc(cfg Config, id int, ins []workload.Instr) {
 		}
 		m.bulkProcs = append(m.bulkProcs, p)
 	case ModelSC:
-		m.convProcs = append(m.convProcs, proc.NewConvProc(id, m.env, par, proc.SC, ins))
+		m.addConvProc(id, par, proc.SC, ins)
 	case ModelRC:
-		m.convProcs = append(m.convProcs, proc.NewConvProc(id, m.env, par, proc.RC, ins))
+		m.addConvProc(id, par, proc.RC, ins)
 	case ModelSCpp:
-		m.convProcs = append(m.convProcs, proc.NewConvProc(id, m.env, par, proc.SCpp, ins))
+		m.addConvProc(id, par, proc.SCpp, ins)
 	default:
 		panic("core: unknown model")
 	}
+}
+
+func (m *machine) addConvProc(id int, par proc.Params, model proc.Model, ins []workload.Instr) {
+	p := proc.NewConvProc(id, m.env, par, model, ins)
+	if m.witness != nil {
+		pid := id
+		p.OnAccess = func(po uint64, store bool, a mem.Addr, v uint64, fwd bool) {
+			m.witness.Access(pid, po, store, a, v, fwd)
+		}
+	}
+	m.convProcs = append(m.convProcs, p)
 }
 
 func (m *machine) wirePorts() {
@@ -484,6 +524,11 @@ func (m *machine) run(cfg Config) (*Result, error) {
 		res.SCViolations = verifySC(m.commits)
 		res.ChunksChecked = len(m.commits)
 		res.Commits = m.commits
+	}
+	if m.witness != nil {
+		res.WitnessViolations = m.witness.Strings()
+		res.WitnessChunks = m.witness.Chunks()
+		res.WitnessAccesses = m.witness.Accesses()
 	}
 	if cfg.RecordTimeline {
 		sortTimeline(m.timeline)

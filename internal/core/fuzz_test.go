@@ -96,6 +96,7 @@ func TestFuzzRandomProgramsHoldSC(t *testing.T) {
 			Stpvt:       rng.Intn(3) == 0,
 			NumArbiters: []int{1, 1, 2, 4}[rng.Intn(4)],
 			CheckSC:     true,
+			Witness:     true,
 			MaxCycles:   100_000_000,
 		}
 		if rng.Intn(4) == 0 {
@@ -110,7 +111,10 @@ func TestFuzzRandomProgramsHoldSC(t *testing.T) {
 				trial, cfg.ChunkSize, cfg.MaxChunks, cfg.SigKind, cfg.Dypvt, cfg.Stpvt,
 				cfg.NumArbiters, cfg.DirCacheEntries, res.SCViolations[0])
 		}
-		if res.ChunksChecked == 0 {
+		if len(res.WitnessViolations) > 0 {
+			t.Fatalf("trial %d: witness violations: %v", trial, res.WitnessViolations)
+		}
+		if res.ChunksChecked == 0 || res.WitnessChunks == 0 {
 			t.Fatalf("trial %d: nothing checked", trial)
 		}
 	}
@@ -148,6 +152,9 @@ func TestFuzzHotLineHammer(t *testing.T) {
 			}
 			if len(res.SCViolations) > 0 {
 				t.Fatalf("chunk=%d seed=%d: %s", chunkSize, seed, res.SCViolations[0])
+			}
+			if len(res.WitnessViolations) > 0 {
+				t.Fatalf("chunk=%d seed=%d: witness: %s", chunkSize, seed, res.WitnessViolations[0])
 			}
 		}
 	}
@@ -195,6 +202,9 @@ func TestFuzzMixedPrivateSharedAliasing(t *testing.T) {
 		}
 		if len(res.SCViolations) > 0 {
 			t.Fatalf("seed=%d: %s", seed, res.SCViolations[0])
+		}
+		if len(res.WitnessViolations) > 0 {
+			t.Fatalf("seed=%d: witness: %s", seed, res.WitnessViolations[0])
 		}
 		if res.Stats.PrivBufSupplies == 0 && seed == 1 {
 			t.Log("note: no private-buffer supplies this seed (pattern may be too clean)")

@@ -26,6 +26,9 @@ func TestDistributedArbiterHoldsSC(t *testing.T) {
 			if len(res.SCViolations) > 0 {
 				t.Errorf("%s/%d-arb: %s", app, n, res.SCViolations[0])
 			}
+			if len(res.WitnessViolations) > 0 {
+				t.Errorf("%s/%d-arb: witness: %s", app, n, res.WitnessViolations[0])
+			}
 			if res.Stats.GArbTransactions == 0 {
 				t.Errorf("%s/%d-arb: G-arbiter never used (multi-range commits expected)", app, n)
 			}
@@ -50,6 +53,9 @@ func TestDirectoryCacheHoldsSC(t *testing.T) {
 		if len(res.SCViolations) > 0 {
 			t.Fatalf("%s: %s", app, res.SCViolations[0])
 		}
+		if len(res.WitnessViolations) > 0 {
+			t.Fatalf("%s: witness: %s", app, res.WitnessViolations[0])
+		}
 		if res.Stats.DirCacheEvicts == 0 {
 			t.Errorf("%s: directory cache never displaced (footprint should exceed 2048 lines)", app)
 		}
@@ -72,6 +78,9 @@ func TestScaleProcessorCounts(t *testing.T) {
 		}
 		if len(res.SCViolations) > 0 {
 			t.Fatalf("%d procs: %s", procs, res.SCViolations[0])
+		}
+		if len(res.WitnessViolations) > 0 {
+			t.Fatalf("%d procs: witness: %s", procs, res.WitnessViolations[0])
 		}
 		if len(res.PerProc) != procs {
 			t.Fatalf("%d procs: %d completion records", procs, len(res.PerProc))
@@ -100,6 +109,9 @@ func TestChunkSizeAndDepthMatrix(t *testing.T) {
 			}
 			if len(res.SCViolations) > 0 {
 				t.Errorf("size=%d depth=%d: %s", size, depth, res.SCViolations[0])
+			}
+			if len(res.WitnessViolations) > 0 {
+				t.Errorf("size=%d depth=%d: witness: %s", size, depth, res.WitnessViolations[0])
 			}
 		}
 	}

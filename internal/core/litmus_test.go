@@ -1,6 +1,7 @@
 package core
 
 import (
+	"strings"
 	"testing"
 
 	"bulksc/internal/mem"
@@ -43,10 +44,19 @@ func runLitmus(t *testing.T, model ModelKind, prog *workload.Program, seed int64
 		Dypvt:       true,
 		NumArbiters: 1,
 		CheckSC:     model == ModelBulk,
+		Witness:     true,
 	}
 	res, err := RunProgram(cfg, prog)
 	if err != nil {
 		t.Fatalf("litmus run failed: %v", err)
+	}
+	// The witness checker is an unconditional oracle for the SC-claiming
+	// models; RC and SC++ genuinely relax store→load order, so their
+	// findings are informative, not failures.
+	if model == ModelBulk || model == ModelSC {
+		if len(res.WitnessViolations) > 0 {
+			t.Fatalf("%s witness violations: %v", model, res.WitnessViolations)
+		}
 	}
 	return res
 }
@@ -77,17 +87,43 @@ func TestLitmusSBBulkSC(t *testing.T) {
 
 // TestLitmusSBRCWeak: the RC baseline must be able to exhibit the SB
 // relaxation for at least one timing — otherwise it is not modeling a
-// relaxed machine and the paper's comparison would be vacuous.
+// relaxed machine and the paper's comparison would be vacuous. The witness
+// checker makes the relaxation directly observable: RC performs loads at
+// dispatch while stores drain from the buffer, so the drained store arrives
+// at the witness after younger loads — a program-order violation.
 func TestLitmusSBRCWeak(t *testing.T) {
-	// RC has no replay logs; observe through the architectural read path:
-	// re-run RC with varying paddings and check the memory-event ordering
-	// instead. The RC processor reads at dispatch, so with symmetric
-	// timing both loads happen before the stores drain: detect via the
-	// final spin-free execution by instrumenting is complex, so use a
-	// proxy: the BulkSC run with chunk size 1 approximates per-access SC
-	// and must still forbid (0,0); RC's relaxation is asserted on the
-	// model's store-buffer design directly in internal/proc tests.
-	t.Skip("RC relaxation is exercised in proc-level tests (store buffer drains after load dispatch)")
+	relaxed := false
+	for pad := 0; pad < 30 && !relaxed; pad += 3 {
+		for seed := int64(1); seed <= 5; seed++ {
+			prog := workload.StoreBuffering(pad)
+			res := runLitmus(t, ModelRC, prog, seed)
+			for _, v := range res.WitnessViolations {
+				if strings.Contains(v, "program-order") {
+					relaxed = true
+				}
+			}
+			if relaxed {
+				break
+			}
+		}
+	}
+	if !relaxed {
+		t.Fatal("RC never exhibited the store-buffer relaxation; the baseline is not relaxed")
+	}
+}
+
+// TestLitmusSBSCBaselineStrict: the serialized SC baseline must never trip
+// the witness checker — perform order embeds program order by construction.
+// (runLitmus asserts the absence of witness violations for ModelSC.)
+func TestLitmusSBSCBaselineStrict(t *testing.T) {
+	for pad := 0; pad < 30; pad += 6 {
+		for seed := int64(1); seed <= 3; seed++ {
+			res := runLitmus(t, ModelSC, workload.StoreBuffering(pad), seed)
+			if res.WitnessAccesses == 0 {
+				t.Fatalf("pad=%d seed=%d: witness checker observed no accesses", pad, seed)
+			}
+		}
+	}
 }
 
 // TestLitmusMPBulkSC: message passing — if the reader sees the flag (y),

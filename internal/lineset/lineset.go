@@ -231,12 +231,18 @@ func (m *Map) Put(a mem.Addr, val uint64) {
 	}
 }
 
-// Reset empties the map in place, keeping the allocated tables.
+// Reset empties the map in place, keeping the allocated tables. Values are
+// cleared along with the keys: Maps are pooled and recycled across chunks
+// (the speculative write buffer), and a stale value surviving in a slot
+// whose key is later re-occupied by a different chunk would silently leak
+// one chunk's speculative data into another's if any probe path ever reads
+// a value before fully matching its key.
 func (m *Map) Reset() {
 	if m.n == 0 {
 		return
 	}
 	clear(m.keys)
+	clear(m.vals)
 	m.n = 0
 }
 

@@ -154,3 +154,69 @@ func TestMapAddrZero(t *testing.T) {
 		t.Fatal("addr 0 must be storable")
 	}
 }
+
+// TestMapResetClearsValues: Reset must scrub the value table, not just the
+// keys. Maps are recycled across chunks; a stale value left behind in a
+// slot is one chunk's speculative data waiting to leak into the next.
+func TestMapResetClearsValues(t *testing.T) {
+	var m Map
+	for i := 0; i < 64; i++ {
+		m.Put(mem.Addr(i*8), 0xdead0000+uint64(i))
+	}
+	m.Reset()
+	if m.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", m.Len())
+	}
+	for i, v := range m.vals {
+		if v != 0 {
+			t.Fatalf("vals[%d] = %#x after Reset; stale value survived", i, v)
+		}
+	}
+	// The map must still work after recycling, with no ghosts.
+	for i := 0; i < 64; i++ {
+		if _, ok := m.Get(mem.Addr(i * 8)); ok {
+			t.Fatalf("Get(%d) hit after Reset", i*8)
+		}
+	}
+	m.Put(8, 7)
+	if v, ok := m.Get(8); !ok || v != 7 {
+		t.Fatal("Put/Get broken after Reset")
+	}
+}
+
+// TestMapRecyclingNeverLeaks drives a Map through many chunk-like
+// fill/Reset cycles with adversarial overlapping address ranges and checks
+// each generation only ever observes its own writes — the pool-recycling
+// property the simulator's speculative write buffers rely on.
+func TestMapRecyclingNeverLeaks(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var m Map
+	for gen := 0; gen < 200; gen++ {
+		ref := map[mem.Addr]uint64{}
+		// Shifting, partially-overlapping footprint each generation.
+		base := rng.Intn(100)
+		for op := 0; op < 50; op++ {
+			a := mem.Addr((base + rng.Intn(60)) * 8)
+			if rng.Intn(3) > 0 {
+				v := uint64(gen)<<32 | rng.Uint64()&0xffffffff
+				ref[a] = v
+				m.Put(a, v)
+				continue
+			}
+			want, had := ref[a]
+			got, ok := m.Get(a)
+			if ok != had || (ok && got != want) {
+				t.Fatalf("gen %d: Get(%d)=(%#x,%v) want (%#x,%v)", gen, a, got, ok, want, had)
+			}
+			if ok && got>>32 != uint64(gen) {
+				t.Fatalf("gen %d observed value %#x from generation %d", gen, got, got>>32)
+			}
+		}
+		m.ForEach(func(a mem.Addr, v uint64) {
+			if ref[a] != v {
+				t.Fatalf("gen %d: ForEach %d=%#x, ref %#x", gen, a, v, ref[a])
+			}
+		})
+		m.Reset()
+	}
+}

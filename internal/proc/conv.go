@@ -53,6 +53,15 @@ type ConvProc struct {
 	dispatch uint64
 	storeSeq uint64
 
+	// OnAccess, when set, observes every architectural memory access at
+	// its perform instant — the recording hook of the SC-witness checker
+	// (internal/sccheck). po is the per-processor program-order index
+	// assigned at dispatch; fwd marks a load served from the processor's
+	// own store buffer.
+	OnAccess func(po uint64, store bool, a mem.Addr, v uint64, fwd bool)
+	// poSeq numbers memory operations in program order for OnAccess.
+	poSeq uint64
+
 	inflight map[mem.Line]*convReq
 	// reqFree recycles fetch-request records; each keeps its bound arrival
 	// callback, so a steady-state miss allocates nothing.
@@ -96,6 +105,7 @@ type ConvProc struct {
 type convStore struct {
 	addr mem.Addr
 	val  uint64
+	po   uint64 // program-order index, assigned at dispatch
 }
 
 // convReq is one outstanding line fetch of a conventional processor. It is
@@ -347,12 +357,26 @@ func (p *ConvProc) noteAccess(l mem.Line) {
 	}
 }
 
-// readValue reads addr with store-buffer forwarding.
-func (p *ConvProc) readValue(a mem.Addr) uint64 {
+// readValue reads addr with store-buffer forwarding, reporting whether the
+// value was forwarded from the processor's own buffer.
+func (p *ConvProc) readValue(a mem.Addr) (uint64, bool) {
 	if v, ok := p.storeFwd[a.Align()]; ok {
-		return v
+		return v, true
 	}
-	return p.env.Mem.Load(a)
+	return p.env.Mem.Load(a), false
+}
+
+// nextPO returns the next program-order index for OnAccess recording.
+func (p *ConvProc) nextPO() uint64 {
+	p.poSeq++
+	return p.poSeq
+}
+
+// recordAccess reports one architectural access to the witness hook.
+func (p *ConvProc) recordAccess(po uint64, store bool, a mem.Addr, v uint64, fwd bool) {
+	if p.OnAccess != nil {
+		p.OnAccess(po, store, a, v, fwd)
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -405,25 +429,32 @@ func (p *ConvProc) performSerial() {
 	in := p.f.current()
 	switch in.Kind {
 	case workload.OpLoad:
-		p.env.Mem.Load(in.Addr) // architectural read at this instant
+		v := p.env.Mem.Load(in.Addr) // architectural read at this instant
+		p.recordAccess(p.nextPO(), false, in.Addr, v, false)
 		p.f.pos++
 		p.retire(1)
 		p.resumeSerial(scSerial)
 	case workload.OpStore:
-		p.env.Mem.Store(in.Addr, p.token())
+		v := p.token()
+		p.env.Mem.Store(in.Addr, v)
+		p.recordAccess(p.nextPO(), true, in.Addr, v, false)
 		p.markDirty(in.Addr.LineOf())
 		p.f.pos++
 		p.retire(1)
 		p.resumeSerial(scSerial)
 	case workload.OpRelease:
 		p.env.Mem.Store(in.Addr, 0)
+		p.recordAccess(p.nextPO(), true, in.Addr, 0, false)
 		p.markDirty(in.Addr.LineOf())
 		p.f.pos++
 		p.retire(1)
 		p.resumeSerial(scSerial)
 	case workload.OpAcquire:
-		if p.env.Mem.Load(in.Addr) == 0 {
+		v := p.env.Mem.Load(in.Addr)
+		p.recordAccess(p.nextPO(), false, in.Addr, v, false)
+		if v == 0 {
 			p.env.Mem.Store(in.Addr, 1)
+			p.recordAccess(p.nextPO(), true, in.Addr, 1, false)
 			p.markDirty(in.Addr.LineOf())
 			p.f.pos++
 			p.retire(2)
@@ -492,12 +523,16 @@ func (p *ConvProc) barArrive(in workload.Instr) {
 	target := p.f.barrierTarget()
 	count, gen := barrierCount(in), barrierGen(in)
 	c := p.env.Mem.Load(count)
+	p.recordAccess(p.nextPO(), false, count, c, false)
 	if c+1 >= uint64(in.N) {
 		p.env.Mem.Store(count, 0)
+		p.recordAccess(p.nextPO(), true, count, 0, false)
 		p.env.Mem.Store(gen, target)
+		p.recordAccess(p.nextPO(), true, gen, target, false)
 		p.markDirty(gen.LineOf())
 	} else {
 		p.env.Mem.Store(count, c+1)
+		p.recordAccess(p.nextPO(), true, count, c+1, false)
 	}
 	p.markDirty(count.LineOf())
 	p.noteAccess(count.LineOf())
@@ -512,6 +547,7 @@ func (p *ConvProc) barWait(in workload.Instr) {
 	target := p.f.barrierTarget()
 	gen := barrierGen(in)
 	g := p.env.Mem.Load(gen)
+	p.recordAccess(p.nextPO(), false, gen, g, false)
 	p.noteAccess(gen.LineOf())
 	p.retire(2)
 	if g < target {
@@ -652,7 +688,8 @@ func (p *ConvProc) rcLoad(a mem.Addr) {
 	p.retire(1)
 	l := a.LineOf()
 	p.noteAccess(l)
-	p.readValue(a) // architectural read at this instant
+	v, fwd := p.readValue(a) // architectural read at this instant
+	p.recordAccess(p.nextPO(), false, a, v, fwd)
 	if p.l1.Access(l) != nil {
 		p.env.St.L1Hits++
 		return
@@ -668,7 +705,7 @@ func (p *ConvProc) rcLoad(a mem.Addr) {
 func (p *ConvProc) rcStore(a mem.Addr, val uint64) {
 	p.retire(1)
 	p.noteAccess(a.LineOf())
-	p.storeQ = append(p.storeQ, convStore{addr: a, val: val})
+	p.storeQ = append(p.storeQ, convStore{addr: a, val: val, po: p.nextPO()})
 	p.storeFwd[a.Align()] = val
 	p.fwdCounts[a.Align()]++
 	p.prefetchAhead(2)
@@ -696,6 +733,10 @@ func (p *ConvProc) drainStores() {
 func (p *ConvProc) drainPerform() {
 	s := p.storeQ[p.sqHead]
 	p.env.Mem.Store(s.addr, s.val)
+	// Reported with the program-order index assigned at dispatch: under
+	// RC the drain performs after younger loads, which the witness checker
+	// sees as the store→load relaxation.
+	p.recordAccess(s.po, true, s.addr, s.val, false)
 	p.markDirty(s.addr.LineOf())
 	p.sqHead++
 	if p.sqHead == len(p.storeQ) {
@@ -722,11 +763,14 @@ func (p *ConvProc) drainNext() {
 func (p *ConvProc) rcAcquire(lock mem.Addr) bool {
 	p.retire(2)
 	p.noteAccess(lock.LineOf())
-	if p.env.Mem.Load(lock) != 0 {
+	v := p.env.Mem.Load(lock)
+	p.recordAccess(p.nextPO(), false, lock, v, false)
+	if v != 0 {
 		p.env.St.SpinInstrs++
 		return false
 	}
 	p.env.Mem.Store(lock, 1)
+	p.recordAccess(p.nextPO(), true, lock, 1, false)
 	p.markDirty(lock.LineOf())
 	if !p.owner(lock.LineOf()) {
 		// Pay the ownership latency by pausing dispatch.

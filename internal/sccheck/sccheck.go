@@ -1,0 +1,338 @@
+// Package sccheck is an online sequential-consistency witness checker.
+//
+// BulkSC's central claim is that chunked, reordered, speculatively-executed
+// programs still *look* sequentially consistent: the arbiter serializes
+// chunks into a global commit order, and the paper argues (§3) that the
+// resulting execution is indistinguishable from some interleaving of the
+// per-processor programs in which each chunk is a single atomic step.
+//
+// This package checks that claim independently, following the witness-based
+// formulation of SC verification (Qadeer's model-checking construction and
+// QED-style MCM witness checking): the implementation under test *names* a
+// total order — the arbiter's global commit-order counter — and the checker
+// verifies that the named order actually explains every observed value.
+// Concretely, three obligations are discharged online, as chunks commit:
+//
+//  1. Chunk atomicity — within one chunk, no other chunk's commit may
+//     interleave: two reads of the same word with no intervening same-chunk
+//     store must observe the same value, and every read must be explained
+//     either by the chunk's own speculative write buffer (forwarding) or by
+//     the witness memory state as of the chunk's commit point.
+//  2. Value coherence — every committed load returns the value of the most
+//     recent store to that word in global commit order (with same-chunk
+//     stores forwarding through the speculative write buffer).
+//  3. Total order — commit orders are strictly increasing in arrival order
+//     (the arbiter assigns the order and replies in the same event, so
+//     checker arrival order is commit order), and each processor's chunk
+//     sequence embeds into the global order.
+//
+// Unlike core's replay checker, which re-derives values from the logs after
+// the run, the witness checker validates the implementation's *own claimed
+// serialization* and does so incrementally with O(footprint) state, so it
+// can gate long fuzz and integration runs without retaining every chunk.
+//
+// The same Checker also audits the conventional models through Access: each
+// architectural memory operation is reported at its perform instant, and
+// the checker verifies value coherence in perform order plus per-processor
+// program-order embedding. The SC baseline must pass; RC genuinely relaxes
+// store→load order (a drained store performs after younger loads), which
+// the checker flags as ProgramOrder violations — the store-buffer litmus
+// tests assert exactly that.
+package sccheck
+
+import (
+	"fmt"
+
+	"bulksc/internal/chunk"
+	"bulksc/internal/lineset"
+	"bulksc/internal/mem"
+)
+
+// Kind classifies a witness violation by the obligation it breaks.
+type Kind int
+
+const (
+	// KindTotalOrder: commit orders not strictly increasing in arrival
+	// order, or a processor's chunk sequence does not embed into the
+	// global order.
+	KindTotalOrder Kind = iota
+	// KindAtomicity: two same-chunk reads of one word, with no intervening
+	// same-chunk store, observed different values — some other chunk's
+	// commit interleaved the chunk's accesses.
+	KindAtomicity
+	// KindCoherence: a read observed a value different from the most
+	// recent store in the witness order.
+	KindCoherence
+	// KindForwarding: a load following a same-chunk store to the same word
+	// did not observe the buffered value.
+	KindForwarding
+	// KindProgramOrder: a conventional processor's accesses performed out
+	// of program order (the RC store-buffer relaxation surfaces here).
+	KindProgramOrder
+)
+
+func (k Kind) String() string {
+	return [...]string{"total-order", "atomicity", "coherence", "forwarding", "program-order"}[k]
+}
+
+// Violation is one discharged-obligation failure.
+type Violation struct {
+	Kind Kind
+	Proc int
+	// Order is the global commit order (chunks) or witness arrival index
+	// (conventional accesses) at which the violation was detected.
+	Order uint64
+	Addr  mem.Addr
+	// Got is the observed value; Want the value the witness requires.
+	Got, Want uint64
+	Detail    string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("sccheck[%s] proc %d order %d addr %#x got %d want %d: %s",
+		v.Kind, v.Proc, v.Order, uint64(v.Addr), v.Got, v.Want, v.Detail)
+}
+
+// wordState is the witness memory: the last committed value of a word and
+// the commit that produced it.
+type wordState struct {
+	val   uint64
+	order uint64
+	proc  int
+}
+
+// DefaultMaxViolations caps the retained violation records; Total keeps
+// counting past the cap.
+const DefaultMaxViolations = 20
+
+// Checker verifies the SC-witness obligations online. It is not safe for
+// concurrent use; the simulator is single-goroutine per machine.
+//
+// The zero value is not ready — use New (per-processor state grows lazily,
+// so New needs no processor count).
+type Checker struct {
+	// MaxViolations caps len(Violations()); 0 means DefaultMaxViolations.
+	MaxViolations int
+
+	// words is the witness memory. Absent words are zero, matching the
+	// simulator's zero-initialized mem.Memory.
+	words map[mem.Addr]wordState
+
+	// lastOrder is the highest commit order seen; arrival must be in
+	// strictly increasing order (gaps are fine: a squashed chunk whose
+	// grant arrived posthumously consumes an order that never commits).
+	lastOrder uint64
+
+	// Per-processor embedding state, grown on demand.
+	procOrder []uint64 // last commit order per processor
+	procSeq   []uint64 // last chunk sequence number per processor
+	procPO    []uint64 // last program-order index per processor (conv)
+	procSeen  []bool   // whether the processor committed anything yet
+
+	// arrivals counts conventional accesses; it is the witness order for
+	// the conventional models (every architectural access performs at a
+	// distinct engine instant).
+	arrivals uint64
+
+	// Scratch for CommitChunk, reused across chunks (allocation-free at
+	// steady state).
+	overlay lineset.Map // same-chunk speculative write buffer replica
+	seen    lineset.Map // first observed value per word read in the chunk
+
+	violations []Violation
+	total      int
+
+	chunks   int
+	accesses uint64
+}
+
+// New returns an empty checker.
+func New() *Checker {
+	return &Checker{words: make(map[mem.Addr]wordState)}
+}
+
+func (c *Checker) grow(proc int) {
+	for len(c.procOrder) <= proc {
+		c.procOrder = append(c.procOrder, 0)
+		c.procSeq = append(c.procSeq, 0)
+		c.procPO = append(c.procPO, 0)
+		c.procSeen = append(c.procSeen, false)
+	}
+}
+
+func (c *Checker) report(v Violation) {
+	c.total++
+	max := c.MaxViolations
+	if max <= 0 {
+		max = DefaultMaxViolations
+	}
+	if len(c.violations) < max {
+		c.violations = append(c.violations, v)
+	}
+}
+
+// CommitChunk discharges the witness obligations for one committed chunk.
+// It must be called at the chunk's commit instant (the arbiter's grant
+// event), in grant order — exactly what wiring it into BulkProc.OnCommit
+// provides. The chunk's Proc, Seq, CommitOrder and Log fields are read; the
+// chunk is not retained.
+func (c *Checker) CommitChunk(ch *chunk.Chunk) {
+	c.chunks++
+	c.accesses += uint64(len(ch.Log))
+	c.grow(ch.Proc)
+
+	// Obligation 3: total order. Arrival order must follow the claimed
+	// global order, and the per-processor sequence must embed into it.
+	if ch.CommitOrder <= c.lastOrder {
+		c.report(Violation{
+			Kind: KindTotalOrder, Proc: ch.Proc, Order: ch.CommitOrder,
+			Detail: fmt.Sprintf("chunk #%d arrived after order %d", ch.Seq, c.lastOrder),
+		})
+	}
+	c.lastOrder = ch.CommitOrder
+	if c.procSeen[ch.Proc] {
+		if ch.CommitOrder <= c.procOrder[ch.Proc] {
+			c.report(Violation{
+				Kind: KindTotalOrder, Proc: ch.Proc, Order: ch.CommitOrder,
+				Detail: fmt.Sprintf("chunk #%d order not after processor's previous order %d",
+					ch.Seq, c.procOrder[ch.Proc]),
+			})
+		}
+		if ch.Seq <= c.procSeq[ch.Proc] {
+			c.report(Violation{
+				Kind: KindTotalOrder, Proc: ch.Proc, Order: ch.CommitOrder,
+				Detail: fmt.Sprintf("chunk #%d committed after chunk #%d of the same processor",
+					ch.Seq, c.procSeq[ch.Proc]),
+			})
+		}
+	}
+	c.procOrder[ch.Proc] = ch.CommitOrder
+	c.procSeq[ch.Proc] = ch.Seq
+	c.procSeen[ch.Proc] = true
+
+	// Obligations 1 and 2: walk the program-order log. overlay replicates
+	// the chunk's speculative write buffer; seen pins the first observed
+	// value of every word read before it is locally written.
+	for _, rec := range ch.Log {
+		a := rec.Addr.Align()
+		if rec.IsStore {
+			c.overlay.Put(a, rec.Value)
+			continue
+		}
+		if v, ok := c.overlay.Get(a); ok {
+			// Same-chunk forwarding.
+			if rec.Value != v {
+				c.report(Violation{
+					Kind: KindForwarding, Proc: ch.Proc, Order: ch.CommitOrder, Addr: rec.Addr,
+					Got: rec.Value, Want: v,
+					Detail: fmt.Sprintf("chunk #%d load not forwarded from same-chunk store", ch.Seq),
+				})
+			}
+			continue
+		}
+		if v, ok := c.seen.Get(a); ok {
+			// Re-read with no intervening same-chunk store: atomicity
+			// demands the same value.
+			if rec.Value != v {
+				c.report(Violation{
+					Kind: KindAtomicity, Proc: ch.Proc, Order: ch.CommitOrder, Addr: rec.Addr,
+					Got: rec.Value, Want: v,
+					Detail: fmt.Sprintf("chunk #%d re-read diverged: another commit interleaved", ch.Seq),
+				})
+			}
+			continue
+		}
+		// First read of the word: the witness memory as of this commit
+		// point must explain it.
+		want := c.words[a].val
+		if rec.Value != want {
+			w := c.words[a]
+			c.report(Violation{
+				Kind: KindCoherence, Proc: ch.Proc, Order: ch.CommitOrder, Addr: rec.Addr,
+				Got: rec.Value, Want: want,
+				Detail: fmt.Sprintf("chunk #%d load differs from last store (proc %d, order %d)",
+					ch.Seq, w.proc, w.order),
+			})
+		}
+		c.seen.Put(a, rec.Value)
+	}
+
+	// Publish the chunk's writes into the witness memory at its commit
+	// point, then reset the scratch in place.
+	c.overlay.ForEach(func(a mem.Addr, v uint64) {
+		c.words[a] = wordState{val: v, order: ch.CommitOrder, proc: ch.Proc}
+	})
+	c.overlay.Reset()
+	c.seen.Reset()
+}
+
+// Access discharges the witness obligations for one conventional-model
+// architectural access at its perform instant. po is the processor's
+// program-order index for the operation (assigned at dispatch, strictly
+// increasing per processor); fwd marks a load served from the processor's
+// own store buffer, which is exempt from the coherence check (its ordering
+// debt is collected when the buffered store itself performs, as a
+// program-order violation).
+func (c *Checker) Access(proc int, po uint64, store bool, a mem.Addr, v uint64, fwd bool) {
+	c.arrivals++
+	c.accesses++
+	c.grow(proc)
+	aa := a.Align()
+
+	if po <= c.procPO[proc] {
+		c.report(Violation{
+			Kind: KindProgramOrder, Proc: proc, Order: c.arrivals, Addr: a, Got: v,
+			Detail: fmt.Sprintf("op po=%d performed after po=%d", po, c.procPO[proc]),
+		})
+	} else {
+		c.procPO[proc] = po
+	}
+
+	if store {
+		c.words[aa] = wordState{val: v, order: c.arrivals, proc: proc}
+		return
+	}
+	if fwd {
+		return
+	}
+	if want := c.words[aa].val; v != want {
+		w := c.words[aa]
+		c.report(Violation{
+			Kind: KindCoherence, Proc: proc, Order: c.arrivals, Addr: a, Got: v, Want: want,
+			Detail: fmt.Sprintf("load differs from last store (proc %d, order %d)", w.proc, w.order),
+		})
+	}
+}
+
+// Ok reports whether no obligation failed.
+func (c *Checker) Ok() bool { return c.total == 0 }
+
+// Total returns the number of violations detected, including any past the
+// retention cap.
+func (c *Checker) Total() int { return c.total }
+
+// Violations returns the retained violation records.
+func (c *Checker) Violations() []Violation { return c.violations }
+
+// Strings renders the retained violations, appending a truncation marker
+// when the cap was hit.
+func (c *Checker) Strings() []string {
+	if c.total == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(c.violations)+1)
+	for _, v := range c.violations {
+		out = append(out, v.String())
+	}
+	if c.total > len(c.violations) {
+		out = append(out, fmt.Sprintf("sccheck: ... and %d more violations", c.total-len(c.violations)))
+	}
+	return out
+}
+
+// Chunks returns how many committed chunks were checked.
+func (c *Checker) Chunks() int { return c.chunks }
+
+// Accesses returns how many logged accesses were checked (chunk log entries
+// plus conventional architectural accesses).
+func (c *Checker) Accesses() uint64 { return c.accesses }

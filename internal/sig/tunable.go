@@ -182,14 +182,7 @@ func (s *Tunable) EstimateCount() int {
 	for _, w := range s.banks[0] {
 		ones += bits.OnesCount64(w)
 	}
-	if ones >= s.g.BankBits {
-		return s.n
-	}
-	est := int(float64(s.g.BankBits)*ln1p(float64(ones)/float64(s.g.BankBits)) + 0.5)
-	if est > s.n {
-		return s.n
-	}
-	return est
+	return estimateFromOccupancy(s.g.BankBits, ones, s.n)
 }
 
 // TransferBytes scales the compressed transfer with the geometry relative

@@ -167,8 +167,23 @@ func (s *Stats) SubtractBase(b *Stats, warmupCycle uint64) {
 	s.CommitCancels -= b.CommitCancels
 	s.EmptyWCommits -= b.EmptyWCommits
 	s.RSigRequired -= b.RSigRequired
-	s.wListIntegral -= b.wListIntegral
-	s.wListNonEmptyTime -= b.wListNonEmptyTime
+	// The W-list integrals must be rolled forward to warmupCycle before
+	// subtraction: the snapshot's last update (wListLastChange) may predate
+	// the window open, and the pending-W time accumulated between that
+	// update and warmupCycle belongs to the warmup, not the measurement
+	// window. Subtracting the raw snapshot misattributes it and skews
+	// Table 4's "# of Pend. W Sigs" and "Non-Empty W List".
+	baseIntegral := b.wListIntegral
+	baseNonEmpty := b.wListNonEmptyTime
+	if warmupCycle > b.wListLastChange {
+		dt := warmupCycle - b.wListLastChange
+		baseIntegral += uint64(b.wListCurrent) * dt
+		if b.wListCurrent > 0 {
+			baseNonEmpty += dt
+		}
+	}
+	s.wListIntegral -= baseIntegral
+	s.wListNonEmptyTime -= baseNonEmpty
 	s.statWindowStart = warmupCycle
 	s.GArbTransactions -= b.GArbTransactions
 	s.MultiArbCommits -= b.MultiArbCommits

@@ -141,3 +141,53 @@ func TestStringSummary(t *testing.T) {
 		t.Errorf("String() = %q", s.String())
 	}
 }
+
+// TestSubtractBaseWListStraddlesWarmup is the regression test for the
+// warmup-boundary accounting bug: when the last W-list change predates the
+// warmup snapshot, the pending-W time between that change and the window
+// open must be attributed to the warmup (rolled into the subtracted base),
+// not to the measurement window.
+func TestSubtractBaseWListStraddlesWarmup(t *testing.T) {
+	s := New()
+	// t=100: list becomes 2 pending, and stays there across the warmup
+	// boundary at t=500.
+	s.WListChanged(100, 2)
+	snap := s.Snapshot()
+	const warmup = 500
+	// t=900: list drains. t=1000: run ends.
+	s.WListChanged(900, 0)
+	s.CloseWList(1000)
+	s.SubtractBase(&snap, warmup)
+
+	// Measurement window is 500..1000. Pending was 2 during 500..900:
+	// integral = 2*400 = 800 over 500 cycles → 1.6; non-empty 400/500 = 80%.
+	// The buggy subtraction left the 100..500 warmup span in the window,
+	// yielding the impossible 3.2 average (> max pending of 2) and 160%.
+	if got := s.AvgPendingWSigs(); got != 1.6 {
+		t.Errorf("AvgPendingWSigs = %v, want 1.6", got)
+	}
+	if got := s.NonEmptyWListPct(); got != 80 {
+		t.Errorf("NonEmptyWListPct = %v, want 80", got)
+	}
+}
+
+// TestSubtractBaseWListChangeBeforeWarmup: when the list drained before the
+// snapshot, rolling forward must add nothing for the empty span.
+func TestSubtractBaseWListChangeBeforeWarmup(t *testing.T) {
+	s := New()
+	s.WListChanged(100, 3)
+	s.WListChanged(200, 0) // drained well before warmup
+	snap := s.Snapshot()
+	s.WListChanged(600, 1)
+	s.WListChanged(800, 0)
+	s.CloseWList(1000)
+	s.SubtractBase(&snap, 500)
+
+	// Window 500..1000: pending 1 during 600..800 → 200/500 = 0.4; 40%.
+	if got := s.AvgPendingWSigs(); got != 0.4 {
+		t.Errorf("AvgPendingWSigs = %v, want 0.4", got)
+	}
+	if got := s.NonEmptyWListPct(); got != 40 {
+		t.Errorf("NonEmptyWListPct = %v, want 40", got)
+	}
+}

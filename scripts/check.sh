@@ -26,4 +26,7 @@ go test ./...
 echo "== go test -race ./experiments =="
 go test -race ./experiments
 
+echo "== go test -race -short ./internal/... =="
+go test -race -short ./internal/...
+
 echo "check: all green"
