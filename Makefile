@@ -3,10 +3,20 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-json golden clean
+.PHONY: check check-fast lint fmt vet build test race bench bench-json golden clean
 
-check: ## full PR gate: format, vet, build, tests, race on the sweep fan-out
+check: ## full PR gate: format, vet, simlint, build, tests, race on the sweep fan-out
 	./scripts/check.sh
+
+# The gate minus the race-detector passes — quick local iteration.
+check-fast:
+	./scripts/check.sh -fast
+
+# Static invariant passes (determinism, poolhygiene, hotpathalloc,
+# statsnapshot); see DESIGN.md §9. scripts/hotpath_escape.sh cross-checks
+# hotpathalloc suppressions against the compiler's escape analysis.
+lint:
+	$(GO) run ./cmd/simlint ./...
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi

@@ -1,0 +1,130 @@
+// Command simlint is the repository's static-invariant gate: a
+// multichecker driving the four analysis passes under internal/analysis
+// (determinism, poolhygiene, hotpathalloc, statsnapshot) over the
+// simulator's sources. It is wired into `make lint` and scripts/check.sh;
+// a non-zero exit blocks the PR.
+//
+// Usage:
+//
+//	go run ./cmd/simlint [flags] [packages]
+//
+// With no package patterns it checks ./... from the current directory.
+//
+// Flags:
+//
+//	-only p1,p2     run only the named passes
+//	-scope a,b      import-path prefixes the determinism pass is limited
+//	                to (default: the simulation core — internal/ and
+//	                experiments/; cmd/ tools may read the wall clock)
+//	-list           print the available passes and exit
+//
+// See DESIGN.md §9 for the invariant each pass enforces and the
+// //sim:hotpath, //sim:accumulator, //lint:deterministic, //lint:alloc
+// and //lint:poolsafe annotations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"bulksc/internal/analysis/determinism"
+	"bulksc/internal/analysis/hotpathalloc"
+	"bulksc/internal/analysis/lintkit"
+	"bulksc/internal/analysis/poolhygiene"
+	"bulksc/internal/analysis/statsnapshot"
+)
+
+var all = []*lintkit.Analyzer{
+	determinism.Analyzer,
+	hotpathalloc.Analyzer,
+	poolhygiene.Analyzer,
+	statsnapshot.Analyzer,
+}
+
+func main() {
+	only := flag.String("only", "", "comma-separated pass names to run (default: all)")
+	scope := flag.String("scope", "bulksc/internal,bulksc/experiments",
+		"import-path prefixes the determinism pass is limited to")
+	list := flag.Bool("list", false, "list available passes and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := all
+	if *only != "" {
+		want := make(map[string]bool)
+		for _, n := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+		analyzers = nil
+		for _, a := range all {
+			if want[a.Name] {
+				analyzers = append(analyzers, a)
+				delete(want, a.Name)
+			}
+		}
+		for n := range want {
+			fmt.Fprintf(os.Stderr, "simlint: unknown pass %q (use -list)\n", n)
+			os.Exit(2)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+		os.Exit(2)
+	}
+	prog, err := lintkit.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+		os.Exit(2)
+	}
+
+	var scopes []string
+	for _, s := range strings.Split(*scope, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			scopes = append(scopes, s)
+		}
+	}
+	filter := func(a *lintkit.Analyzer, pkg *lintkit.Package) bool {
+		if a != determinism.Analyzer {
+			return true
+		}
+		for _, s := range scopes {
+			if pkg.ImportPath == s || strings.HasPrefix(pkg.ImportPath, s+"/") ||
+				strings.HasPrefix(pkg.ImportPath, s) {
+				return true
+			}
+		}
+		return false
+	}
+
+	findings, err := lintkit.Run(prog.Roots(), analyzers, filter)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		name := f.Pos.Filename
+		if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+		fmt.Printf("%s:%d:%d: %s (%s)\n", name, f.Pos.Line, f.Pos.Column, f.Message, f.Analyzer)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "simlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,234 @@
+// Package determinism implements the simlint pass that guards the
+// simulator's bit-reproducibility contract: for a fixed seed, every run
+// must produce identical results (the property the 104 golden hashes in
+// internal/core pin down dynamically).
+//
+// In simulation code (non-test files of internal/... and experiments/...)
+// the pass forbids the three nondeterminism sources that have actually
+// bitten event-driven simulators:
+//
+//  1. Go map iteration. Iteration order is randomized per run; any map
+//     range whose effects can reach simulation state or output is a
+//     reproducibility bug. The pass recognizes the one safe idiom —
+//     collect the keys into a slice and sort it before use — and accepts
+//     it without annotation. Every other map range needs a
+//     `//lint:deterministic <reason>` justification on or above the range
+//     line.
+//  2. Wall-clock time: time.Now, time.Since, time.Until, time.Sleep,
+//     time.After, time.Tick, time.NewTimer, time.NewTicker.
+//  3. The process-global math/rand generator (rand.Intn, rand.Int63,
+//     rand.Shuffle, ... and rand.Seed). Constructing an explicitly seeded
+//     source with rand.New(rand.NewSource(seed)) is the sanctioned
+//     pattern and is not flagged; neither are calls on a *rand.Rand
+//     value. math/rand/v2's global functions are forbidden outright:
+//     the v2 global generator cannot be seeded at all.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+
+	"bulksc/internal/analysis/lintkit"
+)
+
+// Directive is the suppression marker honoured by this pass.
+const Directive = "//lint:deterministic"
+
+// Analyzer is the determinism pass.
+var Analyzer = &lintkit.Analyzer{
+	Name: "determinism",
+	Doc: "forbid nondeterminism sources (map iteration order, wall-clock time, " +
+		"the global math/rand generator) in simulation code",
+	Run: run,
+}
+
+// forbiddenTime lists wall-clock entry points in package time.
+var forbiddenTime = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+// allowedRand lists package-level math/rand functions that do NOT touch
+// the global generator (constructors of explicitly seeded state).
+var allowedRand = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true,
+	"NewChaCha8": true,
+}
+
+func run(pass *lintkit.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		sup := lintkit.NewSuppressions(pass.Fset, file, Directive)
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, sup, fn)
+		}
+	}
+	return nil, nil
+}
+
+func checkFunc(pass *lintkit.Pass, sup *lintkit.Suppressions, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			t := pass.TypesInfo.TypeOf(n.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if sup.Suppressed(n.Pos()) {
+				return true
+			}
+			if isCollectAndSort(pass, fn, n) {
+				return true
+			}
+			pass.Reportf(n.Pos(), "map iteration order is nondeterministic; "+
+				"collect keys and sort, or justify with %s <reason>", Directive)
+		case *ast.CallExpr:
+			checkCall(pass, sup, n)
+		}
+		return true
+	})
+}
+
+// checkCall flags calls to wall-clock time functions and to package-level
+// math/rand functions backed by the global generator.
+func checkCall(pass *lintkit.Pass, sup *lintkit.Suppressions, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	// Only package-qualified calls: the selector base must be a package
+	// name, so rng.Intn (a method on *rand.Rand) is never flagged.
+	base, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pkgName, ok := pass.TypesInfo.Uses[base].(*types.PkgName)
+	if !ok {
+		return
+	}
+	path := pkgName.Imported().Path()
+	name := sel.Sel.Name
+	switch path {
+	case "time":
+		if forbiddenTime[name] && !sup.Suppressed(call.Pos()) {
+			pass.Reportf(call.Pos(), "time.%s reads the wall clock; simulation code must use "+
+				"sim.Engine cycles (or justify with %s <reason>)", name, Directive)
+		}
+	case "math/rand", "math/rand/v2":
+		if allowedRand[name] {
+			return
+		}
+		if sup.Suppressed(call.Pos()) {
+			return
+		}
+		pass.Reportf(call.Pos(), "rand.%s uses the process-global generator; use the seeded "+
+			"per-run source (sim.Engine.Rand or workload.Builder.Rng) instead", name)
+	}
+}
+
+// isCollectAndSort recognizes the sanctioned map-iteration idiom:
+//
+//	for k := range m { keys = append(keys, k) }
+//	sort.Strings(keys) // or sort.Slice/sort.Ints/slices.Sort*, later on
+//
+// The loop body may contain only append-assignments into local slices (and
+// trivially deterministic accumulation like `n++` is NOT allowed — a count
+// does not depend on order, but distinguishing safe accumulators from
+// order-sensitive ones is beyond a syntactic pass); at least one appended
+// slice must later be passed to a sort call in the same function.
+func isCollectAndSort(pass *lintkit.Pass, fn *ast.FuncDecl, loop *ast.RangeStmt) bool {
+	var appended []types.Object
+	for _, stmt := range loop.Body.List {
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return false
+		}
+		lhs, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return false
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		cf, ok := call.Fun.(*ast.Ident)
+		if !ok || cf.Name != "append" {
+			return false
+		}
+		if b, ok := pass.TypesInfo.Uses[cf].(*types.Builtin); !ok || b.Name() != "append" {
+			return false
+		}
+		first, ok := call.Args[0].(*ast.Ident)
+		if !ok || first.Name != lhs.Name {
+			return false
+		}
+		obj := pass.TypesInfo.Uses[lhs]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[lhs]
+		}
+		if obj == nil {
+			return false
+		}
+		appended = append(appended, obj)
+	}
+	if len(appended) == 0 {
+		return false
+	}
+	// Look for a sort call over one of the appended slices after the loop.
+	sorted := false
+	past := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if n == nil || sorted {
+			return false
+		}
+		if n == loop {
+			past = true
+			return false // don't descend into the loop itself
+		}
+		if !past {
+			return true
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		base, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkgName, ok := pass.TypesInfo.Uses[base].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		p := pkgName.Imported().Path()
+		if p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			id, ok := arg.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := pass.TypesInfo.Uses[id]
+			for _, ap := range appended {
+				if obj == ap {
+					sorted = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return sorted
+}

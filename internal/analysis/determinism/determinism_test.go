@@ -1,0 +1,12 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"bulksc/internal/analysis/determinism"
+	"bulksc/internal/analysis/linttest"
+)
+
+func TestDeterminism(t *testing.T) {
+	linttest.Run(t, "testdata/determfix", determinism.Analyzer)
+}

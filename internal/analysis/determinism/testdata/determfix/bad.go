@@ -1,0 +1,35 @@
+package determfix
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+// mapOrder leaks Go's randomized map iteration order into its result: the
+// xor-shift mix is order-sensitive, so two runs over the same map differ.
+func mapOrder(m map[int]int) int {
+	sum := 0
+	for k := range m { // want `map iteration order is nondeterministic`
+		sum ^= sum<<1 + k
+	}
+	return sum
+}
+
+func wallClock() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since reads the wall clock`
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `rand\.Intn uses the process-global generator`
+}
+
+// globalRandV2 is forbidden outright: the v2 global generator cannot be
+// seeded at all.
+func globalRandV2() int {
+	return randv2.IntN(10) // want `rand\.IntN uses the process-global generator`
+}

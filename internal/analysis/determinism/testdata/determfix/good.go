@@ -1,0 +1,44 @@
+package determfix
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// collectAndSort is the sanctioned map-iteration idiom: the sort erases
+// iteration order before the keys are used. Recognized without annotation.
+func collectAndSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// seeded constructs an explicitly seeded per-run source; the constructors
+// and methods on *rand.Rand are never flagged.
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// justified carries a reviewed suppression: the ∃-query is
+// order-independent.
+func justified(m map[int]bool) bool {
+	found := false
+	//lint:deterministic order-independent existence query
+	for _, v := range m {
+		found = found || v
+	}
+	return found
+}
+
+// sliceRange is an ordered range; only map ranges are suspect.
+func sliceRange(s []int) int {
+	sum := 0
+	for _, v := range s {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,343 @@
+// Package hotpathalloc implements the simlint pass that keeps the
+// simulator's annotated hot paths allocation-free. PR 1 rebuilt the event
+// engine, line sets, signatures and chunk commit pipeline around a
+// zero-steady-state-allocation discipline (2.4M allocs/op on Fig9@60k,
+// down from 59.6M); this pass makes that discipline survive refactoring.
+//
+// Functions carrying a `//sim:hotpath` doc-comment directive must not
+// contain, outside cold branches:
+//
+//   - address-of composite literals (&T{...}) or new(T): heap escapes;
+//   - make(...): slice/map/channel allocation (amortized growth paths
+//     carry a `//lint:alloc <reason>` line suppression);
+//   - append to a fresh local slice (append to struct fields, to
+//     caller-provided parameters, or to locals built with
+//     make(..., len, cap) reuses capacity and is allowed);
+//   - capturing closures: a func literal that references enclosing
+//     locals may allocate its context per call (verify non-escaping
+//     ones with scripts/hotpath_escape.sh and suppress);
+//   - implicit conversions of non-pointer-shaped values to interface
+//     types (call arguments, assignments, returns): these box and may
+//     allocate. Pointer-shaped payloads (pointers, maps, chans, funcs)
+//     store directly in the interface word and are fine — that is why
+//     sim.Engine.AtCall threads state through a pointer payload.
+//
+// A branch is cold when it is an if-body whose final statement panics —
+// the engine's "scheduling in the past" guards, cycle-limit livelock
+// traps and similar assertion paths. Findings are heuristic (no escape
+// analysis); scripts/hotpath_escape.sh cross-checks them against the
+// compiler's -gcflags=-m escape report.
+package hotpathalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"bulksc/internal/analysis/lintkit"
+)
+
+// HotDirective marks a function as a checked hot path.
+const HotDirective = "//sim:hotpath"
+
+// Directive is the line-level suppression marker.
+const Directive = "//lint:alloc"
+
+// Analyzer is the hotpathalloc pass.
+var Analyzer = &lintkit.Analyzer{
+	Name: "hotpathalloc",
+	Doc: "forbid allocation sources (escaping composite literals, make/new, " +
+		"append to fresh locals, capturing closures, interface boxing) in //sim:hotpath functions",
+	Run: run,
+}
+
+func run(pass *lintkit.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		sup := lintkit.NewSuppressions(pass.Fset, file, Directive)
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !lintkit.FuncAnnotated(fn, HotDirective) {
+				continue
+			}
+			(&checker{pass: pass, sup: sup, fn: fn, cold: coldBlocks(fn.Body)}).check()
+		}
+	}
+	return nil, nil
+}
+
+type checker struct {
+	pass *lintkit.Pass
+	sup  *lintkit.Suppressions
+	fn   *ast.FuncDecl
+	cold map[*ast.BlockStmt]bool
+}
+
+// coldBlocks returns the if-bodies that terminate in panic: assertion
+// paths that never execute in a correct run.
+func coldBlocks(body *ast.BlockStmt) map[*ast.BlockStmt]bool {
+	cold := make(map[*ast.BlockStmt]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || len(ifs.Body.List) == 0 {
+			return true
+		}
+		if es, ok := ifs.Body.List[len(ifs.Body.List)-1].(*ast.ExprStmt); ok {
+			if call, ok := es.X.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+					cold[ifs.Body] = true
+				}
+			}
+		}
+		return true
+	})
+	return cold
+}
+
+func (c *checker) report(pos token.Pos, format string, args ...interface{}) {
+	if c.sup.Suppressed(pos) {
+		return
+	}
+	c.pass.Reportf(pos, format, args...)
+}
+
+func (c *checker) check() {
+	ast.Inspect(c.fn.Body, func(n ast.Node) bool {
+		if blk, ok := n.(*ast.BlockStmt); ok && c.cold[blk] {
+			return false // cold assertion path
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					c.report(n.Pos(), "hot path takes the address of a composite literal (heap allocation)")
+				}
+			}
+		case *ast.CallExpr:
+			c.checkCall(n)
+		case *ast.FuncLit:
+			if v := c.capturedVar(n); v != "" {
+				c.report(n.Pos(), "hot path closure captures %q and may allocate its context per call "+
+					"(verify with scripts/hotpath_escape.sh, then suppress with %s <reason>)", v, Directive)
+			}
+			return false // do not descend: the literal runs in its own frame
+		case *ast.AssignStmt:
+			c.checkAssign(n)
+		case *ast.ReturnStmt:
+			c.checkReturn(n)
+		}
+		return true
+	})
+}
+
+func (c *checker) checkCall(call *ast.CallExpr) {
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := c.pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "new":
+				c.report(call.Pos(), "hot path calls new() (heap allocation)")
+			case "make":
+				c.report(call.Pos(), "hot path calls make() (allocation; suppress amortized growth with %s <reason>)", Directive)
+			case "append":
+				c.checkAppend(call)
+			}
+			return
+		}
+	}
+	// Interface boxing of call arguments.
+	sig, ok := c.pass.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				pt = params.At(params.Len() - 1).Type() // s... passes the slice through
+			} else {
+				pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		c.checkBoxing(arg, pt)
+	}
+}
+
+// checkAppend flags appends whose destination is a fresh local slice:
+// every such call allocates (or reallocates) on the hot path. Appending to
+// a struct field, a parameter, or a local created with an explicit
+// capacity reuses steady-state capacity.
+func (c *checker) checkAppend(call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	dst, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return // field selectors (s.buf) reuse amortized capacity
+	}
+	obj := c.pass.TypesInfo.Uses[dst]
+	if obj == nil {
+		return
+	}
+	if c.isParam(obj) {
+		return // caller-provided destination (AppendTo(dst []T) pattern)
+	}
+	if c.localHasCapacity(obj) {
+		return
+	}
+	c.report(call.Pos(), "hot path appends to fresh local slice %q (allocates; preallocate with make(..., 0, cap) "+
+		"or reuse a field)", dst.Name)
+}
+
+func (c *checker) isParam(obj types.Object) bool {
+	if c.fn.Type.Params == nil {
+		return false
+	}
+	for _, f := range c.fn.Type.Params.List {
+		for _, name := range f.Names {
+			if c.pass.TypesInfo.Defs[name] == obj {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// localHasCapacity reports whether obj's defining statement gives it
+// backing capacity: x := make([]T, n, cap), x := buf[:0], or x := s.field.
+func (c *checker) localHasCapacity(obj types.Object) bool {
+	found := false
+	ast.Inspect(c.fn.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || c.pass.TypesInfo.Defs[id] != obj || i >= len(as.Rhs) {
+				continue
+			}
+			switch rhs := as.Rhs[i].(type) {
+			case *ast.CallExpr:
+				if fid, ok := rhs.Fun.(*ast.Ident); ok {
+					if b, ok := c.pass.TypesInfo.Uses[fid].(*types.Builtin); ok && b.Name() == "make" && len(rhs.Args) == 3 {
+						found = true
+					}
+				}
+			case *ast.SliceExpr, *ast.SelectorExpr:
+				found = true // reslice of existing backing / copied field header
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// capturedVar returns the name of one enclosing local that lit captures,
+// or "" if the literal is capture-free (a static func value, no
+// allocation).
+func (c *checker) capturedVar(lit *ast.FuncLit) string {
+	name := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := c.pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Captured iff declared inside the enclosing function but outside
+		// the literal. (Package-level vars fail the first test.)
+		if v.Pos() >= c.fn.Pos() && v.Pos() < c.fn.End() &&
+			!(v.Pos() >= lit.Pos() && v.Pos() < lit.End()) {
+			name = v.Name()
+		}
+		return true
+	})
+	return name
+}
+
+func (c *checker) checkAssign(as *ast.AssignStmt) {
+	for i, lhs := range as.Lhs {
+		if i >= len(as.Rhs) {
+			break // x, y := f() — conversion happens inside f
+		}
+		lt := c.pass.TypesInfo.TypeOf(lhs)
+		if lt == nil {
+			continue
+		}
+		c.checkBoxing(as.Rhs[i], lt)
+	}
+}
+
+func (c *checker) checkReturn(ret *ast.ReturnStmt) {
+	results := c.fn.Type.Results
+	if results == nil {
+		return
+	}
+	var rtypes []types.Type
+	for _, f := range results.List {
+		n := len(f.Names)
+		if n == 0 {
+			n = 1
+		}
+		t := c.pass.TypesInfo.TypeOf(f.Type)
+		for j := 0; j < n; j++ {
+			rtypes = append(rtypes, t)
+		}
+	}
+	for i, e := range ret.Results {
+		if i < len(rtypes) {
+			c.checkBoxing(e, rtypes[i])
+		}
+	}
+}
+
+// checkBoxing flags expr when assigning it to target boxes a
+// non-pointer-shaped value into an interface.
+func (c *checker) checkBoxing(expr ast.Expr, target types.Type) {
+	if target == nil || !types.IsInterface(target) {
+		return
+	}
+	tv, ok := c.pass.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil {
+		return
+	}
+	et := tv.Type
+	if types.IsInterface(et) {
+		return // interface-to-interface: no boxing
+	}
+	if b, ok := et.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	if pointerShaped(et) {
+		return
+	}
+	c.report(expr.Pos(), "hot path converts non-pointer value of type %s to interface %s (boxing may allocate)",
+		et.String(), target.String())
+}
+
+// pointerShaped reports whether values of t store directly in an
+// interface's data word without allocation.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	case *types.Struct:
+		return u.NumFields() == 0 // zero-size: runtime uses a static sentinel
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package hotpathalloc_test
+
+import (
+	"testing"
+
+	"bulksc/internal/analysis/hotpathalloc"
+	"bulksc/internal/analysis/linttest"
+)
+
+func TestHotPathAlloc(t *testing.T) {
+	linttest.Run(t, "testdata/hotfix", hotpathalloc.Analyzer)
+}

@@ -1,0 +1,46 @@
+package hotfix
+
+type node struct {
+	v int
+}
+
+var sink interface{}
+
+//sim:hotpath
+func escapeLit(n int) *node {
+	return &node{v: n} // want `address of a composite literal`
+}
+
+//sim:hotpath
+func callsNew() *node {
+	return new(node) // want `calls new\(\)`
+}
+
+//sim:hotpath
+func callsMake() []int {
+	return make([]int, 8) // want `calls make\(\)`
+}
+
+//sim:hotpath
+func freshAppend(n int) []int {
+	var s []int
+	s = append(s, n) // want `appends to fresh local slice "s"`
+	return s
+}
+
+//sim:hotpath
+func capturing(n int) func() int {
+	return func() int { return n } // want `closure captures "n"`
+}
+
+//sim:hotpath
+func boxesAssign(n int) {
+	sink = n // want `converts non-pointer value of type int to interface`
+}
+
+func variadic(args ...interface{}) int { return len(args) }
+
+//sim:hotpath
+func boxesArg(n uint64) int {
+	return variadic(n) // want `converts non-pointer value of type uint64 to interface`
+}

@@ -1,0 +1,57 @@
+package hotfix
+
+var fn func()
+
+// coldPanic allocates only on an assertion path that panics: cold
+// branches are exempt.
+//
+//sim:hotpath
+func coldPanic(n int) {
+	if n < 0 {
+		p := &node{v: n}
+		_ = p
+		panic("negative")
+	}
+}
+
+// appendToParam reuses caller-provided capacity (the AppendTo pattern).
+//
+//sim:hotpath
+func appendToParam(dst []int, n int) []int {
+	return append(dst, n)
+}
+
+// preallocated carries a reviewed suppression for the one-time make and
+// appends into its explicit capacity.
+//
+//sim:hotpath
+func preallocated(n int) int {
+	//lint:alloc one-time setup allocation, amortized across the run
+	s := make([]int, 0, 16)
+	for i := 0; i < n; i++ {
+		s = append(s, i)
+	}
+	return len(s)
+}
+
+// pointerPayload stores a pointer in the interface word: no boxing
+// allocation.
+//
+//sim:hotpath
+func pointerPayload(p *node) {
+	sink = p
+}
+
+// staticClosure captures nothing: a static func value, no context
+// allocation.
+//
+//sim:hotpath
+func staticClosure() {
+	fn = func() {}
+}
+
+// notHot is unannotated; the pass ignores it entirely.
+func notHot() *node {
+	s := make([]int, 3)
+	return &node{v: s[0]}
+}

@@ -1,0 +1,214 @@
+// Package lintkit is a self-contained miniature of the
+// golang.org/x/tools/go/analysis framework, built entirely on the standard
+// library (go/ast, go/parser, go/types and the `go list` command).
+//
+// The repository's static passes (internal/analysis/determinism,
+// poolhygiene, hotpathalloc, statsnapshot) are written against this
+// package's Analyzer/Pass API, which deliberately mirrors go/analysis so
+// the passes can be ported to the real framework verbatim if the
+// dependency ever becomes available. The container this project builds in
+// has no module proxy access, so vendoring x/tools is not an option;
+// everything here — package loading, type checking, diagnostic plumbing
+// and the `// want` fixture harness in internal/analysis/linttest — is
+// implemented from scratch on the standard library.
+package lintkit
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static pass. It mirrors
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the pass in diagnostics and -only filters.
+	Name string
+	// Doc is a one-paragraph description, shown by `simlint -help`.
+	Doc string
+	// Run applies the pass to one package and reports diagnostics via
+	// pass.Report. The result value is unused (kept for API parity).
+	Run func(pass *Pass) (interface{}, error)
+}
+
+// Pass carries the per-package inputs of one analyzer invocation.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File // parsed non-test files of the package
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Program gives access to every package loaded alongside this one
+	// (dependencies included), so passes can read annotations declared in
+	// other packages' sources — poor man's analysis facts.
+	Program *Program
+	// Report delivers one diagnostic.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Finding is a fully resolved diagnostic, ready for printing.
+type Finding struct {
+	Analyzer string
+	Pkg      string // package import path
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message, f.Analyzer)
+}
+
+// Run applies each analyzer to each package and returns the merged
+// findings, deterministically sorted by position then message. filter, when
+// non-nil, can exclude (analyzer, package) combinations — the driver uses
+// it to scope the determinism pass to simulation code.
+func Run(pkgs []*Package, analyzers []*Analyzer, filter func(*Analyzer, *Package) bool) ([]Finding, error) {
+	var out []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if filter != nil && !filter(a, pkg) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				Program:   pkg.Program,
+			}
+			aName, pkgPath := a.Name, pkg.ImportPath
+			pass.Report = func(d Diagnostic) {
+				out = append(out, Finding{
+					Analyzer: aName,
+					Pkg:      pkgPath,
+					Pos:      pkg.Fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Annotation helpers shared by the passes.
+// ---------------------------------------------------------------------------
+
+// Suppressions indexes "//lint:" style line comments of one file. A
+// directive suppresses findings on its own line and, when it is the only
+// thing on its line, on the following line.
+type Suppressions struct {
+	fset  *token.FileSet
+	lines map[int]string // line → directive text (after the marker)
+}
+
+// NewSuppressions scans file for comments beginning with marker (e.g.
+// "//lint:deterministic") and records the lines they govern.
+func NewSuppressions(fset *token.FileSet, file *ast.File, marker string) *Suppressions {
+	s := &Suppressions{fset: fset, lines: make(map[int]string)}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, marker)
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Slash)
+			s.lines[pos.Line] = strings.TrimSpace(text)
+			// A directive on its own line (column 1..any, nothing but the
+			// comment) also governs the next line. Approximation: always
+			// extend to the next line; a trailing same-line directive
+			// governing the following statement too is harmless.
+			s.lines[pos.Line+1] = strings.TrimSpace(text)
+		}
+	}
+	return s
+}
+
+// Suppressed reports whether pos falls on a governed line.
+func (s *Suppressions) Suppressed(pos token.Pos) bool {
+	_, ok := s.lines[s.fset.Position(pos).Line]
+	return ok
+}
+
+// FuncAnnotated reports whether fn's doc comment contains the given
+// directive (e.g. "//sim:hotpath").
+func FuncAnnotated(fn *ast.FuncDecl, directive string) bool {
+	return commentGroupHas(fn.Doc, directive)
+}
+
+func commentGroupHas(cg *ast.CommentGroup, directive string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.HasPrefix(c.Text, directive) {
+			return true
+		}
+	}
+	return false
+}
+
+// TypeAnnotated reports whether the TypeSpec or its enclosing GenDecl
+// carries the directive.
+func TypeAnnotated(decl *ast.GenDecl, spec *ast.TypeSpec, directive string) bool {
+	return commentGroupHas(spec.Doc, directive) || commentGroupHas(spec.Comment, directive) ||
+		(decl != nil && commentGroupHas(decl.Doc, directive))
+}
+
+// ReceiverStruct resolves fn's receiver to its named type and underlying
+// struct, or returns nil if fn is not a method on a (pointer to) struct.
+func ReceiverStruct(info *types.Info, fn *ast.FuncDecl) (*types.Named, *types.Struct) {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return nil, nil
+	}
+	tv := info.TypeOf(fn.Recv.List[0].Type)
+	if tv == nil {
+		return nil, nil
+	}
+	if ptr, ok := tv.(*types.Pointer); ok {
+		tv = ptr.Elem()
+	}
+	named, ok := tv.(*types.Named)
+	if !ok {
+		return nil, nil
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil, nil
+	}
+	return named, st
+}

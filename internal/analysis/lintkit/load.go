@@ -1,0 +1,218 @@
+package lintkit
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// Package is one loaded, parsed and type-checked package.
+type Package struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Standard   bool // part of the standard library
+	DepOnly    bool // pulled in as a dependency, not matched by the patterns
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+	// TypeErrors collects type-checker diagnostics. Errors in dependency
+	// packages are tolerated (the checker recovers and keeps going);
+	// errors in root packages abort Load.
+	TypeErrors []error
+	// Program links back to the whole load.
+	Program *Program
+}
+
+// Program is the result of one Load: every package, dependency-ordered.
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package // all packages, dependencies first
+	ByPath   map[string]*Package
+}
+
+// Roots returns the packages matched by the Load patterns (excluding
+// dependencies), in load order.
+func (p *Program) Roots() []*Package {
+	var out []*Package
+	for _, pkg := range p.Packages {
+		if !pkg.DepOnly && !pkg.Standard {
+			out = append(out, pkg)
+		}
+	}
+	return out
+}
+
+// listPackage mirrors the subset of `go list -json` output we consume.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// Load runs `go list -e -deps -json patterns...` in dir, parses every
+// package from source and type-checks the whole dependency graph bottom-up
+// with go/types. The standard library is type-checked from GOROOT source —
+// no export data and no network are needed, which is the point: this
+// loader works in the hermetic build container.
+func Load(dir string, patterns ...string) (*Program, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-e", "-deps", "-json=ImportPath,Name,Dir,Standard,DepOnly,GoFiles,Imports,ImportMap,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	// CGO off so GoFiles is the complete compiled file list and the pure-Go
+	// fallbacks of std packages are selected.
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	prog := &Program{Fset: token.NewFileSet(), ByPath: make(map[string]*Package)}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var metas []*listPackage
+	for {
+		var lp listPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		metas = append(metas, &lp)
+	}
+
+	imp := &sourceImporter{prog: prog, byDir: make(map[string]*listPackage)}
+	for _, m := range metas {
+		imp.byDir[m.Dir] = m
+	}
+
+	var rootErrs []string
+	for _, m := range metas {
+		if m.ImportPath == "unsafe" {
+			prog.ByPath["unsafe"] = &Package{ImportPath: "unsafe", Standard: true, DepOnly: true,
+				Fset: prog.Fset, Types: types.Unsafe, Program: prog}
+			prog.Packages = append(prog.Packages, prog.ByPath["unsafe"])
+			continue
+		}
+		if m.Error != nil && !m.DepOnly {
+			rootErrs = append(rootErrs, fmt.Sprintf("%s: %s", m.ImportPath, m.Error.Err))
+			continue
+		}
+		pkg, err := typecheck(prog, imp, m)
+		if err != nil {
+			if m.DepOnly || m.Standard {
+				// Tolerate broken dependencies; the checker degrades
+				// gracefully and roots that need them will surface errors.
+				continue
+			}
+			return nil, err
+		}
+		prog.Packages = append(prog.Packages, pkg)
+		prog.ByPath[m.ImportPath] = pkg
+		if !m.DepOnly && !m.Standard && len(pkg.TypeErrors) > 0 {
+			for _, e := range pkg.TypeErrors {
+				rootErrs = append(rootErrs, e.Error())
+			}
+		}
+	}
+	if len(rootErrs) > 0 {
+		return nil, fmt.Errorf("packages contain errors:\n  %s", strings.Join(rootErrs, "\n  "))
+	}
+	return prog, nil
+}
+
+func typecheck(prog *Program, imp *sourceImporter, m *listPackage) (*Package, error) {
+	pkg := &Package{
+		ImportPath: m.ImportPath,
+		Name:       m.Name,
+		Dir:        m.Dir,
+		Standard:   m.Standard,
+		DepOnly:    m.DepOnly,
+		Fset:       prog.Fset,
+		Program:    prog,
+	}
+	for _, f := range m.GoFiles {
+		path := filepath.Join(m.Dir, f)
+		file, err := parser.ParseFile(prog.Fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if m.DepOnly || m.Standard {
+				continue
+			}
+			return nil, fmt.Errorf("parsing %s: %v", path, err)
+		}
+		pkg.Files = append(pkg.Files, file)
+	}
+	pkg.TypesInfo = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{
+		Importer:                 imp,
+		FakeImportC:              true,
+		Sizes:                    types.SizesFor("gc", runtime.GOARCH),
+		DisableUnusedImportCheck: true,
+		Error: func(err error) {
+			pkg.TypeErrors = append(pkg.TypeErrors, err)
+		},
+	}
+	tpkg, err := conf.Check(m.ImportPath, prog.Fset, pkg.Files, pkg.TypesInfo)
+	if tpkg == nil {
+		return nil, fmt.Errorf("type-checking %s: %v", m.ImportPath, err)
+	}
+	pkg.Types = tpkg
+	return pkg, nil
+}
+
+// sourceImporter resolves imports against the packages Load has already
+// type-checked. It implements types.ImporterFrom so vendored std imports
+// (resolved through the importing package's ImportMap) work.
+type sourceImporter struct {
+	prog  *Program
+	byDir map[string]*listPackage
+}
+
+func (si *sourceImporter) Import(path string) (*types.Package, error) {
+	return si.ImportFrom(path, "", 0)
+}
+
+func (si *sourceImporter) ImportFrom(path, srcDir string, _ types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if m, ok := si.byDir[srcDir]; ok && m.ImportMap != nil {
+		if mapped, ok := m.ImportMap[path]; ok {
+			path = mapped
+		}
+	}
+	pkg, ok := si.prog.ByPath[path]
+	if !ok || pkg.Types == nil {
+		return nil, fmt.Errorf("package %q not loaded", path)
+	}
+	return pkg.Types, nil
+}

@@ -1,0 +1,115 @@
+// Package linttest is an analysistest-style fixture harness for lintkit
+// analyzers. A fixture is a self-contained Go module (its own go.mod, so
+// the surrounding repository never builds it — fixtures live under
+// testdata/, which the go tool prunes) whose source lines carry
+// expectations of the form
+//
+//	m := map[int]int{} // want `map iteration`
+//	for k := range m { // want `map iteration` `second regexp`
+//
+// Each backquoted or double-quoted string is a regular expression that
+// must match exactly one diagnostic reported on that line; conversely
+// every diagnostic must be matched by a want on its line. This is the same
+// contract as golang.org/x/tools/go/analysis/analysistest, reimplemented
+// on the standard library (see lintkit's package comment for why).
+package linttest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"bulksc/internal/analysis/lintkit"
+)
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+var argRe = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hits int
+}
+
+// Run loads the fixture module rooted at dir, applies analyzer a to every
+// package in it, and checks the diagnostics against the `// want`
+// expectations embedded in the fixture sources.
+func Run(t *testing.T, dir string, a *lintkit.Analyzer) {
+	t.Helper()
+	prog, err := lintkit.Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	findings, err := lintkit.Run(prog.Roots(), []*lintkit.Analyzer{a}, nil)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	// Collect expectations from every fixture file's comments.
+	var wants []*expectation
+	for _, pkg := range prog.Roots() {
+		for _, file := range pkg.Files {
+			fname := prog.Fset.Position(file.Pos()).Filename
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					line := prog.Fset.Position(c.Slash).Line
+					for _, am := range argRe.FindAllStringSubmatch(m[1], -1) {
+						raw := am[1]
+						if raw == "" && am[2] != "" {
+							unq, err := strconv.Unquote(`"` + am[2] + `"`)
+							if err != nil {
+								t.Fatalf("%s:%d: bad want string %q: %v", fname, line, am[2], err)
+							}
+							raw = unq
+						}
+						re, err := regexp.Compile(raw)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp %q: %v", fname, line, raw, err)
+						}
+						wants = append(wants, &expectation{file: fname, line: line, re: re, raw: raw})
+					}
+				}
+			}
+		}
+	}
+
+	key := func(file string, line int) string { return fmt.Sprintf("%s:%d", file, line) }
+	byLine := make(map[string][]*expectation)
+	for _, w := range wants {
+		byLine[key(w.file, w.line)] = append(byLine[key(w.file, w.line)], w)
+	}
+
+	for _, f := range findings {
+		matched := false
+		for _, w := range byLine[key(f.Pos.Filename, f.Pos.Line)] {
+			if w.re.MatchString(f.Message) {
+				w.hits++
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic %s", f)
+		}
+	}
+	for _, w := range wants {
+		if w.hits == 0 {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", trimFile(w.file), w.line, w.raw)
+		}
+	}
+}
+
+func trimFile(f string) string {
+	if i := strings.LastIndex(f, "testdata/"); i >= 0 {
+		return f[i:]
+	}
+	return f
+}

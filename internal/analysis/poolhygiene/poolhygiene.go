@@ -1,0 +1,224 @@
+// Package poolhygiene implements the simlint pass that guards pooled-object
+// recycling. The simulator recycles its hot per-chunk state (chunk.Pool,
+// the lineset write buffers, directory entry slabs) instead of allocating,
+// and the contract of every recycled type's Reset method is total: *every*
+// field must be returned to its zero/empty state, or one chunk's
+// speculative data leaks into the next chunk that draws the object from
+// the pool. PR 2 fixed exactly this class of bug — lineset.Map.Reset
+// cleared the key table but left stale values behind, silently leaking one
+// chunk's speculative write-buffer words into a successor's.
+//
+// The pass checks, for every method named Reset with a pointer receiver on
+// a struct type, that the method body covers every field of the struct: a
+// field is covered if it is assigned, cleared with the clear builtin,
+// indexed-assigned, passed (possibly by address) to a call, or is itself
+// the receiver of a method call (delegated reset). Fields that are
+// deliberately preserved across recycling (e.g. amortized capacity or
+// generation counters maintained elsewhere) must say so with a
+// `//lint:poolsafe <reason>` comment on the field's declaration.
+package poolhygiene
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"bulksc/internal/analysis/lintkit"
+)
+
+// Directive marks struct fields that Reset intentionally preserves.
+const Directive = "//lint:poolsafe"
+
+// Analyzer is the poolhygiene pass.
+var Analyzer = &lintkit.Analyzer{
+	Name: "poolhygiene",
+	Doc: "require Reset methods on pooled structs to cover every field " +
+		"(preserved fields need a //lint:poolsafe justification)",
+	Run: run,
+}
+
+func run(pass *lintkit.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Name.Name != "Reset" || fn.Body == nil {
+				continue
+			}
+			if fn.Type.Params.NumFields() != 0 {
+				continue // Reset(x) with parameters is a different contract
+			}
+			named, st := lintkit.ReceiverStruct(pass.TypesInfo, fn)
+			if named == nil || st == nil {
+				continue
+			}
+			if !isPointerReceiver(pass.TypesInfo, fn) {
+				// A value receiver cannot reset anything; that is its own
+				// bug class but not a field-coverage question.
+				pass.Reportf(fn.Name.Pos(),
+					"Reset on %s has a value receiver and cannot clear the pooled object", named.Obj().Name())
+				continue
+			}
+			checkCoverage(pass, fn, named, st)
+		}
+	}
+	return nil, nil
+}
+
+func isPointerReceiver(info *types.Info, fn *ast.FuncDecl) bool {
+	t := info.TypeOf(fn.Recv.List[0].Type)
+	_, ok := t.(*types.Pointer)
+	return ok
+}
+
+// checkCoverage reports every struct field that fn's body never touches.
+func checkCoverage(pass *lintkit.Pass, fn *ast.FuncDecl, named *types.Named, st *types.Struct) {
+	recv := receiverObject(pass.TypesInfo, fn)
+	if recv == nil {
+		return
+	}
+	covered := make(map[string]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				coverTarget(pass, recv, lhs, covered)
+			}
+		case *ast.IncDecStmt:
+			coverTarget(pass, recv, n.X, covered)
+		case *ast.CallExpr:
+			// clear(s.f), copy(s.f, ...), or any call taking s.f / &s.f:
+			// the callee is assumed to reinitialize it. Method calls on a
+			// field (s.f.Reset()) count as delegated resets.
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if f, ok := fieldOf(pass, recv, sel.X); ok {
+					covered[f] = true
+				}
+			}
+			for _, arg := range n.Args {
+				if u, ok := arg.(*ast.UnaryExpr); ok && u.Op == token.AND {
+					arg = u.X
+				}
+				if f, ok := fieldOf(pass, recv, arg); ok {
+					covered[f] = true
+				}
+			}
+		}
+		return true
+	})
+
+	fieldSuppressed := suppressedFields(pass, named)
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if covered[f.Name()] || fieldSuppressed[f.Name()] {
+			continue
+		}
+		pass.Reportf(fn.Name.Pos(),
+			"Reset on %s does not clear field %q; pooled reuse can leak one object's state into the next "+
+				"(clear it, or mark the field %s <reason>)", named.Obj().Name(), f.Name(), Directive)
+	}
+}
+
+// coverTarget marks the field named by an assignment target: s.f = ...,
+// s.f[i] = ..., s.f[i].g = ... all cover f.
+func coverTarget(pass *lintkit.Pass, recv types.Object, expr ast.Expr, covered map[string]bool) {
+	for {
+		switch e := expr.(type) {
+		case *ast.IndexExpr:
+			expr = e.X
+			continue
+		case *ast.StarExpr:
+			expr = e.X
+			continue
+		case *ast.SelectorExpr:
+			if f, ok := fieldOf(pass, recv, e); ok {
+				covered[f] = true
+				return
+			}
+			expr = e.X
+			continue
+		default:
+			return
+		}
+	}
+}
+
+// fieldOf reports whether expr is a selector recv.f (for the method's own
+// receiver) and returns the field name.
+func fieldOf(pass *lintkit.Pass, recv types.Object, expr ast.Expr) (string, bool) {
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	base, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if pass.TypesInfo.Uses[base] != recv {
+		return "", false
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+func receiverObject(info *types.Info, fn *ast.FuncDecl) types.Object {
+	names := fn.Recv.List[0].Names
+	if len(names) == 0 {
+		return nil // anonymous receiver: body cannot touch fields anyway
+	}
+	return info.Defs[names[0]]
+}
+
+// suppressedFields scans the struct's declaration (which may live in any
+// file of the defining package, or in a dependency) for fields annotated
+// with the poolsafe directive.
+func suppressedFields(pass *lintkit.Pass, named *types.Named) map[string]bool {
+	out := make(map[string]bool)
+	declPkg := named.Obj().Pkg()
+	if declPkg == nil {
+		return out
+	}
+	var files []*ast.File
+	if declPkg == pass.Pkg {
+		files = pass.Files
+	} else if pass.Program != nil {
+		if p, ok := pass.Program.ByPath[declPkg.Path()]; ok {
+			files = p.Files
+		}
+	}
+	for _, file := range files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok || ts.Name.Name != named.Obj().Name() {
+				return true
+			}
+			stExpr, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, f := range stExpr.Fields.List {
+				if hasDirective(f.Doc) || hasDirective(f.Comment) {
+					for _, name := range f.Names {
+						out[name.Name] = true
+					}
+				}
+			}
+			return false
+		})
+	}
+	return out
+}
+
+func hasDirective(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if len(c.Text) >= len(Directive) && c.Text[:len(Directive)] == Directive {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package poolhygiene_test
+
+import (
+	"testing"
+
+	"bulksc/internal/analysis/linttest"
+	"bulksc/internal/analysis/poolhygiene"
+)
+
+func TestPoolHygiene(t *testing.T) {
+	linttest.Run(t, "testdata/poolfix", poolhygiene.Analyzer)
+}

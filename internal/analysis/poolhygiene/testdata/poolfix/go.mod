@@ -1,0 +1,3 @@
+module poolfix
+
+go 1.22

@@ -1,0 +1,29 @@
+package poolfix
+
+// WriteMap is an open-addressed line→word map recycled through a pool,
+// modeled on the lineset.Map whose Reset leaked stale values before the
+// bug was fixed: the key table is cleared, the value table is not, so the
+// next chunk that recycles the object and probes a reused slot reads the
+// previous chunk's speculative word.
+type WriteMap struct {
+	keys []uint64
+	vals []uint64
+	n    int
+}
+
+func (m *WriteMap) Reset() { // want `Reset on WriteMap does not clear field "vals"`
+	for i := range m.keys {
+		m.keys[i] = 0
+	}
+	m.n = 0
+}
+
+// Counter's Reset has a value receiver: it clears a copy and leaves the
+// pooled object dirty.
+type Counter struct {
+	n int
+}
+
+func (c Counter) Reset() { // want `Reset on Counter has a value receiver`
+	c.n = 0
+}

@@ -1,0 +1,183 @@
+// Package statsnapshot implements the simlint pass that protects running
+// accumulators from being copied. stats.Stats carries time-weighted
+// integrals (the W-list pending integral, the warmup window bookkeeping)
+// whose private fields make a struct copy silently wrong: the copy's
+// integral stops advancing while the original keeps running, and PR 2's
+// "impossible >100% NonEmptyWListPct" bug came from exactly such a stale
+// snapshot being subtracted from live counters.
+//
+// Types opt in by carrying a `//sim:accumulator` directive on their type
+// declaration. Outside the defining package the pass then flags:
+//
+//   - declaring a variable, field, parameter or result of the bare value
+//     type (declare *T instead — the accumulator is shared state);
+//   - copying a value out of a pointer (*p used as a value);
+//   - passing a value of the type to a call (the callee receives a stale
+//     copy).
+//
+// Calls that *return* the type by value (e.g. stats.Stats.Snapshot) are
+// the sanctioned way to take a deliberate copy and are not flagged at the
+// call site; assigning the result to a fresh variable is fine because the
+// call result is already a copy.
+package statsnapshot
+
+import (
+	"go/ast"
+	"go/types"
+
+	"bulksc/internal/analysis/lintkit"
+)
+
+// Directive marks a struct type as a running accumulator.
+const Directive = "//sim:accumulator"
+
+// Analyzer is the statsnapshot pass.
+var Analyzer = &lintkit.Analyzer{
+	Name: "statsnapshot",
+	Doc: "flag struct copies of //sim:accumulator types (running integrals) " +
+		"outside their defining package",
+	Run: run,
+}
+
+func run(pass *lintkit.Pass) (interface{}, error) {
+	accums := accumulatorTypes(pass)
+	if len(accums) == 0 {
+		return nil, nil
+	}
+	foreign := func(t types.Type) (*types.Named, bool) {
+		named, ok := t.(*types.Named)
+		if !ok || !accums[named.Obj()] {
+			return nil, false
+		}
+		if named.Obj().Pkg() == pass.Pkg {
+			return nil, false // the defining package manages its own copies
+		}
+		return named, true
+	}
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Field:
+				// Covers struct fields, params, results and receivers.
+				if t := pass.TypesInfo.TypeOf(n.Type); t != nil {
+					if named, ok := foreign(t); ok {
+						pass.Reportf(n.Type.Pos(),
+							"declares a value of accumulator type %s (running integrals desynchronize when copied); declare *%s",
+							typeName(named), typeName(named))
+					}
+				}
+			case *ast.ValueSpec:
+				if n.Type != nil {
+					if t := pass.TypesInfo.TypeOf(n.Type); t != nil {
+						if named, ok := foreign(t); ok {
+							pass.Reportf(n.Type.Pos(),
+								"declares a value of accumulator type %s (running integrals desynchronize when copied); declare *%s",
+								typeName(named), typeName(named))
+						}
+					}
+				}
+			case *ast.StarExpr:
+				// *p as a value: copies the accumulator out of its home.
+				if t := pass.TypesInfo.TypeOf(n); t != nil {
+					if named, ok := foreign(t); ok && !isAssignTarget(file, n) {
+						pass.Reportf(n.Pos(),
+							"copies accumulator %s out of a pointer; running integrals in the copy go stale",
+							typeName(named))
+					}
+				}
+			case *ast.CallExpr:
+				for _, arg := range n.Args {
+					if _, ok := arg.(*ast.CallExpr); ok {
+						continue // a call result is already a sanctioned copy
+					}
+					if _, ok := arg.(*ast.StarExpr); ok {
+						continue // reported at the StarExpr
+					}
+					if t := pass.TypesInfo.TypeOf(arg); t != nil {
+						if named, ok := foreign(t); ok {
+							pass.Reportf(arg.Pos(),
+								"passes accumulator %s by value; the callee receives a stale copy (pass *%s)",
+								typeName(named), typeName(named))
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func typeName(n *types.Named) string {
+	if pkg := n.Obj().Pkg(); pkg != nil {
+		return pkg.Name() + "." + n.Obj().Name()
+	}
+	return n.Obj().Name()
+}
+
+// isAssignTarget reports whether star is the LHS of an assignment
+// (*p = x stores into the accumulator; that is not a copy out).
+func isAssignTarget(file *ast.File, star *ast.StarExpr) bool {
+	target := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		if target {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if lhs == ast.Expr(star) {
+				target = true
+			}
+		}
+		return true
+	})
+	return target
+}
+
+// accumulatorTypes collects every type object in the analyzed package or
+// its transitive source-loaded dependencies whose declaration carries the
+// accumulator directive.
+func accumulatorTypes(pass *lintkit.Pass) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	scan := func(files []*ast.File, tpkg *types.Package, defs map[*ast.Ident]types.Object) {
+		for _, file := range files {
+			for _, decl := range file.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok || !lintkit.TypeAnnotated(gd, ts, Directive) {
+						continue
+					}
+					if obj := defs[ts.Name]; obj != nil {
+						out[obj] = true
+					} else if tpkg != nil {
+						if obj := tpkg.Scope().Lookup(ts.Name.Name); obj != nil {
+							out[obj] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	scan(pass.Files, pass.Pkg, pass.TypesInfo.Defs)
+	if pass.Program != nil {
+		for _, dep := range pass.Program.Packages {
+			if dep.Standard || dep.Types == pass.Pkg || dep.Types == nil {
+				continue
+			}
+			var defs map[*ast.Ident]types.Object
+			if dep.TypesInfo != nil {
+				defs = dep.TypesInfo.Defs
+			}
+			scan(dep.Files, dep.Types, defs)
+		}
+	}
+	return out
+}

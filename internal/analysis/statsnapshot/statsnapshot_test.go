@@ -1,0 +1,12 @@
+package statsnapshot_test
+
+import (
+	"testing"
+
+	"bulksc/internal/analysis/linttest"
+	"bulksc/internal/analysis/statsnapshot"
+)
+
+func TestStatSnapshot(t *testing.T) {
+	linttest.Run(t, "testdata/statfix", statsnapshot.Analyzer)
+}

@@ -1,0 +1,26 @@
+// Package acc defines the accumulator type the fixture's other package
+// misuses. The defining package manages its own copies and is exempt.
+package acc
+
+// Stats carries a running time-weighted integral; a struct copy outside
+// this package silently desynchronizes.
+//
+//sim:accumulator
+type Stats struct {
+	Count    uint64
+	integral uint64
+	lastT    uint64
+}
+
+// Advance accrues the integral up to time t.
+func (s *Stats) Advance(t uint64) {
+	s.integral += (t - s.lastT) * s.Count
+	s.lastT = t
+}
+
+// Snapshot settles the integral and returns a deliberate copy — the
+// sanctioned way to read the accumulator's value.
+func (s *Stats) Snapshot() Stats {
+	cp := *s
+	return cp
+}

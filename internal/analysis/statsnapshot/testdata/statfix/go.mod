@@ -1,0 +1,3 @@
+module statfix
+
+go 1.22

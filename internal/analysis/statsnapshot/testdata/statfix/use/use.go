@@ -1,0 +1,35 @@
+// Package use consumes acc.Stats from outside its defining package.
+package use
+
+import "statfix/acc"
+
+type engine struct {
+	st acc.Stats // want `declares a value of accumulator type acc\.Stats`
+}
+
+var global acc.Stats // want `declares a value of accumulator type acc\.Stats`
+
+func byValue(s acc.Stats) uint64 { // want `declares a value of accumulator type acc\.Stats`
+	return s.Count
+}
+
+func copiesOut(p *acc.Stats) uint64 {
+	dup := *p // want `copies accumulator acc\.Stats out of a pointer`
+	return dup.Count
+}
+
+func passesByValue(p *acc.Stats) uint64 {
+	s := *p           // want `copies accumulator acc\.Stats out of a pointer`
+	return byValue(s) // want `passes accumulator acc\.Stats by value`
+}
+
+// sanctioned shows the allowed shapes: share a pointer, take deliberate
+// copies through Snapshot (a call result is already a copy), and store
+// *into* the accumulator.
+func sanctioned(p *acc.Stats) uint64 {
+	var q *acc.Stats = p
+	q.Advance(100)
+	snap := p.Snapshot()
+	*q = acc.Stats{}
+	return snap.Count
+}

@@ -111,7 +111,14 @@ func (a *Arbiter) noteWList() { a.st.WListChanged(uint64(a.eng.Now()), len(a.pen
 
 // conflicts reports whether any pending W intersects r or w (either may be
 // nil).
+//
+//sim:hotpath
 func (a *Arbiter) conflicts(r, w sig.Signature) bool {
+	// An ∃-query over side-effect-free Intersects: the answer is the same
+	// whatever order the pending entries are visited in, and no counter or
+	// state is touched along the way, so Go's randomized map order cannot
+	// reach simulation state.
+	//lint:deterministic order-independent existence query over pure Intersects
 	for _, p := range a.pending {
 		if r != nil && p.w.Intersects(r) {
 			return true
@@ -131,6 +138,7 @@ func (a *Arbiter) Request(req *Request) {
 	a.eng.After(ProcessLat, func() { a.decide(req) })
 }
 
+//sim:hotpath
 func (a *Arbiter) decide(req *Request) {
 	if a.lockProc >= 0 && a.lockProc != req.Proc {
 		a.deny(req)
@@ -151,6 +159,7 @@ func (a *Arbiter) decide(req *Request) {
 			panic("arbiter: request without R or FetchR")
 		}
 		a.st.RSigRequired++
+		//lint:alloc per-RSig-fetch callback; commit-request rate, not access rate
 		req.FetchR(func(r sig.Signature) {
 			req.R = r
 			a.decideWithR(req)
@@ -179,6 +188,7 @@ func (a *Arbiter) deny(req *Request) {
 	req.Reply(false, 0)
 }
 
+//sim:hotpath
 func (a *Arbiter) grant(req *Request) {
 	a.st.CommitGrants++
 	*a.order++
@@ -193,6 +203,7 @@ func (a *Arbiter) grant(req *Request) {
 	}
 	a.nextTok++
 	tok := a.nextTok
+	//lint:alloc one entry per granted commit; commit rate, not access rate
 	a.pending[tok] = &pendingEntry{w: req.W, trueW: req.TrueW, proc: req.Proc}
 	a.noteWList()
 	req.Reply(true, ord)

@@ -83,6 +83,8 @@ func (c *L1) setIndex(l mem.Line) int { return int(uint64(l) & uint64(c.nsets-1)
 func (c *L1) set(idx int) []Way { return c.ways[idx*c.assoc : (idx+1)*c.assoc] }
 
 // Probe returns the way holding l without updating recency, or nil.
+//
+//sim:hotpath
 func (c *L1) Probe(l mem.Line) *Way {
 	s := c.set(c.setIndex(l))
 	for i := range s {
@@ -94,6 +96,8 @@ func (c *L1) Probe(l mem.Line) *Way {
 }
 
 // Access is Probe plus an LRU touch on hit.
+//
+//sim:hotpath
 func (c *L1) Access(l mem.Line) *Way {
 	w := c.Probe(l)
 	if w != nil {
@@ -107,6 +111,8 @@ func (c *L1) Access(l mem.Line) *Way {
 // needed. It returns the victim (valid ⇒ a line was displaced) and ok=false
 // if every way in the set is pinned — the cache-set-overflow condition that
 // forces a chunk to finish early (paper §4.1.2).
+//
+//sim:hotpath
 func (c *L1) Insert(l mem.Line, st LineState) (victim Way, ok bool) {
 	idx := c.setIndex(l)
 	s := c.set(idx)
@@ -158,6 +164,8 @@ func (c *L1) RoomFor(l mem.Line) bool {
 }
 
 // Invalidate removes l if present and returns its former state.
+//
+//sim:hotpath
 func (c *L1) Invalidate(l mem.Line) LineState {
 	if w := c.Probe(l); w != nil {
 		st := w.State
@@ -169,6 +177,8 @@ func (c *L1) Invalidate(l mem.Line) LineState {
 
 // Pin marks l speculatively written by chunk slot (0..7). The line must be
 // present.
+//
+//sim:hotpath
 func (c *L1) Pin(l mem.Line, slot int) bool {
 	w := c.Probe(l)
 	if w == nil {
@@ -179,6 +189,8 @@ func (c *L1) Pin(l mem.Line, slot int) bool {
 }
 
 // Unpin clears slot's pin on l, if present, and returns the way.
+//
+//sim:hotpath
 func (c *L1) Unpin(l mem.Line, slot int) *Way {
 	w := c.Probe(l)
 	if w != nil {
@@ -194,6 +206,8 @@ func (c *L1) Unpin(l mem.Line, slot int) *Way {
 // into the signature are still invalidated — that is the cost of superset
 // encoding — and the visit callback lets the caller classify true vs
 // aliased invalidations and handle dirty victims. visit may be nil.
+//
+//sim:hotpath
 func (c *L1) BulkInvalidate(s sig.Signature, visit func(w Way)) int {
 	mask := s.CandidateSets(c.nsets)
 	n := 0

@@ -131,6 +131,8 @@ func (c *Chunk) init(proc int, seq uint64, slot, pos, target int) {
 // RecordLoad notes a load of a and the value it observed. The R signature
 // is updated unless private (the stpvt optimization skips R updates for
 // statically-private data).
+//
+//sim:hotpath
 func (c *Chunk) RecordLoad(a mem.Addr, v uint64, private bool) {
 	if !private {
 		l := a.LineOf()
@@ -143,6 +145,8 @@ func (c *Chunk) RecordLoad(a mem.Addr, v uint64, private bool) {
 // RecordStore buffers a speculative store. If priv, the write goes to
 // Wpriv instead of W (paper §5: writes to private data are exempt from
 // consistency arbitration and disambiguation).
+//
+//sim:hotpath
 func (c *Chunk) RecordStore(a mem.Addr, v uint64, priv bool) {
 	l := a.LineOf()
 	if priv {
@@ -159,6 +163,8 @@ func (c *Chunk) RecordStore(a mem.Addr, v uint64, priv bool) {
 // PromoteToW moves line l from Wpriv to W, the "add back" step when a
 // dynamically-private prediction stops working (§5.2). Word values stay in
 // WriteBuf. It reports whether l was private.
+//
+//sim:hotpath
 func (c *Chunk) PromoteToW(l mem.Line) bool {
 	if !c.PrivSet.Remove(l) {
 		return false
@@ -172,12 +178,16 @@ func (c *Chunk) PromoteToW(l mem.Line) bool {
 
 // Forward returns the chunk's buffered value for a, if any — the
 // store-to-load forwarding path within and across in-flight chunks.
+//
+//sim:hotpath
 func (c *Chunk) Forward(a mem.Addr) (uint64, bool) {
 	return c.WriteBuf.Get(a.Align())
 }
 
 // WroteLine reports whether the chunk speculatively wrote any word of l
 // (through either W or Wpriv).
+//
+//sim:hotpath
 func (c *Chunk) WroteLine(l mem.Line) bool {
 	return c.WSet.Has(l) || c.PrivSet.Has(l)
 }
@@ -187,11 +197,18 @@ func (c *Chunk) WroteLine(l mem.Line) bool {
 // design. trueW, when non-nil, is the committer's exact write set; the
 // second result reports whether the collision is genuine (shares a real
 // line) as opposed to pure signature aliasing.
+//
+//sim:hotpath
 func (c *Chunk) ConflictsWith(wc sig.Signature, trueW *lineset.Set) (hit, genuine bool) {
 	if !wc.Intersects(c.R) && !wc.Intersects(c.W) {
 		return false, false
 	}
 	if trueW != nil {
+		// ForEach and this literal are both inlined (-gcflags=-m reports
+		// "can inline ConflictsWith.func1" / "inlining call to ForEach"),
+		// so the capture of `genuine` never materializes a heap closure;
+		// scripts/hotpath_escape.sh cross-checks this.
+		//lint:alloc closure fully inlined; verified non-escaping via -gcflags=-m
 		trueW.ForEach(func(l mem.Line) {
 			if genuine {
 				return
@@ -235,6 +252,8 @@ type Pool struct {
 }
 
 // Get returns a ready chunk, recycling a pooled one when available.
+//
+//sim:hotpath
 func (p *Pool) Get(f sig.Factory, proc int, seq uint64, slot, pos, target int) *Chunk {
 	n := len(p.free)
 	if n == 0 {
@@ -250,6 +269,8 @@ func (p *Pool) Get(f sig.Factory, proc int, seq uint64, slot, pos, target int) *
 // Put recycles c. The caller asserts no external component still holds a
 // reference that could mutate or read c later; in-processor callbacks are
 // defused by the Gen bump.
+//
+//sim:hotpath
 func (p *Pool) Put(c *Chunk) {
 	c.Gen++
 	c.R.Clear()

@@ -23,10 +23,12 @@ func (d *Directory) ProcessCommit(c *Commit) {
 	d.eng.After(commitProc, func() { d.expand(c) })
 }
 
+//sim:hotpath
 func (d *Directory) expand(c *Commit) {
 	bit := uint64(1) << uint(c.Proc)
 	invalList := uint64(0)
 	if d.st.Trace != nil {
+		//lint:alloc debug-only trace formatting, guarded by Trace != nil
 		d.st.Trace("t=%d dir%d expand commit tok=%d proc=%d", d.eng.Now(), d.ID, c.Tok, c.Proc)
 	}
 	mask := c.W.CandidateSets(expansionBuckets)
@@ -57,6 +59,7 @@ func (d *Directory) expand(c *Commit) {
 				continue
 			}
 			if d.st.Trace != nil {
+				//lint:alloc debug-only trace formatting, guarded by Trace != nil
 				d.st.Trace("t=%d dir%d lookup line=%#x dirty=%v owner=%d sharers=%b committer=%d true=%v", d.eng.Now(), d.ID, uint64(l), e.dirty, e.owner, e.sharers, c.Proc, trulyWritten)
 			}
 			// Table 1 case analysis.
@@ -145,6 +148,7 @@ func (d *Directory) ProcessPrivCommit(c *Commit) {
 	d.eng.After(commitProc, func() { d.expandPriv(c) })
 }
 
+//sim:hotpath
 func (d *Directory) expandPriv(c *Commit) {
 	bit := uint64(1) << uint(c.Proc)
 	invalList := uint64(0)
@@ -179,6 +183,7 @@ func (d *Directory) expandPriv(c *Commit) {
 			continue
 		}
 		pp := p
+		//lint:alloc per-invalidation network callback; commit rate, not access rate
 		d.net.Send(stats.CatWrSig, network.SigBytes, func() {
 			d.ports[pp].ApplyCommit(c)
 		})

@@ -124,6 +124,7 @@ func emHash(key uint64, mask int) int {
 	return int((key*0x9e3779b97f4a7c15)>>33) & mask
 }
 
+//sim:hotpath
 func (m *entryMap) get(l mem.Line) *entry {
 	if m.n == 0 {
 		return nil
@@ -141,9 +142,12 @@ func (m *entryMap) get(l mem.Line) *entry {
 	}
 }
 
+//sim:hotpath
 func (m *entryMap) put(l mem.Line, e *entry) {
 	if m.keys == nil {
+		//lint:alloc one-time first-use table allocation, amortized by reuse
 		m.keys = make([]uint64, emMinSlots)
+		//lint:alloc one-time first-use table allocation, amortized by reuse
 		m.vals = make([]*entry, emMinSlots)
 	} else if m.n*4 >= len(m.keys)*3 {
 		m.grow()
@@ -165,6 +169,7 @@ func (m *entryMap) put(l mem.Line, e *entry) {
 	}
 }
 
+//sim:hotpath
 func (m *entryMap) del(l mem.Line) bool {
 	if m.n == 0 {
 		return false

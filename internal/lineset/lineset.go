@@ -36,6 +36,8 @@ func hashIdx(key uint64, mask int) int {
 func (s *Set) Len() int { return s.n }
 
 // Has reports whether l is in the set.
+//
+//sim:hotpath
 func (s *Set) Has(l mem.Line) bool {
 	if s.n == 0 {
 		return false
@@ -54,8 +56,11 @@ func (s *Set) Has(l mem.Line) bool {
 }
 
 // Add inserts l and reports whether it was newly added.
+//
+//sim:hotpath
 func (s *Set) Add(l mem.Line) bool {
 	if s.slots == nil {
+		//lint:alloc one-time first-use table allocation, amortized to zero by pooling
 		s.slots = make([]uint64, minSlots)
 	} else if s.n*4 >= len(s.slots)*3 {
 		s.grow()
@@ -78,6 +83,8 @@ func (s *Set) Add(l mem.Line) bool {
 // Remove deletes l, reporting whether it was present. Deletion is
 // tombstone-free: the probe chain after the vacated slot is compacted by
 // backward shifting, so lookups never degrade.
+//
+//sim:hotpath
 func (s *Set) Remove(l mem.Line) bool {
 	if s.n == 0 {
 		return false
@@ -115,6 +122,8 @@ func (s *Set) Remove(l mem.Line) bool {
 }
 
 // Reset empties the set in place, keeping the allocated table.
+//
+//sim:hotpath
 func (s *Set) Reset() {
 	if s.n == 0 {
 		return
@@ -125,6 +134,8 @@ func (s *Set) Reset() {
 
 // ForEach calls f for every line, in slot order (deterministic for a fixed
 // insertion/removal history).
+//
+//sim:hotpath
 func (s *Set) ForEach(f func(mem.Line)) {
 	if s.n == 0 {
 		return
@@ -137,6 +148,8 @@ func (s *Set) ForEach(f func(mem.Line)) {
 }
 
 // AppendTo appends the set's lines to dst in slot order and returns it.
+//
+//sim:hotpath
 func (s *Set) AppendTo(dst []mem.Line) []mem.Line {
 	if s.n == 0 {
 		return dst
@@ -189,6 +202,8 @@ type Map struct {
 func (m *Map) Len() int { return m.n }
 
 // Get returns the value stored for a.
+//
+//sim:hotpath
 func (m *Map) Get(a mem.Addr) (uint64, bool) {
 	if m.n == 0 {
 		return 0, false
@@ -207,9 +222,13 @@ func (m *Map) Get(a mem.Addr) (uint64, bool) {
 }
 
 // Put stores val for a, overwriting any previous value.
+//
+//sim:hotpath
 func (m *Map) Put(a mem.Addr, val uint64) {
 	if m.keys == nil {
+		//lint:alloc one-time first-use table allocation, amortized to zero by pooling
 		m.keys = make([]uint64, minSlots)
+		//lint:alloc one-time first-use table allocation, amortized to zero by pooling
 		m.vals = make([]uint64, minSlots)
 	} else if m.n*4 >= len(m.keys)*3 {
 		m.grow()
@@ -237,6 +256,8 @@ func (m *Map) Put(a mem.Addr, val uint64) {
 // whose key is later re-occupied by a different chunk would silently leak
 // one chunk's speculative data into another's if any probe path ever reads
 // a value before fully matching its key.
+//
+//sim:hotpath
 func (m *Map) Reset() {
 	if m.n == 0 {
 		return
@@ -247,6 +268,8 @@ func (m *Map) Reset() {
 }
 
 // ForEach calls f for every (addr, value) pair, in slot order.
+//
+//sim:hotpath
 func (m *Map) ForEach(f func(a mem.Addr, v uint64)) {
 	if m.n == 0 {
 		return

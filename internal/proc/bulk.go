@@ -379,6 +379,8 @@ func (p *BulkProc) missComplete(idx uint64) {
 // already part of committed memory, where later commits may legitimately
 // overwrite them — forwarding from a lingering buffer would serve stale
 // values.
+//
+//sim:hotpath
 func (p *BulkProc) forwardValue(a mem.Addr) (uint64, bool) {
 	for i := len(p.chunks) - 1; i >= 0; i-- {
 		ch := p.chunks[i]
@@ -394,6 +396,8 @@ func (p *BulkProc) forwardValue(a mem.Addr) (uint64, bool) {
 
 // readValue returns the value a load of addr observes right now:
 // forwarding first, then committed memory.
+//
+//sim:hotpath
 func (p *BulkProc) readValue(a mem.Addr) uint64 {
 	if v, ok := p.forwardValue(a); ok {
 		return v
@@ -405,6 +409,7 @@ func (p *BulkProc) readValue(a mem.Addr) uint64 {
 // Loads and stores
 // ---------------------------------------------------------------------------
 
+//sim:hotpath
 func (p *BulkProc) doLoad(a mem.Addr) {
 	priv := p.opts.Stpvt && p.env.Pages.Private(a)
 	fwdVal, hadFwd := p.forwardValue(a)
@@ -437,6 +442,7 @@ func (p *BulkProc) doLoad(a mem.Addr) {
 	})
 }
 
+//sim:hotpath
 func (p *BulkProc) doStore(a mem.Addr, val uint64) {
 	l := a.LineOf()
 	w := p.l1.Probe(l)
@@ -487,12 +493,15 @@ func (p *BulkProc) doStore(a mem.Addr, val uint64) {
 
 // pinOnArrival fetches l (if not already in flight) and pins it for ch
 // when it arrives.
+//
+//sim:hotpath
 func (p *BulkProc) pinOnArrival(l mem.Line, ch *chunk.Chunk) {
 	p.env.St.L1Misses++
 	ch.Pending++
 	p.fetchWaiter(l, bulkWaiter{kind: wPin, ch: ch, gen: ch.Gen})
 }
 
+//sim:hotpath
 func (p *BulkProc) writtenByLive(l mem.Line) bool {
 	for _, ch := range p.chunks {
 		if ch.Active() && ch.WroteLine(l) {
@@ -502,6 +511,7 @@ func (p *BulkProc) writtenByLive(l mem.Line) bool {
 	return false
 }
 
+//sim:hotpath
 func (p *BulkProc) writtenPrivatelyByLive(l mem.Line) bool {
 	for _, ch := range p.chunks {
 		if !ch.Active() {
@@ -748,6 +758,8 @@ func (p *BulkProc) doBarrier(in workload.Instr) (waiting bool, ops int) {
 // ensureLine reports whether l is present (touching recency); if absent it
 // starts the fetch and arranges a dispatch retry at arrival. Sync
 // micro-ops are value-dependent, so they only read present lines.
+//
+//sim:hotpath
 func (p *BulkProc) ensureLine(l mem.Line) bool {
 	if p.l1.Access(l) != nil {
 		p.env.St.L1Hits++

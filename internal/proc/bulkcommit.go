@@ -63,6 +63,8 @@ func (p *BulkProc) closeChunk() {
 // completed, all its line fills arrived (which also closes the
 // signature-update vulnerability window of §3.2.1 — forwards are recorded
 // in R instantly in this model), and every older chunk has been granted.
+//
+//sim:hotpath
 func (p *BulkProc) tryRequestCommit(ch *chunk.Chunk) {
 	if ch.State != chunk.Completed || ch.Pending > 0 {
 		return
@@ -134,12 +136,16 @@ func (p *BulkProc) commitReply(ch *chunk.Chunk, granted bool, order uint64) {
 
 // applyCommit makes ch's updates the committed memory state at the
 // arbiter's decision instant — the chunk's serialization point.
+//
+//sim:hotpath
 func (p *BulkProc) applyCommit(ch *chunk.Chunk, order uint64) {
 	if p.env.St.Trace != nil {
+		//lint:alloc debug-only trace formatting, guarded by Trace != nil
 		p.env.St.Trace("t=%d proc%d APPLY chunk=%d order=%d W=%d priv=%d", p.env.Eng.Now(), p.id, ch.Seq, order, ch.WSet.Len(), ch.PrivSet.Len())
 	}
 	ch.State = chunk.Committing
 	ch.CommitOrder = order
+	//lint:alloc inlined ForEach closure; verified non-escaping via scripts/hotpath_escape.sh
 	ch.WriteBuf.ForEach(func(a mem.Addr, v uint64) {
 		p.env.Mem.Store(a, v)
 	})
@@ -150,9 +156,11 @@ func (p *BulkProc) applyCommit(ch *chunk.Chunk, order uint64) {
 	st.SumWSetLines += uint64(ch.WSet.Len())
 	st.SumPrivWSetLines += uint64(ch.PrivSet.Len())
 	// Speculatively written lines become dirty non-speculative.
+	//lint:alloc inlined ForEach closure; verified non-escaping via scripts/hotpath_escape.sh
 	ch.WSet.ForEach(func(l mem.Line) {
 		p.unpinToDirty(l, ch.Slot)
 	})
+	//lint:alloc inlined ForEach closure; verified non-escaping via scripts/hotpath_escape.sh
 	ch.PrivSet.ForEach(func(l mem.Line) {
 		p.unpinToDirty(l, ch.Slot)
 	})
@@ -176,6 +184,7 @@ func (p *BulkProc) applyCommit(ch *chunk.Chunk, order uint64) {
 	}
 }
 
+//sim:hotpath
 func (p *BulkProc) unpinToDirty(l mem.Line, slot int) {
 	if w := p.l1.Unpin(l, slot); w != nil && w.Valid() && w.PinMask == 0 {
 		w.State = cache.Dirty
@@ -184,6 +193,8 @@ func (p *BulkProc) unpinToDirty(l mem.Line, slot int) {
 
 // grantArrived runs when the grant reaches the processor: the chunk's
 // hardware slot frees and the next completed chunk may arbitrate.
+//
+//sim:hotpath
 func (p *BulkProc) grantArrived(ch *chunk.Chunk) {
 	for i, c := range p.chunks {
 		if c == ch {
@@ -316,6 +327,8 @@ func (p *BulkProc) squashFrom(idx int, genuine bool) {
 // dynamically-private optimization are restored from the private buffer —
 // the cache keeps the (old) committed version, so the line stays valid and
 // dirty. Ordinary speculative lines are invalidated.
+//
+//sim:hotpath
 func (p *BulkProc) dropSpecLine(l mem.Line, ch *chunk.Chunk, priv bool) {
 	w := p.l1.Unpin(l, ch.Slot)
 	if w == nil || !w.Valid() || w.PinMask != 0 {
@@ -337,11 +350,14 @@ func (p *BulkProc) dropSpecLine(l mem.Line, ch *chunk.Chunk, priv bool) {
 // ApplyCommit is the BDM's reaction to an incoming committing W signature:
 // bulk disambiguation against the live chunks, then bulk invalidation of
 // matching committed lines.
+//
+//sim:hotpath
 func (p *BulkProc) ApplyCommit(c *directory.Commit) {
 	if c.Proc == p.id {
 		return
 	}
 	if p.env.St.Trace != nil {
+		//lint:alloc debug-only trace formatting, guarded by Trace != nil
 		p.env.St.Trace("t=%d proc%d recv Wsig from proc%d (chunks=%d)", p.env.Eng.Now(), p.id, c.Proc, len(p.chunks))
 	}
 	// Incoming signatures always disambiguate — including stpvt Wpriv
@@ -355,6 +371,7 @@ func (p *BulkProc) ApplyCommit(c *directory.Commit) {
 		p.squashFrom(idx, genuine)
 	}
 	st := p.env.St
+	//lint:alloc inlined BulkInvalidate closure; verified non-escaping via scripts/hotpath_escape.sh
 	p.l1.BulkInvalidate(c.W, func(w cache.Way) {
 		if c.TrueW.Has(w.Line) {
 			st.CacheInvs++
@@ -363,7 +380,10 @@ func (p *BulkProc) ApplyCommit(c *directory.Commit) {
 		}
 	})
 	// Replies racing with this commit carry stale data: invalidate on
-	// arrival instead of installing.
+	// arrival instead of installing. Marking is commutative over the
+	// in-flight set (every matching request is poisoned, no early exit),
+	// so map iteration order cannot affect the outcome.
+	//lint:deterministic commutative flag-set over all matching entries
 	for l, req := range p.inflight {
 		if c.W.MayContain(l) {
 			req.poisoned = true
@@ -386,6 +406,8 @@ func (p *BulkProc) ApplyInvalidate(l mem.Line) {
 // last committed chunk left it) and the line is promoted back into W in
 // every live chunk, so future commits arbitrate and disambiguate it
 // (§5.2).
+//
+//sim:hotpath
 func (p *BulkProc) SnoopDirty(l mem.Line) (supplied, holds bool) {
 	promoted := false
 	for _, ch := range p.chunks {

@@ -273,6 +273,8 @@ func (c *Checker) CommitChunk(ch *chunk.Chunk) {
 // own store buffer, which is exempt from the coherence check (its ordering
 // debt is collected when the buffered store itself performs, as a
 // program-order violation).
+//
+//sim:hotpath
 func (c *Checker) Access(proc int, po uint64, store bool, a mem.Addr, v uint64, fwd bool) {
 	c.arrivals++
 	c.accesses++
@@ -282,6 +284,7 @@ func (c *Checker) Access(proc int, po uint64, store bool, a mem.Addr, v uint64, 
 	if po <= c.procPO[proc] {
 		c.report(Violation{
 			Kind: KindProgramOrder, Proc: proc, Order: c.arrivals, Addr: a, Got: v,
+			//lint:alloc violation-report formatting; runs only when an SC violation is detected
 			Detail: fmt.Sprintf("op po=%d performed after po=%d", po, c.procPO[proc]),
 		})
 	} else {
@@ -299,6 +302,7 @@ func (c *Checker) Access(proc int, po uint64, store bool, a mem.Addr, v uint64, 
 		w := c.words[aa]
 		c.report(Violation{
 			Kind: KindCoherence, Proc: proc, Order: c.arrivals, Addr: a, Got: v, Want: want,
+			//lint:alloc violation-report formatting; runs only when an SC violation is detected
 			Detail: fmt.Sprintf("load differs from last store (proc %d, order %d)", w.proc, w.order),
 		})
 	}

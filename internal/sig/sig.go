@@ -170,6 +170,8 @@ func bankHash(b int, l mem.Line) uint32 {
 }
 
 // Add inserts line l, setting one bit in each bank.
+//
+//sim:hotpath
 func (s *Bloom) Add(l mem.Line) {
 	for b := 0; b < Banks; b++ {
 		h := bankHash(b, l)
@@ -180,6 +182,8 @@ func (s *Bloom) Add(l mem.Line) {
 }
 
 // MayContain reports whether l's bit is set in every bank.
+//
+//sim:hotpath
 func (s *Bloom) MayContain(l mem.Line) bool {
 	for b := 0; b < Banks; b++ {
 		h := bankHash(b, l)
@@ -195,6 +199,8 @@ func (s *Bloom) MayContain(l mem.Line) bool {
 // an address only if the AND is non-empty in every bank. This banked rule
 // is what gives the encoding its realistic (non-negligible, occupancy-
 // dependent) aliasing rate.
+//
+//sim:hotpath
 func (s *Bloom) Intersects(other Signature) bool {
 	o, ok := other.(*Bloom)
 	if !ok {
@@ -227,6 +233,8 @@ func (s *Bloom) Intersects(other Signature) bool {
 }
 
 // UnionWith ORs other into s, touching only other's nonempty words.
+//
+//sim:hotpath
 func (s *Bloom) UnionWith(other Signature) {
 	o, ok := other.(*Bloom)
 	if !ok {
@@ -246,12 +254,16 @@ func (s *Bloom) UnionWith(other Signature) {
 func (s *Bloom) Empty() bool { return s.n == 0 }
 
 // Clear resets to empty.
+//
+//sim:hotpath
 func (s *Bloom) Clear() { *s = Bloom{} }
 
 // CandidateSets decodes bank 0. Because bank 0's hash is the identity on
 // the low 9 line bits and a structure's set index is the low log2(nsets)
 // line bits, a set is a candidate iff any of its aliasing bank-0 positions
 // is set.
+//
+//sim:hotpath
 func (s *Bloom) CandidateSets(nsets int) SetMask {
 	if nsets <= 0 || nsets > BankBits || nsets&(nsets-1) != 0 {
 		panic(fmt.Sprintf("sig: CandidateSets with nsets=%d", nsets))

@@ -78,6 +78,8 @@ func (e *Engine) SetLimit(t Time) { e.limit = t }
 
 // At schedules f to run at absolute time t. Scheduling in the past is a
 // programming error and panics.
+//
+//sim:hotpath
 func (e *Engine) At(t Time, f func()) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
@@ -87,12 +89,16 @@ func (e *Engine) At(t Time, f func()) {
 }
 
 // After schedules f to run d cycles from now.
+//
+//sim:hotpath
 func (e *Engine) After(d Time, f func()) { e.At(e.now+d, f) }
 
 // AtCall schedules cb(arg) at absolute time t. It is the allocation-free
 // scheduling form: hot callers keep one long-lived cb (typically a bound
 // method) and pass per-event state through arg — a pointer-shaped payload
 // does not allocate when stored in the interface word.
+//
+//sim:hotpath
 func (e *Engine) AtCall(t Time, cb func(any), arg any) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
@@ -102,6 +108,8 @@ func (e *Engine) AtCall(t Time, cb func(any), arg any) {
 }
 
 // AfterCall schedules cb(arg) d cycles from now.
+//
+//sim:hotpath
 func (e *Engine) AfterCall(d Time, cb func(any), arg any) { e.AtCall(e.now+d, cb, arg) }
 
 // Pending reports the number of scheduled events not yet fired.
@@ -116,6 +124,8 @@ func (a *event) less(b *event) bool {
 }
 
 // push appends ev and restores the heap property by sifting up.
+//
+//sim:hotpath
 func (e *Engine) push(ev event) {
 	h := append(e.heap, ev)
 	i := len(h) - 1
@@ -132,6 +142,8 @@ func (e *Engine) push(ev event) {
 
 // pop removes and returns the earliest event. The vacated tail slot is
 // zeroed so the slice does not retain dead closures or payloads.
+//
+//sim:hotpath
 func (e *Engine) pop() event {
 	h := e.heap
 	top := h[0]
@@ -168,6 +180,8 @@ func (e *Engine) pop() event {
 
 // Step fires the single earliest event and returns true, or returns false
 // if the queue is empty.
+//
+//sim:hotpath
 func (e *Engine) Step() bool {
 	if len(e.heap) == 0 {
 		return false

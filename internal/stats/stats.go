@@ -53,6 +53,15 @@ func Categories() []Category {
 }
 
 // Stats is the shared counter block for one simulated system.
+//
+// Stats carries running time-weighted integrals (the W-list fields below)
+// whose correctness depends on a single instance advancing monotonically;
+// a struct copy goes stale the moment the original is next updated, which
+// is how the pre-PR-2 ">100% NonEmptyWListPct" bug happened. The simlint
+// statsnapshot pass therefore forbids by-value copies outside this
+// package — share *Stats, and take deliberate copies only via Snapshot.
+//
+//sim:accumulator
 type Stats struct {
 	// Trace, when non-nil, receives debug events from all components.
 	// Never set in production runs.

@@ -24,6 +24,14 @@ import "math/rand"
 //  3. Shared writes are deliberate and metered per application: boundary
 //     rows (ocean), transposed blocks (fft), scattered permutation writes
 //     (radix), pivot panels (lu), logs and order tables (commercial).
+//
+// Randomness policy: every generator draws exclusively from the seeded
+// per-thread sources handed to it (Builder.Rng / Builder.StructRng, or a
+// *rand.Rand parameter derived from them) — never from the process-global
+// math/rand generator, whose unseeded state would break the fixed-seed
+// bit-reproducibility that the golden hashes in internal/core pin down.
+// The simlint determinism pass (internal/analysis/determinism) enforces
+// this statically: global rand.* calls in this package fail `make lint`.
 
 // Per-app slot indices keep heap regions disjoint.
 const (

@@ -135,7 +135,11 @@ type Builder struct {
 }
 
 // NewBuilder returns a builder for thread tid of nthreads, seeded
-// deterministically.
+// deterministically. Both sources are explicitly seeded rand.New
+// constructions — the sanctioned pattern under the simlint determinism
+// pass; the per-thread source mixes tid into the seed so threads draw
+// independent streams, while structRng is seeded identically for all
+// threads (see StructRng).
 func NewBuilder(tid, nthreads int, seed int64) *Builder {
 	return &Builder{
 		tid:       tid,

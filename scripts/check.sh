@@ -1,10 +1,28 @@
 #!/bin/sh
-# The PR gate: formatting, static checks, build, full tests, and the race
-# detector over the parallel sweep fan-out in experiments/. Run from the
-# repository root (or via `make check`).
+# The PR gate: formatting, static checks (go vet + the simlint invariant
+# passes), build, full tests, and the race detector over the parallel
+# sweep fan-out in experiments/. Run from the repository root (or via
+# `make check`).
+#
+# Usage: scripts/check.sh [-fast]
+#
+#   -fast  skip the race-detector passes (the slowest stages); everything
+#          else — including simlint — still runs. For quick local
+#          iteration; CI runs the full gate.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+fast=0
+for arg in "$@"; do
+    case "$arg" in
+    -fast) fast=1 ;;
+    *)
+        echo "usage: scripts/check.sh [-fast]" >&2
+        exit 2
+        ;;
+    esac
+done
 
 echo "== gofmt =="
 unformatted=$(gofmt -l .)
@@ -17,11 +35,19 @@ fi
 echo "== go vet =="
 go vet ./...
 
+echo "== simlint =="
+go run ./cmd/simlint ./...
+
 echo "== go build =="
 go build ./...
 
 echo "== go test =="
 go test ./...
+
+if [ "$fast" = 1 ]; then
+    echo "check: green (-fast: race passes skipped)"
+    exit 0
+fi
 
 echo "== go test -race ./experiments =="
 go test -race ./experiments

@@ -1,0 +1,38 @@
+#!/bin/sh
+# Cross-check simlint's hotpathalloc findings and suppressions against the
+# compiler's escape analysis. The pass is syntactic: it flags every
+# capturing closure, composite-literal escape and make/new in a
+# //sim:hotpath function, and the reviewer suppresses the ones the
+# compiler proves harmless (fully inlined closures, non-escaping
+# literals). This script produces that evidence: the -gcflags=-m report
+# restricted to files that contain a //sim:hotpath annotation.
+#
+# Usage: scripts/hotpath_escape.sh [build pattern ...]
+#
+# Defaults to ./internal/... . Typical use: find the line simlint flagged,
+# confirm the compiler says "func literal does not escape" (or that no
+# "escapes to heap" line exists for it — a fully inlined closure leaves no
+# func literal at all), then suppress with //lint:alloc <reason> citing
+# this script.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if [ "$#" -gt 0 ]; then
+    pats="$*"
+else
+    pats="./internal/..."
+fi
+
+# -a forces recompilation so cached packages still print their report.
+report=$(go build -a -gcflags=-m $pats 2>&1 | grep -E 'escapes to heap|does not escape|func literal' || true)
+
+status=0
+for f in $(grep -rl '//sim:hotpath' internal cmd experiments 2>/dev/null | grep '\.go$' | sort); do
+    lines=$(printf '%s\n' "$report" | grep "^$f:" || true)
+    [ -n "$lines" ] || continue
+    echo "== $f"
+    printf '%s\n' "$lines"
+done
+
+exit $status
