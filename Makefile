@@ -5,7 +5,7 @@ GO ?= go
 
 .PHONY: check check-fast lint fmt vet build test race bench bench-json golden clean
 
-check: ## full PR gate: format, vet, simlint, build, tests, race on the sweep fan-out
+check: ## full PR gate: format, vet, simlint, build, tests, fuzz-corpus smoke, race on the sweep fan-out + torture matrix
 	./scripts/check.sh
 
 # The gate minus the race-detector passes — quick local iteration.

@@ -28,6 +28,7 @@ package bulksc
 
 import (
 	"bulksc/internal/core"
+	"bulksc/internal/fault"
 	"bulksc/internal/sig"
 	"bulksc/internal/stats"
 	"bulksc/internal/workload"
@@ -90,6 +91,38 @@ func TrafficCategories() []TrafficCategory { return stats.Categories() }
 // Program is an explicit multithreaded workload (see the workload
 // builders re-exported below).
 type Program = workload.Program
+
+// FaultCampaign is a named, declarative fault schedule (internal/fault):
+// arbiter denial storms and grant delays, network delay jitter, spurious
+// bulk-disambiguation squashes, and W-signature aliasing amplification.
+type FaultCampaign = fault.Campaign
+
+// FaultPlan is one instantiated fault campaign with a dedicated seeded
+// random source; assign it to Config.Faults. A nil plan injects nothing
+// and leaves the simulated execution bit-identical to a fault-free build.
+type FaultPlan = fault.Plan
+
+// FaultCounters tallies the faults a plan actually injected; see
+// Result.FaultCounters.
+type FaultCounters = fault.Counters
+
+// FaultCampaigns lists the built-in campaign names ("none" first).
+func FaultCampaigns() []string { return fault.Names() }
+
+// FaultCatalog returns the built-in campaigns with their descriptions.
+func FaultCatalog() []FaultCampaign { return fault.Catalog() }
+
+// NewFaultPlan instantiates the named catalog campaign with its own
+// random source. "" and "none" yield a nil plan (no faults); an unknown
+// name is an error listing the valid campaigns. The same (config,
+// campaign, seed) triple always injects the identical fault sequence.
+func NewFaultPlan(name string, seed int64) (*FaultPlan, error) {
+	c, err := fault.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return fault.NewPlan(c, seed), nil
+}
 
 // Timeline is a run's recorded commit/squash/pre-arbitration event stream
 // (enable with Config.RecordTimeline); its Lanes and Summary methods

@@ -9,6 +9,7 @@
 //	sweep -exp table4               # Table 4: commit & coherence
 //	sweep -exp fig11                # Figure 11: traffic breakdown
 //	sweep -exp arbiters -procs 16   # §4.2.3 distributed-arbiter ablation
+//	sweep -exp faults               # fault-injection campaign report
 //	sweep -exp all                  # everything, in order
 //
 // The -work flag sets the per-thread instruction budget; larger runs give
@@ -17,6 +18,13 @@
 // The -sccheck flag runs the online SC-witness checker (internal/sccheck)
 // alongside every SC-claiming simulation of the sweep; any witness
 // violation aborts the sweep with a diagnostic.
+//
+// The -faults flag applies a named fault-injection campaign (see
+// bulksc.FaultCampaigns) to every simulation of the sweep; -fault-seed
+// makes the injected schedule reproducible. The simulated machine must
+// absorb every campaign without a correctness or liveness failure — the
+// liveness watchdog converts a livelock into a diagnostic error instead
+// of a hang.
 //
 // Profiling (for performance PRs — attach the resulting profiles as
 // evidence):
@@ -29,6 +37,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -39,108 +48,195 @@ import (
 	"bulksc/experiments"
 )
 
-func main() {
-	var (
-		exp   = flag.String("exp", "all", "experiment: fig9, fig10, table3, table4, fig11, arbiters, sigspace, all")
-		work  = flag.Int("work", 120_000, "dynamic instructions per thread")
-		seed  = flag.Int64("seed", 1, "simulation seed")
-		apps  = flag.String("apps", "", "comma-separated subset of applications (default: all)")
-		procs = flag.Int("procs", 16, "core count for the arbiter-scaling study")
-		par   = flag.Int("j", 0, "parallel simulations (default: NumCPU)")
-		scchk = flag.Bool("sccheck", false, "run the online SC-witness checker on every SC-claiming simulation (fails the sweep on a violation)")
+// expNames lists the experiments in "all" execution order. "faults" is
+// deliberately last: it multiplies the matrix by every campaign.
+var expNames = []string{"fig9", "fig10", "table3", "table4", "fig11", "arbiters", "sigspace", "faults"}
 
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
-		tracefile  = flag.String("trace", "", "write a runtime execution trace to this file")
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// run is the testable entry point: it parses args, validates every
+// enumerated flag against its catalog (unknown values exit non-zero with
+// the valid list), executes the selected experiments, and writes reports
+// to stdout and diagnostics to stderr.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		exp       = fs.String("exp", "all", "experiment: "+strings.Join(expNames, ", ")+", all")
+		work      = fs.Int("work", 120_000, "dynamic instructions per thread")
+		seed      = fs.Int64("seed", 1, "simulation seed")
+		apps      = fs.String("apps", "", "comma-separated subset of applications (default: all)")
+		procs     = fs.Int("procs", 16, "core count for the arbiter-scaling study")
+		par       = fs.Int("j", 0, "parallel simulations (default: NumCPU)")
+		scchk     = fs.Bool("sccheck", false, "run the online SC-witness checker on every SC-claiming simulation (fails the sweep on a violation)")
+		faults    = fs.String("faults", "none", "fault-injection campaign: "+strings.Join(bulksc.FaultCampaigns(), ", "))
+		faultSeed = fs.Int64("fault-seed", 1, "base seed for the fault-injection schedule")
+
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write an allocation profile to this file at exit")
+		tracefile  = fs.String("trace", "", "write a runtime execution trace to this file")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	// Validate every enumerated flag before any simulation starts: a typo
+	// must fail fast with the list of valid values, not run half a sweep.
+	if *exp != "all" && !contains(expNames, *exp) {
+		fmt.Fprintf(stderr, "sweep: unknown experiment %q (valid: %s, all)\n", *exp, strings.Join(expNames, ", "))
+		return 2
+	}
+	if _, err := bulksc.NewFaultPlan(*faults, *faultSeed); err != nil {
+		fmt.Fprintf(stderr, "sweep: %v\n", err)
+		return 2
+	}
+	p := experiments.Params{
+		Work: *work, Seed: *seed, Parallelism: *par, Witness: *scchk,
+		FaultCampaign: *faults, FaultSeed: *faultSeed,
+	}
+	if *apps != "" {
+		valid := bulksc.Apps()
+		for _, a := range strings.Split(*apps, ",") {
+			if !contains(valid, a) {
+				fmt.Fprintf(stderr, "sweep: unknown application %q (valid: %s)\n", a, strings.Join(valid, ", "))
+				return 2
+			}
+			p.Apps = append(p.Apps, a)
+		}
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
-		fail(err)
-		fail(pprof.StartCPUProfile(f))
+		if err != nil {
+			fmt.Fprintln(stderr, "sweep:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(stderr, "sweep:", err)
+			return 1
+		}
 		defer func() { pprof.StopCPUProfile(); f.Close() }()
 	}
 	if *tracefile != "" {
 		f, err := os.Create(*tracefile)
-		fail(err)
-		fail(trace.Start(f))
+		if err != nil {
+			fmt.Fprintln(stderr, "sweep:", err)
+			return 1
+		}
+		if err := trace.Start(f); err != nil {
+			fmt.Fprintln(stderr, "sweep:", err)
+			return 1
+		}
 		defer func() { trace.Stop(); f.Close() }()
 	}
 	if *memprofile != "" {
 		defer func() {
 			f, err := os.Create(*memprofile)
-			fail(err)
+			if err != nil {
+				fmt.Fprintln(stderr, "sweep:", err)
+				return
+			}
 			runtime.GC() // materialize the final live heap
-			fail(pprof.Lookup("allocs").WriteTo(f, 0))
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(stderr, "sweep:", err)
+			}
 			f.Close()
 		}()
 	}
 
-	p := experiments.Params{Work: *work, Seed: *seed, Parallelism: *par, Witness: *scchk}
-	if *apps != "" {
-		p.Apps = strings.Split(*apps, ",")
-	}
-
-	run := func(name string) {
+	runOne := func(name string) int {
 		switch name {
 		case "fig9":
 			rows, err := experiments.Fig9(p)
-			fail(err)
-			fmt.Println("=== Figure 9: performance normalized to RC (higher is better) ===")
-			fmt.Print(experiments.FormatFig9(rows))
+			if err != nil {
+				fmt.Fprintln(stderr, "sweep:", err)
+				return 1
+			}
+			fmt.Fprintln(stdout, "=== Figure 9: performance normalized to RC (higher is better) ===")
+			fmt.Fprint(stdout, experiments.FormatFig9(rows))
 		case "fig10":
 			rows, err := experiments.Fig10(p)
-			fail(err)
-			fmt.Println("=== Figure 10: BSC_dypvt chunk-size sensitivity (vs RC) ===")
-			fmt.Print(experiments.FormatFig10(rows))
+			if err != nil {
+				fmt.Fprintln(stderr, "sweep:", err)
+				return 1
+			}
+			fmt.Fprintln(stdout, "=== Figure 10: BSC_dypvt chunk-size sensitivity (vs RC) ===")
+			fmt.Fprint(stdout, experiments.FormatFig10(rows))
 		case "table3":
 			rows, err := experiments.Table3(p)
-			fail(err)
-			fmt.Println("=== Table 3: BulkSC characterization ===")
-			fmt.Print(experiments.FormatTable3(rows))
+			if err != nil {
+				fmt.Fprintln(stderr, "sweep:", err)
+				return 1
+			}
+			fmt.Fprintln(stdout, "=== Table 3: BulkSC characterization ===")
+			fmt.Fprint(stdout, experiments.FormatTable3(rows))
 		case "table4":
 			rows, err := experiments.Table4(p)
-			fail(err)
-			fmt.Println("=== Table 4: commit and coherence operations (BSC_dypvt) ===")
-			fmt.Print(experiments.FormatTable4(rows))
+			if err != nil {
+				fmt.Fprintln(stderr, "sweep:", err)
+				return 1
+			}
+			fmt.Fprintln(stdout, "=== Table 4: commit and coherence operations (BSC_dypvt) ===")
+			fmt.Fprint(stdout, experiments.FormatTable4(rows))
 		case "fig11":
 			rows, err := experiments.Fig11(p)
-			fail(err)
-			fmt.Println("=== Figure 11: traffic normalized to RC (R=RC, E=exact, N=no-RSig, B=BSC_dypvt) ===")
-			fmt.Print(experiments.FormatFig11(rows))
+			if err != nil {
+				fmt.Fprintln(stderr, "sweep:", err)
+				return 1
+			}
+			fmt.Fprintln(stdout, "=== Figure 11: traffic normalized to RC (R=RC, E=exact, N=no-RSig, B=BSC_dypvt) ===")
+			fmt.Fprint(stdout, experiments.FormatFig11(rows))
 		case "sigspace":
 			rows, err := experiments.SigSpace(p, []string{"radix", "ocean", "water-sp", "sjbb2k"})
-			fail(err)
-			fmt.Println("=== §6 ablation: signature design space (BSC_dypvt) ===")
-			fmt.Print(experiments.FormatSigSpace(rows))
+			if err != nil {
+				fmt.Fprintln(stderr, "sweep:", err)
+				return 1
+			}
+			fmt.Fprintln(stdout, "=== §6 ablation: signature design space (BSC_dypvt) ===")
+			fmt.Fprint(stdout, experiments.FormatSigSpace(rows))
 		case "arbiters":
 			counts := []int{1, 2, 4, 8}
 			rows, err := experiments.ArbScale(p, *procs, counts)
-			fail(err)
-			fmt.Printf("=== §4.2.3 ablation: distributed arbiter at %d cores (speedup vs 1 arbiter) ===\n", *procs)
-			fmt.Print(experiments.FormatArbScale(rows, counts))
-		default:
-			fmt.Fprintf(os.Stderr, "sweep: unknown experiment %q\n", name)
-			os.Exit(2)
+			if err != nil {
+				fmt.Fprintln(stderr, "sweep:", err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "=== §4.2.3 ablation: distributed arbiter at %d cores (speedup vs 1 arbiter) ===\n", *procs)
+			fmt.Fprint(stdout, experiments.FormatArbScale(rows, counts))
+		case "faults":
+			rows, err := experiments.FaultReport(p)
+			if err != nil {
+				fmt.Fprintln(stderr, "sweep:", err)
+				return 1
+			}
+			fmt.Fprintln(stdout, "=== Fault-injection campaigns: BSC_dypvt under adversarial schedules (SC + witness checked) ===")
+			fmt.Fprint(stdout, experiments.FormatFaultReport(rows))
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
+		return 0
 	}
 
 	if *exp == "all" {
-		for _, name := range []string{"fig9", "fig10", "table3", "table4", "fig11", "arbiters", "sigspace"} {
-			run(name)
+		for _, name := range expNames {
+			if name == "faults" && *faults != "none" {
+				// The whole sweep already ran under the campaign; the
+				// per-campaign report would rerun everything again.
+				continue
+			}
+			if code := runOne(name); code != 0 {
+				return code
+			}
 		}
-		return
+		return 0
 	}
-	run(*exp)
+	return runOne(*exp)
 }
 
-func fail(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "sweep:", err)
-		os.Exit(1)
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
 	}
+	return false
 }
-
-var _ = bulksc.Apps // keep the root package in the import graph for docs

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestUnknownFlagValuesExitNonZero pins the input-hardening contract: an
+// unknown -exp, -faults or -apps value must exit non-zero before any
+// simulation starts, and the diagnostic must list the valid values.
+func TestUnknownFlagValuesExitNonZero(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want []string // substrings that must appear on stderr
+	}{
+		{
+			name: "unknown experiment",
+			args: []string{"-exp", "fig99"},
+			want: []string{`unknown experiment "fig99"`, "fig9", "table3", "faults"},
+		},
+		{
+			name: "unknown campaign",
+			args: []string{"-exp", "fig9", "-faults", "chaos-monkey"},
+			want: []string{`unknown campaign "chaos-monkey"`, "none", "denial-storm", "alias-amplify", "delay-jitter"},
+		},
+		{
+			name: "unknown app",
+			args: []string{"-exp", "fig9", "-apps", "doom"},
+			want: []string{`unknown application "doom"`, "radix", "sjbb2k"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			code := run(tc.args, &out, &errb)
+			if code != 2 {
+				t.Fatalf("exit code = %d, want 2 (stderr: %s)", code, errb.String())
+			}
+			for _, w := range tc.want {
+				if !strings.Contains(errb.String(), w) {
+					t.Errorf("stderr missing %q:\n%s", w, errb.String())
+				}
+			}
+			if out.Len() != 0 {
+				t.Errorf("stdout should be empty on a flag error, got:\n%s", out.String())
+			}
+		})
+	}
+}
+
+// TestUnknownFlagExitsNonZero: a flag that does not exist at all also
+// fails fast (the flag package prints usage to stderr).
+func TestUnknownFlagExitsNonZero(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-frobnicate"}, &out, &errb); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "flag provided but not defined") {
+		t.Errorf("stderr missing flag diagnostic:\n%s", errb.String())
+	}
+}
+
+// TestSmallSweepRuns exercises one real experiment end to end through the
+// CLI path — with a fault campaign active — so the whole wiring
+// (flags → Params → plan construction → report) stays covered.
+func TestSmallSweepRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep run in -short mode")
+	}
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-exp", "fig9", "-apps", "radix", "-work", "4000",
+		"-faults", "delay-jitter", "-fault-seed", "7", "-sccheck",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "Figure 9") || !strings.Contains(out.String(), "radix") {
+		t.Errorf("unexpected report output:\n%s", out.String())
+	}
+}

@@ -22,6 +22,7 @@ package experiments
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math"
 	"runtime"
 	"sort"
@@ -43,6 +44,15 @@ type Params struct {
 	// baseline); a witness violation fails the sweep. Off by default:
 	// performance sweeps pay for it only when asked (cmd/sweep -sccheck).
 	Witness bool
+	// FaultCampaign names a fault-injection campaign
+	// (bulksc.FaultCampaigns) applied to every run of the sweep; "" or
+	// "none" runs fault-free. Each (app, key) run gets its own plan
+	// seeded from FaultSeed and the run's identity, so concurrent runs
+	// never share a random source and every run is individually
+	// reproducible.
+	FaultCampaign string
+	// FaultSeed is the base seed for fault plans (default 1).
+	FaultSeed int64
 }
 
 func (p Params) withDefaults() Params {
@@ -58,7 +68,21 @@ func (p Params) withDefaults() Params {
 	if p.Parallelism == 0 {
 		p.Parallelism = runtime.NumCPU()
 	}
+	if p.FaultSeed == 0 {
+		p.FaultSeed = 1
+	}
 	return p
+}
+
+// faultSeed derives a per-run fault-plan seed from the base seed and the
+// run's identity, so each concurrent simulation owns an independent,
+// reproducible random source.
+func faultSeed(base int64, app, key string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(app))
+	h.Write([]byte{'/'})
+	h.Write([]byte(key))
+	return base ^ int64(h.Sum64())
 }
 
 // runMatrix executes one simulation per (app, key) pair in parallel and
@@ -82,14 +106,24 @@ func runMatrix(p Params, keys []string, mk func(app, key string) bulksc.Config) 
 		sem  = make(chan struct{}, p.Parallelism)
 		errs []error
 	)
+	// Validate the campaign once; per-run plans are built below.
+	if _, err := bulksc.NewFaultPlan(p.FaultCampaign, p.FaultSeed); err != nil {
+		return nil, err
+	}
 	for _, j := range jobs {
 		j := j
 		cfg := mk(j.app, j.key)
 		cfg.Work = p.Work
 		cfg.Seed = p.Seed
 		// The witness checker gates only the models that claim SC; RC and
-		// SC++ relax store→load order by design.
+		// SC++ relax store→load order by design. Fault campaigns never
+		// weaken the gate: injected faults are sound (denials retry,
+		// squashes re-execute, phantom bits only add conflicts), so an
+		// SC-claiming model must stay witness-clean under any campaign.
 		cfg.Witness = p.Witness && (cfg.Model == bulksc.ModelBulk || cfg.Model == bulksc.ModelSC)
+		if plan, err := bulksc.NewFaultPlan(p.FaultCampaign, faultSeed(p.FaultSeed, j.app, j.key)); err == nil {
+			cfg.Faults = plan
+		}
 		wg.Add(1)
 		sem <- struct{}{}
 		go func() {

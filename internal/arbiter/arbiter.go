@@ -12,6 +12,7 @@ package arbiter
 import (
 	"fmt"
 
+	"bulksc/internal/fault"
 	"bulksc/internal/lineset"
 	"bulksc/internal/network"
 	"bulksc/internal/sig"
@@ -79,6 +80,12 @@ type Arbiter struct {
 	// For empty-W commits it is not called.
 	ForwardW func(tok Token, proc int, w sig.Signature, trueW *lineset.Set)
 
+	// Faults optionally injects arbitration faults (internal/fault):
+	// injected denials land before the W-list is consulted, modeling a
+	// denial storm; injected delays stretch the decision latency. nil
+	// injects nothing and draws nothing.
+	Faults *fault.Plan
+
 	// Pre-arbitration state (§3.3): while lockProc ≥ 0, commit requests
 	// from other processors are denied unconditionally.
 	lockProc  int
@@ -135,11 +142,15 @@ func (a *Arbiter) conflicts(r, w sig.Signature) bool {
 // is empty, the request is granted without ever seeing R.
 func (a *Arbiter) Request(req *Request) {
 	a.st.CommitRequests++
-	a.eng.After(ProcessLat, func() { a.decide(req) })
+	a.eng.After(ProcessLat+sim.Time(a.Faults.ArbDelay(req.Proc)), func() { a.decide(req) })
 }
 
 //sim:hotpath
 func (a *Arbiter) decide(req *Request) {
+	if a.Faults.ArbDeny(req.Proc) {
+		a.deny(req)
+		return
+	}
 	if a.lockProc >= 0 && a.lockProc != req.Proc {
 		a.deny(req)
 		return

@@ -59,6 +59,9 @@ func RangesOf(sets []*lineset.Set, n int) []int {
 // must carry R (the RSig optimization does not apply to multi-range
 // commits in this model).
 func (a *Arbiter) Reserve(req *Request) (Token, bool) {
+	if a.Faults.ArbDeny(req.Proc) {
+		return 0, false
+	}
 	if a.lockProc >= 0 && a.lockProc != req.Proc {
 		return 0, false
 	}

@@ -15,6 +15,7 @@ import (
 	"bulksc/internal/cache"
 	"bulksc/internal/chunk"
 	"bulksc/internal/directory"
+	"bulksc/internal/fault"
 	"bulksc/internal/lineset"
 	"bulksc/internal/mem"
 	"bulksc/internal/network"
@@ -88,6 +89,21 @@ type Config struct {
 	Witness bool
 	// MaxCycles aborts apparent livelocks; 0 = a generous default.
 	MaxCycles uint64
+	// Faults optionally injects deterministic faults (internal/fault):
+	// arbitration denial storms and grant delays, network delay jitter,
+	// spurious bulk-disambiguation squashes and W-signature aliasing
+	// amplification. nil runs fault-free and is bit-identical to a build
+	// without the hooks.
+	Faults *fault.Plan
+	// Watchdog enables the liveness watchdog: a read-only poller that
+	// fails the run with a diagnostic when global commit progress stalls
+	// or an individual processor starves in a squash/denial loop. The
+	// polls never mutate simulation state, so enabling it does not
+	// change the simulated execution (golden hashes are unaffected).
+	Watchdog bool
+	// WatchdogWindow is the no-progress window in cycles before the
+	// watchdog declares livelock; 0 = a generous default (400k cycles).
+	WatchdogWindow uint64
 	// RecordTimeline collects commit/squash/pre-arbitration events into
 	// Result.Timeline (BulkSC only).
 	RecordTimeline bool
@@ -115,6 +131,7 @@ func DefaultConfig(app string) Config {
 		NumArbiters: 1,
 		CheckSC:     true,
 		Witness:     true,
+		Watchdog:    true,
 		WarmupFrac:  0.3,
 	}
 }
@@ -143,6 +160,10 @@ type Result struct {
 	WitnessAccesses uint64
 	// Timeline holds execution events when Config.RecordTimeline was set.
 	Timeline Timeline
+	// FaultCounters reports what Config.Faults actually injected (all
+	// zero when fault-free). Excluded from DeterminismHash: hashes pin
+	// the fault-free execution only.
+	FaultCounters fault.Counters
 }
 
 // Speedup returns other's runtime relative to r (r.Cycles / other.Cycles
@@ -202,6 +223,10 @@ type machine struct {
 	commits  []*chunk.Chunk // commit-order log for the checker
 	witness  *sccheck.Checker
 	timeline Timeline
+
+	// watchdogErr is set by the liveness watchdog when it detects a
+	// stall; the engine stop condition checks it every event.
+	watchdogErr *WatchdogError
 }
 
 func buildMachine(cfg Config) *machine {
@@ -213,6 +238,7 @@ func buildMachine(cfg Config) *machine {
 		pages: mem.NewPageTable(),
 	}
 	m.net = network.New(m.eng, m.st)
+	m.net.Faults = cfg.Faults
 	if cfg.Witness {
 		m.witness = sccheck.New()
 	}
@@ -242,6 +268,7 @@ func buildMachine(cfg Config) *machine {
 		d.SigFactory = sigFactory
 		m.dirs = append(m.dirs, d)
 		a := arbiter.New(i, m.eng, m.net, m.st, orderPtr)
+		a.Faults = cfg.Faults
 		m.arbs = append(m.arbs, a)
 		// Arbiter i is co-located with directory i (Figure 7(b)).
 		dd := d
@@ -275,6 +302,7 @@ func (m *machine) buildEnv() *proc.Env {
 		Pages:  m.pages,
 		Sigs:   factory,
 		NProcs: m.cfg.Procs,
+		Faults: m.cfg.Faults,
 	}
 	// The directory internalizes the request hop and the reply delivery
 	// through pooled transaction records, so these wrappers are plain
@@ -496,11 +524,20 @@ func (m *machine) run(cfg Config) (*Result, error) {
 		}
 		m.eng.After(5000, poll)
 	}
-	m.eng.Run(m.allDone)
+	if cfg.Watchdog {
+		startWatchdog(m, cfg.WatchdogWindow)
+	}
+	m.eng.Run(func() bool { return m.watchdogErr != nil || m.allDone() })
+	if m.watchdogErr != nil {
+		return nil, fmt.Errorf("core: %s/%s: %w", cfg.Model, cfg.App, m.watchdogErr)
+	}
 	if !m.allDone() {
 		return nil, fmt.Errorf("core: %s/%s deadlocked at cycle %d", cfg.Model, cfg.App, m.eng.Now())
 	}
 	res := &Result{Config: cfg, Stats: m.st}
+	if cfg.Faults != nil {
+		res.FaultCounters = cfg.Faults.Counters()
+	}
 	var last sim.Time
 	for _, p := range m.bulkProcs {
 		res.PerProc = append(res.PerProc, uint64(p.DoneAt()))

@@ -79,6 +79,24 @@ func (r *Result) DeterminismHash() uint64 {
 	return h.sum
 }
 
+// WitnessHash folds the online SC-witness checker's observations into one
+// 64-bit value: how many chunks and accesses the checker audited, and the
+// exact text of every violation it reported. It deliberately lives OUTSIDE
+// DeterminismHash — the witness is diagnostic instrumentation layered on
+// top of the simulated machine, and this hash pins that instrumentation
+// separately, so a checker regression (dropped audits, reworded or lost
+// findings) is caught even when the machine's own behavior is unchanged.
+func (r *Result) WitnessHash() uint64 {
+	h := newHasher()
+	h.u64(uint64(r.WitnessChunks))
+	h.u64(r.WitnessAccesses)
+	h.u64(uint64(len(r.WitnessViolations)))
+	for _, v := range r.WitnessViolations {
+		h.str(v)
+	}
+	return h.sum
+}
+
 // hasher is FNV-1a over little-endian u64 words, inlined to avoid pulling
 // hash/fnv + encoding/binary into the hot determinism check.
 type hasher struct{ sum uint64 }
@@ -90,5 +108,15 @@ func (h *hasher) u64(v uint64) {
 		h.sum ^= v & 0xff
 		h.sum *= 1099511628211
 		v >>= 8
+	}
+}
+
+// str folds a string byte-by-byte, length-prefixed so that concatenation
+// ambiguity between adjacent strings cannot produce hash collisions.
+func (h *hasher) str(s string) {
+	h.u64(uint64(len(s)))
+	for i := 0; i < len(s); i++ {
+		h.sum ^= uint64(s[i])
+		h.sum *= 1099511628211
 	}
 }

@@ -1,0 +1,275 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"bulksc/internal/fault"
+	"bulksc/internal/mem"
+	"bulksc/internal/sig"
+	"bulksc/internal/workload"
+)
+
+// This file holds the litmus torture matrix: every litmus kernel × every
+// machine model × every terminating fault campaign × several seeds, with
+// the SC-witness checker on everywhere and the replay checker on for
+// BulkSC. The contract:
+//
+//   - forbidden outcomes stay forbidden for every SC-claiming model (the
+//     SC baseline and all four BulkSC variants) under every campaign —
+//     faults may cost cycles, never correctness;
+//   - the RC baseline's genuine store→load relaxation remains observable
+//     under every campaign — fault injection must not accidentally
+//     serialize the relaxed baseline into SC;
+//   - every run under a terminating campaign finishes without tripping
+//     the liveness watchdog.
+
+// tortureModels lists the machine models of the matrix by variant key.
+var tortureModels = []string{"sc", "rc", "sc++", "base", "dypvt", "exact", "stpvt"}
+
+// tortureCampaigns lists the fault campaigns of the matrix: every
+// terminating catalog campaign (livelock is watchdog-only by design and
+// has its own test).
+func tortureCampaigns() []string {
+	var out []string
+	for _, c := range fault.Catalog() {
+		if c.Terminating {
+			out = append(out, c.Name)
+		}
+	}
+	return out
+}
+
+// tortureKernel is one litmus kernel plus its forbidden-outcome check.
+// check runs only for BulkSC variants (it needs the committed chunk logs);
+// the SC baseline is gated by the witness checker instead.
+type tortureKernel struct {
+	name string
+	prog func(seed int64) *workload.Program
+	// check inspects a BulkSC run's commit logs for the kernel's
+	// forbidden outcome and returns "" when SC held.
+	check func(res *Result) string
+}
+
+func tortureKernels() []tortureKernel {
+	pad := func(seed int64) int { return int(seed%4) * 3 } // vary padding with the seed
+	return []tortureKernel{
+		{
+			name: "SB",
+			prog: func(s int64) *workload.Program { return workload.StoreBuffering(pad(s)) },
+			check: func(res *Result) string {
+				r0 := litmusOutcome(res, 0, []mem.Addr{workload.LitmusY})
+				r1 := litmusOutcome(res, 1, []mem.Addr{workload.LitmusX})
+				if len(r0) == 0 || len(r1) == 0 {
+					return "missing observations"
+				}
+				if r0[0] == 0 && r1[0] == 0 {
+					return "SB relaxation (0,0) committed"
+				}
+				return ""
+			},
+		},
+		{
+			name: "MP",
+			prog: func(s int64) *workload.Program { return workload.MessagePassing(pad(s)) },
+			check: func(res *Result) string {
+				obs := litmusOutcome(res, 1, []mem.Addr{workload.LitmusY, workload.LitmusX})
+				if len(obs) < 2 {
+					return "missing observations"
+				}
+				if obs[0] != 0 && obs[1] == 0 {
+					return "MP violation: saw flag but not data"
+				}
+				return ""
+			},
+		},
+		{
+			name: "LB",
+			prog: func(s int64) *workload.Program { return workload.LoadBuffering(pad(s)) },
+			check: func(res *Result) string {
+				r0 := litmusOutcome(res, 0, []mem.Addr{workload.LitmusX})
+				r1 := litmusOutcome(res, 1, []mem.Addr{workload.LitmusY})
+				if len(r0) > 0 && len(r1) > 0 && r0[0] != 0 && r1[0] != 0 {
+					return "LB relaxation committed"
+				}
+				return ""
+			},
+		},
+		{
+			name: "IRIW",
+			prog: func(s int64) *workload.Program { return workload.IRIW(pad(s)) },
+			check: func(res *Result) string {
+				t2 := litmusOutcome(res, 2, []mem.Addr{workload.LitmusX, workload.LitmusY})
+				t3 := litmusOutcome(res, 3, []mem.Addr{workload.LitmusY, workload.LitmusX})
+				if len(t2) < 2 || len(t3) < 2 {
+					return "missing observations"
+				}
+				if t2[0] != 0 && t2[1] == 0 && t3[0] != 0 && t3[1] == 0 {
+					return "IRIW violation: writes observed in opposite orders"
+				}
+				return ""
+			},
+		},
+		{
+			name: "WRC",
+			prog: func(s int64) *workload.Program { return workload.WRC(pad(s)) },
+			check: func(res *Result) string {
+				t1 := litmusOutcome(res, 1, []mem.Addr{workload.LitmusX})
+				t2 := litmusOutcome(res, 2, []mem.Addr{workload.LitmusY, workload.LitmusX})
+				if len(t1) > 0 && len(t2) >= 2 && t1[0] != 0 && t2[0] != 0 && t2[1] == 0 {
+					return "WRC causality violated"
+				}
+				return ""
+			},
+		},
+		{
+			name: "CoRR",
+			prog: func(s int64) *workload.Program { return workload.CoRR(pad(s)) },
+			check: func(res *Result) string {
+				obs := litmusOutcome(res, 1, []mem.Addr{workload.LitmusX})
+				if len(obs) >= 2 && obs[0] != 0 && obs[1] == 0 {
+					return "CoRR violated: saw new value then old"
+				}
+				return ""
+			},
+		},
+		{
+			name: "CoherenceOrder",
+			prog: func(s int64) *workload.Program { return workload.CoherenceOrder(30) },
+			// Replay checker covers the total-order obligation.
+			check: func(res *Result) string { return "" },
+		},
+		{
+			name: "Dekker",
+			prog: func(s int64) *workload.Program { return workload.DekkerLock(8, 4) },
+			// Replay checker covers lock-protected counter lockstep.
+			check: func(res *Result) string { return "" },
+		},
+	}
+}
+
+// tortureConfig builds the machine config for one matrix cell.
+func tortureConfig(variant string, nthreads int, seed int64) Config {
+	cfg := Config{
+		Procs:       nthreads,
+		Work:        1000,
+		Seed:        seed,
+		ChunkSize:   1000,
+		MaxChunks:   2,
+		RSigOpt:     true,
+		NumArbiters: 1,
+		Witness:     true,
+		Watchdog:    true, // a terminating campaign must never trip it
+	}
+	switch variant {
+	case "sc":
+		cfg.Model = ModelSC
+	case "rc":
+		cfg.Model = ModelRC
+	case "sc++":
+		cfg.Model = ModelSCpp
+	case "base":
+		cfg.Model = ModelBulk
+	case "dypvt":
+		cfg.Model = ModelBulk
+		cfg.Dypvt = true
+	case "exact":
+		cfg.Model = ModelBulk
+		cfg.Dypvt = true
+		cfg.SigKind = sig.KindExact
+	case "stpvt":
+		cfg.Model = ModelBulk
+		cfg.Stpvt = true
+	default:
+		panic("unknown torture variant " + variant)
+	}
+	cfg.CheckSC = cfg.Model == ModelBulk
+	return cfg
+}
+
+func isSCClaiming(variant string) bool { return variant != "rc" && variant != "sc++" }
+
+// TestLitmusTortureMatrix runs the full kernel × model × campaign × seed
+// matrix: 8 × 7 × 5 × 2 = 560 cases. Skipped under -short; scripts/check.sh
+// runs it under the race detector as a dedicated stage.
+func TestLitmusTortureMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("560-case torture matrix in -short mode")
+	}
+	seeds := []int64{1, 4}
+	cases := 0
+	for _, k := range tortureKernels() {
+		k := k
+		for _, variant := range tortureModels {
+			variant := variant
+			t.Run(k.name+"/"+variant, func(t *testing.T) {
+				t.Parallel()
+				for _, campaign := range tortureCampaigns() {
+					for _, seed := range seeds {
+						label := fmt.Sprintf("%s/%s/%s/seed=%d", k.name, variant, campaign, seed)
+						prog := k.prog(seed)
+						cfg := tortureConfig(variant, len(prog.Threads), seed)
+						cfg.Faults = fault.NewPlan(fault.MustGet(campaign),
+							int64(len(label))*1000003+seed) // deterministic per-cell seed
+						res, err := RunProgram(cfg, prog)
+						if err != nil {
+							t.Fatalf("%s: %v", label, err)
+						}
+						if cfg.Model == ModelBulk {
+							if len(res.SCViolations) > 0 {
+								t.Fatalf("%s: replay checker: %s", label, res.SCViolations[0])
+							}
+							if msg := k.check(res); msg != "" {
+								t.Fatalf("%s: forbidden outcome: %s", label, msg)
+							}
+						}
+						if isSCClaiming(variant) && len(res.WitnessViolations) > 0 {
+							t.Fatalf("%s: witness: %s", label, res.WitnessViolations[0])
+						}
+					}
+				}
+			})
+			cases += len(tortureCampaigns()) * len(seeds)
+		}
+	}
+	if cases < 150 {
+		t.Fatalf("torture matrix shrank to %d cases; the contract requires ≥150", cases)
+	}
+}
+
+// TestRCRelaxationSurvivesFaults: under every terminating campaign, the
+// RC baseline must still be able to exhibit the store-buffer relaxation
+// for some (pad, seed) — fault injection must not accidentally serialize
+// the relaxed baseline.
+func TestRCRelaxationSurvivesFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("relaxation sweep in -short mode")
+	}
+	for _, campaign := range tortureCampaigns() {
+		campaign := campaign
+		t.Run(campaign, func(t *testing.T) {
+			t.Parallel()
+			relaxed := false
+			for pad := 0; pad < 30 && !relaxed; pad += 3 {
+				for seed := int64(1); seed <= 5 && !relaxed; seed++ {
+					prog := workload.StoreBuffering(pad)
+					cfg := tortureConfig("rc", len(prog.Threads), seed)
+					cfg.Faults = fault.NewPlan(fault.MustGet(campaign), seed*7919+int64(pad))
+					res, err := RunProgram(cfg, prog)
+					if err != nil {
+						t.Fatalf("pad=%d seed=%d: %v", pad, seed, err)
+					}
+					for _, v := range res.WitnessViolations {
+						if strings.Contains(v, "program-order") {
+							relaxed = true
+						}
+					}
+				}
+			}
+			if !relaxed {
+				t.Errorf("RC never exhibited the SB relaxation under campaign %s", campaign)
+			}
+		})
+	}
+}

@@ -1,0 +1,357 @@
+// Package fault implements deterministic, seeded fault injection for the
+// simulated BulkSC machine.
+//
+// BulkSC's claim is not only that committed executions are sequentially
+// consistent — it is that the machine stays *live* while chunks are denied,
+// squashed and retried under arbiter contention and signature aliasing
+// (paper §3.3, §4.2). The happy-path sweeps barely exercise that machinery:
+// squash rates are low, denial streaks are short, and the forward-progress
+// escalations (chunk shrinking, pre-arbitration) almost never fire. This
+// package adversarially provokes exactly those schedules.
+//
+// A fault Campaign is a named, composable schedule of perturbations:
+//
+//   - arbiter grant delays and denial storms (the arbiter says "no" or
+//     takes its time, regardless of the W-list),
+//   - extra network message latency (jitter on every hop),
+//   - spurious bulk-disambiguation squashes (a BDM squashes on an incoming
+//     W signature that did not actually conflict — the limit case of
+//     signature aliasing),
+//   - signature-aliasing amplification (phantom lines force-set Bloom bits
+//     in a chunk's W signature, raising false-positive conflict rates at
+//     the arbiter, the directory and every remote BDM).
+//
+// A Plan instantiates a Campaign with a dedicated seeded random source. All
+// draws come from that source, never from the engine's RNG, so a campaign's
+// fault schedule is a pure function of (campaign, fault seed, machine
+// schedule): two runs with the same configuration and fault seed inject
+// byte-identical fault sequences and produce identical squash/denial/retry
+// counters. A nil *Plan is the universal "no faults" value — every query
+// method is nil-receiver safe, returns the neutral element, and draws
+// nothing, so zero-fault runs are bit-identical to a build without the
+// subsystem (the golden determinism hashes pin this).
+//
+// Soundness: every injected fault lands on a path the machine must already
+// tolerate — denials retry, squashes re-execute, delays reorder, and
+// aliased bits only ever *add* conflicts. Faults can therefore never make
+// an SC-violating execution commit; the replay checker and the SC-witness
+// checker remain unconditional oracles under any campaign. What faults can
+// break is liveness — which is precisely what the core watchdog
+// (internal/core) exists to detect and diagnose.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"bulksc/internal/mem"
+	"bulksc/internal/sig"
+)
+
+// Campaign is a named, declarative fault schedule. The zero Campaign
+// injects nothing. Probabilities are per-event (per arbiter decision, per
+// network message, per incoming W signature, per closed chunk).
+type Campaign struct {
+	// Name identifies the campaign in CLIs, reports and test tables.
+	Name string
+	// Desc is a one-line description for catalogs.
+	Desc string
+
+	// TargetProcs restricts processor-targeted faults (denials, delays,
+	// spurious squashes, aliasing) to the processors whose bit is set;
+	// 0 targets every processor. Network jitter is not processor-targeted.
+	TargetProcs uint64
+
+	// DenyProb is the probability an arbiter decision is denied outright,
+	// before the W-list is even consulted (a denial storm).
+	DenyProb float64
+	// DelayProb is the probability an arbiter decision is stretched by a
+	// uniform 1..DelayMax extra cycles (a slow or contended arbiter).
+	DelayProb float64
+	// DelayMax bounds the injected arbiter decision delay, in cycles.
+	DelayMax int
+
+	// NetDelayProb is the probability a network message is delivered with
+	// a uniform 1..NetDelayMax extra cycles of latency.
+	NetDelayProb float64
+	// NetDelayMax bounds the injected per-message latency, in cycles.
+	NetDelayMax int
+
+	// SpuriousSquashProb is the probability an incoming committing W
+	// signature squashes a processor's oldest active chunk even though
+	// bulk disambiguation found no conflict — modeled as pure aliasing
+	// (the squash is counted as non-genuine).
+	SpuriousSquashProb float64
+
+	// AliasProb is the probability a closing chunk's W signature is
+	// amplified with AliasLines phantom lines drawn from a small
+	// AliasSpace-line window. Phantom lines force-set Bloom bits (and,
+	// for exact signatures, phantom members), raising false-positive
+	// conflict rates at the arbiter and false invalidations at caches
+	// and directories. Phantoms never enter the chunk's exact write set,
+	// so every conflict they cause is classified as aliased.
+	AliasProb float64
+	// AliasLines is how many phantom lines each amplification adds.
+	AliasLines int
+	// AliasSpace is the phantom address-space size in lines (default 512
+	// when 0): small enough that amplified signatures collide with each
+	// other and with real working sets at observable rates.
+	AliasSpace int
+
+	// Terminating marks campaigns under which every workload still makes
+	// forward progress. Non-terminating campaigns (livelock) exist to
+	// exercise the watchdog and are excluded from sweep-style reports.
+	Terminating bool
+}
+
+func (c *Campaign) active() bool {
+	return c.DenyProb > 0 || c.DelayProb > 0 || c.NetDelayProb > 0 ||
+		c.SpuriousSquashProb > 0 || c.AliasProb > 0
+}
+
+// Catalog returns the built-in campaigns, in presentation order. The first
+// entry is the neutral "none" campaign.
+func Catalog() []Campaign {
+	return []Campaign{
+		{
+			Name: "none", Desc: "no faults injected (bit-identical to a build without the subsystem)",
+			Terminating: true,
+		},
+		{
+			Name: "denial-storm", Desc: "arbiter denies ~35% of commit decisions and stretches ~20% of grants",
+			DenyProb: 0.35, DelayProb: 0.20, DelayMax: 40,
+			Terminating: true,
+		},
+		{
+			Name: "alias-amplify", Desc: "half of all chunks get 6 phantom lines force-set into W (Bloom pollution)",
+			AliasProb: 0.5, AliasLines: 6, AliasSpace: 512,
+			Terminating: true,
+		},
+		{
+			Name: "delay-jitter", Desc: "~30% of messages and arbiter decisions gain up to 24 cycles of latency",
+			DelayProb: 0.30, DelayMax: 24, NetDelayProb: 0.30, NetDelayMax: 24,
+			Terminating: true,
+		},
+		{
+			Name: "squash-storm", Desc: "15% of incoming W signatures spuriously squash the oldest active chunk",
+			SpuriousSquashProb: 0.15,
+			Terminating:        true,
+		},
+		{
+			Name: "livelock", Desc: "procs 0 and 1 are denied every commit and squashed by every remote W: a guaranteed livelock for watchdog tests",
+			TargetProcs: 0b11, DenyProb: 1.0, SpuriousSquashProb: 1.0,
+			Terminating: false,
+		},
+	}
+}
+
+// Names lists the catalog campaign names in presentation order.
+func Names() []string {
+	cat := Catalog()
+	out := make([]string, len(cat))
+	for i, c := range cat {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Get returns the named catalog campaign. The empty string is "none".
+func Get(name string) (Campaign, error) {
+	if name == "" {
+		name = "none"
+	}
+	for _, c := range Catalog() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return Campaign{}, fmt.Errorf("fault: unknown campaign %q (valid: %s)", name, strings.Join(Names(), ", "))
+}
+
+// MustGet is Get for static campaign names in tests and tables.
+func MustGet(name string) Campaign {
+	c, err := Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Counters tallies the faults a Plan actually injected. They are
+// diagnostics: deliberately excluded from the determinism hash (which pins
+// the *simulated machine's* behavior), but themselves deterministic for a
+// fixed (config, campaign, fault seed).
+type Counters struct {
+	ArbDenials      uint64 // commit decisions denied by injection
+	ArbDelays       uint64 // commit decisions stretched
+	ArbDelayCycles  uint64 // total injected arbiter delay
+	NetDelays       uint64 // messages delivered late
+	NetDelayCycles  uint64 // total injected network delay
+	SpuriousSquash  uint64 // squashes forced without a signature conflict
+	AmplifiedChunks uint64 // W signatures amplified with phantom lines
+	PhantomLines    uint64 // phantom lines force-set in total
+}
+
+// Total returns the number of injected fault events of any kind.
+func (c Counters) Total() uint64 {
+	return c.ArbDenials + c.ArbDelays + c.NetDelays + c.SpuriousSquash + c.AmplifiedChunks
+}
+
+// String renders the non-zero counters compactly.
+func (c Counters) String() string {
+	var b strings.Builder
+	add := func(name string, v uint64) {
+		if v == 0 {
+			return
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", name, v)
+	}
+	add("arbDeny", c.ArbDenials)
+	add("arbDelay", c.ArbDelays)
+	add("arbDelayCyc", c.ArbDelayCycles)
+	add("netDelay", c.NetDelays)
+	add("netDelayCyc", c.NetDelayCycles)
+	add("spuriousSquash", c.SpuriousSquash)
+	add("ampChunks", c.AmplifiedChunks)
+	add("phantoms", c.PhantomLines)
+	if b.Len() == 0 {
+		return "none"
+	}
+	return b.String()
+}
+
+// Plan is one instantiated fault campaign: the campaign parameters plus a
+// dedicated random source and injection counters. A Plan is stateful and
+// belongs to exactly one run; the simulator is single-threaded, so a Plan
+// needs no locking, but it must never be shared across concurrent runs.
+//
+// The nil *Plan is the canonical "no faults" value: every method on a nil
+// receiver is a no-op returning the neutral element.
+type Plan struct {
+	c   Campaign
+	rng *rand.Rand
+	n   Counters
+}
+
+// NewPlan instantiates campaign c with its own random source seeded with
+// seed. An inactive campaign (e.g. "none", or the zero Campaign) yields a
+// nil Plan, keeping the zero-fault hot paths untouched.
+func NewPlan(c Campaign, seed int64) *Plan {
+	if !c.active() {
+		return nil
+	}
+	if c.AliasSpace <= 0 {
+		c.AliasSpace = 512
+	}
+	if c.DelayMax <= 0 {
+		c.DelayMax = 1
+	}
+	if c.NetDelayMax <= 0 {
+		c.NetDelayMax = 1
+	}
+	return &Plan{c: c, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Campaign returns the plan's campaign (zero Campaign for a nil plan).
+func (p *Plan) Campaign() Campaign {
+	if p == nil {
+		return Campaign{Name: "none", Terminating: true}
+	}
+	return p.c
+}
+
+// Counters returns the injection tallies so far (zero for a nil plan).
+func (p *Plan) Counters() Counters {
+	if p == nil {
+		return Counters{}
+	}
+	return p.n
+}
+
+// targets reports whether processor-targeted faults apply to proc.
+func (p *Plan) targets(proc int) bool {
+	return p.c.TargetProcs == 0 || (proc >= 0 && proc < 64 && p.c.TargetProcs&(1<<uint(proc)) != 0)
+}
+
+// ArbDeny reports whether the arbiter should deny proc's commit decision
+// outright. Called once per decision.
+func (p *Plan) ArbDeny(proc int) bool {
+	if p == nil || p.c.DenyProb == 0 || !p.targets(proc) {
+		return false
+	}
+	if p.rng.Float64() >= p.c.DenyProb {
+		return false
+	}
+	p.n.ArbDenials++
+	return true
+}
+
+// ArbDelay returns extra arbiter decision latency (cycles) for proc's
+// request; 0 means no injection.
+func (p *Plan) ArbDelay(proc int) uint64 {
+	if p == nil || p.c.DelayProb == 0 || !p.targets(proc) {
+		return 0
+	}
+	if p.rng.Float64() >= p.c.DelayProb {
+		return 0
+	}
+	d := uint64(1 + p.rng.Intn(p.c.DelayMax))
+	p.n.ArbDelays++
+	p.n.ArbDelayCycles += d
+	return d
+}
+
+// NetDelay returns extra delivery latency (cycles) for one network
+// message; 0 means no injection.
+func (p *Plan) NetDelay() uint64 {
+	if p == nil || p.c.NetDelayProb == 0 {
+		return 0
+	}
+	if p.rng.Float64() >= p.c.NetDelayProb {
+		return 0
+	}
+	d := uint64(1 + p.rng.Intn(p.c.NetDelayMax))
+	p.n.NetDelays++
+	p.n.NetDelayCycles += d
+	return d
+}
+
+// SpuriousSquash reports whether proc's BDM should squash its oldest
+// active chunk on an incoming W signature that did not conflict. Callers
+// must only ask when an active chunk exists, so the counter matches the
+// squashes actually applied.
+func (p *Plan) SpuriousSquash(proc int) bool {
+	if p == nil || p.c.SpuriousSquashProb == 0 || !p.targets(proc) {
+		return false
+	}
+	if p.rng.Float64() >= p.c.SpuriousSquashProb {
+		return false
+	}
+	p.n.SpuriousSquash++
+	return true
+}
+
+// AmplifyW possibly force-sets phantom lines into a closing chunk's W
+// signature (Bloom-bit pollution; phantom members for exact signatures).
+// Empty signatures are left alone: an empty W commits through the cheap
+// permission-only path, and amplifying it would manufacture a chunk class
+// the real hardware cannot produce. Phantoms are never added to the
+// chunk's exact write set, so every conflict they cause is aliased by
+// construction and the replay/witness oracles remain sound.
+func (p *Plan) AmplifyW(proc int, w sig.Signature) {
+	if p == nil || p.c.AliasProb == 0 || !p.targets(proc) || w == nil || w.Empty() {
+		return
+	}
+	if p.rng.Float64() >= p.c.AliasProb {
+		return
+	}
+	for i := 0; i < p.c.AliasLines; i++ {
+		w.Add(mem.Line(p.rng.Intn(p.c.AliasSpace)))
+	}
+	p.n.AmplifiedChunks++
+	p.n.PhantomLines += uint64(p.c.AliasLines)
+}

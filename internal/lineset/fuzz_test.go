@@ -1,0 +1,164 @@
+package lineset
+
+import (
+	"testing"
+
+	"bulksc/internal/mem"
+)
+
+// FuzzLinesetMap differentially tests the open-addressed Map (the chunk
+// speculative write buffer) against a plain Go map over an arbitrary
+// operation stream, including the Reset/pool-reuse path: the same Map
+// instance survives Reset and is refilled, exactly as pooled chunks
+// recycle their write buffers. Any divergence — a lost entry, a stale
+// value surviving Reset, a phantom entry — is a silent speculative-data
+// leak in the simulator.
+//
+// Encoding: each step consumes 4 bytes — opcode, 2-byte little-endian
+// address, 1-byte value.
+func FuzzLinesetMap(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 8, 0, 42, 1, 8, 0, 0})
+	f.Add([]byte{0, 1, 0, 7, 0, 2, 0, 9, 2, 0, 0, 0, 0, 1, 0, 11, 1, 1, 0, 0, 4, 0, 0, 0})
+	seq := make([]byte, 0, 400)
+	for i := 0; i < 100; i++ {
+		seq = append(seq, byte(i%5), byte(i*13), byte(i%3), byte(i*7))
+	}
+	f.Add(seq)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m Map
+		model := map[mem.Addr]uint64{}
+		for i := 0; i+3 < len(data); i += 4 {
+			op := data[i] % 5
+			a := mem.Addr(uint16(data[i+1]) | uint16(data[i+2])<<8)
+			v := uint64(data[i+3])
+			switch op {
+			case 0:
+				m.Put(a, v)
+				model[a] = v
+			case 1:
+				got, ok := m.Get(a)
+				want, wok := model[a]
+				if ok != wok || (ok && got != want) {
+					t.Fatalf("Get(%d) = (%d,%v), model (%d,%v)", a, got, ok, want, wok)
+				}
+			case 2:
+				m.Reset()
+				model = map[mem.Addr]uint64{}
+				if m.Len() != 0 {
+					t.Fatalf("Len = %d after Reset", m.Len())
+				}
+				if got, ok := m.Get(a); ok {
+					t.Fatalf("stale value %d for addr %d after Reset", got, a)
+				}
+			case 3:
+				if m.Len() != len(model) {
+					t.Fatalf("Len = %d, model %d", m.Len(), len(model))
+				}
+			case 4:
+				seen := map[mem.Addr]uint64{}
+				m.ForEach(func(a mem.Addr, v uint64) {
+					if _, dup := seen[a]; dup {
+						t.Fatalf("ForEach visited addr %d twice", a)
+					}
+					seen[a] = v
+				})
+				if len(seen) != len(model) {
+					t.Fatalf("ForEach visited %d entries, model %d", len(seen), len(model))
+				}
+				for a, v := range model {
+					if seen[a] != v {
+						t.Fatalf("ForEach entry %d = %d, model %d", a, seen[a], v)
+					}
+				}
+			}
+		}
+		// Final sweep: every model entry must still be retrievable.
+		for a, v := range model {
+			if got, ok := m.Get(a); !ok || got != v {
+				t.Fatalf("final Get(%d) = (%d,%v), model %d", a, got, ok, v)
+			}
+		}
+	})
+}
+
+// FuzzLinesetSet differentially tests the open-addressed Set (exact
+// R/W/Wpriv chunk sets) against a plain Go map, with the tombstone-free
+// Remove (backward-shift compaction) under direct attack: alternating
+// Add/Remove streams over a small address space build exactly the probe
+// chains the compaction must preserve.
+//
+// Encoding: each step consumes 3 bytes — opcode, 2-byte little-endian
+// line.
+func FuzzLinesetSet(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 3, 0, 1, 3, 0, 0, 3, 0})
+	seq := make([]byte, 0, 300)
+	for i := 0; i < 100; i++ {
+		seq = append(seq, byte(i%6), byte(i*29%31), 0) // tiny space → dense probe chains
+	}
+	f.Add(seq)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s Set
+		model := map[mem.Line]bool{}
+		for i := 0; i+2 < len(data); i += 3 {
+			op := data[i] % 6
+			l := mem.Line(uint16(data[i+1]) | uint16(data[i+2])<<8)
+			switch op {
+			case 0:
+				added := s.Add(l)
+				if added == model[l] {
+					t.Fatalf("Add(%d) = %v, model had %v", l, added, model[l])
+				}
+				model[l] = true
+			case 1:
+				removed := s.Remove(l)
+				if removed != model[l] {
+					t.Fatalf("Remove(%d) = %v, model %v", l, removed, model[l])
+				}
+				delete(model, l)
+			case 2:
+				if s.Has(l) != model[l] {
+					t.Fatalf("Has(%d) = %v, model %v", l, s.Has(l), model[l])
+				}
+			case 3:
+				if s.Len() != len(model) {
+					t.Fatalf("Len = %d, model %d", s.Len(), len(model))
+				}
+			case 4:
+				s.Reset()
+				model = map[mem.Line]bool{}
+				if s.Len() != 0 || s.Has(l) {
+					t.Fatalf("set not empty after Reset")
+				}
+			case 5:
+				seen := map[mem.Line]bool{}
+				s.ForEach(func(l mem.Line) {
+					if seen[l] {
+						t.Fatalf("ForEach visited line %d twice", l)
+					}
+					seen[l] = true
+				})
+				if len(seen) != len(model) {
+					t.Fatalf("ForEach visited %d lines, model %d", len(seen), len(model))
+				}
+				for l := range model {
+					if !seen[l] {
+						t.Fatalf("ForEach missed line %d", l)
+					}
+				}
+				if got := s.AppendTo(nil); len(got) != len(model) {
+					t.Fatalf("AppendTo returned %d lines, model %d", len(got), len(model))
+				}
+			}
+		}
+		// Final sweep: membership must match the model exactly.
+		for l := range model {
+			if !s.Has(l) {
+				t.Fatalf("final Has(%d) = false", l)
+			}
+		}
+	})
+}

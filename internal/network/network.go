@@ -10,6 +10,7 @@
 package network
 
 import (
+	"bulksc/internal/fault"
 	"bulksc/internal/sim"
 	"bulksc/internal/stats"
 )
@@ -31,6 +32,10 @@ type Network struct {
 	// default reproduces the paper's 13-cycle L2 round trip (two hops
 	// minus cache access time).
 	HopLat sim.Time
+	// Faults optionally injects extra per-message latency (internal/fault
+	// delay-jitter campaigns). nil injects nothing and draws nothing, so
+	// fault-free runs are bit-identical to a build without the hook.
+	Faults *fault.Plan
 }
 
 // New returns a network over engine eng recording traffic into st.
@@ -38,18 +43,26 @@ func New(eng *sim.Engine, st *stats.Stats) *Network {
 	return &Network{eng: eng, st: st, HopLat: 6}
 }
 
+// hopLat returns the delivery latency for one message: the configured hop
+// latency plus any injected fault jitter.
+//
+//sim:hotpath
+func (n *Network) hopLat() sim.Time {
+	return n.HopLat + sim.Time(n.Faults.NetDelay())
+}
+
 // Send charges a message of b bytes to category c and delivers it (runs f)
 // one hop later.
 func (n *Network) Send(c stats.Category, b int, f func()) {
 	n.st.AddTraffic(c, b)
-	n.eng.After(n.HopLat, f)
+	n.eng.After(n.hopLat(), f)
 }
 
 // SendAfter is Send with extra cycles of source-side occupancy or
 // processing delay before the hop.
 func (n *Network) SendAfter(extra sim.Time, c stats.Category, b int, f func()) {
 	n.st.AddTraffic(c, b)
-	n.eng.After(n.HopLat+extra, f)
+	n.eng.After(n.hopLat()+extra, f)
 }
 
 // SendCall is the allocation-free form of Send: it delivers cb(arg) one
@@ -58,14 +71,14 @@ func (n *Network) SendAfter(extra sim.Time, c stats.Category, b int, f func()) {
 // through a pooled record instead of capturing it in a closure.
 func (n *Network) SendCall(c stats.Category, b int, cb func(any), arg any) {
 	n.st.AddTraffic(c, b)
-	n.eng.AfterCall(n.HopLat, cb, arg)
+	n.eng.AfterCall(n.hopLat(), cb, arg)
 }
 
 // SendAfterCall is SendCall with extra cycles of source-side occupancy or
 // processing delay before the hop.
 func (n *Network) SendAfterCall(extra sim.Time, c stats.Category, b int, cb func(any), arg any) {
 	n.st.AddTraffic(c, b)
-	n.eng.AfterCall(n.HopLat+extra, cb, arg)
+	n.eng.AfterCall(n.hopLat()+extra, cb, arg)
 }
 
 // Account charges traffic without scheduling a delivery, for piggybacked

@@ -83,6 +83,14 @@ type BulkProc struct {
 	commitCount   uint64 // chunks this processor has committed
 	pendingClose  bool   // set-overflow requested an early chunk close
 
+	// Liveness bookkeeping for the core watchdog: monotone per-processor
+	// counters plus short diagnostic trails. Pure observation — updating
+	// them schedules nothing, draws nothing and touches no protocol
+	// state, so the determinism hashes are unaffected.
+	denyCount   uint64
+	squashCount uint64 // squash events (not victims)
+	trail       livenessTrail
+
 	scheduled bool
 	finished  bool
 	doneAt    sim.Time
@@ -162,11 +170,25 @@ func (p *BulkProc) Start() { p.kick() }
 // Finished reports whether the stream has fully committed.
 func (p *BulkProc) Finished() bool { return p.finished }
 
+// ID returns the processor's id.
+func (p *BulkProc) ID() int { return p.id }
+
 // DoneAt returns the cycle the last chunk committed.
 func (p *BulkProc) DoneAt() sim.Time { return p.doneAt }
 
 // L1 exposes the cache for tests.
 func (p *BulkProc) L1() *cache.L1 { return p.l1 }
+
+// Progress reports the processor's monotone liveness counters: chunks
+// committed, commit denials received, and squash events suffered. The core
+// watchdog samples these to detect starvation and squash loops.
+func (p *BulkProc) Progress() (commits, denials, squashes uint64) {
+	return p.commitCount, p.denyCount, p.squashCount
+}
+
+// LivenessTrail formats the last few denied chunks and squash events for
+// watchdog diagnostics.
+func (p *BulkProc) LivenessTrail() string { return p.trail.String() }
 
 // DebugState summarizes the interpreter position for deadlock diagnostics.
 func (p *BulkProc) DebugState() string {

@@ -56,6 +56,11 @@ func (p *BulkProc) closeChunk() {
 	ch := p.cur
 	p.cur = nil
 	ch.State = chunk.Completed
+	// Fault injection: W-signature aliasing amplification — force extra
+	// (phantom) lines into the chunk's W signature before it ever leaves
+	// the processor. The phantoms never enter the exact WSet, so every
+	// conflict they cause is classified as aliased.
+	p.env.Faults.AmplifyW(p.id, ch.W)
 	p.tryRequestCommit(ch)
 }
 
@@ -119,6 +124,8 @@ func (p *BulkProc) commitReply(ch *chunk.Chunk, granted bool, order uint64) {
 		panic(fmt.Sprintf("proc %d: commit reply in state %v", p.id, ch.State))
 	}
 	if !granted {
+		p.denyCount++
+		p.trail.noteDenied(ch.Seq, uint64(p.env.Eng.Now()))
 		// Retry after a jittered backoff. The closure may outlive a squash
 		// and even a recycling of ch; the Gen guard defuses it then.
 		back := sim.Time(20 + p.env.Eng.Rand().Intn(25))
@@ -243,6 +250,8 @@ func (p *BulkProc) endOfStream() {
 func (p *BulkProc) squashFrom(idx int, genuine bool) {
 	victims := p.chunks[idx:]
 	p.chunks = p.chunks[:idx]
+	p.squashCount++
+	p.trail.noteSquash(victims[0].Seq, uint64(p.env.Eng.Now()), len(victims), genuine)
 	st := p.env.St
 	for i, ch := range victims {
 		ch.State = chunk.Squashed
@@ -367,7 +376,17 @@ func (p *BulkProc) ApplyCommit(c *directory.Commit) {
 	// expansion may have claimed directory ownership of a shared line and
 	// reset its sharer vector, and any chunk that read that line stale
 	// must die here or nothing will ever squash it.
-	if idx, genuine := bdm.Disambiguate(c.W, c.TrueW, p.chunks); idx >= 0 {
+	idx, genuine := bdm.Disambiguate(c.W, c.TrueW, p.chunks)
+	if idx < 0 && p.env.Faults != nil {
+		// Fault injection: a spurious bulk-disambiguation squash — the
+		// limit case of signature aliasing, where an incoming W "hits" a
+		// chunk that shares no real line with it. Only asked when an
+		// active chunk exists, so injected counters match applied faults.
+		if j := p.oldestActiveChunk(); j >= 0 && p.env.Faults.SpuriousSquash(p.id) {
+			idx, genuine = j, false
+		}
+	}
+	if idx >= 0 {
 		p.squashFrom(idx, genuine)
 	}
 	st := p.env.St
@@ -389,6 +408,17 @@ func (p *BulkProc) ApplyCommit(c *directory.Commit) {
 			req.poisoned = true
 		}
 	}
+}
+
+// oldestActiveChunk returns the index of the oldest still-squashable
+// chunk, or -1.
+func (p *BulkProc) oldestActiveChunk() int {
+	for i, ch := range p.chunks {
+		if ch.Active() {
+			return i
+		}
+	}
+	return -1
 }
 
 // ApplyInvalidate serves conventional invalidations; under BulkSC it only

@@ -1,0 +1,96 @@
+package proc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// trailLen is how many recent denial and squash events a processor keeps
+// for liveness diagnostics. Small and fixed: the trail is written on every
+// denial/squash but only ever formatted when a watchdog fires.
+const trailLen = 4
+
+// deniedEvent records one denied permission-to-commit reply.
+type deniedEvent struct {
+	seq uint64 // chunk sequence number
+	at  uint64 // engine cycle of the denial
+}
+
+// squashEvent records one squash (of one or more victim chunks).
+type squashEvent struct {
+	seq     uint64 // oldest victim's sequence number
+	at      uint64 // engine cycle of the squash
+	victims int
+	genuine bool
+}
+
+// livenessTrail is a pair of fixed-size rings over the most recent denial
+// and squash events. Updates are allocation-free; String is only called
+// from watchdog failure paths.
+type livenessTrail struct {
+	denied   [trailLen]deniedEvent
+	nDenied  uint64
+	squashes [trailLen]squashEvent
+	nSquash  uint64
+}
+
+func (t *livenessTrail) noteDenied(seq, at uint64) {
+	t.denied[t.nDenied%trailLen] = deniedEvent{seq: seq, at: at}
+	t.nDenied++
+}
+
+func (t *livenessTrail) noteSquash(seq, at uint64, victims int, genuine bool) {
+	t.squashes[t.nSquash%trailLen] = squashEvent{seq: seq, at: at, victims: victims, genuine: genuine}
+	t.nSquash++
+}
+
+// String formats the trail oldest-first, e.g.
+//
+//	denied[chunk 17 @t=1200, chunk 17 @t=1320] squashed[chunk 16 @t=900 x2 aliased]
+func (t *livenessTrail) String() string {
+	var b strings.Builder
+	b.WriteString("denied[")
+	first := true
+	t.forEachDenied(func(e deniedEvent) {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "chunk %d @t=%d", e.seq, e.at)
+	})
+	b.WriteString("] squashed[")
+	first = true
+	t.forEachSquash(func(e squashEvent) {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		kind := "aliased"
+		if e.genuine {
+			kind = "genuine"
+		}
+		fmt.Fprintf(&b, "chunk %d @t=%d x%d %s", e.seq, e.at, e.victims, kind)
+	})
+	b.WriteString("]")
+	return b.String()
+}
+
+func (t *livenessTrail) forEachDenied(f func(deniedEvent)) {
+	start := uint64(0)
+	if t.nDenied > trailLen {
+		start = t.nDenied - trailLen
+	}
+	for i := start; i < t.nDenied; i++ {
+		f(t.denied[i%trailLen])
+	}
+}
+
+func (t *livenessTrail) forEachSquash(f func(squashEvent)) {
+	start := uint64(0)
+	if t.nSquash > trailLen {
+		start = t.nSquash - trailLen
+	}
+	for i := start; i < t.nSquash; i++ {
+		f(t.squashes[i%trailLen])
+	}
+}

@@ -22,6 +22,7 @@
 package proc
 
 import (
+	"bulksc/internal/fault"
 	"bulksc/internal/lineset"
 	"bulksc/internal/mem"
 	"bulksc/internal/network"
@@ -71,6 +72,11 @@ type Env struct {
 	Pages  *mem.PageTable
 	Sigs   sig.Factory
 	NProcs int
+
+	// Faults optionally injects processor-side faults (internal/fault):
+	// spurious bulk-disambiguation squashes and W-signature aliasing
+	// amplification. nil injects nothing and draws nothing.
+	Faults *fault.Plan
 
 	// ReadLine routes a demand miss to the owning directory module and
 	// calls done at the requester with the granted line state (an int-typed

@@ -1,8 +1,9 @@
 #!/bin/sh
 # The PR gate: formatting, static checks (go vet + the simlint invariant
-# passes), build, full tests, and the race detector over the parallel
-# sweep fan-out in experiments/. Run from the repository root (or via
-# `make check`).
+# passes), build, full tests, a fuzz-corpus smoke over the signature and
+# line-set differential targets, and the race detector over both the
+# parallel sweep fan-out in experiments/ and the litmus × model × fault
+# torture matrix. Run from the repository root (or via `make check`).
 #
 # Usage: scripts/check.sh [-fast]
 #
@@ -44,6 +45,9 @@ go build ./...
 echo "== go test =="
 go test ./...
 
+echo "== fuzz smoke (checked-in corpus as regression tests) =="
+go test -run 'Fuzz' ./internal/sig ./internal/lineset
+
 if [ "$fast" = 1 ]; then
     echo "check: green (-fast: race passes skipped)"
     exit 0
@@ -51,6 +55,9 @@ fi
 
 echo "== go test -race ./experiments =="
 go test -race ./experiments
+
+echo "== litmus torture matrix under -race =="
+go test -race -run 'TestLitmusTortureMatrix|TestRCRelaxationSurvivesFaults' ./internal/core
 
 echo "== go test -race -short ./internal/... =="
 go test -race -short ./internal/...
