@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check check-fast lint fmt vet build test race bench bench-json golden clean
+.PHONY: check check-fast lint fmt vet build test race bench bench-json perfdiff golden clean
 
 check: ## full PR gate: format, vet, simlint, build, tests, fuzz-corpus smoke, race on the sweep fan-out + torture matrix
 	./scripts/check.sh
@@ -43,6 +43,15 @@ bench:
 # Machine-readable perf snapshot tracked across PRs.
 bench-json:
 	$(GO) run ./cmd/bench2json -o BENCH_core.json
+
+# Regression-gate the current machine's numbers against the checked-in
+# snapshot: regenerate to a scratch file and diff (fails on >15% ns/op or
+# >25% allocs/op growth in the fig9 sweeps or any micro). Override the
+# baseline with PERFDIFF_BASE=path.
+PERFDIFF_BASE ?= BENCH_core.json
+perfdiff:
+	$(GO) run ./cmd/bench2json -o /tmp/bulksc-bench-current.json
+	./scripts/perfdiff.sh $(PERFDIFF_BASE) /tmp/bulksc-bench-current.json
 
 # Regenerate the golden determinism table — ONLY after a deliberate
 # behavioral change; performance-only PRs must leave it untouched.

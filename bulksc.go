@@ -92,6 +92,20 @@ func TrafficCategories() []TrafficCategory { return stats.Categories() }
 // builders re-exported below).
 type Program = workload.Program
 
+// GenerateProgram deterministically generates app's program for the given
+// thread count, per-thread work and seed — exactly what Run does
+// internally before simulating. A Program is immutable once generated, so
+// one generation may be shared by any number of runs and Runners (sweep
+// harnesses memoize it per (app, procs, work, seed) instead of
+// regenerating it for every machine model).
+func GenerateProgram(app string, procs, work int, seed int64) (*Program, error) {
+	gen, err := workload.Get(app)
+	if err != nil {
+		return nil, err
+	}
+	return gen(procs, work, seed), nil
+}
+
 // FaultCampaign is a named, declarative fault schedule (internal/fault):
 // arbiter denial storms and grant delays, network delay jitter, spurious
 // bulk-disambiguation squashes, and W-signature aliasing amplification.
@@ -134,6 +148,17 @@ func Run(cfg Config) (*Result, error) { return core.Run(cfg) }
 
 // RunProgram simulates an explicit program, e.g. a litmus test.
 func RunProgram(cfg Config, prog *Program) (*Result, error) { return core.RunProgram(cfg, prog) }
+
+// Runner is a reusable machine context: one simulated machine constructed
+// once and reset in place between runs, producing Results bit-identical to
+// cold Run while amortizing the multi-megabyte machine arena across a
+// sweep. A Runner is not safe for concurrent use; parallel sweeps hold one
+// Runner per worker (see experiments.Params.Parallelism).
+type Runner = core.Runner
+
+// NewRunner constructs the machine arena once; each subsequent
+// Runner.Run/RunProgram reuses it.
+func NewRunner() *Runner { return core.NewRunner() }
 
 // DefaultConfig returns the paper's preferred configuration — BSC_dypvt on
 // 8 processors with 1000-instruction chunks, Bloom signatures and the RSig

@@ -10,10 +10,19 @@
 //	go run ./cmd/bench2json                # writes ./BENCH_core.json
 //	go run ./cmd/bench2json -o out.json -work 60000 -n 3
 //
+// The Fig9 sweep is measured twice: cold (fresh machine per simulation,
+// the historical baseline mode, comparable with older BENCH_core.json
+// files) and warm (the default execution: one reused machine per worker,
+// memoized workload generation). The fig9_warm/fig9 alloc and byte ratios
+// are the warm-reuse win; sweep_wall_ms records both wall-clock times.
+//
 // The output also embeds the micro-benchmarks guarding the three hot
 // layers rebuilt by the allocation-free overhaul: the event engine's
 // schedule+fire loop, the Bloom signature intersect/union fast paths, and
 // the pooled chunk access loop.
+//
+// scripts/perfdiff.sh compares two of these files and fails on
+// regressions past its thresholds; see `make perfdiff`.
 package main
 
 import (
@@ -48,8 +57,13 @@ type Report struct {
 	GOARCH      string             `json:"goarch"`
 	NumCPU      int                `json:"num_cpu"`
 	BenchWork   int                `json:"bench_work"`
-	Fig9        Bench              `json:"fig9"`
+	Fig9        Bench              `json:"fig9"`         // cold: fresh machine per simulation
+	Fig9Warm    Bench              `json:"fig9_warm"`    // warm: one reused machine per worker (default mode)
 	Fig9GeoMean map[string]float64 `json:"fig9_geomean"` // variant → perf vs RC
+	// SweepWallMs records the wall-clock milliseconds of one full Fig9
+	// sweep in each execution mode (NsPerOp/1e6 of the corresponding
+	// entry, duplicated here so dashboards need no arithmetic).
+	SweepWallMs map[string]float64 `json:"sweep_wall_ms"`
 	Micro       []Bench            `json:"micro"`
 }
 
@@ -80,22 +94,31 @@ func main() {
 		BenchWork:   *work,
 	}
 
-	// Headline: the Figure 9 sweep, the acceptance benchmark for perf PRs.
+	// Headline: the Figure 9 sweep, the acceptance benchmark for perf PRs,
+	// measured cold (comparable with historical baselines) and warm (the
+	// default execution mode).
 	var gm experiments.Fig9Row
 	// A single Fig9 sweep takes well over testing's 1 s benchtime, so
 	// testing.Benchmark settles at N=1 — one full sweep, measured.
-	fig9 := func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			rows, err := experiments.Fig9(experiments.Params{Work: *work, Seed: *seed})
-			if err != nil {
-				b.Fatal(err)
+	fig9 := func(cold bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rows, err := experiments.Fig9(experiments.Params{Work: *work, Seed: *seed, Cold: cold})
+				if err != nil {
+					b.Fatal(err)
+				}
+				gm = experiments.Fig9GeoMeanRow(rows)
 			}
-			gm = experiments.Fig9GeoMeanRow(rows)
 		}
 	}
-	rep.Fig9 = measure("BenchmarkFig9", fig9)
+	rep.Fig9 = measure("BenchmarkFig9", fig9(true))
+	rep.Fig9Warm = measure("BenchmarkFig9Warm", fig9(false))
 	rep.Fig9GeoMean = gm.Speedup
+	rep.SweepWallMs = map[string]float64{
+		"cold": rep.Fig9.NsPerOp / 1e6,
+		"warm": rep.Fig9Warm.NsPerOp / 1e6,
+	}
 
 	// Micro-benchmarks over the rebuilt hot layers (inlined equivalents of
 	// the *_test.go benchmarks, so this binary needs no test linkage).
@@ -156,6 +179,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bench2json:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s: Fig9 %.0f ns/op, %.0f allocs/op, geomean dypvt=%.3f\n",
-		*out, rep.Fig9.NsPerOp, rep.Fig9.AllocsOp, rep.Fig9GeoMean["dypvt"])
+	fmt.Printf("wrote %s: Fig9 cold %.0f ns/op %.0f allocs/op, warm %.0f ns/op %.0f allocs/op, geomean dypvt=%.3f\n",
+		*out, rep.Fig9.NsPerOp, rep.Fig9.AllocsOp,
+		rep.Fig9Warm.NsPerOp, rep.Fig9Warm.AllocsOp, rep.Fig9GeoMean["dypvt"])
 }

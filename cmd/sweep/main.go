@@ -15,6 +15,14 @@
 // The -work flag sets the per-thread instruction budget; larger runs give
 // steadier statistics (the first 30% is always excluded as warmup).
 //
+// Sweeps execute on a fixed pool of -parallel workers (default NumCPU; -j
+// is an alias), each owning one warm machine that is reset in place
+// between simulations; workload programs are generated once per (app,
+// procs, work, seed) and shared. The -cold flag disables the reuse and
+// constructs a fresh machine per simulation — results are bit-identical
+// either way (golden-tested), so -cold exists only to isolate a suspected
+// reuse bug or to measure the reuse win.
+//
 // The -sccheck flag runs the online SC-witness checker (internal/sccheck)
 // alongside every SC-claiming simulation of the sweep; any witness
 // violation aborts the sweep with a diagnostic.
@@ -67,7 +75,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed      = fs.Int64("seed", 1, "simulation seed")
 		apps      = fs.String("apps", "", "comma-separated subset of applications (default: all)")
 		procs     = fs.Int("procs", 16, "core count for the arbiter-scaling study")
-		par       = fs.Int("j", 0, "parallel simulations (default: NumCPU)")
+		par       = fs.Int("parallel", 0, "parallel workers, one warm machine each (default: NumCPU)")
+		parAlias  = fs.Int("j", 0, "alias for -parallel")
+		cold      = fs.Bool("cold", false, "construct a fresh machine per simulation instead of reusing one warm machine per worker (bit-identical results; reuse-debugging escape hatch)")
 		scchk     = fs.Bool("sccheck", false, "run the online SC-witness checker on every SC-claiming simulation (fails the sweep on a violation)")
 		faults    = fs.String("faults", "none", "fault-injection campaign: "+strings.Join(bulksc.FaultCampaigns(), ", "))
 		faultSeed = fs.Int64("fault-seed", 1, "base seed for the fault-injection schedule")
@@ -90,8 +100,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "sweep: %v\n", err)
 		return 2
 	}
+	if *par < 0 || *parAlias < 0 {
+		fmt.Fprintf(stderr, "sweep: -parallel must be >= 0 (0 = NumCPU)\n")
+		return 2
+	}
+	if *par == 0 {
+		*par = *parAlias // -j is the historical spelling
+	}
+	effPar := *par
+	if effPar == 0 {
+		effPar = runtime.NumCPU()
+	}
 	p := experiments.Params{
-		Work: *work, Seed: *seed, Parallelism: *par, Witness: *scchk,
+		Work: *work, Seed: *seed, Parallelism: *par, Witness: *scchk, Cold: *cold,
 		FaultCampaign: *faults, FaultSeed: *faultSeed,
 	}
 	if *apps != "" {
@@ -143,6 +164,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 			f.Close()
 		}()
 	}
+
+	// Run header: how the sweep will execute, so reported numbers carry
+	// their execution mode.
+	mode := "warm machine reuse (one machine per worker)"
+	if *cold {
+		mode = "cold (fresh machine per simulation)"
+	}
+	fmt.Fprintf(stdout, "sweep: %d parallel workers, %s\n\n", effPar, mode)
 
 	runOne := func(name string) int {
 		switch name {

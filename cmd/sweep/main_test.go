@@ -30,6 +30,11 @@ func TestUnknownFlagValuesExitNonZero(t *testing.T) {
 			args: []string{"-exp", "fig9", "-apps", "doom"},
 			want: []string{`unknown application "doom"`, "radix", "sjbb2k"},
 		},
+		{
+			name: "negative parallelism",
+			args: []string{"-exp", "fig9", "-parallel", "-3"},
+			want: []string{"-parallel must be >= 0"},
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -79,5 +84,33 @@ func TestSmallSweepRuns(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "Figure 9") || !strings.Contains(out.String(), "radix") {
 		t.Errorf("unexpected report output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "parallel workers") || !strings.Contains(out.String(), "warm machine reuse") {
+		t.Errorf("run header missing execution mode:\n%s", out.String())
+	}
+}
+
+// TestColdAndWarmSweepsAgree pins the -cold escape hatch: the same tiny
+// sweep run cold and warm must produce byte-identical reports (the
+// execution-mode header aside), because warm machine reuse is required to
+// be behavior-neutral.
+func TestColdAndWarmSweepsAgree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep comparison in -short mode")
+	}
+	body := func(args ...string) string {
+		var out, errb bytes.Buffer
+		base := []string{"-exp", "fig9", "-apps", "radix", "-work", "3000", "-parallel", "2"}
+		if code := run(append(base, args...), &out, &errb); code != 0 {
+			t.Fatalf("exit code = %d, stderr: %s", code, errb.String())
+		}
+		// Drop the header line, which names the mode by design.
+		_, rest, _ := strings.Cut(out.String(), "\n\n")
+		return rest
+	}
+	warm := body()
+	cold := body("-cold")
+	if warm != cold {
+		t.Errorf("cold and warm sweeps disagree:\nwarm:\n%s\ncold:\n%s", warm, cold)
 	}
 }

@@ -37,8 +37,16 @@ type Params struct {
 	Apps []string // defaults to bulksc.Apps()
 	Work int      // per-thread dynamic instructions (default 120k)
 	Seed int64
-	// Parallelism bounds concurrent simulations (default NumCPU).
+	// Parallelism bounds concurrent simulations (default NumCPU). Each
+	// worker owns one warm bulksc.Runner, so machine construction happens
+	// Parallelism times per sweep, not once per cell.
 	Parallelism int
+	// Cold disables warm machine reuse: every cell constructs a fresh
+	// machine instead of resetting a per-worker Runner in place. Results
+	// are bit-identical either way (that equivalence is golden-tested);
+	// this is the escape hatch for isolating a suspected reuse bug and
+	// for benchmarking the reuse win itself (cmd/sweep -cold).
+	Cold bool
 	// Witness enables the online SC-witness checker (internal/sccheck)
 	// for every SC-claiming run of the sweep (BulkSC and the SC
 	// baseline); a witness violation fails the sweep. Off by default:
@@ -85,15 +93,69 @@ func faultSeed(base int64, app, key string) int64 {
 	return base ^ int64(h.Sum64())
 }
 
-// runMatrix executes one simulation per (app, key) pair in parallel and
-// returns results indexed [app][key].
+// progCache memoizes generated programs per (app, procs, work, seed)
+// within one sweep: a Figure 9 sweep runs 7 machine models over the same
+// program, and regenerating it per cell is pure waste. Programs are
+// immutable once generated, so one instance is safely shared across
+// workers and runs; the per-key once makes concurrent first requests
+// generate exactly once without serializing unrelated generations.
+type progCache struct {
+	mu sync.Mutex
+	m  map[string]*progEntry
+}
+
+type progEntry struct {
+	once sync.Once
+	prog *bulksc.Program
+	err  error
+}
+
+func (c *progCache) get(app string, procs, work int, seed int64) (*bulksc.Program, error) {
+	key := fmt.Sprintf("%s/%d/%d/%d", app, procs, work, seed)
+	c.mu.Lock()
+	e, ok := c.m[key]
+	if !ok {
+		e = &progEntry{}
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.prog, e.err = bulksc.GenerateProgram(app, procs, work, seed) })
+	return e.prog, e.err
+}
+
+// runMatrix executes one simulation per (app, key) pair on a fixed pool of
+// Parallelism workers and returns results indexed [app][key]. Each worker
+// owns one warm bulksc.Runner (unless Params.Cold), so the machine arena
+// is constructed once per worker instead of once per cell, and workloads
+// are memoized per (app, procs, work, seed) instead of regenerated per
+// model.
 func runMatrix(p Params, keys []string, mk func(app, key string) bulksc.Config) (map[string]map[string]*bulksc.Result, error) {
 	p = p.withDefaults()
-	type job struct{ app, key string }
+	type job struct {
+		app, key string
+		cfg      bulksc.Config
+	}
+	// Validate the campaign once; per-run plans are built below.
+	if _, err := bulksc.NewFaultPlan(p.FaultCampaign, p.FaultSeed); err != nil {
+		return nil, err
+	}
 	var jobs []job
 	for _, app := range p.Apps {
 		for _, key := range keys {
-			jobs = append(jobs, job{app, key})
+			cfg := mk(app, key)
+			cfg.Work = p.Work
+			cfg.Seed = p.Seed
+			// The witness checker gates only the models that claim SC; RC
+			// and SC++ relax store→load order by design. Fault campaigns
+			// never weaken the gate: injected faults are sound (denials
+			// retry, squashes re-execute, phantom bits only add conflicts),
+			// so an SC-claiming model must stay witness-clean under any
+			// campaign.
+			cfg.Witness = p.Witness && (cfg.Model == bulksc.ModelBulk || cfg.Model == bulksc.ModelSC)
+			if plan, err := bulksc.NewFaultPlan(p.FaultCampaign, faultSeed(p.FaultSeed, app, key)); err == nil {
+				cfg.Faults = plan
+			}
+			jobs = append(jobs, job{app, key, cfg})
 		}
 	}
 	results := make(map[string]map[string]*bulksc.Result)
@@ -101,53 +163,52 @@ func runMatrix(p Params, keys []string, mk func(app, key string) bulksc.Config) 
 		results[app] = make(map[string]*bulksc.Result)
 	}
 	var (
-		mu   sync.Mutex
-		wg   sync.WaitGroup
-		sem  = make(chan struct{}, p.Parallelism)
-		errs []error
+		mu     sync.Mutex
+		wg     sync.WaitGroup
+		errs   []error
+		progs  = &progCache{m: make(map[string]*progEntry)}
+		jobsCh = make(chan job)
 	)
-	// Validate the campaign once; per-run plans are built below.
-	if _, err := bulksc.NewFaultPlan(p.FaultCampaign, p.FaultSeed); err != nil {
-		return nil, err
-	}
-	for _, j := range jobs {
-		j := j
-		cfg := mk(j.app, j.key)
-		cfg.Work = p.Work
-		cfg.Seed = p.Seed
-		// The witness checker gates only the models that claim SC; RC and
-		// SC++ relax store→load order by design. Fault campaigns never
-		// weaken the gate: injected faults are sound (denials retry,
-		// squashes re-execute, phantom bits only add conflicts), so an
-		// SC-claiming model must stay witness-clean under any campaign.
-		cfg.Witness = p.Witness && (cfg.Model == bulksc.ModelBulk || cfg.Model == bulksc.ModelSC)
-		if plan, err := bulksc.NewFaultPlan(p.FaultCampaign, faultSeed(p.FaultSeed, j.app, j.key)); err == nil {
-			cfg.Faults = plan
-		}
+	for w := 0; w < p.Parallelism; w++ {
 		wg.Add(1)
-		sem <- struct{}{}
 		go func() {
-			defer func() { <-sem; wg.Done() }()
-			res, err := bulksc.Run(cfg)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				errs = append(errs, fmt.Errorf("%s/%s: %w", j.app, j.key, err))
-				return
+			defer wg.Done()
+			var runner *bulksc.Runner
+			if !p.Cold {
+				runner = bulksc.NewRunner()
 			}
-			if len(res.SCViolations) > 0 {
-				errs = append(errs, fmt.Errorf("%s/%s: SC violated: %s", j.app, j.key, res.SCViolations[0]))
-				return
+			for j := range jobsCh {
+				prog, err := progs.get(j.app, j.cfg.Procs, j.cfg.Work, j.cfg.Seed)
+				var res *bulksc.Result
+				if err == nil {
+					if runner != nil {
+						res, err = runner.RunProgram(j.cfg, prog)
+					} else {
+						res, err = bulksc.RunProgram(j.cfg, prog)
+					}
+				}
+				mu.Lock()
+				switch {
+				case err != nil:
+					errs = append(errs, fmt.Errorf("%s/%s: %w", j.app, j.key, err))
+				case len(res.SCViolations) > 0:
+					errs = append(errs, fmt.Errorf("%s/%s: SC violated: %s", j.app, j.key, res.SCViolations[0]))
+				case len(res.WitnessViolations) > 0:
+					errs = append(errs, fmt.Errorf("%s/%s: SC witness violated: %s", j.app, j.key, res.WitnessViolations[0]))
+				default:
+					results[j.app][j.key] = res
+				}
+				mu.Unlock()
 			}
-			if len(res.WitnessViolations) > 0 {
-				errs = append(errs, fmt.Errorf("%s/%s: SC witness violated: %s", j.app, j.key, res.WitnessViolations[0]))
-				return
-			}
-			results[j.app][j.key] = res
 		}()
 	}
+	for _, j := range jobs {
+		jobsCh <- j
+	}
+	close(jobsCh)
 	wg.Wait()
 	if len(errs) > 0 {
+		sort.Slice(errs, func(i, k int) bool { return errs[i].Error() < errs[k].Error() })
 		return nil, errs[0]
 	}
 	return results, nil

@@ -138,6 +138,49 @@ func TestArbScaleSmallSweep(t *testing.T) {
 	}
 }
 
+// TestWarmReuseMatchesCold pins the Runner contract at the sweep level: a
+// mixed sweep — heterogeneous models via Fig9, then heterogeneous machine
+// shapes via ArbScale (different processor and arbiter counts forcing the
+// module-rebuild path) — run through warm per-worker Runners must produce
+// results identical to the same sweep with a fresh machine per simulation.
+// Running under -race (scripts/check.sh) additionally checks the worker
+// pool and the program-generation memoization for data races.
+func TestWarmReuseMatchesCold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep comparison")
+	}
+	warm := tinyParams()
+	warm.Parallelism = 2
+	cold := warm
+	cold.Cold = true
+
+	wRows, err := Fig9(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cRows, err := Fig9(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FormatFig9(wRows) != FormatFig9(cRows) {
+		t.Errorf("Fig9 warm and cold sweeps disagree:\nwarm:\n%s\ncold:\n%s",
+			FormatFig9(wRows), FormatFig9(cRows))
+	}
+
+	wArb, err := ArbScale(warm, 8, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cArb, err := ArbScale(cold, 8, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FormatArbScale(wArb, []int{1, 2}) != FormatArbScale(cArb, []int{1, 2}) {
+		t.Errorf("ArbScale warm and cold sweeps disagree:\nwarm:\n%s\ncold:\n%s",
+			FormatArbScale(wArb, []int{1, 2}), FormatArbScale(cArb, []int{1, 2}))
+	}
+}
+
 func TestVariantNamesAgree(t *testing.T) {
 	for _, v := range Fig9Variants() {
 		_ = bulksc.Variant("fft", v) // panics on unknown names

@@ -8,13 +8,21 @@
 // cleared the key table but left stale values behind, silently leaking one
 // chunk's speculative write-buffer words into a successor's.
 //
+// PR 5 widened the same contract from pooled chunk state to whole-machine
+// warm reuse: every simulator subsystem now has a Reset method (with or
+// without parameters — Engine.Reset(seed), BulkProc.Reset(ins, par, opts))
+// that returns it to a cold-equivalent state between runs, and a field a
+// Reset forgets is a prior run's tag array, W-list or store queue leaking
+// into the next run's results.
+//
 // The pass checks, for every method named Reset with a pointer receiver on
-// a struct type, that the method body covers every field of the struct: a
-// field is covered if it is assigned, cleared with the clear builtin,
-// indexed-assigned, passed (possibly by address) to a call, or is itself
-// the receiver of a method call (delegated reset). Fields that are
-// deliberately preserved across recycling (e.g. amortized capacity or
-// generation counters maintained elsewhere) must say so with a
+// a struct type — regardless of whether it takes parameters — that the
+// method body covers every field of the struct: a field is covered if it
+// is assigned, cleared with the clear builtin, indexed-assigned, passed
+// (possibly by address) to a call, or is itself the receiver of a method
+// call (delegated reset). Fields that are deliberately preserved across
+// recycling (e.g. amortized capacity, generation counters maintained
+// elsewhere, or immutable machine-lifetime wiring) must say so with a
 // `//lint:poolsafe <reason>` comment on the field's declaration.
 package poolhygiene
 
@@ -44,9 +52,11 @@ func run(pass *lintkit.Pass) (interface{}, error) {
 			if !ok || fn.Name.Name != "Reset" || fn.Body == nil {
 				continue
 			}
-			if fn.Type.Params.NumFields() != 0 {
-				continue // Reset(x) with parameters is a different contract
-			}
+			// Reset methods with parameters (warm-reuse reinitializers such
+			// as proc.BulkProc.Reset(ins, par, opts) or sim.Engine.Reset(seed))
+			// carry the same total-coverage contract: the parameters feed the
+			// new values, but every field must still be overwritten or
+			// justified, or one run's state leaks into the next machine reuse.
 			named, st := lintkit.ReceiverStruct(pass.TypesInfo, fn)
 			if named == nil || st == nil {
 				continue

@@ -30,3 +30,20 @@ func (c *Chunk) Reset() {
 	clear(c.seen)
 	truncate(&c.pins)
 }
+
+// WarmCache shows the clean parameterized form: a warm-reuse Reset that
+// takes the next run's geometry, covers every mutable field, and justifies
+// the retained slab.
+type WarmCache struct {
+	nsets int
+	ways  []cacheWay
+	tick  uint64
+	//lint:poolsafe allocation reservoir; entries are reinitialized at reuse
+	slab []cacheWay
+}
+
+func (c *WarmCache) Reset(nsets int) {
+	c.nsets = nsets
+	clear(c.ways)
+	c.tick = 0
+}

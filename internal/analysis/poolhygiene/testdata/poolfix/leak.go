@@ -27,3 +27,38 @@ type Counter struct {
 func (c Counter) Reset() { // want `Reset on Counter has a value receiver`
 	c.n = 0
 }
+
+// cacheWay models one set-associative cache way, and StaleCache reproduces
+// the warm-machine-reuse leak class: a cache whose Reset rewinds the LRU
+// clock but forgets the tag/state array, so the first run's lines are still
+// "present" when the machine is reused and the second run silently hits on
+// data it never fetched. The analyzer makes this bug unrepresentable: the
+// ways field is neither covered nor justified, so Reset is rejected.
+type cacheWay struct {
+	tag   uint64
+	valid bool
+}
+
+type StaleCache struct {
+	ways []cacheWay
+	tick uint64
+}
+
+func (c *StaleCache) Reset() { // want `Reset on StaleCache does not clear field "ways"`
+	c.tick = 0
+}
+
+// WarmProc models a warm-reuse reinitializer: Reset takes parameters that
+// feed the next run's configuration. The parameterized form carries exactly
+// the same total-coverage contract — here the inflight miss table is never
+// cleared, so run N's outstanding misses would complete into run N+1.
+type WarmProc struct {
+	width    int
+	inflight map[uint64]int
+	seq      uint64
+}
+
+func (p *WarmProc) Reset(width int) { // want `Reset on WarmProc does not clear field "inflight"`
+	p.width = width
+	p.seq = 0
+}

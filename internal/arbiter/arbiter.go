@@ -65,19 +65,25 @@ type pendingEntry struct {
 // mechanism; with several, each owns an address range and the GArbiter
 // coordinates multi-range commits.
 type Arbiter struct {
-	ID  int
+	//lint:poolsafe stable identity fixed at construction
+	ID int
+	//lint:poolsafe immutable machine-lifetime references wired at construction
 	eng *sim.Engine
+	//lint:poolsafe immutable machine-lifetime references wired at construction
 	net *network.Network
-	st  *stats.Stats
+	//lint:poolsafe immutable machine-lifetime references wired at construction
+	st *stats.Stats
 
-	pending  map[Token]*pendingEntry
-	nextTok  Token
+	pending map[Token]*pendingEntry
+	nextTok Token
+	//lint:poolsafe shared commit-order counter; the owning machine zeroes the pointee between runs
 	order    *uint64 // shared global commit-order counter
 	MaxSimul int
 
 	// ForwardW is set by the system: it ships a granted W signature to
 	// this arbiter's directory module and must eventually call Done(tok).
 	// For empty-W commits it is not called.
+	//lint:poolsafe stable machine wiring to this arbiter's directory, installed once at construction
 	ForwardW func(tok Token, proc int, w sig.Signature, trueW *lineset.Set)
 
 	// Faults optionally injects arbitration faults (internal/fault):
@@ -109,6 +115,23 @@ func New(id int, eng *sim.Engine, net *network.Network, st *stats.Stats, order *
 		MaxSimul: DefaultMaxSimul,
 		lockProc: -1,
 	}
+}
+
+// Reset returns the arbiter to its just-constructed state in place: the
+// pending W-list is emptied (retaining the map's buckets), the token
+// counter restarts, the pre-arbitration lock is released and its queue
+// scrubbed (zeroing entries first so queued grant closures from a finished
+// run are released, not replayed), and the per-run fault plan is detached.
+// MaxSimul returns to the Table 2 default; a run wanting a different value
+// sets it after Reset, exactly as it would after New.
+func (a *Arbiter) Reset() {
+	clear(a.pending)
+	a.nextTok = 0
+	a.MaxSimul = DefaultMaxSimul
+	a.Faults = nil
+	a.lockProc = -1
+	clear(a.lockQueue) // release grant closures before truncating
+	a.lockQueue = a.lockQueue[:0]
 }
 
 // Pending returns the number of W signatures currently held.

@@ -133,7 +133,7 @@ func TestQuickCapacityBound(t *testing.T) {
 }
 
 func mkChunk(proc int, seq uint64, reads, writes []mem.Line) *chunk.Chunk {
-	c := chunk.New(sig.NewFactory(sig.KindExact), proc, seq, int(seq)%2, 0, 1000)
+	c := chunk.New(sig.NewFactory(sig.KindExact), nil, proc, seq, int(seq)%2, 0, 1000)
 	for _, l := range reads {
 		c.RecordLoad(l.Addr(), 0, false)
 	}

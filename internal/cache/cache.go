@@ -58,9 +58,21 @@ func (w *Way) Valid() bool { return w.State != Invalid }
 
 // L1 is a set-associative cache.
 type L1 struct {
+	//lint:poolsafe immutable geometry fixed at construction
 	nsets, assoc int
 	ways         []Way // nsets × assoc, row-major
 	tick         uint64
+}
+
+// Reset scrubs the tag array and LRU clock in place, returning the cache
+// to its just-constructed state without reallocating the ways slice. A
+// warm machine reuse (core.Runner) must leave no stale tags behind: a
+// surviving valid way would satisfy the next run's first probe and skew
+// its miss stream — the stale-tag-array leak class the poolhygiene
+// fixture pins.
+func (c *L1) Reset() {
+	clear(c.ways)
+	c.tick = 0
 }
 
 // NewL1 returns a cache with nsets sets (power of two, ≤ sig.BankBits so

@@ -6,9 +6,18 @@ import "bulksc/internal/mem"
 // simulator only needs to know whether a line hits on chip (13-cycle round
 // trip) or must come from memory (300 cycles). Values live in mem.Memory.
 type L2 struct {
+	//lint:poolsafe immutable geometry fixed at construction
 	nsets, assoc int
 	ways         []l2way
 	tick         uint64
+}
+
+// Reset scrubs the tag store in place. The L2's 32768×8 ways array (~6 MB)
+// is the single largest machine allocation; retaining it across runs while
+// zeroing its contents is the biggest per-run win of warm machine reuse.
+func (c *L2) Reset() {
+	clear(c.ways)
+	c.tick = 0
 }
 
 type l2way struct {

@@ -24,6 +24,7 @@ import (
 	"bulksc/internal/lineset"
 	"bulksc/internal/mem"
 	"bulksc/internal/sig"
+	"bulksc/internal/slab"
 )
 
 // State is a chunk's lifecycle position.
@@ -99,16 +100,37 @@ type Chunk struct {
 
 	// CommitOrder is assigned by the arbiter at grant time.
 	CommitOrder uint64
+
+	// ReplyFn and FetchRFn are the chunk's commit-request callbacks,
+	// allocated once per chunk LIFETIME by the owning processor (not per
+	// request): they capture only the processor and the chunk pointer,
+	// both of which are stable across pooled recycling, so re-sends after
+	// a denial and chunks recycled through the Pool reuse the same two
+	// closures instead of allocating fresh ones per request. Stale
+	// invocations are impossible by construction — a chunk is recycled
+	// only at ReqsOut == 0, and each in-flight request calls ReplyFn
+	// exactly once.
+	//lint:poolsafe per-chunk-lifetime wiring; captures only stable pointers, intentionally survives recycling
+	ReplyFn func(granted bool, order uint64)
+	//lint:poolsafe per-chunk-lifetime wiring; captures only stable pointers, intentionally survives recycling
+	FetchRFn func(cb func(sig.Signature))
 }
 
 // New returns a fresh chunk for proc at checkpoint pos using the given
-// signature factory.
-func New(f sig.Factory, proc int, seq uint64, slot, pos, target int) *Chunk {
+// signature factory. arena, when non-nil, supplies the backing arrays of
+// the chunk's exact sets and write buffer (see Pool.Drain: it lets a
+// warm-reused machine re-walk the cold capacity history from recycled
+// storage instead of the allocator).
+func New(f sig.Factory, arena *slab.Pool[uint64], proc int, seq uint64, slot, pos, target int) *Chunk {
 	c := &Chunk{
 		R:     f(),
 		W:     f(),
 		Wpriv: f(),
 	}
+	c.RSet.UseArena(arena)
+	c.WSet.UseArena(arena)
+	c.PrivSet.UseArena(arena)
+	c.WriteBuf.UseArena(arena)
 	c.init(proc, seq, slot, pos, target)
 	return c
 }
@@ -245,23 +267,50 @@ func (c *Chunk) String() string {
 // Only chunks with no live external references may be returned: in
 // practice the squash path, where the chunk's signatures were never handed
 // to the arbiter/directory pipeline (see proc's reqInFlight tracking).
-// Committed chunks are NOT pooled — the replay checker and timeline may
-// retain them, and the directory may still be expanding their W.
+// Committed chunks are NOT pooled within a run — the replay checker and
+// timeline may retain them, and the directory may still be expanding
+// their W. Across runs, once the machine is quiescent, they re-enter the
+// pool through Adopt.
 type Pool struct {
 	free []*Chunk
+
+	// SigRecycler, when set, receives the signatures Adopt and Drain
+	// drop instead of leaving them to the garbage collector (typically
+	// sig.Recycler.Recycle, which parks standard Blooms for the next
+	// run's factory and ignores everything else). Pure storage wiring:
+	// a recycled signature is cleared and geometry-fixed, so reuse is
+	// invisible to the simulation.
+	//lint:poolsafe machine-lifetime recycler wiring; storage sink only, never simulated state
+	SigRecycler func(sig.Signature)
 }
 
-// Get returns a ready chunk, recycling a pooled one when available.
+// dropSigs detaches c's signatures, routing them through the recycler
+// when one is wired.
+func (p *Pool) dropSigs(c *Chunk) {
+	if p.SigRecycler != nil {
+		p.SigRecycler(c.R)
+		p.SigRecycler(c.W)
+		p.SigRecycler(c.Wpriv)
+	}
+	c.R, c.W, c.Wpriv = nil, nil, nil
+}
+
+// Get returns a ready chunk, recycling a pooled one when available. A
+// chunk retained across a machine reset (Drain) has no signatures; they
+// are rebuilt here from the current run's factory.
 //
 //sim:hotpath
-func (p *Pool) Get(f sig.Factory, proc int, seq uint64, slot, pos, target int) *Chunk {
+func (p *Pool) Get(f sig.Factory, arena *slab.Pool[uint64], proc int, seq uint64, slot, pos, target int) *Chunk {
 	n := len(p.free)
 	if n == 0 {
-		return New(f, proc, seq, slot, pos, target)
+		return New(f, arena, proc, seq, slot, pos, target)
 	}
 	c := p.free[n-1]
 	p.free[n-1] = nil
 	p.free = p.free[:n-1]
+	if c.R == nil {
+		c.R, c.W, c.Wpriv = f(), f(), f()
+	}
 	c.init(proc, seq, slot, pos, target)
 	return c
 }
@@ -282,4 +331,57 @@ func (p *Pool) Put(c *Chunk) {
 	c.WriteBuf.Reset()
 	c.Log = c.Log[:0]
 	p.free = append(p.free, c)
+}
+
+// Adopt places a chunk that COMMITTED in a now-finished run into the
+// pool, stripped to the same cold shape Drain produces: sets and write
+// buffer release their arrays to the arena, signatures are dropped (the
+// next Get rebuilds them from the next run's factory), and only the
+// struct, its Gen counter, its commit callbacks and the append-only Log
+// storage survive.
+//
+// Committed chunks can never be recycled WITHIN a run (the replay
+// checker, the witness and the directory pipeline may all hold them),
+// which is why Put refuses them; but between runs the machine is
+// quiescent, so the only reference that can outlive the run is
+// Result.Commits — the caller (core, via the processor's retire list)
+// asserts that run did not export them there. Adoption is
+// identity-neutral for the same reason Drain is: the adopted chunk is
+// indistinguishable from a drained one.
+func (p *Pool) Adopt(c *Chunk) {
+	c.Gen++
+	p.dropSigs(c)
+	c.RSet.Release()
+	c.WSet.Release()
+	c.PrivSet.Release()
+	c.WriteBuf.Release()
+	c.Log = c.Log[:0]
+	p.free = append(p.free, c)
+}
+
+// Drain prepares the pool for reuse across a warm machine reset
+// (DESIGN.md §11). Retaining pooled chunks as-is would violate the
+// cold/warm bit-identity contract: their open-addressed sets keep grown
+// capacities, and slot-order iteration depends on capacity. Instead each
+// pooled chunk keeps only what is order-neutral — the struct itself, its
+// generation counter (compared by equality only), and the append-only
+// Log's storage — while its sets and write buffer return their arrays to
+// the chunk arena (Release restores the zero-value cold shape, so the
+// next run re-walks the cold growth history from recycled storage) and
+// its signatures are dropped (the next Get rebuilds them from that run's
+// factory, which may differ in kind or geometry).
+//
+// Only pooled chunks are drained: a chunk is in the pool precisely
+// because nothing external retained it, so releasing its storage cannot
+// alias a previous run's Result (committed chunks, whose sets the replay
+// checker and commit records do retain, are never pooled).
+func (p *Pool) Drain() {
+	for _, c := range p.free {
+		p.dropSigs(c)
+		c.RSet.Release()
+		c.WSet.Release()
+		c.PrivSet.Release()
+		c.WriteBuf.Release()
+		c.Log = c.Log[:0]
+	}
 }

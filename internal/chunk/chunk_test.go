@@ -10,7 +10,7 @@ import (
 )
 
 func newChunk(k sig.Kind) *Chunk {
-	return New(sig.NewFactory(k), 0, 1, 0, 0, 1000)
+	return New(sig.NewFactory(k), nil, 0, 1, 0, 0, 1000)
 }
 
 func TestRecordLoadUpdatesR(t *testing.T) {
@@ -234,7 +234,7 @@ func TestQuickNoMissedConflicts(t *testing.T) {
 func TestPoolRecycledChunkIsPristine(t *testing.T) {
 	f := sig.NewFactory(sig.KindExact)
 	var pool Pool
-	c := pool.Get(f, 0, 1, 0, 0, 1000)
+	c := pool.Get(f, nil, 0, 1, 0, 0, 1000)
 	for i := 0; i < 32; i++ {
 		a := mem.Addr(i * 8)
 		c.RecordStore(a, 0xbad0+uint64(i), i%2 == 0)
@@ -243,7 +243,7 @@ func TestPoolRecycledChunkIsPristine(t *testing.T) {
 	gen := c.Gen
 	pool.Put(c) // squash path
 
-	r := pool.Get(f, 3, 9, 1, 7, 500)
+	r := pool.Get(f, nil, 3, 9, 1, 7, 500)
 	if r != c {
 		t.Fatal("pool did not recycle the chunk")
 	}
@@ -282,7 +282,7 @@ func BenchmarkChunkAccessLoop(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c := pool.Get(f, 0, uint64(i), 0, 0, 1000)
+		c := pool.Get(f, nil, 0, uint64(i), 0, 0, 1000)
 		for j := 0; j < accesses; j++ {
 			a := mem.Addr(j*64 + (i&7)*4096)
 			if j&3 == 0 {
@@ -295,5 +295,57 @@ func BenchmarkChunkAccessLoop(b *testing.B) {
 			}
 		}
 		pool.Put(c) // squash path: recycle everything
+	}
+}
+
+// TestPoolAdopt exercises the cross-run retirement path: a committed
+// chunk re-enters the pool via Adopt, which must defuse stale callbacks
+// (Gen bump), route its signatures to the SigRecycler, restore its sets
+// to the cold zero-value shape, and leave the chunk ready for the next
+// run's Get to rebuild signatures from the current factory.
+func TestPoolAdopt(t *testing.T) {
+	f := sig.NewFactory(sig.KindBloom)
+	var pool Pool
+	var recycled []sig.Signature
+	pool.SigRecycler = func(s sig.Signature) { recycled = append(recycled, s) }
+
+	c := pool.Get(f, nil, 0, 1, 0, 0, 1000)
+	for i := 0; i < 16; i++ {
+		a := mem.Addr(i * 64)
+		c.RecordStore(a, uint64(i), i%2 == 0)
+		c.RecordLoad(a+4096, uint64(i), false)
+	}
+	c.State = Committed
+	gen := c.Gen
+	pool.Adopt(c)
+
+	if c.Gen != gen+1 {
+		t.Fatalf("Adopt left Gen = %d, want %d (stale callbacks must be defused)", c.Gen, gen+1)
+	}
+	if len(recycled) != 3 {
+		t.Fatalf("Adopt routed %d signatures to SigRecycler, want 3 (R, W, Wpriv)", len(recycled))
+	}
+	if c.R != nil || c.W != nil || c.Wpriv != nil {
+		t.Fatal("Adopt retained detached signatures on the chunk")
+	}
+	if c.RSet.Len() != 0 || c.WSet.Len() != 0 || c.PrivSet.Len() != 0 || len(c.Log) != 0 {
+		t.Fatal("Adopt did not restore cold shape")
+	}
+
+	r := pool.Get(f, nil, 2, 5, 1, 3, 700)
+	if r != c {
+		t.Fatal("pool did not recycle the adopted chunk")
+	}
+	if r.R == nil || r.W == nil || r.Wpriv == nil {
+		t.Fatal("Get did not rebuild signatures for an adopted chunk")
+	}
+	if !r.R.Empty() || !r.W.Empty() || !r.Wpriv.Empty() {
+		t.Fatal("rebuilt signatures not empty")
+	}
+	if r.Proc != 2 || r.Seq != 5 || r.State != Executing {
+		t.Fatalf("adopted chunk not reinitialized: %+v", r)
+	}
+	if _, ok := r.Forward(0); ok {
+		t.Fatal("adopted chunk forwards a stale value")
 	}
 }

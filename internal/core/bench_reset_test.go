@@ -1,0 +1,61 @@
+package core
+
+import "testing"
+
+// BenchmarkMachineReset measures the in-place machine reinitialization
+// that warm reuse performs between runs (Runner.Run's per-run cost before
+// any simulation work). The machine is first taken through a full golden
+// run so every subsystem — caches, directories, arbiters, processor
+// arenas, pools — holds realistic state; the loop then measures the
+// steady-state Reset. allocs/op is the headline: the reset path must not
+// allocate, or the warm-reuse win evaporates across a sweep.
+func BenchmarkMachineReset(b *testing.B) {
+	cfg := goldenConfig("radix")
+	cfg.Witness = false
+	cfg.CheckSC = false
+	r := NewRunner()
+	if _, err := r.Run(cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.m.Reset(cfg)
+	}
+}
+
+// BenchmarkWarmRun measures one full warm simulation through a reused
+// Runner — the unit of work a sweep worker repeats — for direct
+// comparison with BenchmarkColdRun.
+func BenchmarkWarmRun(b *testing.B) {
+	cfg := goldenConfig("radix")
+	cfg.Witness = false
+	cfg.CheckSC = false
+	r := NewRunner()
+	if _, err := r.Run(cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkColdRun is BenchmarkWarmRun with a fresh machine per
+// iteration: the pre-PR execution mode. The allocs/op and bytes/op ratio
+// to BenchmarkWarmRun is the per-simulation arena cost that warm reuse
+// amortizes away.
+func BenchmarkColdRun(b *testing.B) {
+	cfg := goldenConfig("radix")
+	cfg.Witness = false
+	cfg.CheckSC = false
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

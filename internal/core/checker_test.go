@@ -14,7 +14,7 @@ import (
 // violations must be flagged, and known-good ones must pass.
 
 func mkLoggedChunk(proc int, seq, order uint64, ops ...chunk.AccessRec) *chunk.Chunk {
-	c := chunk.New(sig.NewFactory(sig.KindExact), proc, seq, 0, 0, 1000)
+	c := chunk.New(sig.NewFactory(sig.KindExact), nil, proc, seq, 0, 0, 1000)
 	c.CommitOrder = order
 	c.Log = append(c.Log, ops...)
 	return c

@@ -175,18 +175,58 @@ func (r *Result) Speedup(other *Result) float64 {
 	return float64(other.Cycles) / float64(r.Cycles)
 }
 
-// Run generates cfg.App and simulates it.
+// Run generates cfg.App and simulates it on a fresh machine. It is
+// exactly Runner.Run on a throwaway Runner: cold and warm runs execute the
+// same construction + Reset + run path, which is what makes their results
+// bit-identical.
 func Run(cfg Config) (*Result, error) {
+	return NewRunner().Run(cfg)
+}
+
+// RunProgram simulates an explicit program on a fresh machine (used by the
+// litmus tests).
+func RunProgram(cfg Config, prog *workload.Program) (*Result, error) {
+	return NewRunner().RunProgram(cfg, prog)
+}
+
+// Runner is a reusable machine context: one simulated machine — engine,
+// caches, directory slabs, arbiters, network, processors — constructed
+// once and reset in place between runs. A Runner amortizes the multi-
+// megabyte machine arena (the 8 MB L2 tag array, the directory entry
+// slabs, the per-processor L1s, maps and FIFOs) across a whole sweep:
+// Run produces Results bit-identical to a cold core.Run (both
+// DeterminismHash and WitnessHash), because every subsystem's Reset
+// restores cold-equivalent state and the state whose shape could leak
+// (grown open-addressed tables, chunk pools) is deliberately dropped.
+//
+// A Runner is NOT safe for concurrent use: it is one machine. Parallel
+// sweeps hold one Runner per worker.
+type Runner struct {
+	m *machine
+}
+
+// NewRunner constructs the machine arena once; the first Run pays the same
+// cost as a cold core.Run, subsequent Runs reuse the arena.
+func NewRunner() *Runner { return &Runner{m: newMachine()} }
+
+// Run generates cfg.App and simulates it on the reused machine.
+func (r *Runner) Run(cfg Config) (*Result, error) {
 	gen, err := workload.Get(cfg.App)
 	if err != nil {
 		return nil, err
 	}
 	prog := gen(cfg.Procs, cfg.Work, cfg.Seed)
-	return RunProgram(cfg, prog)
+	return r.m.runProgram(cfg, prog)
 }
 
-// RunProgram simulates an explicit program (used by the litmus tests).
-func RunProgram(cfg Config, prog *workload.Program) (*Result, error) {
+// RunProgram simulates an explicit (immutable) program on the reused
+// machine. The program is only read, so one memoized *workload.Program may
+// be shared by many Runners and runs.
+func (r *Runner) RunProgram(cfg Config, prog *workload.Program) (*Result, error) {
+	return r.m.runProgram(cfg, prog)
+}
+
+func (m *machine) runProgram(cfg Config, prog *workload.Program) (*Result, error) {
 	if len(prog.Threads) != cfg.Procs {
 		cfg.Procs = len(prog.Threads)
 	}
@@ -196,7 +236,7 @@ func RunProgram(cfg Config, prog *workload.Program) (*Result, error) {
 	if cfg.NumArbiters < 1 {
 		cfg.NumArbiters = 1
 	}
-	m := buildMachine(cfg)
+	m.Reset(cfg)
 	for t, ins := range prog.Threads {
 		m.addProc(cfg, t, ins)
 	}
@@ -204,7 +244,11 @@ func RunProgram(cfg Config, prog *workload.Program) (*Result, error) {
 	return m.run(cfg)
 }
 
-// machine is one assembled system.
+// machine is one assembled system. It is built once (newMachine) and then
+// reconfigured in place for every run (Reset): the expensive arenas — the
+// 8 MB L2 tag array, the directory entry slabs, per-processor L1s, maps,
+// FIFOs and the event heap — survive across runs, while every piece of
+// per-run state is scrubbed back to its cold value.
 type machine struct {
 	cfg   Config
 	eng   *sim.Engine
@@ -212,16 +256,46 @@ type machine struct {
 	st    *stats.Stats
 	memry *mem.Memory
 	pages *mem.PageTable
+	l2    *cache.L2
 	dirs  []*directory.Directory
 	arbs  []*arbiter.Arbiter
 	garb  *arbiter.GArbiter
 	env   *proc.Env
 
+	// order is the global commit-order counter shared (by pointer) with
+	// every arbiter; Reset zeroes it between runs.
+	order uint64
+
+	// sigRec recycles standard-Bloom signature objects across runs: the
+	// chunk pools feed dropped signatures back through Env.SigRecycle,
+	// and Reset wraps each run's factories so they draw from the parked
+	// set. A recycled Bloom is cleared and geometry-fixed — bit-identical
+	// to a fresh one — so this is storage recycling only.
+	//lint:poolsafe signature-object recycler; recycled Blooms are cleared and identity-neutral
+	sigRec sig.Recycler
+
+	// bulkProcs/convProcs are the processors of the CURRENT run, in id
+	// order; bulkPool/convPool are the per-id processor arenas that
+	// survive across runs (addProc resets and reuses pool[id] when it
+	// exists, so a worker running the same geometry repeatedly never
+	// reconstructs a processor).
 	bulkProcs []*proc.BulkProc
 	convProcs []*proc.ConvProc
+	//lint:poolsafe processor arena; each entry is fully Reset at reacquisition in addProc
+	bulkPool []*proc.BulkProc
+	//lint:poolsafe processor arena; each entry is fully Reset at reacquisition in addProc
+	convPool []*proc.ConvProc
 
-	commits  []*chunk.Chunk // commit-order log for the checker
+	commits []*chunk.Chunk // commit-order log for the checker
+	// rangeScratch is routeCommit's reusable set-list buffer; fully
+	// overwritten before every use, dead after every call.
+	//lint:poolsafe per-call scratch, fully overwritten before every use
+	rangeScratch []*lineset.Set
+	// witness is the active checker of the current run (nil when
+	// cfg.Witness is off); witArena is the persistent checker storage it
+	// draws from.
 	witness  *sccheck.Checker
+	witArena *sccheck.Checker
 	timeline Timeline
 
 	// watchdogErr is set by the liveness watchdog when it detects a
@@ -229,46 +303,33 @@ type machine struct {
 	watchdogErr *WatchdogError
 }
 
-func buildMachine(cfg Config) *machine {
+// newMachine constructs the run-independent machine arena. Everything
+// configuration-dependent — seed, model, module count, signature kind —
+// is applied by Reset before each run.
+func newMachine() *machine {
 	m := &machine{
-		cfg:   cfg,
-		eng:   sim.NewEngine(cfg.Seed),
+		eng:   sim.NewEngine(0),
 		st:    stats.New(),
 		memry: mem.NewMemory(),
 		pages: mem.NewPageTable(),
 	}
 	m.net = network.New(m.eng, m.st)
-	m.net.Faults = cfg.Faults
-	if cfg.Witness {
-		m.witness = sccheck.New()
-	}
-	if cfg.Stpvt {
-		m.pages.MarkStacksPrivate(cfg.Procs)
-	}
-	limit := cfg.MaxCycles
-	if limit == 0 {
-		limit = 2_000_000_000
-	}
-	m.eng.SetLimit(sim.Time(limit))
+	m.l2 = cache.NewL2(32768, 8) // 8 MB / 8-way / 32 B
+	m.env = m.buildEnv()
+	return m
+}
 
-	l2 := cache.NewL2(32768, 8) // 8 MB / 8-way / 32 B
-	n := cfg.NumArbiters
-	var order uint64
-	orderPtr := &order
-	// The counter must outlive this frame; keep it on the machine via a
-	// closure-held pointer.
-	m.commits = nil
-	sigFactory := sig.NewFactory(cfg.SigKind)
-	if cfg.SigGeometry != nil && cfg.SigKind == sig.KindBloom {
-		sigFactory = sig.NewTunableFactory(*cfg.SigGeometry)
-	}
+// buildModules (re)builds the address-interleaved directory + arbiter
+// modules. Called by Reset only when the module count changes (the wiring
+// closures are per-module but stable, so a same-count run just resets the
+// existing modules in place and keeps their slabs).
+func (m *machine) buildModules(n int) {
+	m.dirs = m.dirs[:0]
+	m.arbs = m.arbs[:0]
 	for i := 0; i < n; i++ {
-		d := directory.New(i, n, m.eng, m.net, m.st, l2)
-		d.MaxEntries = cfg.DirCacheEntries
-		d.SigFactory = sigFactory
+		d := directory.New(i, n, m.eng, m.net, m.st, m.l2)
 		m.dirs = append(m.dirs, d)
-		a := arbiter.New(i, m.eng, m.net, m.st, orderPtr)
-		a.Faults = cfg.Faults
+		a := arbiter.New(i, m.eng, m.net, m.st, &m.order)
 		m.arbs = append(m.arbs, a)
 		// Arbiter i is co-located with directory i (Figure 7(b)).
 		dd := d
@@ -278,31 +339,118 @@ func buildMachine(cfg Config) *machine {
 		aa := a
 		d.OnDone = func(tok arbiter.Token) { aa.Done(tok) }
 	}
-	if n > 1 {
+}
+
+// Reset reconfigures the machine for one run of cfg, restoring every
+// subsystem to a cold-equivalent state in place. The reset order follows
+// the dependency chain: engine first (drops any undrained events, which
+// may reference pooled protocol records), then the passive state (stats,
+// memory, pages, caches), then the protocol modules, then the per-run
+// wiring. Signature factories are created fresh per run rather than
+// retained: their pools are warm-start allocation state whose reuse could
+// not change behavior but whose recreation is cheap and keeps the
+// cold/warm equivalence argument trivial. Each run's factories are then
+// wrapped by the machine's signature recycler, which substitutes cleared
+// standard Blooms parked by previous runs for fresh allocations — an
+// object-identity substitution the simulation cannot observe.
+func (m *machine) Reset(cfg Config) {
+	m.cfg = cfg
+	m.eng.Reset(cfg.Seed)
+	limit := cfg.MaxCycles
+	if limit == 0 {
+		limit = 2_000_000_000
+	}
+	m.eng.SetLimit(sim.Time(limit))
+	m.net.Reset()
+	m.net.Faults = cfg.Faults
+	m.st.Reset()
+	m.memry.Reset()
+	m.pages.Reset()
+	if cfg.Stpvt {
+		m.pages.MarkStacksPrivate(cfg.Procs)
+	}
+	m.l2.Reset()
+
+	// stdBloom: only the fixed-geometry Bloom may draw from the machine's
+	// signature recycler (see sig.Recycler); exact and tunable signatures
+	// pass through their factories untouched.
+	stdBloom := cfg.SigKind == sig.KindBloom && cfg.SigGeometry == nil
+	sigFactory := sig.NewFactory(cfg.SigKind)
+	if cfg.SigGeometry != nil && cfg.SigKind == sig.KindBloom {
+		sigFactory = sig.NewTunableFactory(*cfg.SigGeometry)
+	}
+	sigFactory = m.sigRec.Factory(sigFactory, stdBloom)
+	if len(m.dirs) != cfg.NumArbiters {
+		m.buildModules(cfg.NumArbiters)
+	} else {
+		for i := range m.dirs {
+			m.dirs[i].Reset()
+			m.arbs[i].Reset()
+		}
+	}
+	for i := range m.dirs {
+		m.dirs[i].MaxEntries = cfg.DirCacheEntries
+		m.dirs[i].SigFactory = sigFactory
+		m.arbs[i].Faults = cfg.Faults
+	}
+	m.garb = nil
+	if cfg.NumArbiters > 1 {
+		// The G-arbiter is stateless between transactions; recreating it is
+		// cheaper than auditing it for reuse.
 		m.garb = arbiter.NewGArbiter(m.eng, m.net, m.st, m.arbs)
 	}
-	m.env = m.buildEnv()
-	return m
+	m.order = 0
+
+	// The env closures route through m.dirs/m.arbs/m.garb dynamically, so
+	// they survive module rebuilds; only the value fields change per run.
+	m.env.Sigs = sig.NewFactory(cfg.SigKind)
+	if cfg.SigGeometry != nil && cfg.SigKind == sig.KindBloom {
+		m.env.Sigs = sig.NewTunableFactory(*cfg.SigGeometry)
+	}
+	m.env.Sigs = m.sigRec.Factory(m.env.Sigs, stdBloom)
+	m.env.NProcs = cfg.Procs
+	m.env.Faults = cfg.Faults
+
+	clear(m.bulkProcs) // active lists are rebuilt by addProc
+	m.bulkProcs = m.bulkProcs[:0]
+	clear(m.convProcs)
+	m.convProcs = m.convProcs[:0]
+
+	// commits and timeline were handed to the previous run's Result; they
+	// must be dropped, not truncated — truncating would scrub the caller's
+	// slice in place.
+	m.commits = nil
+	m.timeline = nil
+	m.witness = nil
+	if cfg.Witness {
+		if m.witArena == nil {
+			m.witArena = sccheck.New()
+		}
+		m.witArena.Reset()
+		m.witness = m.witArena
+	}
+	m.watchdogErr = nil
 }
 
 func (m *machine) dirFor(l mem.Line) *directory.Directory {
 	return m.dirs[arbiter.RangeOf(l, len(m.dirs))]
 }
 
+// buildEnv wires the processor environment once, at machine construction.
+// The closures dereference m.dirs/m.arbs/m.garb at call time, so they stay
+// valid across Reset even when the module set is rebuilt; the per-run value
+// fields (Sigs, NProcs, Faults) are filled in by Reset.
 func (m *machine) buildEnv() *proc.Env {
-	factory := sig.NewFactory(m.cfg.SigKind)
-	if m.cfg.SigGeometry != nil && m.cfg.SigKind == sig.KindBloom {
-		factory = sig.NewTunableFactory(*m.cfg.SigGeometry)
-	}
 	env := &proc.Env{
-		Eng:    m.eng,
-		Net:    m.net,
-		St:     m.st,
-		Mem:    m.memry,
-		Pages:  m.pages,
-		Sigs:   factory,
-		NProcs: m.cfg.Procs,
-		Faults: m.cfg.Faults,
+		Eng:   m.eng,
+		Net:   m.net,
+		St:    m.st,
+		Mem:   m.memry,
+		Pages: m.pages,
+		// Chunk pools feed dropped signatures back to the machine's
+		// recycler at warm reset; Reset wraps the per-run factories so
+		// they draw from the parked set first.
+		SigRecycle: m.sigRec.Recycle,
 	}
 	// The directory internalizes the request hop and the reply delivery
 	// through pooled transaction records, so these wrappers are plain
@@ -346,6 +494,11 @@ func (m *machine) buildEnv() *proc.Env {
 // routeCommit translates a processor commit request into arbitration:
 // straight to the single owning arbiter, or through the G-arbiter when the
 // chunk spans several address ranges (§4.2.3).
+// routeCommit translates a processor's permission-to-commit request into
+// an arbiter request. It consumes req synchronously: everything that
+// travels onward is copied into areq (the FetchR wrapper captures the
+// func value, never req itself), which is what lets the processor recycle
+// its CommitReq records the moment Commit returns.
 func (m *machine) routeCommit(req *proc.CommitReq) {
 	areq := &arbiter.Request{
 		Proc:  req.Proc,
@@ -359,10 +512,11 @@ func (m *machine) routeCommit(req *proc.CommitReq) {
 		m.net.Account(stats.CatRdSig, network.SigBytes)
 	}
 	if req.FetchR != nil {
+		fetch := req.FetchR
 		areq.FetchR = func(cb func(sig.Signature)) {
 			// Arbiter → processor → arbiter round trip for R.
 			m.net.Send(stats.CatOther, network.CtrlBytes, func() {
-				req.FetchR(func(r sig.Signature) {
+				fetch(func(r sig.Signature) {
 					m.net.Send(stats.CatRdSig, network.SigBytes, func() { cb(r) })
 				})
 			})
@@ -378,7 +532,8 @@ func (m *machine) routeCommit(req *proc.CommitReq) {
 		m.net.Send(stats.CatWrSig, wBytes, func() { m.arbs[0].Request(areq) })
 		return
 	}
-	ranges := arbiter.RangesOf(append(req.RSets, req.WSets...), len(m.arbs))
+	m.rangeScratch = append(append(m.rangeScratch[:0], req.RSets...), req.WSets...)
+	ranges := arbiter.RangesOf(m.rangeScratch, len(m.arbs))
 	if len(ranges) == 1 {
 		m.net.Send(stats.CatWrSig, wBytes, func() { m.arbs[ranges[0]].Request(areq) })
 		return
@@ -409,8 +564,23 @@ func (m *machine) addProc(cfg Config, id int, ins []workload.Instr) {
 			Dypvt:           cfg.Dypvt,
 			Stpvt:           cfg.Stpvt,
 			PreArbThreshold: 6,
+			// Committed chunks may be recycled across runs unless this
+			// run exports them through Result.Commits (CheckSC). The
+			// retire list is write-only during the run, so the flag can
+			// never affect simulated behavior or the determinism hashes.
+			RetainCommitted: !cfg.CheckSC,
 		}
-		p := proc.NewBulkProc(id, m.env, par, opts, ins)
+		var p *proc.BulkProc
+		if id < len(m.bulkPool) && m.bulkPool[id] != nil {
+			p = m.bulkPool[id]
+			p.Reset(ins, par, opts)
+		} else {
+			p = proc.NewBulkProc(id, m.env, par, opts, ins)
+			for len(m.bulkPool) <= id {
+				m.bulkPool = append(m.bulkPool, nil)
+			}
+			m.bulkPool[id] = p
+		}
 		onCommit := func(ch *chunk.Chunk) {
 			if cfg.CheckSC {
 				m.commits = append(m.commits, ch)
@@ -458,7 +628,17 @@ func (m *machine) addProc(cfg Config, id int, ins []workload.Instr) {
 }
 
 func (m *machine) addConvProc(id int, par proc.Params, model proc.Model, ins []workload.Instr) {
-	p := proc.NewConvProc(id, m.env, par, model, ins)
+	var p *proc.ConvProc
+	if id < len(m.convPool) && m.convPool[id] != nil {
+		p = m.convPool[id]
+		p.Reset(ins, par, model)
+	} else {
+		p = proc.NewConvProc(id, m.env, par, model, ins)
+		for len(m.convPool) <= id {
+			m.convPool = append(m.convPool, nil)
+		}
+		m.convPool[id] = p
+	}
 	if m.witness != nil {
 		pid := id
 		p.OnAccess = func(po uint64, store bool, a mem.Addr, v uint64, fwd bool) {
@@ -534,7 +714,7 @@ func (m *machine) run(cfg Config) (*Result, error) {
 	if !m.allDone() {
 		return nil, fmt.Errorf("core: %s/%s deadlocked at cycle %d", cfg.Model, cfg.App, m.eng.Now())
 	}
-	res := &Result{Config: cfg, Stats: m.st}
+	res := &Result{Config: cfg}
 	if cfg.Faults != nil {
 		res.FaultCounters = cfg.Faults.Counters()
 	}
@@ -557,6 +737,11 @@ func (m *machine) run(cfg Config) (*Result, error) {
 	if warmBase != nil {
 		m.st.SubtractBase(warmBase, warmCycle)
 	}
+	// The Result must not alias the machine: a warm Runner scrubs its
+	// stats on the next Reset, which would retroactively zero any Result
+	// still holding the live pointer. Hand out a deliberate copy instead.
+	final := m.st.Snapshot()
+	res.Stats = &final
 	if cfg.CheckSC && cfg.Model == ModelBulk {
 		res.SCViolations = verifySC(m.commits)
 		res.ChunksChecked = len(m.commits)

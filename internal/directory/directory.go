@@ -28,6 +28,7 @@ import (
 	"bulksc/internal/network"
 	"bulksc/internal/sig"
 	"bulksc/internal/sim"
+	"bulksc/internal/slab"
 	"bulksc/internal/stats"
 )
 
@@ -114,6 +115,44 @@ type entryMap struct {
 	keys []uint64
 	vals []*entry
 	n    int
+	//lint:poolsafe machine-lifetime recycler wiring to the owning module's arena; storage source only
+	ar *emArena
+}
+
+// emArena recycles the power-of-two backing arrays of a module's 512
+// entryMap buckets across warm machine resets (and across within-run
+// growth). Capacity trajectories are untouched — reset still restores
+// every bucket to its cold shape — the arena only lets the re-growth draw
+// zeroed, size-matched arrays from recycled storage instead of the
+// allocator. One arena per Directory, shared by its buckets.
+type emArena struct {
+	keys slab.Pool[uint64]
+	vals slab.Pool[*entry]
+}
+
+// getKeys/getVals/put are nil-receiver-safe so a zero-value entryMap
+// (tests, future callers outside a Directory) degrades to plain
+// allocation.
+func (a *emArena) getKeys(n int) []uint64 {
+	if a == nil {
+		return make([]uint64, n)
+	}
+	return a.keys.Get(n)
+}
+
+func (a *emArena) getVals(n int) []*entry {
+	if a == nil {
+		return make([]*entry, n)
+	}
+	return a.vals.Get(n)
+}
+
+func (a *emArena) put(keys []uint64, vals []*entry) {
+	if a == nil {
+		return
+	}
+	a.keys.Put(keys)
+	a.vals.Put(vals)
 }
 
 // emMinSlots keeps first allocation small: entries spread over 512 buckets,
@@ -145,10 +184,10 @@ func (m *entryMap) get(l mem.Line) *entry {
 //sim:hotpath
 func (m *entryMap) put(l mem.Line, e *entry) {
 	if m.keys == nil {
-		//lint:alloc one-time first-use table allocation, amortized by reuse
-		m.keys = make([]uint64, emMinSlots)
-		//lint:alloc one-time first-use table allocation, amortized by reuse
-		m.vals = make([]*entry, emMinSlots)
+		//lint:alloc one-time first-use table allocation, amortized by reuse/arena
+		m.keys = m.ar.getKeys(emMinSlots)
+		//lint:alloc one-time first-use table allocation, amortized by reuse/arena
+		m.vals = m.ar.getVals(emMinSlots)
 	} else if m.n*4 >= len(m.keys)*3 {
 		m.grow()
 	}
@@ -209,10 +248,32 @@ func (m *entryMap) del(l mem.Line) bool {
 	}
 }
 
+// reset returns the bucket to its cold shape. Bit-identity across warm
+// reuse requires the table's *capacity history* to match a cold run's,
+// because the DirBDM expansion walk and displaceOne iterate buckets in
+// slot order and slot = hash & (len-1): a retained grown table would place
+// the next run's entries at different slots than cold growth would,
+// reordering expansion visits and with them the whole event stream. A
+// bucket still at its first-allocation size is zeroed in place (a zeroed
+// 8-slot table is indistinguishable from a fresh one); a grown bucket
+// parks its arrays in the module's arena so the next run re-walks the
+// cold growth history from recycled storage instead of the allocator.
+func (m *entryMap) reset() {
+	if len(m.keys) == emMinSlots {
+		clear(m.keys)
+		clear(m.vals)
+	} else if m.keys != nil {
+		m.ar.put(m.keys, m.vals)
+		m.keys = nil
+		m.vals = nil
+	}
+	m.n = 0
+}
+
 func (m *entryMap) grow() {
 	oldK, oldV := m.keys, m.vals
-	m.keys = make([]uint64, len(oldK)*2)
-	m.vals = make([]*entry, len(oldK)*2)
+	m.keys = m.ar.getKeys(len(oldK) * 2)
+	m.vals = m.ar.getVals(len(oldK) * 2)
 	mask := len(m.keys) - 1
 	for j, k := range oldK {
 		if k == 0 {
@@ -226,6 +287,7 @@ func (m *entryMap) grow() {
 			}
 		}
 	}
+	m.ar.put(oldK, oldV)
 }
 
 func (e *entry) sharerCount() int {
@@ -238,24 +300,38 @@ func (e *entry) sharerCount() int {
 
 // Directory is one directory module (plus its slice of the shared L2).
 type Directory struct {
-	ID    int
+	//lint:poolsafe stable identity fixed at construction
+	ID int
+	//lint:poolsafe stable identity fixed at construction
 	nmods int
-	eng   *sim.Engine
-	net   *network.Network
-	st    *stats.Stats
-	l2    *cache.L2
+	//lint:poolsafe immutable machine-lifetime references wired at construction
+	eng *sim.Engine
+	//lint:poolsafe immutable machine-lifetime references wired at construction
+	net *network.Network
+	//lint:poolsafe immutable machine-lifetime references wired at construction
+	st *stats.Stats
+	//lint:poolsafe immutable machine-lifetime references wired at construction
+	l2 *cache.L2
 
 	ports   []CachePort
 	buckets []entryMap
-	free    []*entry // recycled entries (see entry doc on pointer stability)
+	// emar recycles bucket backing arrays across growth and warm resets;
+	// every bucket points at it (see emArena).
+	//lint:poolsafe size-class storage recycler; recycled arrays are zeroed and identity-neutral
+	emar emArena
+	free []*entry // recycled entries (see entry doc on pointer stability)
 	// slab batch-allocates fresh entries. Directory entries are long-lived
 	// (one per tracked line) and pointer-stable, so they cannot be pooled
 	// while alive — but carving them out of block allocations cuts the
 	// allocator calls for a cold sweep by the slab size.
-	slab   []entry
+	//lint:poolsafe allocation reservoir; handed-out entries are fully reinitialized by getOrCreate
+	slab []entry
+	//lint:poolsafe recycled waiter-slice capacity; slices are emptied before being pushed
 	wsFree [][]func(e *entry)
+	//lint:poolsafe recycled transaction records; every field is overwritten at reuse
 	rtFree []*readTxn // recycled read-transaction records
-	wbFree []*wbTxn   // recycled writeback-transaction records
+	//lint:poolsafe recycled transaction records; every field is overwritten at reuse
+	wbFree []*wbTxn // recycled writeback-transaction records
 
 	// committing holds in-flight commits at this module, used for the
 	// read-disable membership checks. A short slice, not a map: it is
@@ -264,6 +340,7 @@ type Directory struct {
 	committing []*Commit
 
 	// OnDone reports commit completion to the owning arbiter.
+	//lint:poolsafe stable machine wiring to the owning arbiter, installed once at construction
 	OnDone func(tok arbiter.Token)
 
 	// SigFactory builds signatures compatible with the system's encoding;
@@ -281,7 +358,7 @@ type Directory struct {
 
 // New returns directory module id of nmods, fronting l2.
 func New(id, nmods int, eng *sim.Engine, net *network.Network, st *stats.Stats, l2 *cache.L2) *Directory {
-	return &Directory{
+	d := &Directory{
 		ID:      id,
 		nmods:   nmods,
 		eng:     eng,
@@ -290,11 +367,54 @@ func New(id, nmods int, eng *sim.Engine, net *network.Network, st *stats.Stats, 
 		l2:      l2,
 		buckets: make([]entryMap, expansionBuckets),
 	}
+	for i := range d.buckets {
+		d.buckets[i].ar = &d.emar
+	}
+	return d
 }
 
 // AttachPorts wires the processor cache ports; must be called before any
 // request.
 func (d *Directory) AttachPorts(ports []CachePort) { d.ports = ports }
+
+// drainBuckets recycles every live entry into the free list and returns
+// each bucket to its cold shape (see entryMap.reset for the bit-identity
+// argument). The drain walk is slot order — deterministic — though the
+// order only decides which recycled pointer serves which future line;
+// getOrCreate reinitializes every field of a recycled entry, so pointer
+// identity never reaches simulated state.
+func drainBuckets(buckets []entryMap, free []*entry) []*entry {
+	for bi := range buckets {
+		b := &buckets[bi]
+		if b.n > 0 {
+			for i, k := range b.keys {
+				if k != 0 {
+					free = append(free, b.vals[i])
+				}
+			}
+		}
+		b.reset()
+	}
+	return free
+}
+
+// Reset returns the module to its just-constructed state in place: live
+// entries are recycled onto the free list (their pointers stay valid for
+// the next run's getOrCreate, which reinitializes them fully), buckets
+// return to cold shape, the committing list and per-run configuration
+// (ports, SigFactory, MaxEntries) are detached, and the LRU clock
+// restarts. The entry slab and the transaction/waiter pools are retained —
+// they are allocation reservoirs whose contents are overwritten at reuse.
+func (d *Directory) Reset() {
+	d.free = drainBuckets(d.buckets, d.free)
+	clear(d.committing) // release commit records before truncating
+	d.committing = d.committing[:0]
+	d.ports = nil
+	d.SigFactory = nil
+	d.MaxEntries = 0
+	d.numEntries = 0
+	d.tick = 0
+}
 
 func (d *Directory) bucketOf(l mem.Line) int { return int(uint64(l) & (expansionBuckets - 1)) }
 

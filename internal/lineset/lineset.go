@@ -9,9 +9,18 @@
 // pooled chunk's sets reach steady state with no allocation at all.
 // Iteration order is slot order — deterministic for a fixed insertion
 // history, unlike Go maps — which keeps whole-system runs bit-reproducible.
+// Sets and maps optionally draw their backing arrays from a slab.Pool
+// (UseArena): growth returns the outgrown array to the pool and pulls the
+// next size from it, and Release returns the whole table at
+// warm-machine-reuse drain time. Capacity trajectories are unchanged —
+// the pool only recycles storage, never sizes — so arena use is invisible
+// to the simulation (slot order depends on capacity and contents alone).
 package lineset
 
-import "bulksc/internal/mem"
+import (
+	"bulksc/internal/mem"
+	"bulksc/internal/slab"
+)
 
 // minSlots is the initial table size (power of two). Most chunks touch a
 // few dozen lines; 16 slots avoids growth for small chunks while costing
@@ -26,6 +35,25 @@ const hashmul = 0x9e3779b97f4a7c15
 type Set struct {
 	slots []uint64
 	n     int
+	//lint:poolsafe machine-lifetime recycler wiring (UseArena); storage source only, never simulated state
+	arena *slab.Pool[uint64]
+}
+
+// UseArena makes the set draw and return its backing array through a
+// (typically machine-lifetime) slab pool. Must be set before first Add;
+// a nil pool means plain allocation.
+func (s *Set) UseArena(a *slab.Pool[uint64]) { s.arena = a }
+
+// Release empties the set and returns its backing array to the arena (if
+// any), restoring the zero-value cold shape. Used when draining pooled
+// chunks at warm machine reuse; the caller asserts nothing aliases the
+// table (Set never hands out its slots).
+func (s *Set) Release() {
+	if s.slots != nil {
+		s.arena.Put(s.slots)
+		s.slots = nil
+	}
+	s.n = 0
 }
 
 func hashIdx(key uint64, mask int) int {
@@ -60,8 +88,8 @@ func (s *Set) Has(l mem.Line) bool {
 //sim:hotpath
 func (s *Set) Add(l mem.Line) bool {
 	if s.slots == nil {
-		//lint:alloc one-time first-use table allocation, amortized to zero by pooling
-		s.slots = make([]uint64, minSlots)
+		//lint:alloc one-time first-use table allocation, amortized to zero by pooling/arena
+		s.slots = s.arena.Get(minSlots)
 	} else if s.n*4 >= len(s.slots)*3 {
 		s.grow()
 	}
@@ -164,7 +192,7 @@ func (s *Set) AppendTo(dst []mem.Line) []mem.Line {
 
 func (s *Set) grow() {
 	old := s.slots
-	s.slots = make([]uint64, len(old)*2)
+	s.slots = s.arena.Get(len(old) * 2)
 	mask := len(s.slots) - 1
 	for _, k := range old {
 		if k == 0 {
@@ -177,6 +205,7 @@ func (s *Set) grow() {
 			}
 		}
 	}
+	s.arena.Put(old)
 }
 
 // NewSetOf returns a set holding the given lines; a convenience for tests
@@ -196,6 +225,24 @@ type Map struct {
 	keys []uint64
 	vals []uint64
 	n    int
+	//lint:poolsafe machine-lifetime recycler wiring (UseArena); storage source only, never simulated state
+	arena *slab.Pool[uint64]
+}
+
+// UseArena makes the map draw and return its backing arrays through a
+// (typically machine-lifetime) slab pool; see Set.UseArena.
+func (m *Map) UseArena(a *slab.Pool[uint64]) { m.arena = a }
+
+// Release empties the map and returns its backing arrays to the arena
+// (if any), restoring the zero-value cold shape; see Set.Release.
+func (m *Map) Release() {
+	if m.keys != nil {
+		m.arena.Put(m.keys)
+		m.arena.Put(m.vals)
+		m.keys = nil
+		m.vals = nil
+	}
+	m.n = 0
 }
 
 // Len returns the number of entries.
@@ -226,10 +273,10 @@ func (m *Map) Get(a mem.Addr) (uint64, bool) {
 //sim:hotpath
 func (m *Map) Put(a mem.Addr, val uint64) {
 	if m.keys == nil {
-		//lint:alloc one-time first-use table allocation, amortized to zero by pooling
-		m.keys = make([]uint64, minSlots)
-		//lint:alloc one-time first-use table allocation, amortized to zero by pooling
-		m.vals = make([]uint64, minSlots)
+		//lint:alloc one-time first-use table allocation, amortized to zero by pooling/arena
+		m.keys = m.arena.Get(minSlots)
+		//lint:alloc one-time first-use table allocation, amortized to zero by pooling/arena
+		m.vals = m.arena.Get(minSlots)
 	} else if m.n*4 >= len(m.keys)*3 {
 		m.grow()
 	}
@@ -283,8 +330,8 @@ func (m *Map) ForEach(f func(a mem.Addr, v uint64)) {
 
 func (m *Map) grow() {
 	oldK, oldV := m.keys, m.vals
-	m.keys = make([]uint64, len(oldK)*2)
-	m.vals = make([]uint64, len(oldK)*2)
+	m.keys = m.arena.Get(len(oldK) * 2)
+	m.vals = m.arena.Get(len(oldK) * 2)
 	mask := len(m.keys) - 1
 	for j, k := range oldK {
 		if k == 0 {
@@ -298,4 +345,6 @@ func (m *Map) grow() {
 			}
 		}
 	}
+	m.arena.Put(oldK)
+	m.arena.Put(oldV)
 }

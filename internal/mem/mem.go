@@ -94,6 +94,12 @@ type PageTable struct {
 // NewPageTable returns an empty page table (all pages shared).
 func NewPageTable() *PageTable { return &PageTable{private: make(map[Page]bool)} }
 
+// Reset returns every page to shared in place; the next run re-marks its
+// own private regions (MarkStacksPrivate is per-config).
+func (pt *PageTable) Reset() {
+	clear(pt.private)
+}
+
 // MarkPrivate marks every page overlapping [base, base+size) as private.
 func (pt *PageTable) MarkPrivate(base Addr, size uint64) {
 	for p := base.PageOf(); p <= (base + Addr(size) - 1).PageOf(); p++ {

@@ -15,6 +15,14 @@ type Memory struct {
 // NewMemory returns zero-initialized memory.
 func NewMemory() *Memory { return &Memory{words: make(map[Addr]uint64)} }
 
+// Reset forgets all committed state in place, retaining the map's bucket
+// storage so a warm machine reuse refills it without rehashing growth. Map
+// iteration never orders any simulated event (loads and stores are keyed
+// lookups), so retained capacity cannot perturb determinism.
+func (m *Memory) Reset() {
+	clear(m.words)
+}
+
 // Load returns the committed value of the word containing a. Unwritten
 // words read as zero.
 func (m *Memory) Load(a Addr) uint64 { return m.words[a.Align()] }

@@ -26,8 +26,10 @@ const (
 
 // Network delivers messages between system components.
 type Network struct {
+	//lint:poolsafe immutable machine-lifetime references wired at construction
 	eng *sim.Engine
-	st  *stats.Stats
+	//lint:poolsafe immutable machine-lifetime references wired at construction
+	st *stats.Stats
 	// HopLat is the one-way latency between any two components. The
 	// default reproduces the paper's 13-cycle L2 round trip (two hops
 	// minus cache access time).
@@ -41,6 +43,15 @@ type Network struct {
 // New returns a network over engine eng recording traffic into st.
 func New(eng *sim.Engine, st *stats.Stats) *Network {
 	return &Network{eng: eng, st: st, HopLat: 6}
+}
+
+// Reset restores the construction-time latency and detaches the per-run
+// fault plan. The network holds no queued state of its own (in-flight
+// messages live in the engine's event heap, which the machine resets
+// separately), so this is all warm reuse needs.
+func (n *Network) Reset() {
+	n.HopLat = 6
+	n.Faults = nil
 }
 
 // hopLat returns the delivery latency for one message: the configured hop

@@ -9,6 +9,7 @@ import (
 	"bulksc/internal/mem"
 	"bulksc/internal/network"
 	"bulksc/internal/sim"
+	"bulksc/internal/slab"
 	"bulksc/internal/stats"
 	"bulksc/internal/workload"
 )
@@ -25,6 +26,13 @@ type Opts struct {
 	Stpvt bool
 	// PreArbThreshold is the squash streak that triggers pre-arbitration.
 	PreArbThreshold int
+	// RetainCommitted makes the processor keep its committed chunks on a
+	// retire list so the next warm Reset can recycle them (storage to the
+	// arena, husks to the chunk pool). The machine sets it only when the
+	// run exports no chunk references into its Result (i.e. CheckSC is
+	// off); within a run retained chunks are never touched, so the flag
+	// cannot change simulated behavior.
+	RetainCommitted bool
 }
 
 // DefaultOpts returns the BSC_base configuration: RSig on, private-data
@@ -40,7 +48,9 @@ const batchInstrs = 32
 
 // BulkProc is one BulkSC processor: core, checkpoints, L1 and BDM.
 type BulkProc struct {
-	id   int
+	//lint:poolsafe stable identity fixed at construction
+	id int
+	//lint:poolsafe immutable machine-lifetime wiring fixed at construction
 	env  *Env
 	par  Params
 	opts Opts
@@ -55,13 +65,35 @@ type BulkProc struct {
 	chunkSeq uint64
 	storeSeq uint64
 
-	// pool recycles squashed chunks (never committed ones — the replay
-	// checker and the directory pipeline may retain those). A chunk enters
+	// pool recycles squashed chunks (never committed ones within a run —
+	// the replay checker and the directory pipeline may retain those;
+	// committed chunks re-enter the pool only across runs, via the
+	// retired list below). A chunk enters
 	// the pool only when no commit request of its is still in flight; all
-	// callbacks that can outlive a squash carry a Gen guard.
+	// callbacks that can outlive a squash carry a Gen guard. Across warm
+	// machine resets the pool is Drained, not dropped: chunk structs and
+	// Log storage survive, set/write-buffer arrays return to arena.
 	pool chunk.Pool
+	// retired accumulates committed chunks of the current run when
+	// opts.RetainCommitted is set; the next Reset adopts them into the
+	// pool (nothing reads them in between).
+	retired []*chunk.Chunk
+	// commitReqFree recycles permission-to-commit request records.
+	// Env.Commit consumes its argument synchronously (core.routeCommit
+	// copies what travels onward into the arbiter request), so sendCommit
+	// can return the record to this list as soon as the call comes back;
+	// steady-state arbitration allocates no request state at all.
+	//lint:poolsafe recycled records are fully reinitialized at reuse
+	commitReqFree []*CommitReq
+	// arena recycles the power-of-two backing arrays of chunk sets and
+	// write buffers across runs (via pool.Drain); recycled arrays are
+	// zeroed and size-matched, so the cold capacity trajectory is
+	// re-walked from pooled storage instead of the allocator.
+	//lint:poolsafe size-class storage recycler; recycled arrays are zeroed and identity-neutral
+	arena slab.Pool[uint64]
 	// stepFn is p.step captured once; rebuilding the method value on every
 	// kick allocates, and kick is the single most scheduled event.
+	//lint:poolsafe bound method value captured once at construction
 	stepFn func()
 	// privScratch is the reusable drain buffer for PrivateBuffer.DrainSlot.
 	privScratch []bdm.PrivEntry
@@ -70,7 +102,11 @@ type BulkProc struct {
 
 	inflight map[mem.Line]*fetchReq
 	// reqFree recycles fetch-request records together with their bound
-	// arrival callbacks and waiter storage.
+	// arrival callbacks and waiter storage. Safe across runs: every record
+	// in the pool has had its waiters emptied by freeReq, and newReq
+	// overwrites the line and poison state at reuse (the stale grant-state
+	// field is written in arrive before the retry path can read it).
+	//lint:poolsafe recycled records are fully reinitialized at reuse
 	reqFree []*fetchReq
 	// misses is a head-indexed FIFO (see ConvProc.misses).
 	misses   []missEntry
@@ -161,7 +197,73 @@ func NewBulkProc(id int, env *Env, par Params, opts Opts, ins []workload.Instr) 
 		inflight:    make(map[mem.Line]*fetchReq),
 	}
 	p.stepFn = p.step
+	p.pool.SigRecycler = env.SigRecycle
 	return p
+}
+
+// Reset returns the processor to its just-constructed state over a new
+// instruction stream, retaining the expensive construction-time storage:
+// the L1 tag arrays (scrubbed in place), the map buckets, the checkpoint
+// and FIFO backing arrays, the private buffer, and the fetch-request pool.
+//
+// The per-proc chunk pool is Drained, not retained as-is: chunk sets and
+// write buffers are open-addressed tables whose iteration order depends
+// on their capacity growth history, so a warm pool seeded with grown
+// tables would walk lines in a different order than a cold machine and
+// the determinism hashes would diverge. Drain restores every pooled
+// chunk's tables to the zero-value cold shape — the first few chunks of a
+// warm run re-grow exactly as a cold run does — while parking the grown
+// arrays in the per-proc arena so the re-growth recycles storage instead
+// of allocating (the signatures are dropped too; Get rebuilds them from
+// the new run's factory).
+func (p *BulkProc) Reset(ins []workload.Instr, par Params, opts Opts) {
+	p.par = par
+	p.opts = opts
+	p.l1.Reset()
+	p.f = newFetcher(ins)
+	if len(p.checkpoints) != par.MaxChunks {
+		p.checkpoints = make([]fetchState, par.MaxChunks)
+		p.slotBusy = make([]bool, par.MaxChunks)
+	} else {
+		clear(p.checkpoints)
+		clear(p.slotBusy)
+	}
+	clear(p.chunks) // release chunk references before truncating
+	p.chunks = p.chunks[:0]
+	p.cur = nil
+	p.chunkSeq = 0
+	p.storeSeq = 0
+	// Recycle the previous run's committed chunks (retained only when that
+	// run exported no chunk references, see Opts.RetainCommitted), then
+	// drain the whole pool back to cold shapes for cold/warm bit-identity
+	// (see doc). Adopt and Drain leave the same shape, so the order of the
+	// two calls over a chunk is irrelevant.
+	for _, c := range p.retired {
+		p.pool.Adopt(c)
+	}
+	clear(p.retired)
+	p.retired = p.retired[:0]
+	p.pool.Drain()
+	p.privScratch = p.privScratch[:0]
+	p.privBuf.Clear()
+	clear(p.inflight)
+	p.misses = p.misses[:0]
+	p.missHead = 0
+	p.dispatch = 0
+	p.squashStreak = 0
+	p.preArbing = false
+	p.preArbGranted = false
+	p.commitCount = 0
+	p.pendingClose = false
+	p.denyCount = 0
+	p.squashCount = 0
+	p.trail = livenessTrail{}
+	p.scheduled = false
+	p.finished = false
+	p.doneAt = 0
+	p.OnCommit = nil
+	p.OnSquash = nil
+	p.OnPreArb = nil
 }
 
 // Start schedules the processor's first dispatch event.
@@ -579,6 +681,36 @@ func (p *BulkProc) newReq(l mem.Line) *fetchReq {
 	}
 	r.l = l
 	return r
+}
+
+// getCommitReq returns a recycled (or fresh) permission-to-commit record;
+// every field is overwritten by sendCommit before use.
+//
+//sim:hotpath
+func (p *BulkProc) getCommitReq() *CommitReq {
+	if n := len(p.commitReqFree); n > 0 {
+		r := p.commitReqFree[n-1]
+		p.commitReqFree[n-1] = nil
+		p.commitReqFree = p.commitReqFree[:n-1]
+		return r
+	}
+	//lint:alloc one-time freelist seeding, amortized to zero by recycling
+	return &CommitReq{}
+}
+
+// putCommitReq recycles r once Env.Commit has consumed it. References are
+// dropped so a parked record cannot pin a dead run's signatures or sets.
+//
+//sim:hotpath
+func (p *BulkProc) putCommitReq(r *CommitReq) {
+	r.W, r.R = nil, nil
+	clear(r.RSets)
+	r.RSets = r.RSets[:0]
+	clear(r.WSets)
+	r.WSets = r.WSets[:0]
+	r.FetchR, r.Reply = nil, nil
+	r.TrueW = nil
+	p.commitReqFree = append(p.commitReqFree, r)
 }
 
 func (p *BulkProc) freeReq(r *fetchReq) {

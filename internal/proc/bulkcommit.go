@@ -7,7 +7,6 @@ import (
 	"bulksc/internal/cache"
 	"bulksc/internal/chunk"
 	"bulksc/internal/directory"
-	"bulksc/internal/lineset"
 	"bulksc/internal/mem"
 	"bulksc/internal/sig"
 	"bulksc/internal/sim"
@@ -43,7 +42,7 @@ func (p *BulkProc) openChunk() bool {
 		}
 	}
 	p.chunkSeq++
-	ch := p.pool.Get(p.env.Sigs, p.id, p.chunkSeq, slot, p.f.pos, target)
+	ch := p.pool.Get(p.env.Sigs, &p.arena, p.id, p.chunkSeq, slot, p.f.pos, target)
 	p.checkpoints[slot] = p.f.checkpoint()
 	p.slotBusy[slot] = true
 	p.chunks = append(p.chunks, ch)
@@ -81,25 +80,38 @@ func (p *BulkProc) tryRequestCommit(ch *chunk.Chunk) {
 	p.sendCommit(ch)
 }
 
-// sendCommit builds and routes the arbitration request for ch.
+// sendCommit builds and routes the arbitration request for ch. The
+// request record is pooled (Env.Commit consumes it synchronously) and the
+// two callbacks live on the chunk itself, allocated once per chunk
+// lifetime — a steady-state request, including re-sends after denials,
+// allocates nothing.
+//
+//sim:hotpath
 func (p *BulkProc) sendCommit(ch *chunk.Chunk) {
 	ch.ReqsOut++
-	req := &CommitReq{
-		Proc:  p.id,
-		W:     ch.W,
-		RSets: []*lineset.Set{&ch.RSet},
-		WSets: []*lineset.Set{&ch.WSet},
-		TrueW: &ch.WSet,
+	if ch.ReplyFn == nil {
+		chch := ch
+		//lint:alloc once per chunk lifetime, reused across re-sends and pooled recycling
+		ch.ReplyFn = func(granted bool, order uint64) {
+			p.commitReply(chch, granted, order)
+		}
+		//lint:alloc once per chunk lifetime, reused across re-sends and pooled recycling
+		ch.FetchRFn = func(cb func(sig.Signature)) { cb(chch.R) }
 	}
+	req := p.getCommitReq()
+	req.Proc = p.id
+	req.W = ch.W
+	req.RSets = append(req.RSets, &ch.RSet)
+	req.WSets = append(req.WSets, &ch.WSet)
+	req.TrueW = &ch.WSet
 	if p.opts.RSigOpt {
-		req.FetchR = func(cb func(sig.Signature)) { cb(ch.R) }
+		req.FetchR = ch.FetchRFn
 	} else {
 		req.R = ch.R
 	}
-	req.Reply = func(granted bool, order uint64) {
-		p.commitReply(ch, granted, order)
-	}
+	req.Reply = ch.ReplyFn
 	p.env.Commit(req)
+	p.putCommitReq(req)
 }
 
 func (p *BulkProc) commitReply(ch *chunk.Chunk, granted bool, order uint64) {
@@ -210,6 +222,11 @@ func (p *BulkProc) grantArrived(ch *chunk.Chunk) {
 		}
 	}
 	ch.State = chunk.Committed
+	if p.opts.RetainCommitted {
+		// Park the chunk for cross-run recycling; nothing reads the
+		// retired list until the next Reset adopts it into the pool.
+		p.retired = append(p.retired, ch)
+	}
 	p.slotBusy[ch.Slot] = false
 	if len(p.chunks) > 0 {
 		p.tryRequestCommit(p.chunks[0])
@@ -227,9 +244,12 @@ func (p *BulkProc) grantArrived(ch *chunk.Chunk) {
 func (p *BulkProc) endOfStream() {
 	if p.cur != nil {
 		if p.cur.Executed == 0 && len(p.chunks) > 0 && p.chunks[len(p.chunks)-1] == p.cur {
-			// Empty trailing chunk: discard it silently.
+			// Empty trailing chunk: discard it silently. It never left the
+			// processor (no accesses, no requests), so it can be recycled
+			// immediately.
 			p.chunks = p.chunks[:len(p.chunks)-1]
 			p.slotBusy[p.cur.Slot] = false
+			p.pool.Put(p.cur)
 			p.cur = nil
 		} else if p.cur != nil {
 			p.closeChunk()

@@ -43,7 +43,9 @@ const scSerial sim.Time = 1
 
 // ConvProc is a conventional processor running one of the baseline models.
 type ConvProc struct {
-	id    int
+	//lint:poolsafe stable identity fixed at construction
+	id int
+	//lint:poolsafe immutable machine-lifetime wiring fixed at construction
 	env   *Env
 	par   Params
 	model Model
@@ -64,7 +66,9 @@ type ConvProc struct {
 
 	inflight map[mem.Line]*convReq
 	// reqFree recycles fetch-request records; each keeps its bound arrival
-	// callback, so a steady-state miss allocates nothing.
+	// callback, so a steady-state miss allocates nothing. Safe across runs:
+	// freeReq empties the waiters and newReq overwrites the line at reuse.
+	//lint:poolsafe recycled records are fully reinitialized at reuse
 	reqFree []*convReq
 	// misses is a head-indexed FIFO: completed entries advance missHead
 	// instead of reslicing, and the storage is reset in place once drained,
@@ -95,11 +99,8 @@ type ConvProc struct {
 	// Bound continuations, captured once at construction. Method values
 	// (p.step, p.performSerial, …) allocate a closure at every use; these
 	// fields make the hot dispatch/perform/drain events allocation-free.
-	stepFn          func()
-	performSerialFn func()
-	drainPerformFn  func()
-	drainNextFn     func()
-	kickFn          func()
+	//lint:poolsafe bound method values captured once at construction
+	stepFn, performSerialFn, drainPerformFn, drainNextFn, kickFn func()
 }
 
 type convStore struct {
@@ -146,6 +147,34 @@ func NewConvProc(id int, env *Env, par Params, model Model, ins []workload.Instr
 	p.drainNextFn = p.drainNext
 	p.kickFn = p.kick
 	return p
+}
+
+// Reset returns the processor to its just-constructed state over a new
+// instruction stream (possibly under a different model), retaining the
+// construction-time storage: the L1 tag arrays (scrubbed in place), the
+// map buckets, the FIFO backing arrays and the fetch-request pool.
+func (p *ConvProc) Reset(ins []workload.Instr, par Params, model Model) {
+	p.par = par
+	p.model = model
+	p.l1.Reset()
+	p.f = newFetcher(ins)
+	p.dispatch = 0
+	p.storeSeq = 0
+	p.OnAccess = nil
+	p.poSeq = 0
+	clear(p.inflight)
+	p.misses = p.misses[:0]
+	p.missHead = 0
+	p.storeQ = p.storeQ[:0]
+	p.sqHead = 0
+	p.draining = false
+	clear(p.storeFwd)
+	clear(p.fwdCounts)
+	clear(p.specLines)
+	p.scheduled = false
+	p.finished = false
+	p.doneAt = 0
+	p.serialBusy = false
 }
 
 // Start schedules the first event.

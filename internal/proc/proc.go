@@ -73,6 +73,12 @@ type Env struct {
 	Sigs   sig.Factory
 	NProcs int
 
+	// SigRecycle, when non-nil, receives the signatures a processor's
+	// chunk pool drops at warm reset (chunk.Pool.SigRecycler); core wires
+	// it to the machine's sig.Recycler so cleared standard Blooms feed
+	// the next run's factory instead of the allocator.
+	SigRecycle func(sig.Signature)
+
 	// Faults optionally injects processor-side faults (internal/fault):
 	// spurious bulk-disambiguation squashes and W-signature aliasing
 	// amplification. nil injects nothing and draws nothing.
@@ -89,6 +95,11 @@ type Env struct {
 	// system (single arbiter or G-arbiter, per configuration). rset and
 	// wset are the chunk's exact line sets, used only for routing and
 	// simulation metadata.
+	//
+	// Commit must consume req SYNCHRONOUSLY: the processor pools its
+	// request records and recycles them the moment the call returns, so
+	// an implementation that defers work must copy the fields (and func
+	// values) it needs rather than retain req itself.
 	Commit func(req *CommitReq)
 	// PrivCommit propagates an stpvt Wpriv signature to the directories.
 	PrivCommit func(proc int, w sig.Signature, trueW *lineset.Set)

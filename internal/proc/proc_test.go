@@ -45,17 +45,22 @@ func newFakeEnv() *fakeEnv {
 	}
 	fe.env.WritebackLine = func(p int, l mem.Line, drop bool) {}
 	fe.env.Commit = func(req *CommitReq) {
+		// Env.Commit consumes its argument synchronously (the processor
+		// recycles the record as soon as the call returns), so copy out
+		// what the deferred reply needs instead of retaining req.
+		reply := req.Reply
+		emptyW := req.W.Empty()
 		fe.eng.After(10, func() {
 			if fe.denied > 0 {
 				fe.denied--
-				req.Reply(false, 0)
+				reply(false, 0)
 				return
 			}
-			if req.W.Empty() {
+			if emptyW {
 				fe.st.EmptyWCommits++
 			}
 			fe.order++
-			req.Reply(true, fe.order)
+			reply(true, fe.order)
 		})
 	}
 	fe.env.PrivCommit = func(p int, w sig.Signature, trueW *lineset.Set) {}

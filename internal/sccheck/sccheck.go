@@ -151,6 +151,32 @@ func New() *Checker {
 	return &Checker{words: make(map[mem.Addr]wordState)}
 }
 
+// Reset empties the checker in place so a warm machine reuse (core.Runner)
+// starts the next run's audit from a fresh witness. Capacity is retained
+// everywhere it cannot reach the verdict: the witness-memory map is keyed
+// (no ordered iteration), the per-processor slices are truncated and
+// regrown with the same zero values a cold grow() appends, and the
+// overlay/seen scratch maps' slot-order ForEach publishes only commutative
+// per-word writes — so a warm checker's violations, counts and WitnessHash
+// are bit-identical to a cold one's.
+func (c *Checker) Reset() {
+	c.MaxViolations = 0
+	clear(c.words)
+	c.lastOrder = 0
+	c.procOrder = c.procOrder[:0]
+	c.procSeq = c.procSeq[:0]
+	c.procPO = c.procPO[:0]
+	c.procSeen = c.procSeen[:0]
+	c.arrivals = 0
+	c.overlay.Reset()
+	c.seen.Reset()
+	clear(c.violations) // release Detail strings
+	c.violations = c.violations[:0]
+	c.total = 0
+	c.chunks = 0
+	c.accesses = 0
+}
+
 func (c *Checker) grow(proc int) {
 	for len(c.procOrder) <= proc {
 		c.procOrder = append(c.procOrder, 0)

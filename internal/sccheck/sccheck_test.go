@@ -14,7 +14,7 @@ var factory = sig.NewFactory(sig.KindExact)
 // mkChunk builds a committed chunk with the given log, owner, sequence
 // number and commit order.
 func mkChunk(proc int, seq, order uint64, log []chunk.AccessRec) *chunk.Chunk {
-	ch := chunk.New(factory, proc, seq, 0, 0, 0)
+	ch := chunk.New(factory, nil, proc, seq, 0, 0, 0)
 	for _, rec := range log {
 		if rec.IsStore {
 			ch.RecordStore(rec.Addr, rec.Value, false)

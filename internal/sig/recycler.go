@@ -1,0 +1,55 @@
+package sig
+
+// Recycler recycles standard-geometry Bloom signature objects across
+// warm machine runs. A cleared Bloom is bit-for-bit identical to a fresh
+// one — the type is a flat struct of fixed-size arrays with no capacity
+// history — so drawing a recycled signature instead of allocating is
+// invisible to the simulation: only the allocator sees the difference.
+//
+// Exact and Tunable signatures are deliberately NOT recycled. Exact wraps
+// an open-addressed line set whose iteration order depends on its
+// capacity growth history, and Tunable's geometry can change between
+// runs; Recycle drops both on the floor and Factory passes their
+// factories through untouched, so the cold/warm bit-identity argument
+// stays confined to the trivially-safe Bloom case.
+//
+// A Recycler is owned by one machine (the simulator is single-goroutine
+// per machine); the nil *Recycler is inert.
+type Recycler struct {
+	free []*Bloom
+}
+
+// Factory wraps inner so it draws from the recycler's freelist. std says
+// whether inner produces standard-geometry Blooms — when false (exact
+// signatures, tunable geometries), inner is returned unchanged and the
+// freelist is not consulted, which is what keeps a Bloom parked by a
+// previous run from ever leaking into a run of a different signature
+// kind.
+func (r *Recycler) Factory(inner Factory, std bool) Factory {
+	if r == nil || !std {
+		return inner
+	}
+	return func() Signature {
+		if n := len(r.free); n > 0 {
+			s := r.free[n-1]
+			r.free[n-1] = nil
+			r.free = r.free[:n-1]
+			return s
+		}
+		return inner()
+	}
+}
+
+// Recycle accepts a signature a finished run no longer needs. Standard
+// Blooms are cleared and parked for the next run; every other
+// implementation (and nil) is ignored. The caller asserts nothing else
+// references s.
+func (r *Recycler) Recycle(s Signature) {
+	if r == nil {
+		return
+	}
+	if b, ok := s.(*Bloom); ok {
+		b.Clear()
+		r.free = append(r.free, b)
+	}
+}

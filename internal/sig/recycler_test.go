@@ -1,0 +1,61 @@
+package sig
+
+import "testing"
+
+func TestRecyclerReusesClearedBlooms(t *testing.T) {
+	var r Recycler
+	f := r.Factory(NewFactory(KindBloom), true)
+
+	b := f().(*Bloom)
+	b.Add(7)
+	b.Add(123)
+	r.Recycle(b)
+
+	got := f()
+	if got != Signature(b) {
+		t.Fatalf("factory did not reuse the recycled Bloom")
+	}
+	if !got.Empty() {
+		t.Fatalf("recycled Bloom not cleared")
+	}
+	fresh := NewBloom()
+	if *got.(*Bloom) != *fresh {
+		t.Fatalf("recycled Bloom is not bit-identical to a fresh one")
+	}
+}
+
+func TestRecyclerDropsNonBloom(t *testing.T) {
+	var r Recycler
+	e := NewExact()
+	e.Add(9)
+	r.Recycle(e)
+	if len(r.free) != 0 {
+		t.Fatalf("recycler retained a non-Bloom signature")
+	}
+	r.Recycle(nil)
+	if len(r.free) != 0 {
+		t.Fatalf("recycler retained nil")
+	}
+}
+
+func TestRecyclerNonStdFactoryPassesThrough(t *testing.T) {
+	var r Recycler
+	b := NewBloom()
+	r.Recycle(b)
+	f := r.Factory(NewFactory(KindExact), false)
+	if _, ok := f().(*Exact); !ok {
+		t.Fatalf("non-std factory consulted the freelist")
+	}
+	if len(r.free) != 1 {
+		t.Fatalf("non-std factory consumed a parked Bloom")
+	}
+}
+
+func TestNilRecyclerInert(t *testing.T) {
+	var r *Recycler
+	r.Recycle(NewBloom()) // must not panic
+	f := r.Factory(NewFactory(KindBloom), true)
+	if _, ok := f().(*Bloom); !ok {
+		t.Fatalf("nil recycler broke the inner factory")
+	}
+}

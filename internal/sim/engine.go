@@ -115,6 +115,24 @@ func (e *Engine) AfterCall(d Time, cb func(any), arg any) { e.AtCall(e.now+d, cb
 // Pending reports the number of scheduled events not yet fired.
 func (e *Engine) Pending() int { return len(e.heap) }
 
+// Reset returns the engine to its just-constructed state while retaining
+// the heap slice's capacity, so a warm machine reuse (core.Runner) pays no
+// event-queue reallocation. Leftover events are dropped: Run can stop with
+// events still queued (the all-procs-done condition), and a recycled
+// engine must not fire a previous run's callbacks. The vacated records are
+// zeroed so dead closures and payloads are released to the GC, and the RNG
+// is re-seeded so the next run draws the exact stream a cold NewEngine
+// would — the determinism contract of warm reuse.
+func (e *Engine) Reset(seed int64) {
+	clear(e.heap) // release closures/payloads from any undrained events
+	e.heap = e.heap[:0]
+	e.now = 0
+	e.seq = 0
+	e.fired = 0
+	e.limit = 0
+	e.rng = rand.New(rand.NewSource(seed))
+}
+
 // less orders events by (time, sequence), the determinism contract.
 func (a *event) less(b *event) bool {
 	if a.at != b.at {

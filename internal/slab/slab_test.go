@@ -1,0 +1,69 @@
+package slab
+
+import "testing"
+
+func TestGetRecyclesByLength(t *testing.T) {
+	var p Pool[uint64]
+	a := p.Get(16)
+	if len(a) != 16 {
+		t.Fatalf("len = %d, want 16", len(a))
+	}
+	a[3] = 99
+	p.Put(a)
+	b := p.Get(16)
+	if &b[0] != &a[0] {
+		t.Error("Get did not recycle the pooled array")
+	}
+	for i, v := range b {
+		if v != 0 {
+			t.Fatalf("recycled array not zeroed at %d: %d", i, v)
+		}
+	}
+	if c := p.Get(16); &c[0] == &b[0] {
+		t.Error("pool handed out the same array twice")
+	}
+}
+
+func TestClassSeparation(t *testing.T) {
+	var p Pool[int]
+	p.Put(make([]int, 32))
+	if s := p.Get(16); len(s) != 16 {
+		t.Fatalf("Get(16) returned len %d", len(s))
+	}
+	if s := p.Get(32); len(s) != 32 {
+		t.Fatalf("Get(32) returned len %d", len(s))
+	}
+}
+
+func TestNonPowerOfTwoDropped(t *testing.T) {
+	var p Pool[byte]
+	p.Put(make([]byte, 24)) // not a power of two: dropped
+	p.Put(nil)              // zero length: dropped
+	s := p.Get(8)
+	if len(s) != 8 {
+		t.Fatalf("Get(8) returned len %d", len(s))
+	}
+}
+
+func TestNilPoolInert(t *testing.T) {
+	var p *Pool[uint64]
+	s := p.Get(8)
+	if len(s) != 8 {
+		t.Fatalf("nil pool Get(8) returned len %d", len(s))
+	}
+	p.Put(s) // must not panic
+}
+
+func TestPutClearsPointers(t *testing.T) {
+	var p Pool[*int]
+	x := 7
+	s := make([]*int, 8)
+	s[2] = &x
+	p.Put(s)
+	got := p.Get(8)
+	for i, v := range got {
+		if v != nil {
+			t.Fatalf("recycled pointer array not cleared at %d", i)
+		}
+	}
+}

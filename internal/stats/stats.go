@@ -137,6 +137,72 @@ type Stats struct {
 // New returns a zeroed Stats.
 func New() *Stats { return &Stats{} }
 
+// Reset zeroes every counter in place so a warm machine reuse
+// (core.Runner) starts the next run from the exact state a fresh New()
+// would provide. It lives in this package because Stats is a
+// //sim:accumulator: the statsnapshot pass forbids struct copies (and so
+// also `*s = Stats{}` idioms routed through helper copies) outside the
+// package. Every field is zeroed explicitly so the poolhygiene pass can
+// verify coverage field by field — a counter added to Stats without a
+// matching line here is a lint error, not a silent cross-run leak.
+func (s *Stats) Reset() {
+	s.Trace = nil
+	s.Cycles = 0
+	s.CommittedInstrs = 0
+	s.SquashedInstrs = 0
+	s.SpinInstrs = 0
+	s.Chunks = 0
+	s.Squashes = 0
+	s.SquashesTrue = 0
+	s.SquashesAliased = 0
+	s.SquashCascades = 0
+	s.ChunkShrinks = 0
+	s.PreArbitrations = 0
+	s.SetOverflowCuts = 0
+	s.SumRSetLines = 0
+	s.SumWSetLines = 0
+	s.SumPrivWSetLines = 0
+	s.SpecWriteDispl = 0
+	s.SpecReadDispl = 0
+	s.PrivBufSupplies = 0
+	s.PrivBufOverflows = 0
+	s.PrivBufRestores = 0
+	s.ExtraCacheInvs = 0
+	s.CacheInvs = 0
+	s.ReadBounces = 0
+	s.CommitRequests = 0
+	s.CommitGrants = 0
+	s.CommitDenies = 0
+	s.CommitCancels = 0
+	s.EmptyWCommits = 0
+	s.RSigRequired = 0
+	s.wListIntegral = 0
+	s.wListNonEmptyTime = 0
+	s.wListLastChange = 0
+	s.wListCurrent = 0
+	s.statWindowStart = 0
+	s.GArbTransactions = 0
+	s.MultiArbCommits = 0
+	s.DirLookups = 0
+	s.DirUnnecessary = 0
+	s.DirUpdates = 0
+	s.DirBadUpdates = 0
+	s.WSigNodeSends = 0
+	s.DirCommits = 0
+	s.DirCacheEvicts = 0
+	s.ConvInvalidations = 0
+	s.L1Hits = 0
+	s.L1Misses = 0
+	s.L2Hits = 0
+	s.L2Misses = 0
+	s.Writebacks = 0
+	s.Prefetches = 0
+	s.SHiQViolations = 0
+	s.SHiQStalls = 0
+	s.TrafficBytes = [numCategories]uint64{}
+	s.Messages = [numCategories]uint64{}
+}
+
 // Snapshot returns a copy of the current counters, for warmup exclusion.
 func (s *Stats) Snapshot() Stats {
 	c := *s

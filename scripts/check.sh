@@ -10,6 +10,13 @@
 #   -fast  skip the race-detector passes (the slowest stages); everything
 #          else — including simlint — still runs. For quick local
 #          iteration; CI runs the full gate.
+#
+# Opt-in perf gate: set PERFDIFF_BASE to a baseline BENCH_core.json to
+# compare the checked-in snapshot against it with scripts/perfdiff.sh
+# (fails on a >15% ns/op or >25% allocs/op regression in the fig9 sweeps
+# or the micro-benchmarks). Off by default because benchmark numbers are
+# machine-dependent; run on a quiet box — or use `make perfdiff` — when a
+# PR touches performance.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -48,12 +55,22 @@ go test ./...
 echo "== fuzz smoke (checked-in corpus as regression tests) =="
 go test -run 'Fuzz' ./internal/sig ./internal/lineset
 
+if [ "${PERFDIFF_BASE:-}" != "" ]; then
+    echo "== perfdiff vs $PERFDIFF_BASE =="
+    ./scripts/perfdiff.sh "$PERFDIFF_BASE" BENCH_core.json
+fi
+
 if [ "$fast" = 1 ]; then
     echo "check: green (-fast: race passes skipped)"
     exit 0
 fi
 
-echo "== go test -race ./experiments =="
+# The experiments package is where simulations fan out across goroutines:
+# a fixed pool of workers, each reusing one warm machine, sharing memoized
+# workload programs. This pass covers the worker pool, the per-key
+# sync.Once program cache, and the mixed warm-vs-cold parity sweep
+# (TestWarmReuseMatchesCold) under the race detector.
+echo "== go test -race ./experiments (incl. mixed warm sweep) =="
 go test -race ./experiments
 
 echo "== litmus torture matrix under -race =="

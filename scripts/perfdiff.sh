@@ -1,0 +1,97 @@
+#!/bin/sh
+# Compare two BENCH_core.json snapshots (see cmd/bench2json) and fail on a
+# performance regression: any tracked entry whose ns_per_op grew by more
+# than 15% or whose allocs_per_op grew by more than 25% over the baseline.
+#
+# Usage: scripts/perfdiff.sh BASELINE.json CURRENT.json
+#
+# Tracked entries: the cold Fig9 sweep ("fig9"), the warm Fig9 sweep
+# ("fig9_warm", skipped with a note when the baseline predates warm reuse
+# and lacks the entry), and every micro-benchmark present in both files
+# (matched by name). Entries only in one file are reported but never fail
+# the diff — the schema is allowed to grow.
+#
+# Typical use:
+#
+#	cp BENCH_core.json /tmp/base.json       # or: git show HEAD~1:BENCH_core.json
+#	go run ./cmd/bench2json -o BENCH_core.json
+#	scripts/perfdiff.sh /tmp/base.json BENCH_core.json
+#
+# Wired into the gate as an opt-in stage: PERFDIFF_BASE=base.json
+# scripts/check.sh, or `make perfdiff` against the checked-in file.
+set -eu
+
+NS_TOL=15    # % allowed ns_per_op growth
+ALLOC_TOL=25 # % allowed allocs_per_op growth
+
+if [ "$#" -ne 2 ]; then
+    echo "usage: scripts/perfdiff.sh BASELINE.json CURRENT.json" >&2
+    exit 2
+fi
+base=$1
+cur=$2
+for f in "$base" "$cur"; do
+    if [ ! -f "$f" ]; then
+        echo "perfdiff: no such file: $f" >&2
+        exit 2
+    fi
+done
+
+fail=0
+
+# compare NAME BASE_NS BASE_ALLOCS CUR_NS CUR_ALLOCS
+compare() {
+    name=$1 bns=$2 balloc=$3 cns=$4 calloc=$5
+    # Growth in percent, integer-rounded; awk handles the floats.
+    verdict=$(awk -v bns="$bns" -v cns="$cns" -v ba="$balloc" -v ca="$calloc" \
+        -v nst="$NS_TOL" -v at="$ALLOC_TOL" 'BEGIN {
+        nsg = (bns > 0) ? (cns - bns) / bns * 100 : 0
+        ag  = (ba  > 0) ? (ca  - ba)  / ba  * 100 : (ca > 0 ? 1e9 : 0)
+        bad = (nsg > nst || ag > at) ? "FAIL" : "ok"
+        printf "%s ns %+.1f%% allocs %+.1f%%", bad, nsg, ag
+    }')
+    case "$verdict" in
+    FAIL*) fail=1 ;;
+    esac
+    printf '  %-28s %s\n' "$name" "$verdict"
+}
+
+echo "perfdiff: $base -> $cur (fail: ns_per_op +${NS_TOL}%, allocs_per_op +${ALLOC_TOL}%)"
+
+# Headline sweeps.
+compare fig9 \
+    "$(jq -r '.fig9.ns_per_op' "$base")" "$(jq -r '.fig9.allocs_per_op' "$base")" \
+    "$(jq -r '.fig9.ns_per_op' "$cur")" "$(jq -r '.fig9.allocs_per_op' "$cur")"
+
+if [ "$(jq -r 'has("fig9_warm")' "$base")" = true ] && [ "$(jq -r 'has("fig9_warm")' "$cur")" = true ]; then
+    compare fig9_warm \
+        "$(jq -r '.fig9_warm.ns_per_op' "$base")" "$(jq -r '.fig9_warm.allocs_per_op' "$base")" \
+        "$(jq -r '.fig9_warm.ns_per_op' "$cur")" "$(jq -r '.fig9_warm.allocs_per_op' "$cur")"
+else
+    echo "  fig9_warm                    skipped (entry missing from baseline or current; pre-warm-reuse snapshot)"
+fi
+
+# Micros, matched by name; entries present in only one file are noted.
+for name in $(jq -r '.micro[].name' "$cur"); do
+    bent=$(jq -c --arg n "$name" '.micro[] | select(.name == $n)' "$base")
+    if [ -z "$bent" ]; then
+        echo "  $name: new in current (no baseline entry)"
+        continue
+    fi
+    compare "$name" \
+        "$(printf '%s' "$bent" | jq -r '.ns_per_op')" \
+        "$(printf '%s' "$bent" | jq -r '.allocs_per_op')" \
+        "$(jq -r --arg n "$name" '.micro[] | select(.name == $n) | .ns_per_op' "$cur")" \
+        "$(jq -r --arg n "$name" '.micro[] | select(.name == $n) | .allocs_per_op' "$cur")"
+done
+for name in $(jq -r '.micro[].name' "$base"); do
+    if [ -z "$(jq -r --arg n "$name" '.micro[] | select(.name == $n) | .name' "$cur")" ]; then
+        echo "  $name: dropped from current (baseline-only entry)"
+    fi
+done
+
+if [ "$fail" = 1 ]; then
+    echo "perfdiff: REGRESSION past thresholds" >&2
+    exit 1
+fi
+echo "perfdiff: within thresholds"
