@@ -165,6 +165,18 @@ func NewRunner() *Runner { return core.NewRunner() }
 // optimization — running the named application.
 func DefaultConfig(app string) Config { return core.DefaultConfig(app) }
 
+// MaxProcs is the largest machine the simulator accepts (core.MaxProcs).
+const MaxProcs = core.MaxProcs
+
+// DefaultArbitersFor returns the default arbiter/directory module count
+// for a machine of the given size (one module per 8 processors, within
+// the supported tier widths).
+func DefaultArbitersFor(procs int) int { return core.DefaultArbitersFor(procs) }
+
+// DefaultGArbShardsFor returns the default G-arbiter coordinator shard
+// count for an arbiter tier of the given width.
+func DefaultGArbShardsFor(arbiters int) int { return core.DefaultGArbShardsFor(arbiters) }
+
 // Variant returns a DefaultConfig adjusted to one of the paper's BulkSC
 // configurations: "base", "dypvt", "stpvt" or "exact" (Table 2), or to a
 // baseline: "sc", "rc", "sc++".

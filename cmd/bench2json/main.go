@@ -64,7 +64,26 @@ type Report struct {
 	// sweep in each execution mode (NsPerOp/1e6 of the corresponding
 	// entry, duplicated here so dashboards need no arithmetic).
 	SweepWallMs map[string]float64 `json:"sweep_wall_ms"`
-	Micro       []Bench            `json:"micro"`
+	// Scaling holds the big-machine scaling curve: BSC_dypvt radix at
+	// increasing machine sizes with the default arbiter tier and G-arbiter
+	// shards for each size, at a reduced per-thread budget so the 256-proc
+	// point stays cheap.
+	Scaling []ScalingCell `json:"scaling,omitempty"`
+	Micro   []Bench       `json:"micro"`
+}
+
+// ScalingCell is one point of the scaling curve in the JSON schema.
+type ScalingCell struct {
+	App           string  `json:"app"`
+	Procs         int     `json:"procs"`
+	Arbiters      int     `json:"arbiters"`
+	Shards        int     `json:"shards"`
+	Cycles        uint64  `json:"cycles"`
+	SquashedPct   float64 `json:"squashed_pct"`
+	AvgPendingW   float64 `json:"avg_pending_w"`
+	NonEmptyWPct  float64 `json:"non_empty_w_pct"`
+	GArbSharePct  float64 `json:"garb_share_pct"`
+	BytesPerInstr float64 `json:"bytes_per_instr"`
 }
 
 func measure(name string, f func(b *testing.B)) Bench {
@@ -118,6 +137,25 @@ func main() {
 	rep.SweepWallMs = map[string]float64{
 		"cold": rep.Fig9.NsPerOp / 1e6,
 		"warm": rep.Fig9Warm.NsPerOp / 1e6,
+	}
+
+	// The scaling curve: radix at every machine size of the study, reduced
+	// per-thread budget (the 256-proc machine runs 256× that many
+	// instructions in total).
+	points, err := experiments.Scaling(
+		experiments.Params{Apps: []string{"radix"}, Work: *work / 10, Seed: *seed},
+		[]int{8, 16, 64, 256})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json: scaling:", err)
+		os.Exit(1)
+	}
+	for _, p := range points {
+		rep.Scaling = append(rep.Scaling, ScalingCell{
+			App: p.App, Procs: p.Procs, Arbiters: p.Arbiters, Shards: p.Shards,
+			Cycles: p.Cycles, SquashedPct: p.SquashedPct,
+			AvgPendingW: p.AvgPendingW, NonEmptyWPct: p.NonEmptyWPct,
+			GArbSharePct: p.GArbSharePct, BytesPerInstr: p.BytesPerInstr,
+		})
 	}
 
 	// Micro-benchmarks over the rebuilt hot layers (inlined equivalents of

@@ -9,6 +9,7 @@
 //	sweep -exp table4               # Table 4: commit & coherence
 //	sweep -exp fig11                # Figure 11: traffic breakdown
 //	sweep -exp arbiters -procs 16   # §4.2.3 distributed-arbiter ablation
+//	sweep -exp scaling -procs 8,16,64,256   # big-machine scaling curves
 //	sweep -exp faults               # fault-injection campaign report
 //	sweep -exp all                  # everything, in order
 //
@@ -58,7 +59,7 @@ import (
 
 // expNames lists the experiments in "all" execution order. "faults" is
 // deliberately last: it multiplies the matrix by every campaign.
-var expNames = []string{"fig9", "fig10", "table3", "table4", "fig11", "arbiters", "sigspace", "faults"}
+var expNames = []string{"fig9", "fig10", "table3", "table4", "fig11", "arbiters", "sigspace", "scaling", "faults"}
 
 func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
 
@@ -74,7 +75,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		work      = fs.Int("work", 120_000, "dynamic instructions per thread")
 		seed      = fs.Int64("seed", 1, "simulation seed")
 		apps      = fs.String("apps", "", "comma-separated subset of applications (default: all)")
-		procs     = fs.Int("procs", 16, "core count for the arbiter-scaling study")
+		procs     = fs.String("procs", "16", "comma-separated core counts: the scaling study runs every value; the arbiter ablation uses the first")
 		par       = fs.Int("parallel", 0, "parallel workers, one warm machine each (default: NumCPU)")
 		parAlias  = fs.Int("j", 0, "alias for -parallel")
 		cold      = fs.Bool("cold", false, "construct a fresh machine per simulation instead of reusing one warm machine per worker (bit-identical results; reuse-debugging escape hatch)")
@@ -97,6 +98,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	if _, err := bulksc.NewFaultPlan(*faults, *faultSeed); err != nil {
+		fmt.Fprintf(stderr, "sweep: %v\n", err)
+		return 2
+	}
+	procCounts, err := parseProcs(*procs)
+	if err != nil {
 		fmt.Fprintf(stderr, "sweep: %v\n", err)
 		return 2
 	}
@@ -225,13 +231,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprint(stdout, experiments.FormatSigSpace(rows))
 		case "arbiters":
 			counts := []int{1, 2, 4, 8}
-			rows, err := experiments.ArbScale(p, *procs, counts)
+			rows, err := experiments.ArbScale(p, procCounts[0], counts)
 			if err != nil {
 				fmt.Fprintln(stderr, "sweep:", err)
 				return 1
 			}
-			fmt.Fprintf(stdout, "=== §4.2.3 ablation: distributed arbiter at %d cores (speedup vs 1 arbiter) ===\n", *procs)
+			fmt.Fprintf(stdout, "=== §4.2.3 ablation: distributed arbiter at %d cores (speedup vs 1 arbiter) ===\n", procCounts[0])
 			fmt.Fprint(stdout, experiments.FormatArbScale(rows, counts))
+		case "scaling":
+			points, err := experiments.Scaling(p, procCounts)
+			if err != nil {
+				fmt.Fprintln(stderr, "sweep:", err)
+				return 1
+			}
+			fmt.Fprintln(stdout, "=== Big-machine scaling: BSC_dypvt with default arbiter tier and G-arbiter shards ===")
+			fmt.Fprint(stdout, experiments.FormatScaling(points))
 		case "faults":
 			rows, err := experiments.FaultReport(p)
 			if err != nil {
@@ -259,6 +273,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 	return runOne(*exp)
+}
+
+// parseProcs parses the -procs comma list, validating each value against
+// the supported machine envelope.
+func parseProcs(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		var n int
+		if _, err := fmt.Sscanf(part, "%d", &n); err != nil || n < 1 || n > bulksc.MaxProcs {
+			return nil, fmt.Errorf("-procs value %q must be an integer in [1,%d]", part, bulksc.MaxProcs)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 func contains(xs []string, x string) bool {

@@ -31,6 +31,16 @@ func TestUnknownFlagValuesExitNonZero(t *testing.T) {
 			want: []string{`unknown application "doom"`, "radix", "sjbb2k"},
 		},
 		{
+			name: "bad procs list",
+			args: []string{"-exp", "scaling", "-procs", "8,zap"},
+			want: []string{`-procs value "zap"`},
+		},
+		{
+			name: "oversized procs",
+			args: []string{"-exp", "scaling", "-procs", "2048"},
+			want: []string{`-procs value "2048"`},
+		},
+		{
 			name: "negative parallelism",
 			args: []string{"-exp", "fig9", "-parallel", "-3"},
 			want: []string{"-parallel must be >= 0"},

@@ -17,6 +17,7 @@ func run(name string, prog *bulksc.Program, seeds int) {
 		cfg := bulksc.DefaultConfig("")
 		cfg.App = ""
 		cfg.Work = 0
+		cfg.Procs = 0 // size the machine to the litmus program
 		cfg.Seed = seed
 		cfg.WarmupFrac = 0
 		res, err := bulksc.RunProgram(cfg, prog)

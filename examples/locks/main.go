@@ -36,6 +36,7 @@ func main() {
 		cfg := bulksc.DefaultConfig("")
 		cfg.App = ""
 		cfg.Work = 0
+		cfg.Procs = 0 // size the machine to the lock program
 		cfg.ChunkSize = sc.chunk
 		cfg.WarmupFrac = 0
 		res, err := bulksc.RunProgram(cfg, prog)

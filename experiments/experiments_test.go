@@ -207,3 +207,43 @@ func TestSigSpaceSmallSweep(t *testing.T) {
 		t.Error("format missing app")
 	}
 }
+
+func TestScalingSmallSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	points, err := Scaling(Params{Work: 8000}, []int{8, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(ScalingApps())*2 {
+		t.Fatalf("points = %d, want %d", len(points), len(ScalingApps())*2)
+	}
+	for _, pt := range points {
+		if pt.CommittedInstrs == 0 || pt.Cycles == 0 {
+			t.Errorf("%s/%d: empty run", pt.App, pt.Procs)
+		}
+		if pt.Procs == 64 && pt.Arbiters != bulksc.DefaultArbitersFor(64) {
+			t.Errorf("%s/64: arbiters = %d, want default %d", pt.App, pt.Arbiters, bulksc.DefaultArbitersFor(64))
+		}
+		if pt.Procs == 64 && pt.GArbSharePct == 0 {
+			t.Errorf("%s/64: no G-arbiter involvement at 8 arbiters", pt.App)
+		}
+		if pt.BytesPerInstr <= 0 {
+			t.Errorf("%s/%d: no traffic recorded", pt.App, pt.Procs)
+		}
+	}
+	out := FormatScaling(points)
+	if !strings.Contains(out, "radix") {
+		t.Error("format missing app")
+	}
+	if !strings.Contains(out, "garb%") {
+		t.Error("format missing header")
+	}
+}
+
+func TestScalingRejectsOversizedMachine(t *testing.T) {
+	if _, err := Scaling(Params{Work: 1000}, []int{bulksc.MaxProcs + 1}); err == nil {
+		t.Fatal("oversized proc count accepted")
+	}
+}

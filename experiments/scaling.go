@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"bulksc"
+)
+
+// The big-machine scaling study (an extension: the paper evaluates 8
+// processors and argues scalability architecturally in §4.2.3). Each point
+// runs BSC_dypvt at a machine size with the default arbiter tier and
+// G-arbiter sharding for that size (bulksc.DefaultArbitersFor /
+// DefaultGArbShardsFor) and records the quantities that would expose a
+// scaling wall: squash rate, arbiter occupancy, G-arbiter involvement and
+// per-instruction traffic.
+
+// ScalingPoint is one (app, procs) cell of the scaling study.
+type ScalingPoint struct {
+	App             string
+	Procs           int
+	Arbiters        int
+	Shards          int
+	Cycles          uint64
+	CommittedInstrs uint64
+	// SquashedPct is the share of executed instructions later discarded.
+	SquashedPct float64
+	// AvgPendingW / NonEmptyWPct are the Table-4 arbiter-occupancy
+	// metrics, here tracked across machine sizes.
+	AvgPendingW  float64
+	NonEmptyWPct float64
+	// GArbSharePct is the share of commit requests that crossed arbiter
+	// ranges and needed the (sharded) G-arbiter.
+	GArbSharePct float64
+	// GArbQueuedPer1k counts G-arbiter transactions parked behind a full
+	// shard, per 1000 transactions — the coordinator-saturation signal.
+	GArbQueuedPer1k float64
+	// BytesPerInstr and MsgsPer1kInstr normalize interconnect load by
+	// useful work, so the curve is comparable across machine sizes.
+	BytesPerInstr  float64
+	MsgsPer1kInstr float64
+}
+
+// ScalingApps is the default application set of the scaling study: the
+// two SPLASH-2 kernels with the most regular partitioning, so the curve
+// measures the protocol rather than load imbalance.
+func ScalingApps() []string { return []string{"radix", "fft"} }
+
+// Scaling runs the study across procCounts (e.g. 8, 16, 64, 256). Params
+// apply as usual except that Apps defaults to ScalingApps rather than the
+// full suite.
+func Scaling(p Params, procCounts []int) ([]ScalingPoint, error) {
+	if len(p.Apps) == 0 {
+		p.Apps = ScalingApps()
+	}
+	keys := make([]string, len(procCounts))
+	for i, n := range procCounts {
+		if n < 1 || n > bulksc.MaxProcs {
+			return nil, fmt.Errorf("scaling: %d processors out of range [1,%d]", n, bulksc.MaxProcs)
+		}
+		keys[i] = fmt.Sprintf("%d", n)
+	}
+	res, err := runMatrix(p, keys, func(app, k string) bulksc.Config {
+		cfg := bulksc.Variant(app, "dypvt")
+		cfg.CheckSC = false
+		fmt.Sscanf(k, "%d", &cfg.Procs)
+		cfg.NumArbiters = bulksc.DefaultArbitersFor(cfg.Procs)
+		cfg.GArbShards = bulksc.DefaultGArbShardsFor(cfg.NumArbiters)
+		return cfg
+	})
+	if err != nil {
+		return nil, err
+	}
+	var points []ScalingPoint
+	for _, app := range orderedApps(p) {
+		for i, n := range procCounts {
+			r := res[app][keys[i]]
+			st := r.Stats
+			pt := ScalingPoint{
+				App:             app,
+				Procs:           n,
+				Arbiters:        bulksc.DefaultArbitersFor(n),
+				Shards:          bulksc.DefaultGArbShardsFor(bulksc.DefaultArbitersFor(n)),
+				Cycles:          r.Cycles,
+				CommittedInstrs: st.CommittedInstrs,
+				SquashedPct:     st.SquashedPct(),
+				AvgPendingW:     st.AvgPendingWSigs(),
+				NonEmptyWPct:    st.NonEmptyWListPct(),
+			}
+			if st.CommitRequests > 0 {
+				pt.GArbSharePct = 100 * float64(st.GArbTransactions) / float64(st.CommitRequests)
+			}
+			if st.GArbTransactions > 0 {
+				pt.GArbQueuedPer1k = 1000 * float64(st.GArbQueued) / float64(st.GArbTransactions)
+			}
+			if st.CommittedInstrs > 0 {
+				pt.BytesPerInstr = float64(st.TotalTraffic()) / float64(st.CommittedInstrs)
+				var msgs uint64
+				for _, m := range st.Messages {
+					msgs += m
+				}
+				pt.MsgsPer1kInstr = 1000 * float64(msgs) / float64(st.CommittedInstrs)
+			}
+			points = append(points, pt)
+		}
+	}
+	return points, nil
+}
+
+// FormatScaling renders the scaling curves, one line per (app, procs).
+func FormatScaling(points []ScalingPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-11s %5s %4s %6s %12s %7s %8s %9s %6s %7s %7s %9s\n",
+		"app", "procs", "arbs", "shards", "cycles", "sq%", "pendW", "wlist%", "garb%", "q/1k", "B/in", "msg/1ki")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-11s %5d %4d %6d %12d %7.2f %8.2f %9.1f %6.1f %7.1f %7.2f %9.2f\n",
+			p.App, p.Procs, p.Arbiters, p.Shards, p.Cycles,
+			p.SquashedPct, p.AvgPendingW, p.NonEmptyWPct,
+			p.GArbSharePct, p.GArbQueuedPer1k, p.BytesPerInstr, p.MsgsPer1kInstr)
+	}
+	return b.String()
+}

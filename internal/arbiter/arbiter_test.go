@@ -349,39 +349,168 @@ func newDistributed(n int) (*sim.Engine, *stats.Stats, []*Arbiter, *GArbiter, *[
 }
 
 func TestGArbiterGrantsDisjoint(t *testing.T) {
-	eng, _, arbs, g, fwd := newDistributed(4)
-	var granted bool
-	r := req(0, sigOf(0, RangeGranule), sigOf(2*RangeGranule), func(gr bool, _ uint64) { granted = gr })
-	g.Request(r, []int{0, 1, 2})
-	eng.Run(nil)
-	if !granted {
-		t.Fatal("multi-range commit denied on idle machine")
-	}
-	if arbs[0].Pending() != 1 || arbs[1].Pending() != 1 || arbs[2].Pending() != 1 {
-		t.Fatal("reservation missing at involved arbiters")
-	}
-	if len(*fwd) != 3 {
-		t.Fatalf("ForwardW called %d times, want 3", len(*fwd))
+	for _, shards := range []int{1, 4} {
+		eng, _, arbs, g, fwd := newDistributed(4)
+		g.SetShards(shards)
+		var granted bool
+		r := req(0, sigOf(0, RangeGranule), sigOf(2*RangeGranule), func(gr bool, _ uint64) { granted = gr })
+		g.Request(r, []int{0, 1, 2})
+		eng.Run(nil)
+		if !granted {
+			t.Fatalf("shards=%d: multi-range commit denied on idle machine", shards)
+		}
+		if arbs[0].Pending() != 1 || arbs[1].Pending() != 1 || arbs[2].Pending() != 1 {
+			t.Fatalf("shards=%d: reservation missing at involved arbiters", shards)
+		}
+		if len(*fwd) != 3 {
+			t.Fatalf("shards=%d: ForwardW called %d times, want 3", shards, len(*fwd))
+		}
 	}
 }
 
 func TestGArbiterDeniesOnPartialConflict(t *testing.T) {
-	eng, _, arbs, g, _ := newDistributed(2)
-	// Occupy arbiter 1 with a committing W on line RangeGranule.
-	arbs[1].Request(req(9, sigOf(RangeGranule), sigOf(), func(bool, uint64) {}))
-	eng.Run(nil)
-	var granted, replied bool
-	r := req(0, sigOf(0, RangeGranule), sigOf(), func(gr bool, _ uint64) { granted, replied = gr, true })
-	g.Request(r, []int{0, 1})
-	eng.Run(nil)
-	if !replied {
-		t.Fatal("no decision")
+	for _, shards := range []int{1, 4} {
+		eng, _, arbs, g, _ := newDistributed(8)
+		g.SetShards(shards)
+		// Occupy arbiter 1 with a committing W on line RangeGranule.
+		arbs[1].Request(req(9, sigOf(RangeGranule), sigOf(), func(bool, uint64) {}))
+		eng.Run(nil)
+		var granted, replied bool
+		r := req(0, sigOf(0, RangeGranule), sigOf(), func(gr bool, _ uint64) { granted, replied = gr, true })
+		g.Request(r, []int{0, 1})
+		eng.Run(nil)
+		if !replied {
+			t.Fatalf("shards=%d: no decision", shards)
+		}
+		if granted {
+			t.Fatalf("shards=%d: conflicting multi-range commit granted", shards)
+		}
+		// The reservation at arbiter 0 must have been aborted.
+		if arbs[0].Pending() != 0 {
+			t.Fatalf("shards=%d: aborted reservation leaked at arbiter 0", shards)
+		}
 	}
+}
+
+// TestGArbiterShardedConcurrentDisjoint drives four disjoint multi-range
+// commits whose first ranges land on four different shards: all must be
+// granted with strictly increasing global commit orders, and none may
+// queue — the shards coordinate independently.
+func TestGArbiterShardedConcurrentDisjoint(t *testing.T) {
+	eng, st, arbs, g, _ := newDistributed(8)
+	g.SetShards(4)
+	g.MaxInFlight = 1 // any shard collision would be forced to queue
+	var orders []uint64
+	for i := 0; i < 4; i++ {
+		lo := mem.Line(i * RangeGranule)
+		hi := mem.Line((i + 4) * RangeGranule)
+		r := req(i, sigOf(lo, hi), sigOf(), func(gr bool, o uint64) {
+			if gr {
+				orders = append(orders, o)
+			}
+		})
+		g.Request(r, []int{i, i + 4})
+	}
+	eng.Run(nil)
+	if len(orders) != 4 {
+		t.Fatalf("%d of 4 disjoint commits granted", len(orders))
+	}
+	for i := 1; i < len(orders); i++ {
+		if orders[i] <= orders[i-1] {
+			t.Fatalf("global commit order not strictly increasing across shards: %v", orders)
+		}
+	}
+	if st.GArbQueued != 0 {
+		t.Fatalf("disjoint-shard commits queued %d times, want 0", st.GArbQueued)
+	}
+	for i := 0; i < 8; i++ {
+		if arbs[i].Pending() != 1 {
+			t.Fatalf("arbiter %d pending = %d, want 1", i, arbs[i].Pending())
+		}
+	}
+}
+
+// TestGArbiterShardQueueFIFO fills a shard past its in-flight cap: the
+// overflow transaction must park (GArbQueued), launch only after a slot
+// frees, still be decided correctly, and charge its wait to
+// GArbQueueCycles.
+func TestGArbiterShardQueueFIFO(t *testing.T) {
+	eng, st, _, g, _ := newDistributed(4)
+	g.SetShards(2)
+	g.MaxInFlight = 1
+	var decisions []int // request id in decision order
+	mk := func(id int, lo, hi mem.Line) *Request {
+		return req(id, sigOf(lo, hi), sigOf(), func(gr bool, _ uint64) {
+			if !gr {
+				t.Errorf("disjoint request %d denied", id)
+			}
+			decisions = append(decisions, id)
+		})
+	}
+	// All three start on shard 0 (first range 0 and 2 are both even).
+	g.Request(mk(0, 0, RangeGranule), []int{0, 1})
+	g.Request(mk(1, 2*RangeGranule, 3*RangeGranule), []int{2, 3})
+	g.Request(mk(2, 128*RangeGranule, 129*RangeGranule), []int{0, 1})
+	eng.Run(nil)
+	if st.GArbQueued != 2 {
+		t.Fatalf("GArbQueued = %d, want 2 (cap 1, three arrivals on one shard)", st.GArbQueued)
+	}
+	if st.GArbQueueCycles == 0 {
+		t.Fatal("queued transactions charged no queue cycles")
+	}
+	if len(decisions) != 3 {
+		t.Fatalf("%d of 3 requests decided", len(decisions))
+	}
+	// FIFO: arrival order is decision order.
+	for i, id := range decisions {
+		if id != i {
+			t.Fatalf("decision order = %v, want FIFO [0 1 2]", decisions)
+		}
+	}
+	if st.CommitGrants != 3 {
+		t.Fatalf("CommitGrants = %d, want 3", st.CommitGrants)
+	}
+}
+
+// TestGArbiterQueuedDenialReleasesSlot: a queued transaction that is
+// ultimately denied must still free its shard slot so later traffic flows.
+func TestGArbiterQueuedDenialReleasesSlot(t *testing.T) {
+	eng, st, arbs, g, _ := newDistributed(2)
+	g.SetShards(1)
+	g.MaxInFlight = 1
+	// Occupy arbiter 1 so the queued request conflicts there.
+	arbs[1].Request(req(9, sigOf(3*RangeGranule), sigOf(), func(bool, uint64) {}))
+	eng.Run(nil)
+	var first, second, third string
+	g.Request(req(0, sigOf(0, RangeGranule), sigOf(), func(gr bool, _ uint64) {
+		first = verdict(gr)
+	}), []int{0, 1})
+	g.Request(req(1, sigOf(2*RangeGranule, 3*RangeGranule), sigOf(3*RangeGranule), func(gr bool, _ uint64) {
+		second = verdict(gr)
+	}), []int{0, 1})
+	eng.Run(nil)
+	if first != "granted" {
+		t.Fatalf("first request %s, want granted", first)
+	}
+	if second != "denied" {
+		t.Fatalf("queued conflicting request %s, want denied", second)
+	}
+	// The slot freed by the denial must serve new traffic.
+	g.Request(req(2, sigOf(64*RangeGranule, 65*RangeGranule), sigOf(), func(gr bool, _ uint64) {
+		third = verdict(gr)
+	}), []int{0, 1})
+	eng.Run(nil)
+	if third != "granted" {
+		t.Fatalf("post-denial request %s, want granted (slot leaked?)", third)
+	}
+	if st.CommitDenies != 1 {
+		t.Fatalf("CommitDenies = %d, want 1", st.CommitDenies)
+	}
+}
+
+func verdict(granted bool) string {
 	if granted {
-		t.Fatal("conflicting multi-range commit granted")
+		return "granted"
 	}
-	// The reservation at arbiter 0 must have been aborted.
-	if arbs[0].Pending() != 0 {
-		t.Fatal("aborted reservation leaked at arbiter 0")
-	}
+	return "denied"
 }

@@ -35,20 +35,30 @@ func RangesOf(sets []*lineset.Set, n int) []int {
 	if n <= 1 {
 		return []int{0}
 	}
-	seen := make([]bool, n)
+	return RangesOfInto(nil, sets, n, make([]bool, n))
+}
+
+// RangesOfInto is RangesOf with caller-provided storage, for the per-commit
+// hot path: the result is appended to out (ascending module order) and seen
+// must have length n (it is cleared here). The returned slice aliases out's
+// storage — callers that let it escape past the current event must copy it.
+func RangesOfInto(out []int, sets []*lineset.Set, n int, seen []bool) []int {
+	if n <= 1 {
+		return append(out, 0)
+	}
+	clear(seen)
 	for _, set := range sets {
 		set.ForEach(func(l mem.Line) {
 			seen[RangeOf(l, n)] = true
 		})
 	}
-	var out []int
 	for i, s := range seen {
 		if s {
 			out = append(out, i)
 		}
 	}
 	if len(out) == 0 {
-		out = []int{0}
+		out = append(out, 0)
 	}
 	return out
 }
@@ -95,35 +105,90 @@ func (a *Arbiter) Abort(tok Token) {
 	a.noteWList()
 }
 
+// garbTxn is one multi-range transaction parked in a shard's FIFO queue
+// while the shard is at its in-flight cap. The ranges slice must be stable
+// (callers copy scratch-backed lists before handing them to Request).
+type garbTxn struct {
+	req    *Request
+	ranges []int
+	since  sim.Time
+}
+
+// garbShard is one independent coordinator of the sharded G-arbiter tier:
+// a transaction is coordinated by the shard owning its first involved
+// module, under a per-shard in-flight cap with FIFO overflow. Shards share
+// no state beyond the global commit-order counter, so the coordinator hot
+// spot scales with the arbiter tier instead of serializing on one node.
+type garbShard struct {
+	inFlight int
+	queue    []garbTxn
+}
+
 // GArbiter coordinates commits that span several arbiter ranges (§4.2.3,
 // Figure 8(b)). It runs the two-phase reserve/confirm protocol over the
-// network, charging the extra messages the paper describes.
+// network, charging the extra messages the paper describes. The
+// coordinator role is sharded (SetShards); with one shard it behaves as
+// the paper's single G-arbiter node with a bounded transaction table.
 type GArbiter struct {
 	eng  *sim.Engine
 	net  *network.Network
 	st   *stats.Stats
 	Arbs []*Arbiter
+	// MaxInFlight caps the transactions each shard coordinates at once —
+	// the hardware transaction-table size. Excess requests queue FIFO and
+	// launch as slots free, counted by GArbQueued/GArbQueueCycles.
+	MaxInFlight int
+	shards      []garbShard
 }
 
-// NewGArbiter returns a coordinator over arbs.
+// NewGArbiter returns a coordinator over arbs with a single shard.
 func NewGArbiter(eng *sim.Engine, net *network.Network, st *stats.Stats, arbs []*Arbiter) *GArbiter {
-	return &GArbiter{eng: eng, net: net, st: st, Arbs: arbs}
+	return &GArbiter{
+		eng: eng, net: net, st: st, Arbs: arbs,
+		MaxInFlight: DefaultMaxSimul,
+		shards:      make([]garbShard, 1),
+	}
 }
+
+// SetShards sizes the coordinator tier to n independent shards (n < 1 is
+// treated as 1). Must be called before any Request.
+func (g *GArbiter) SetShards(n int) {
+	if n < 1 {
+		n = 1
+	}
+	g.shards = make([]garbShard, n)
+}
+
+// Shards reports the coordinator tier width, for tests.
+func (g *GArbiter) Shards() int { return len(g.shards) }
 
 // Request runs a multi-arbiter commit transaction across the given module
-// ids. req.R must be non-nil. The decision Reply fires at the G-arbiter's
-// combine event.
+// ids. req.R must be non-nil, and ranges must be stable storage — a queued
+// transaction holds it until a shard slot frees. The decision Reply fires
+// at the coordinating shard's combine event.
 func (g *GArbiter) Request(req *Request, ranges []int) {
 	g.st.CommitRequests++
 	g.st.GArbTransactions++
 	if len(ranges) > 1 {
 		g.st.MultiArbCommits++
 	}
+	sh := &g.shards[ranges[0]%len(g.shards)]
+	if sh.inFlight >= g.MaxInFlight {
+		g.st.GArbQueued++
+		sh.queue = append(sh.queue, garbTxn{req: req, ranges: ranges, since: g.eng.Now()})
+		return
+	}
+	sh.inFlight++
+	g.launch(sh, req, ranges)
+}
+
+// launch starts phase 1 of one transaction on its coordinating shard:
+// forward (R,W) to each involved arbiter (one hop each) and reserve;
+// replies return to the shard (another hop), and the last reply combines.
+func (g *GArbiter) launch(sh *garbShard, req *Request, ranges []int) {
 	var reserved []reservation
 	failed := false
 	replies := 0
-	// Phase 1: forward (R,W) to each involved arbiter (one hop each) and
-	// reserve. Replies return to the G-arbiter (another hop).
 	for _, idx := range ranges {
 		arb := g.Arbs[idx]
 		g.net.SendAfter(ProcessLat, stats.CatWrSig, network.SigBytes, func() {
@@ -137,14 +202,14 @@ func (g *GArbiter) Request(req *Request, ranges []int) {
 					failed = true
 				}
 				if replies == len(ranges) {
-					g.combine(req, reserved, failed)
+					g.combine(sh, req, reserved, failed)
 				}
 			})
 		})
 	}
 }
 
-func (g *GArbiter) combine(req *Request, reserved []reservation, failed bool) {
+func (g *GArbiter) combine(sh *garbShard, req *Request, reserved []reservation, failed bool) {
 	if failed {
 		for _, r := range reserved {
 			r := r
@@ -152,6 +217,7 @@ func (g *GArbiter) combine(req *Request, reserved []reservation, failed bool) {
 		}
 		g.st.CommitDenies++
 		req.Reply(false, 0)
+		g.release(sh)
 		return
 	}
 	g.st.CommitGrants++
@@ -162,4 +228,21 @@ func (g *GArbiter) combine(req *Request, reserved []reservation, failed bool) {
 		g.net.Send(stats.CatOther, network.CtrlBytes, func() { r.arb.Confirm(r.tok, req) })
 	}
 	req.Reply(true, ord)
+	g.release(sh)
+}
+
+// release frees the finished transaction's slot: the oldest queued
+// transaction (FIFO — deterministic and starvation-free) launches in its
+// place, charging its queueing delay to GArbQueueCycles.
+func (g *GArbiter) release(sh *garbShard) {
+	if len(sh.queue) > 0 {
+		t := sh.queue[0]
+		copy(sh.queue, sh.queue[1:])
+		sh.queue[len(sh.queue)-1] = garbTxn{}
+		sh.queue = sh.queue[:len(sh.queue)-1]
+		g.st.GArbQueueCycles += uint64(g.eng.Now() - t.since)
+		g.launch(sh, t.req, t.ranges)
+		return
+	}
+	sh.inFlight--
 }

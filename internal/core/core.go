@@ -45,12 +45,19 @@ func (m ModelKind) String() string {
 	return [...]string{"SC", "RC", "SC++", "BulkSC"}[m]
 }
 
+// MaxProcs is the largest machine the simulator supports. The sparse
+// sharer-set directory and the sharded arbiter tier scale to it; the bound
+// exists because the address layout reserves per-thread stack windows and
+// the fault plans target procs by 64-bit mask.
+const MaxProcs = 1024
+
 // Config describes one simulated machine + workload.
 type Config struct {
 	Model ModelKind
 	// App names a registered workload generator (see workload.All).
 	App string
-	// Procs is the core count (Table 2: 8).
+	// Procs is the core count (Table 2: 8). RunProgram requires it to
+	// match the program's thread count; 0 means "infer from the program".
 	Procs int
 	// Work is the approximate dynamic instruction count per thread.
 	Work int
@@ -72,6 +79,12 @@ type Config struct {
 	// NumArbiters distributes the arbiter and directory into that many
 	// address-interleaved modules (§4.2.3); 1 = the paper's base system.
 	NumArbiters int
+	// GArbShards splits the G-arbiter coordinator into that many
+	// independent shards, each handling the multi-range commits whose
+	// first address range lands on it, with a per-shard in-flight cap and
+	// FIFO overflow queue; ≤1 = a single coordinator (the paper's base
+	// system). Only meaningful when NumArbiters > 1.
+	GArbShards int
 	// DirCacheEntries limits each directory module to a directory cache
 	// of that many entries (§4.3.3); 0 = full-map.
 	DirCacheEntries int
@@ -113,6 +126,34 @@ type Config struct {
 	// metrics mean anything). Cycles and speedups always cover the full
 	// run. 0 disables warmup exclusion.
 	WarmupFrac float64
+}
+
+// DefaultArbitersFor returns the arbiter/directory module count the
+// scaling experiments pair with a machine of procs processors: one
+// address-interleaved module per 8 processors, clamped to [1, 64]. The
+// paper's 8-proc base system gets its single arbiter; a 256-proc machine
+// gets 32.
+func DefaultArbitersFor(procs int) int {
+	n := procs / 8
+	if n < 1 {
+		n = 1
+	}
+	if n > 64 {
+		n = 64
+	}
+	return n
+}
+
+// DefaultGArbShardsFor returns the G-arbiter shard count paired with an
+// arbiter tier of arbs modules: one coordinator shard per 4 modules, at
+// least one. Multi-range commits fan out from the shard owning their
+// first address range instead of a single global coordinator.
+func DefaultGArbShardsFor(arbs int) int {
+	n := arbs / 4
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
 // DefaultConfig returns the paper's BSC_dypvt system on 8 processors.
@@ -227,11 +268,17 @@ func (r *Runner) RunProgram(cfg Config, prog *workload.Program) (*Result, error)
 }
 
 func (m *machine) runProgram(cfg Config, prog *workload.Program) (*Result, error) {
-	if len(prog.Threads) != cfg.Procs {
+	if cfg.Procs == 0 {
 		cfg.Procs = len(prog.Threads)
 	}
-	if cfg.Procs < 1 || cfg.Procs > 64 {
-		return nil, fmt.Errorf("core: %d processors unsupported", cfg.Procs)
+	if len(prog.Threads) != cfg.Procs {
+		// A mismatch used to silently resize the machine, letting sweep
+		// configs lie about machine size; make it the caller's bug.
+		return nil, fmt.Errorf("core: config has %d processors but program %q has %d threads",
+			cfg.Procs, prog.Name, len(prog.Threads))
+	}
+	if cfg.Procs < 1 || cfg.Procs > MaxProcs {
+		return nil, fmt.Errorf("core: %d processors unsupported (max %d)", cfg.Procs, MaxProcs)
 	}
 	if cfg.NumArbiters < 1 {
 		cfg.NumArbiters = 1
@@ -291,6 +338,22 @@ type machine struct {
 	// overwritten before every use, dead after every call.
 	//lint:poolsafe per-call scratch, fully overwritten before every use
 	rangeScratch []*lineset.Set
+	// rangeSeen/rangeIDs back the address-range computation in
+	// routeCommit (arbiter.RangesOfInto): per-call scratch, consumed
+	// synchronously — the multi-range path copies the result before it
+	// escapes into deferred network events.
+	//lint:poolsafe per-call scratch, fully overwritten before every use
+	rangeSeen []bool
+	//lint:poolsafe per-call scratch, fully overwritten before every use
+	rangeIDs []int
+	// privSent marks directory modules already targeted by the current
+	// stpvt Wpriv propagation; sized to the module count per call.
+	//lint:poolsafe per-call scratch, fully cleared before every use
+	privSent []bool
+	// wdScratch backs the watchdog's three per-proc trail arrays so a warm
+	// runner does not reallocate them every run.
+	//lint:poolsafe watchdog backing storage; startWatchdog re-slices and zeroes it per run
+	wdScratch []uint64
 	// witness is the active checker of the current run (nil when
 	// cfg.Witness is off); witArena is the persistent checker storage it
 	// draws from.
@@ -398,6 +461,7 @@ func (m *machine) Reset(cfg Config) {
 		// The G-arbiter is stateless between transactions; recreating it is
 		// cheaper than auditing it for reuse.
 		m.garb = arbiter.NewGArbiter(m.eng, m.net, m.st, m.arbs)
+		m.garb.SetShards(cfg.GArbShards)
 	}
 	m.order = 0
 
@@ -463,7 +527,11 @@ func (m *machine) buildEnv() *proc.Env {
 	}
 	env.Commit = m.routeCommit
 	env.PrivCommit = func(p int, w sig.Signature, trueW *lineset.Set) {
-		var sent [64]bool
+		if len(m.privSent) < len(m.dirs) {
+			m.privSent = make([]bool, len(m.dirs))
+		}
+		sent := m.privSent[:len(m.dirs)]
+		clear(sent)
 		trueW.ForEach(func(l mem.Line) {
 			idx := arbiter.RangeOf(l, len(m.dirs))
 			if sent[idx] {
@@ -533,20 +601,31 @@ func (m *machine) routeCommit(req *proc.CommitReq) {
 		return
 	}
 	m.rangeScratch = append(append(m.rangeScratch[:0], req.RSets...), req.WSets...)
-	ranges := arbiter.RangesOf(m.rangeScratch, len(m.arbs))
+	if len(m.rangeSeen) < len(m.arbs) {
+		m.rangeSeen = make([]bool, len(m.arbs))
+	}
+	m.rangeIDs = arbiter.RangesOfInto(m.rangeIDs[:0], m.rangeScratch, len(m.arbs), m.rangeSeen[:len(m.arbs)])
+	ranges := m.rangeIDs
 	if len(ranges) == 1 {
-		m.net.Send(stats.CatWrSig, wBytes, func() { m.arbs[ranges[0]].Request(areq) })
+		// Resolve the arbiter now: the send callback fires after this
+		// scratch may have been overwritten by a later commit.
+		arb := m.arbs[ranges[0]]
+		m.net.Send(stats.CatWrSig, wBytes, func() { arb.Request(areq) })
 		return
 	}
-	// Multi-range: the G-arbiter needs R upfront.
+	// Multi-range: the range list escapes into deferred events (and may be
+	// queued at a busy G-arbiter shard), so it needs a stable copy of the
+	// per-call scratch. Multi-arb commits are the rare case — single-range
+	// routing above stays allocation-free. The G-arbiter needs R upfront.
+	stable := append(make([]int, 0, len(ranges)), ranges...)
 	if areq.R == nil {
 		areq.FetchR(func(r sig.Signature) {
 			areq.R = r
-			m.net.Send(stats.CatWrSig, network.SigBytes, func() { m.garb.Request(areq, ranges) })
+			m.net.Send(stats.CatWrSig, network.SigBytes, func() { m.garb.Request(areq, stable) })
 		})
 		return
 	}
-	m.net.Send(stats.CatWrSig, network.SigBytes, func() { m.garb.Request(areq, ranges) })
+	m.net.Send(stats.CatWrSig, network.SigBytes, func() { m.garb.Request(areq, stable) })
 }
 
 func (m *machine) addProc(cfg Config, id int, ins []workload.Instr) {

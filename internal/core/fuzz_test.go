@@ -143,6 +143,7 @@ func TestFuzzHotLineHammer(t *testing.T) {
 			cfg := DefaultConfig("")
 			cfg.App = ""
 			cfg.Work = 0
+			cfg.Procs = len(prog.Threads)
 			cfg.ChunkSize = chunkSize
 			cfg.Seed = seed
 			cfg.WarmupFrac = 0
@@ -194,6 +195,7 @@ func TestFuzzMixedPrivateSharedAliasing(t *testing.T) {
 		cfg := DefaultConfig("")
 		cfg.App = ""
 		cfg.Work = 0
+		cfg.Procs = len(prog.Threads)
 		cfg.Seed = seed
 		cfg.WarmupFrac = 0
 		res, err := RunProgram(cfg, prog)

@@ -180,6 +180,7 @@ func TestLitmusLockMutualExclusion(t *testing.T) {
 			prog := workload.DekkerLock(12, 4)
 			cfg := DefaultConfig("unused")
 			cfg.App = ""
+			cfg.Procs = len(prog.Threads)
 			cfg.ChunkSize = chunkSize
 			cfg.Seed = seed
 			cfg.Work = 0

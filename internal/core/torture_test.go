@@ -273,3 +273,48 @@ func TestRCRelaxationSurvivesFaults(t *testing.T) {
 		})
 	}
 }
+
+// TestLitmusTorture64Proc re-runs the kernel × model matrix on a 64-proc
+// machine for one seed: each kernel is padded with private-stack filler
+// threads (PadThreads), so the litmus threads race under real big-machine
+// pressure — 8 interleaved arbiters, the sharded G-arbiter, and a directory
+// whose sharer sets overflow the inline pointers. Forbidden outcomes must
+// stay forbidden with the machine scaled up.
+func TestLitmusTorture64Proc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("64-proc torture in -short mode")
+	}
+	const procs = 64
+	const seed = int64(3)
+	for _, k := range tortureKernels() {
+		k := k
+		for _, variant := range tortureModels {
+			variant := variant
+			t.Run(k.name+"/"+variant, func(t *testing.T) {
+				t.Parallel()
+				prog := workload.PadThreads(k.prog(seed), procs, 400, seed)
+				if len(prog.Threads) != procs {
+					t.Fatalf("padded to %d threads, want %d", len(prog.Threads), procs)
+				}
+				cfg := tortureConfig(variant, procs, seed)
+				cfg.NumArbiters = DefaultArbitersFor(procs)
+				cfg.GArbShards = DefaultGArbShardsFor(cfg.NumArbiters)
+				res, err := RunProgram(cfg, prog)
+				if err != nil {
+					t.Fatalf("%s/%s: %v", k.name, variant, err)
+				}
+				if cfg.Model == ModelBulk {
+					if len(res.SCViolations) > 0 {
+						t.Fatalf("%s/%s: replay checker: %s", k.name, variant, res.SCViolations[0])
+					}
+					if msg := k.check(res); msg != "" {
+						t.Fatalf("%s/%s: forbidden outcome: %s", k.name, variant, msg)
+					}
+				}
+				if isSCClaiming(variant) && len(res.WitnessViolations) > 0 {
+					t.Fatalf("%s/%s: witness: %s", k.name, variant, res.WitnessViolations[0])
+				}
+			})
+		}
+	}
+}

@@ -62,16 +62,27 @@ type watchdog struct {
 }
 
 // startWatchdog attaches a watchdog to m and schedules its first poll.
+// The three per-proc trail arrays are carved out of the machine's
+// wdScratch so a warm runner (and a big machine) does not reallocate them
+// every run; full slice expressions keep the sub-slices from growing into
+// each other.
 func startWatchdog(m *machine, window uint64) {
 	if window == 0 {
 		window = DefaultWatchdogWindow
 	}
+	n := len(m.bulkProcs)
+	if cap(m.wdScratch) < 3*n {
+		m.wdScratch = make([]uint64, 3*n)
+	}
+	buf := m.wdScratch[:3*n]
+	clear(buf)
+	m.wdScratch = buf
 	w := &watchdog{
 		m:         m,
 		window:    window,
-		commitsAt: make([]uint64, len(m.bulkProcs)),
-		eventsAt:  make([]uint64, len(m.bulkProcs)),
-		startAt:   make([]uint64, len(m.bulkProcs)),
+		commitsAt: buf[0*n : 1*n : 1*n],
+		eventsAt:  buf[1*n : 2*n : 2*n],
+		startAt:   buf[2*n : 3*n : 3*n],
 	}
 	interval := window / 4
 	if interval == 0 {

@@ -29,7 +29,11 @@ func BenchmarkDirectoryReset(b *testing.B) {
 	fill := func() {
 		for i := 1; i <= lines; i++ {
 			e := d.getOrCreate(mem.Line(i))
-			e.sharers = uint64(i) & 0xf
+			for p := 0; p < 4; p++ {
+				if i&(1<<p) != 0 {
+					e.sharers.Add(p, &d.shar)
+				}
+			}
 		}
 	}
 	fill()

@@ -25,8 +25,7 @@ func (d *Directory) ProcessCommit(c *Commit) {
 
 //sim:hotpath
 func (d *Directory) expand(c *Commit) {
-	bit := uint64(1) << uint(c.Proc)
-	invalList := uint64(0)
+	d.inval.Reset()
 	if d.st.Trace != nil {
 		//lint:alloc debug-only trace formatting, guarded by Trace != nil
 		d.st.Trace("t=%d dir%d expand commit tok=%d proc=%d", d.eng.Now(), d.ID, c.Tok, c.Proc)
@@ -60,26 +59,26 @@ func (d *Directory) expand(c *Commit) {
 			}
 			if d.st.Trace != nil {
 				//lint:alloc debug-only trace formatting, guarded by Trace != nil
-				d.st.Trace("t=%d dir%d lookup line=%#x dirty=%v owner=%d sharers=%b committer=%d true=%v", d.eng.Now(), d.ID, uint64(l), e.dirty, e.owner, e.sharers, c.Proc, trulyWritten)
+				d.st.Trace("t=%d dir%d lookup line=%#x dirty=%v owner=%d sharers=%b committer=%d true=%v", d.eng.Now(), d.ID, uint64(l), e.dirty, e.owner, e.sharers.Mask(), c.Proc, trulyWritten)
 			}
 			// Table 1 case analysis.
 			switch {
-			case e.dirty && e.sharers&bit == 0:
+			case e.dirty && !e.sharers.Has(c.Proc):
 				// Case 3: dirty, committing proc not a sharer — false
 				// positive; the committer would have fetched the line
 				// and be recorded. Do nothing.
 			case e.dirty:
 				// Case 4: committing proc already the owner. Do nothing.
-			case e.sharers&bit == 0:
+			case !e.sharers.Has(c.Proc):
 				// Case 1: not dirty, proc not a sharer — false positive.
 			default:
 				// Case 2: proc is a sharer of a non-dirty line: it
 				// becomes the owner; every other sharer joins the
 				// invalidation list.
-				invalList |= e.sharers &^ bit
-				e.sharers = bit
+				d.inval.AddSetExcept(&e.sharers, c.Proc)
+				e.sharers.Only(c.Proc, &d.shar)
 				e.dirty = true
-				e.owner = uint8(c.Proc)
+				e.owner = uint16(c.Proc)
 				d.st.DirUpdates++
 				if !trulyWritten {
 					d.st.DirBadUpdates++
@@ -87,7 +86,7 @@ func (d *Directory) expand(c *Commit) {
 			}
 		}
 	}
-	d.forwardToCaches(c, invalList)
+	d.forwardToCaches(c)
 }
 
 // ownerModule maps a line to its directory module (same interleave as the
@@ -96,12 +95,14 @@ func (d *Directory) ownerModule(l mem.Line) int {
 	return int((uint64(l) / 64) % uint64(d.nmods))
 }
 
-func (d *Directory) forwardToCaches(c *Commit, invalList uint64) {
+// forwardToCaches fans the committing W signature out to the procs on
+// d.inval, which it consumes synchronously — the sends are scheduled, not
+// executed, within the caller's event, so the scratch bitmap is free for
+// the next expansion as soon as this returns. The fan-out visits procs in
+// ascending id order, matching the port loop it replaces.
+func (d *Directory) forwardToCaches(c *Commit) {
 	pendingAcks := 0
-	for p := 0; p < len(d.ports); p++ {
-		if invalList&(1<<uint(p)) == 0 {
-			continue
-		}
+	d.inval.ForEach(func(p int) {
 		pendingAcks++
 		d.st.WSigNodeSends++
 		pp := p
@@ -116,7 +117,7 @@ func (d *Directory) forwardToCaches(c *Commit, invalList uint64) {
 				})
 			})
 		})
-	}
+	})
 	if pendingAcks == 0 {
 		d.finishCommit(c)
 	}
@@ -150,8 +151,7 @@ func (d *Directory) ProcessPrivCommit(c *Commit) {
 
 //sim:hotpath
 func (d *Directory) expandPriv(c *Commit) {
-	bit := uint64(1) << uint(c.Proc)
-	invalList := uint64(0)
+	d.inval.Reset()
 	mask := c.W.CandidateSets(expansionBuckets)
 	for idx := 0; idx < expansionBuckets; idx++ {
 		if !mask.Has(idx) {
@@ -170,22 +170,25 @@ func (d *Directory) expandPriv(c *Commit) {
 			if !c.W.MayContain(l) {
 				continue
 			}
-			if !e.dirty && e.sharers&bit != 0 {
-				invalList |= e.sharers &^ bit
-				e.sharers = bit
+			if !e.dirty && e.sharers.Has(c.Proc) {
+				d.inval.AddSetExcept(&e.sharers, c.Proc)
+				e.sharers.Only(c.Proc, &d.shar)
 				e.dirty = true
-				e.owner = uint8(c.Proc)
+				e.owner = uint16(c.Proc)
 			}
 		}
 	}
-	for p := 0; p < len(d.ports); p++ {
-		if invalList&(1<<uint(p)) == 0 {
-			continue
-		}
+	d.forwardPrivToCaches(c)
+}
+
+// forwardPrivToCaches is expandPriv's fan-out: sharer caches invalidate
+// matching lines, no acks (private data needs no read disabling). Consumes
+// d.inval synchronously, ascending proc order.
+func (d *Directory) forwardPrivToCaches(c *Commit) {
+	d.inval.ForEach(func(p int) {
 		pp := p
-		//lint:alloc per-invalidation network callback; commit rate, not access rate
 		d.net.Send(stats.CatWrSig, network.SigBytes, func() {
 			d.ports[pp].ApplyCommit(c)
 		})
-	}
+	})
 }

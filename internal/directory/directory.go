@@ -1,8 +1,9 @@
 // Package directory implements the distributed directory modules of the
 // BulkSC architecture (paper §4.3) together with the shared L2 they front.
 //
-// Each module keeps full-bit-vector sharing state for the lines in its
-// address range and serves two protocols:
+// Each module keeps sparse sharer-set state (package sharerset: a
+// limited-pointer inline array overflowing into a compact bitmap) for the
+// lines in its address range and serves two protocols:
 //
 //   - The conventional invalidation protocol used by the SC, RC and SC++
 //     baselines (read / read-exclusive / writeback, with owner forwarding
@@ -26,6 +27,7 @@ import (
 	"bulksc/internal/lineset"
 	"bulksc/internal/mem"
 	"bulksc/internal/network"
+	"bulksc/internal/sharerset"
 	"bulksc/internal/sig"
 	"bulksc/internal/sim"
 	"bulksc/internal/slab"
@@ -88,17 +90,19 @@ type CachePort interface {
 	SnoopInvalidate(l mem.Line) bool
 }
 
-// entry is one directory entry: a full bit-vector of sharers plus the
-// dirty/owner state. Entries are recycled through the directory's free
-// list; their pointers must stay stable while a transaction is in flight
-// (multi-event paths like readShared capture the entry across network
-// hops), which is why buckets hold *entry rather than inline values and
-// why only non-busy entries are ever displaced.
+// entry is one directory entry: a sparse sharer set plus the dirty/owner
+// state. Entries are recycled through the directory's free list; their
+// pointers must stay stable while a transaction is in flight (multi-event
+// paths like readShared capture the entry across network hops), which is
+// why buckets hold *entry rather than inline values and why only non-busy
+// entries are ever displaced. Every path that frees an entry (remove,
+// drainBuckets) must Clear its sharer set first so overflow bitmaps return
+// to the module's arena.
 type entry struct {
 	line    mem.Line
-	sharers uint64
+	sharers sharerset.Set
 	dirty   bool
-	owner   uint8
+	owner   uint16
 	busy    bool
 	waiters []func(e *entry)
 	lru     uint64 // recency for the directory-cache variant
@@ -290,14 +294,6 @@ func (m *entryMap) grow() {
 	m.ar.put(oldK, oldV)
 }
 
-func (e *entry) sharerCount() int {
-	n := 0
-	for b := e.sharers; b != 0; b &= b - 1 {
-		n++
-	}
-	return n
-}
-
 // Directory is one directory module (plus its slice of the shared L2).
 type Directory struct {
 	//lint:poolsafe stable identity fixed at construction
@@ -332,6 +328,15 @@ type Directory struct {
 	rtFree []*readTxn // recycled read-transaction records
 	//lint:poolsafe recycled transaction records; every field is overwritten at reuse
 	wbFree []*wbTxn // recycled writeback-transaction records
+
+	// shar recycles sharer-set overflow bitmaps for this module's entries;
+	// Clear/Only return storage here and Add draws from it.
+	//lint:poolsafe size-class storage recycler; recycled bitmaps are zeroed and identity-neutral
+	shar sharerset.Arena
+	// inval is the commit-expansion scratch bitmap: the invalidation list
+	// accumulated by expand/expandPriv and consumed synchronously by the
+	// forward fan-out within the same event.
+	inval sharerset.Dense
 
 	// committing holds in-flight commits at this module, used for the
 	// read-disable membership checks. A short slice, not a map: it is
@@ -373,9 +378,14 @@ func New(id, nmods int, eng *sim.Engine, net *network.Network, st *stats.Stats, 
 	return d
 }
 
-// AttachPorts wires the processor cache ports; must be called before any
+// AttachPorts wires the processor cache ports and sizes the sharer-set
+// arena and expansion scratch for the machine; must be called before any
 // request.
-func (d *Directory) AttachPorts(ports []CachePort) { d.ports = ports }
+func (d *Directory) AttachPorts(ports []CachePort) {
+	d.ports = ports
+	d.shar.Configure(len(ports))
+	d.inval.Configure(len(ports))
+}
 
 // drainBuckets recycles every live entry into the free list and returns
 // each bucket to its cold shape (see entryMap.reset for the bit-identity
@@ -383,13 +393,15 @@ func (d *Directory) AttachPorts(ports []CachePort) { d.ports = ports }
 // order only decides which recycled pointer serves which future line;
 // getOrCreate reinitializes every field of a recycled entry, so pointer
 // identity never reaches simulated state.
-func drainBuckets(buckets []entryMap, free []*entry) []*entry {
+func drainBuckets(buckets []entryMap, free []*entry, ar *sharerset.Arena) []*entry {
 	for bi := range buckets {
 		b := &buckets[bi]
 		if b.n > 0 {
 			for i, k := range b.keys {
 				if k != 0 {
-					free = append(free, b.vals[i])
+					e := b.vals[i]
+					e.sharers.Clear(ar)
+					free = append(free, e)
 				}
 			}
 		}
@@ -406,7 +418,8 @@ func drainBuckets(buckets []entryMap, free []*entry) []*entry {
 // restarts. The entry slab and the transaction/waiter pools are retained —
 // they are allocation reservoirs whose contents are overwritten at reuse.
 func (d *Directory) Reset() {
-	d.free = drainBuckets(d.buckets, d.free)
+	d.free = drainBuckets(d.buckets, d.free, &d.shar)
+	d.inval.Reset()
 	clear(d.committing) // release commit records before truncating
 	d.committing = d.committing[:0]
 	d.ports = nil
@@ -455,6 +468,7 @@ func (d *Directory) remove(l mem.Line) {
 	if e := b.get(l); e != nil {
 		b.del(l)
 		d.numEntries--
+		e.sharers.Clear(&d.shar)
 		d.free = append(d.free, e)
 	}
 }
@@ -462,11 +476,12 @@ func (d *Directory) remove(l mem.Line) {
 // Entries returns the number of directory entries, for tests.
 func (d *Directory) Entries() int { return d.numEntries }
 
-// State returns the sharing state of l, for tests: sharer bitmask, dirty
-// flag, owner.
+// State returns the sharing state of l, for tests: sharer bitmask (valid
+// for machines of at most 64 processors — the legacy full-bit-vector
+// view), dirty flag, owner.
 func (d *Directory) State(l mem.Line) (sharers uint64, dirty bool, owner int) {
 	if e := d.find(l); e != nil {
-		return e.sharers, e.dirty, int(e.owner)
+		return e.sharers.Mask(), e.dirty, int(e.owner)
 	}
 	return 0, false, -1
 }
@@ -620,7 +635,6 @@ func (d *Directory) bounced(l mem.Line) bool {
 
 func (d *Directory) readShared(t *readTxn, e *entry) {
 	proc := t.proc
-	bit := uint64(1) << uint(proc)
 	if e.dirty && int(e.owner) != proc {
 		// Owner-forward path: multi-hop, rare — release the pooled record
 		// and let the closures carry the state.
@@ -636,7 +650,7 @@ func (d *Directory) readShared(t *readTxn, e *entry) {
 		// Table 1's no-op case and skip the invalidation list, breaking
 		// the reader's squash guarantee.
 		e.dirty = false
-		e.sharers |= bit
+		e.sharers.Add(proc, &d.shar)
 		// Forward to owner; owner supplies the line and downgrades.
 		d.net.SendAfter(dirAccess, stats.CatOther, network.CtrlBytes, func() {
 			had, holds := d.ports[owner].SnoopDirty(l)
@@ -656,7 +670,7 @@ func (d *Directory) readShared(t *readTxn, e *entry) {
 						// entry under this same owner while the snoop
 						// was in flight, in which case the bit is the
 						// new ownership and must stay.
-						e.sharers &^= 1 << uint(owner)
+						e.sharers.Remove(owner)
 					}
 					d.release(e)
 					done(int(cache.Shared))
@@ -669,10 +683,10 @@ func (d *Directory) readShared(t *readTxn, e *entry) {
 	// L2/memory; the same pooled record rides the data message back.
 	lat := d.l2Latency(e.line)
 	st := cache.Shared
-	if e.sharers == 0 || e.sharers == bit {
+	if n := e.sharers.Count(); n == 0 || (n == 1 && e.sharers.Has(proc)) {
 		st = cache.Excl
 	}
-	e.sharers |= bit
+	e.sharers.Add(proc, &d.shar)
 	if e.dirty && int(e.owner) == proc {
 		st = cache.Dirty
 	}
@@ -683,14 +697,13 @@ func (d *Directory) readShared(t *readTxn, e *entry) {
 func (d *Directory) readExcl(t *readTxn, e *entry) {
 	proc, done := t.proc, t.done
 	d.freeReadTxn(t) // multi-hop path: closures carry the state
-	bit := uint64(1) << uint(proc)
 	e.busy = true
 	l := e.line
 	finish := func(extra sim.Time) {
 		d.eng.After(extra, func() {
-			e.sharers = bit
+			e.sharers.Only(proc, &d.shar)
 			e.dirty = true
-			e.owner = uint8(proc)
+			e.owner = uint16(proc)
 			d.net.Send(stats.CatData, network.DataBytes, func() {
 				d.release(e)
 				done(int(cache.Dirty))
@@ -710,12 +723,13 @@ func (d *Directory) readExcl(t *readTxn, e *entry) {
 		})
 		return
 	}
-	// Invalidate every other sharer, collect acks.
+	// Invalidate every other sharer, collect acks. ForEach is ascending
+	// proc id — the same visit order as the full-bit-vector port loop it
+	// replaces, which the golden event streams pin.
 	pendingAcks := 0
-	for p := 0; p < len(d.ports); p++ {
-		pbit := uint64(1) << uint(p)
-		if p == proc || e.sharers&pbit == 0 {
-			continue
+	e.sharers.ForEach(func(p int) {
+		if p == proc {
+			return
 		}
 		pendingAcks++
 		pp := p
@@ -729,7 +743,7 @@ func (d *Directory) readExcl(t *readTxn, e *entry) {
 				}
 			})
 		})
-	}
+	})
 	if pendingAcks == 0 {
 		finish(d.l2Latency(l))
 	}
@@ -780,7 +794,7 @@ func (t *wbTxn) apply(e *entry) {
 		e.dirty = false
 	}
 	if t.drop {
-		e.sharers &^= 1 << uint(t.proc)
+		e.sharers.Remove(t.proc)
 	}
 	d.l2.Install(t.l)
 	d.wbFree = append(d.wbFree, t)
@@ -828,16 +842,13 @@ func (d *Directory) displaceOne() {
 	one := f()
 	one.Add(l)
 	c := &Commit{Proc: -1, W: one, TrueW: lineset.NewSetOf(l)}
-	for p := 0; p < len(d.ports); p++ {
-		if victim.sharers&(1<<uint(p)) == 0 {
-			continue
-		}
+	victim.sharers.ForEach(func(p int) {
 		pp := p
 		d.net.Send(stats.CatWrSig, network.SigBytes, func() {
 			d.ports[pp].ApplyCommit(c)
 			d.net.Send(stats.CatInv, network.CtrlBytes, func() {})
 		})
-	}
+	})
 	if victim.dirty {
 		d.st.Writebacks++
 		d.l2.Install(l)

@@ -1,0 +1,114 @@
+package sharerset
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzSharerSet differentially tests Set against a map[int]bool model,
+// mirroring the FuzzLinesetSet pattern. The input is a stream of 3-byte
+// steps: an op selector followed by a 16-bit little-endian proc id
+// (reduced mod the machine size). The first byte of the input picks the
+// machine size so the same corpus exercises inline-only 8-proc machines
+// and multi-word 256/1024-proc bitmaps; Clear/Only route storage through
+// one shared arena, so recycled-bitmap hygiene (Get must return zeroed
+// words) is covered too.
+func FuzzSharerSet(f *testing.F) {
+	f.Add([]byte{0x00, 0x00, 0x01, 0x00, 0x00, 0x02, 0x00})
+	f.Add([]byte{
+		0x02, // 256 procs
+		0x00, 0x05, 0x00, 0x00, 0x15, 0x00, 0x00, 0x25, 0x00,
+		0x00, 0x35, 0x00, 0x00, 0x45, 0x00, // 5th add: overflow
+		0x01, 0x15, 0x00, // remove
+		0x03, 0x07, 0x00, // only
+	})
+	f.Add([]byte{
+		0x03,             // 1024 procs
+		0x00, 0xff, 0x03, // add 1023
+		0x00, 0x00, 0x00,
+		0x00, 0x40, 0x00,
+		0x00, 0x80, 0x00,
+		0x00, 0xc0, 0x00, // overflow across words
+		0x04, 0x00, 0x00, // clear
+		0x00, 0x01, 0x00, // re-add after recycle
+	})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 1 {
+			return
+		}
+		procs := []int{8, 64, 256, 1024}[int(data[0])%4]
+		data = data[1:]
+
+		var a Arena
+		a.Configure(procs)
+		var s Set
+		model := map[int]bool{}
+
+		check := func(step int) {
+			if s.Count() != len(model) {
+				t.Fatalf("step %d: Count = %d, model %d", step, s.Count(), len(model))
+			}
+			prev := -1
+			n := 0
+			s.ForEach(func(p int) {
+				if p <= prev {
+					t.Fatalf("step %d: ForEach out of order: %d after %d", step, p, prev)
+				}
+				if !model[p] {
+					t.Fatalf("step %d: ForEach visited absent proc %d", step, p)
+				}
+				prev = p
+				n++
+			})
+			if n != len(model) {
+				t.Fatalf("step %d: ForEach visited %d procs, model has %d", step, n, len(model))
+			}
+		}
+
+		for i := 0; i+3 <= len(data); i += 3 {
+			op := data[i]
+			p := int(binary.LittleEndian.Uint16(data[i+1:i+3])) % procs
+			switch op % 6 {
+			case 0:
+				got := s.Add(p, &a)
+				if want := !model[p]; got != want {
+					t.Fatalf("step %d: Add(%d) = %v, want %v", i, p, got, want)
+				}
+				model[p] = true
+			case 1:
+				got := s.Remove(p)
+				if got != model[p] {
+					t.Fatalf("step %d: Remove(%d) = %v, want %v", i, p, got, model[p])
+				}
+				delete(model, p)
+			case 2:
+				if s.Has(p) != model[p] {
+					t.Fatalf("step %d: Has(%d) = %v, want %v", i, p, s.Has(p), model[p])
+				}
+			case 3:
+				s.Only(p, &a)
+				for k := range model {
+					delete(model, k)
+				}
+				model[p] = true
+			case 4:
+				s.Clear(&a)
+				for k := range model {
+					delete(model, k)
+				}
+			case 5:
+				if procs <= 64 {
+					var want uint64
+					for k := range model {
+						want |= 1 << uint(k)
+					}
+					if s.Mask() != want {
+						t.Fatalf("step %d: Mask = %b, want %b", i, s.Mask(), want)
+					}
+				}
+			}
+			check(i)
+		}
+		s.Clear(&a)
+	})
+}

@@ -1,0 +1,315 @@
+package sharerset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestArenaConfigure(t *testing.T) {
+	cases := []struct {
+		procs, words int
+	}{
+		{0, 1}, {1, 1}, {8, 1}, {64, 1}, {65, 2}, {128, 2}, {129, 4},
+		{256, 4}, {257, 8}, {1024, 16},
+	}
+	for _, c := range cases {
+		var a Arena
+		a.Configure(c.procs)
+		if a.Words() != c.words {
+			t.Errorf("Configure(%d): words = %d, want %d", c.procs, a.Words(), c.words)
+		}
+	}
+	var zero Arena
+	if zero.Words() != 1 {
+		t.Errorf("zero arena words = %d, want 1", zero.Words())
+	}
+}
+
+func TestSetInlineBasics(t *testing.T) {
+	var a Arena
+	a.Configure(8)
+	var s Set
+	if !s.Empty() || s.Count() != 0 {
+		t.Fatal("zero set not empty")
+	}
+	// Add out of order; iteration must be ascending.
+	for _, p := range []int{5, 1, 7} {
+		if !s.Add(p, &a) {
+			t.Fatalf("Add(%d) = false, want true", p)
+		}
+	}
+	if s.Add(5, &a) {
+		t.Fatal("duplicate Add(5) = true")
+	}
+	if s.Count() != 3 || s.Overflowed() {
+		t.Fatalf("count=%d overflowed=%v, want 3 inline", s.Count(), s.Overflowed())
+	}
+	var got []int
+	s.ForEach(func(p int) { got = append(got, p) })
+	want := []int{1, 5, 7}
+	if len(got) != len(want) {
+		t.Fatalf("ForEach = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach = %v, want %v (ascending)", got, want)
+		}
+	}
+	if s.Mask() != 1<<1|1<<5|1<<7 {
+		t.Fatalf("Mask = %b", s.Mask())
+	}
+	if !s.Has(5) || s.Has(2) {
+		t.Fatal("Has wrong")
+	}
+	if !s.Remove(5) || s.Remove(5) {
+		t.Fatal("Remove(5) sequence wrong")
+	}
+	if s.Count() != 2 || s.Has(5) {
+		t.Fatal("state after Remove wrong")
+	}
+}
+
+func TestSetOverflowTransition(t *testing.T) {
+	var a Arena
+	a.Configure(256)
+	var s Set
+	for p := 0; p < InlineCap; p++ {
+		s.Add(p*3, &a)
+	}
+	if s.Overflowed() {
+		t.Fatalf("overflowed at %d sharers", InlineCap)
+	}
+	if !s.Add(200, &a) {
+		t.Fatal("Add(200) = false")
+	}
+	if !s.Overflowed() {
+		t.Fatal("no overflow after InlineCap+1 sharers")
+	}
+	if s.Count() != InlineCap+1 {
+		t.Fatalf("count = %d, want %d", s.Count(), InlineCap+1)
+	}
+	// All pre-overflow sharers must have survived the spill, ascending.
+	var got []int
+	s.ForEach(func(p int) { got = append(got, p) })
+	want := []int{0, 3, 6, 9, 200}
+	if len(got) != len(want) {
+		t.Fatalf("ForEach = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach = %v, want %v", got, want)
+		}
+	}
+	if !s.Has(200) || !s.Has(9) || s.Has(100) {
+		t.Fatal("Has wrong after overflow")
+	}
+	// Remove keeps the overflow representation.
+	s.Remove(200)
+	s.Remove(9)
+	if !s.Overflowed() || s.Count() != 3 {
+		t.Fatalf("after removes: overflowed=%v count=%d", s.Overflowed(), s.Count())
+	}
+	// Only collapses back to inline and releases the bitmap.
+	s.Only(42, &a)
+	if s.Overflowed() || s.Count() != 1 || !s.Has(42) {
+		t.Fatal("Only(42) wrong")
+	}
+}
+
+func TestSetClearRecyclesStorage(t *testing.T) {
+	var a Arena
+	a.Configure(256)
+	var s Set
+	for p := 0; p < InlineCap+1; p++ {
+		s.Add(p, &a)
+	}
+	if !s.Overflowed() {
+		t.Fatal("expected overflow")
+	}
+	s.Clear(&a)
+	if !s.Empty() || s.Overflowed() {
+		t.Fatal("Clear left state")
+	}
+	// The recycled bitmap must come back zeroed even though it had bits set.
+	var s2 Set
+	for p := 60; p < 60+InlineCap+1; p++ {
+		s2.Add(p, &a)
+	}
+	if s2.Count() != InlineCap+1 {
+		t.Fatalf("recycled bitmap count = %d, want %d", s2.Count(), InlineCap+1)
+	}
+	for p := 0; p < InlineCap; p++ {
+		if s2.Has(p) {
+			t.Fatalf("recycled bitmap leaked bit %d", p)
+		}
+	}
+}
+
+func TestOnlyFromInline(t *testing.T) {
+	var a Arena
+	a.Configure(8)
+	var s Set
+	s.Add(1, &a)
+	s.Add(6, &a)
+	s.Only(3, &a)
+	if s.Count() != 1 || !s.Has(3) || s.Has(1) || s.Has(6) {
+		t.Fatal("Only from inline wrong")
+	}
+	if s.Mask() != 1<<3 {
+		t.Fatalf("Mask = %b", s.Mask())
+	}
+}
+
+// TestSetDifferential drives Set against a map model with a deterministic
+// random op stream, at several machine sizes including >64 procs.
+func TestSetDifferential(t *testing.T) {
+	for _, procs := range []int{8, 64, 256, 1024} {
+		var a Arena
+		a.Configure(procs)
+		var s Set
+		model := map[int]bool{}
+		rng := rand.New(rand.NewSource(int64(procs) * 12345))
+		for step := 0; step < 20000; step++ {
+			p := rng.Intn(procs)
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3: // Add
+				got := s.Add(p, &a)
+				want := !model[p]
+				if got != want {
+					t.Fatalf("procs=%d step=%d Add(%d) = %v, want %v", procs, step, p, got, want)
+				}
+				model[p] = true
+			case 4, 5: // Remove
+				got := s.Remove(p)
+				if got != model[p] {
+					t.Fatalf("procs=%d step=%d Remove(%d) = %v, want %v", procs, step, p, got, model[p])
+				}
+				delete(model, p)
+			case 6: // Only
+				s.Only(p, &a)
+				for k := range model {
+					delete(model, k)
+				}
+				model[p] = true
+			case 7: // Clear
+				s.Clear(&a)
+				for k := range model {
+					delete(model, k)
+				}
+			default: // Has
+				if s.Has(p) != model[p] {
+					t.Fatalf("procs=%d step=%d Has(%d) = %v, want %v", procs, step, p, s.Has(p), model[p])
+				}
+			}
+			if s.Count() != len(model) {
+				t.Fatalf("procs=%d step=%d Count = %d, want %d", procs, step, s.Count(), len(model))
+			}
+			if step%97 == 0 {
+				prev := -1
+				n := 0
+				s.ForEach(func(q int) {
+					if q <= prev {
+						t.Fatalf("procs=%d step=%d ForEach not ascending: %d after %d", procs, step, q, prev)
+					}
+					if !model[q] {
+						t.Fatalf("procs=%d step=%d ForEach visited absent %d", procs, step, q)
+					}
+					prev = q
+					n++
+				})
+				if n != len(model) {
+					t.Fatalf("procs=%d step=%d ForEach visited %d, want %d", procs, step, n, len(model))
+				}
+			}
+		}
+		s.Clear(&a)
+	}
+}
+
+func TestDense(t *testing.T) {
+	var d Dense
+	d.Configure(256)
+	if !d.Empty() {
+		t.Fatal("configured Dense not empty")
+	}
+	d.Add(3)
+	d.Add(200)
+	d.Add(3) // duplicate
+	if d.Empty() {
+		t.Fatal("Dense empty after adds")
+	}
+	var got []int
+	d.ForEach(func(p int) { got = append(got, p) })
+	if len(got) != 2 || got[0] != 3 || got[1] != 200 {
+		t.Fatalf("ForEach = %v, want [3 200]", got)
+	}
+	d.Reset()
+	if !d.Empty() {
+		t.Fatal("Reset left bits")
+	}
+	d.ForEach(func(p int) { t.Fatalf("visited %d after Reset", p) })
+
+	// Reconfigure smaller reuses storage and clears.
+	d.Add(100)
+	d.Configure(64)
+	if !d.Empty() {
+		t.Fatal("Configure left bits")
+	}
+}
+
+func TestDenseAddSetExcept(t *testing.T) {
+	var a Arena
+	a.Configure(256)
+	for _, overflow := range []bool{false, true} {
+		var s Set
+		members := []int{2, 7, 11}
+		if overflow {
+			members = []int{2, 7, 11, 80, 130, 250}
+		}
+		for _, p := range members {
+			s.Add(p, &a)
+		}
+		if s.Overflowed() != overflow {
+			t.Fatalf("overflowed = %v, want %v", s.Overflowed(), overflow)
+		}
+		var d Dense
+		d.Configure(256)
+		d.AddSetExcept(&s, 7)
+		var got []int
+		d.ForEach(func(p int) { got = append(got, p) })
+		want := 0
+		for _, p := range members {
+			if p != 7 {
+				want++
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("overflow=%v AddSetExcept = %v", overflow, got)
+		}
+		for _, p := range got {
+			if p == 7 {
+				t.Fatalf("overflow=%v except member visited", overflow)
+			}
+		}
+		s.Clear(&a)
+	}
+}
+
+func TestMaskOverflow64(t *testing.T) {
+	// Mask over an overflowed set on a 64-proc machine stays exact.
+	var a Arena
+	a.Configure(64)
+	var s Set
+	members := []int{0, 10, 20, 30, 40, 63}
+	var want uint64
+	for _, p := range members {
+		s.Add(p, &a)
+		want |= 1 << uint(p)
+	}
+	if !s.Overflowed() {
+		t.Fatal("expected overflow")
+	}
+	if s.Mask() != want {
+		t.Fatalf("Mask = %b, want %b", s.Mask(), want)
+	}
+}

@@ -108,6 +108,8 @@ type Stats struct {
 	statWindowStart   uint64 // cycle the measurement window opened
 	GArbTransactions  uint64 // commits that needed the global arbiter
 	MultiArbCommits   uint64 // commits spanning multiple arbiter ranges
+	GArbQueued        uint64 // transactions parked at a full G-arbiter shard
+	GArbQueueCycles   uint64 // total cycles transactions spent queued
 
 	// --- directory --------------------------------------------------------
 	DirLookups        uint64 // entries examined during signature expansion
@@ -183,6 +185,8 @@ func (s *Stats) Reset() {
 	s.statWindowStart = 0
 	s.GArbTransactions = 0
 	s.MultiArbCommits = 0
+	s.GArbQueued = 0
+	s.GArbQueueCycles = 0
 	s.DirLookups = 0
 	s.DirUnnecessary = 0
 	s.DirUpdates = 0
@@ -262,6 +266,8 @@ func (s *Stats) SubtractBase(b *Stats, warmupCycle uint64) {
 	s.statWindowStart = warmupCycle
 	s.GArbTransactions -= b.GArbTransactions
 	s.MultiArbCommits -= b.MultiArbCommits
+	s.GArbQueued -= b.GArbQueued
+	s.GArbQueueCycles -= b.GArbQueueCycles
 	s.DirLookups -= b.DirLookups
 	s.DirUnnecessary -= b.DirUnnecessary
 	s.DirUpdates -= b.DirUpdates

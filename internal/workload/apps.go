@@ -132,7 +132,14 @@ func genFFT(nthreads, work int, seed int64) *Program {
 		// couple of words into own partition (re-read by others).
 		for o := 1; o < b.NThreads(); o++ {
 			other := ((b.Tid() + o) % b.NThreads()) * part
-			at := b.Rng().Intn(part - 32)
+			// At machine sizes where the per-thread partition shrinks to
+			// the 32-word transpose block (≥1k threads on the 32k-word
+			// region), the block spans the whole partition.
+			span := part - 32
+			if span < 1 {
+				span = 1
+			}
+			at := b.Rng().Intn(span)
 			for i := 0; i < 16; i++ {
 				b.Load(data.Word(other + at + i))
 				b.Compute(4)

@@ -187,3 +187,26 @@ func CoRR(pad int) *Program {
 		}
 	})
 }
+
+// PadThreads widens prog to nthreads threads for big-machine litmus runs:
+// the original threads are kept verbatim and every added thread runs only
+// private stack work, so the padding adds timing noise, arbitration load
+// and directory pressure without touching the litmus variables or the
+// synchronization structure. work bounds each filler thread's dynamic
+// instruction count.
+func PadThreads(prog *Program, nthreads, work int, seed int64) *Program {
+	if nthreads <= len(prog.Threads) {
+		return prog
+	}
+	out := &Program{Name: prog.Name, Threads: make([][]Instr, 0, nthreads)}
+	out.Threads = append(out.Threads, prog.Threads...)
+	for tid := len(prog.Threads); tid < nthreads; tid++ {
+		b := NewBuilder(tid, nthreads, seed)
+		for b.Len() < work {
+			b.StackWork(8)
+			b.Compute(4)
+		}
+		out.Threads = append(out.Threads, b.End())
+	}
+	return out
+}

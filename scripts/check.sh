@@ -53,7 +53,10 @@ echo "== go test =="
 go test ./...
 
 echo "== fuzz smoke (checked-in corpus as regression tests) =="
-go test -run 'Fuzz' ./internal/sig ./internal/lineset
+go test -run 'Fuzz' ./internal/sig ./internal/lineset ./internal/sharerset
+
+echo "== 256-proc scaling smoke =="
+go test -run 'TestBigMachineRadixSmoke' ./internal/core
 
 if [ "${PERFDIFF_BASE:-}" != "" ]; then
     echo "== perfdiff vs $PERFDIFF_BASE =="
@@ -74,7 +77,7 @@ echo "== go test -race ./experiments (incl. mixed warm sweep) =="
 go test -race ./experiments
 
 echo "== litmus torture matrix under -race =="
-go test -race -run 'TestLitmusTortureMatrix|TestRCRelaxationSurvivesFaults' ./internal/core
+go test -race -run 'TestLitmusTortureMatrix|TestLitmusTorture64Proc|TestRCRelaxationSurvivesFaults' ./internal/core
 
 echo "== go test -race -short ./internal/... =="
 go test -race -short ./internal/...
