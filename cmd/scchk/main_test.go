@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runScchk(t *testing.T, stdin string, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	// Route stdin through a temp file so the test does not fight over
+	// os.Stdin: "-" and file input share the same code path anyway.
+	if stdin != "" {
+		f := filepath.Join(t.TempDir(), "in.ndjson")
+		if err := os.WriteFile(f, []byte(stdin), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		args = append(args, f)
+	}
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+const cleanChunks = `{"kind":"header","version":1,"format":"bulksc-history","model":"BulkSC","procs":2}
+{"kind":"chunk","proc":0,"seq":1,"order":1,"ops":[{"store":true,"addr":64,"val":7}]}
+{"kind":"chunk","proc":1,"seq":1,"order":2,"ops":[{"addr":64,"val":7}]}
+`
+
+func TestOkHistory(t *testing.T) {
+	code, out, _ := runScchk(t, cleanChunks)
+	if code != 0 {
+		t.Fatalf("exit %d, out=%q", code, out)
+	}
+	if !strings.Contains(out, "ok (2 procs, 2 chunks, 2 ops)") {
+		t.Fatalf("summary missing: %q", out)
+	}
+}
+
+func TestQuiet(t *testing.T) {
+	code, out, _ := runScchk(t, cleanChunks, "-q")
+	if code != 0 || out != "" {
+		t.Fatalf("exit %d, out=%q", code, out)
+	}
+}
+
+func TestViolatingHistory(t *testing.T) {
+	bad := strings.Replace(cleanChunks, `{"addr":64,"val":7}`, `{"addr":64,"val":9}`, 1)
+	code, out, _ := runScchk(t, bad)
+	if code != 1 {
+		t.Fatalf("exit %d, out=%q", code, out)
+	}
+	if !strings.Contains(out, "coherence") {
+		t.Fatalf("violation rendering missing: %q", out)
+	}
+}
+
+// TestExternalHistory is the acceptance-criteria case: a hand-authored
+// headerless trace from outside this repo renders a correct verdict.
+func TestExternalHistory(t *testing.T) {
+	ext := `{"kind":"access","proc":0,"po":1,"store":true,"addr":64,"val":1}
+{"kind":"access","proc":1,"po":1,"addr":64,"val":1}
+`
+	if code, out, _ := runScchk(t, ext); code != 0 {
+		t.Fatalf("external ok-history: exit %d, out=%q", code, out)
+	}
+	// Same trace, but the read observes a value never written: verdict 1.
+	bad := strings.Replace(ext, `"addr":64,"val":1}`+"\n", `"addr":64,"val":1}`+"\n", 1)
+	bad = strings.Replace(bad, `{"kind":"access","proc":1,"po":1,"addr":64,"val":1}`,
+		`{"kind":"access","proc":1,"po":1,"addr":64,"val":3}`, 1)
+	if code, out, _ := runScchk(t, bad); code != 1 {
+		t.Fatalf("external bad-history: exit %d, out=%q", code, out)
+	}
+}
+
+func TestSearchVerdicts(t *testing.T) {
+	sb := `{"kind":"access","proc":0,"po":1,"store":true,"addr":0,"val":1}
+{"kind":"access","proc":0,"po":2,"addr":8,"val":0}
+{"kind":"access","proc":1,"po":1,"store":true,"addr":8,"val":1}
+{"kind":"access","proc":1,"po":2,"addr":0,"val":0}
+`
+	code, out, _ := runScchk(t, sb, "-search")
+	if code != 1 || !strings.Contains(out, "NOT sequentially consistent") {
+		t.Fatalf("forbidden SB: exit %d, out=%q", code, out)
+	}
+	mp := `{"kind":"access","proc":0,"po":1,"store":true,"addr":0,"val":1}
+{"kind":"access","proc":1,"po":1,"addr":0,"val":1}
+`
+	if code, out, _ := runScchk(t, mp, "-search"); code != 0 || !strings.Contains(out, "serializable") {
+		t.Fatalf("serializable: exit %d, out=%q", code, out)
+	}
+	if code, _, errb := runScchk(t, sb, "-search", "-max-states", "1"); code != 2 || !strings.Contains(errb, "inconclusive") {
+		t.Fatalf("bounded: exit %d, err=%q", code, errb)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, _ := runScchk(t, "", "-nosuchflag"); code != 2 {
+		t.Fatalf("bad flag: exit %d", code)
+	}
+	if code, _, errb := runScchk(t, "", "a", "b"); code != 2 || !strings.Contains(errb, "at most one input") {
+		t.Fatalf("two inputs: exit %d, err=%q", code, errb)
+	}
+	if code, _, _ := runScchk(t, "", "/no/such/file.ndjson"); code != 2 {
+		t.Fatalf("missing file: exit %d", code)
+	}
+	if code, _, errb := runScchk(t, "not json"); code != 2 || !strings.Contains(errb, "line 1") {
+		t.Fatalf("malformed: exit %d err=%q", code, errb)
+	}
+}

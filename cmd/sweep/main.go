@@ -12,6 +12,14 @@
 //	sweep -exp scaling -procs 8,16,64,256   # big-machine scaling curves
 //	sweep -exp faults               # fault-injection campaign report
 //	sweep -exp all                  # everything, in order
+//	sweep -exp trace -apps radix -trace-out trace.ndjson
+//	                                # export one run's SC history as NDJSON
+//
+// The trace experiment simulates a single (app, model) cell with history
+// export on and streams the NDJSON history (internal/history format) to
+// -trace-out ("-" = stdout, with the run report diverted to stderr so
+// `sweep -exp trace | scchk` pipes cleanly). -trace-model selects the
+// machine (bulk, sc, rc, sc++). It is excluded from -exp all.
 //
 // The -work flag sets the per-thread instruction budget; larger runs give
 // steadier statistics (the first 30% is always excluded as warmup).
@@ -83,6 +91,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		faults    = fs.String("faults", "none", "fault-injection campaign: "+strings.Join(bulksc.FaultCampaigns(), ", "))
 		faultSeed = fs.Int64("fault-seed", 1, "base seed for the fault-injection schedule")
 
+		traceOut   = fs.String("trace-out", "-", "history-export destination for -exp trace (\"-\" = stdout)")
+		traceModel = fs.String("trace-model", "bulk", "machine model for -exp trace: "+strings.Join(experiments.TraceModels(), ", "))
+
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write an allocation profile to this file at exit")
 		tracefile  = fs.String("trace", "", "write a runtime execution trace to this file")
@@ -93,8 +104,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	// Validate every enumerated flag before any simulation starts: a typo
 	// must fail fast with the list of valid values, not run half a sweep.
-	if *exp != "all" && !contains(expNames, *exp) {
-		fmt.Fprintf(stderr, "sweep: unknown experiment %q (valid: %s, all)\n", *exp, strings.Join(expNames, ", "))
+	if *exp != "all" && *exp != "trace" && !contains(expNames, *exp) {
+		fmt.Fprintf(stderr, "sweep: unknown experiment %q (valid: %s, trace, all)\n", *exp, strings.Join(expNames, ", "))
+		return 2
+	}
+	if *exp == "trace" && !contains(experiments.TraceModels(), strings.ToLower(*traceModel)) {
+		fmt.Fprintf(stderr, "sweep: unknown trace model %q (valid: %s)\n", *traceModel, strings.Join(experiments.TraceModels(), ", "))
 		return 2
 	}
 	if _, err := bulksc.NewFaultPlan(*faults, *faultSeed); err != nil {
@@ -169,6 +184,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			f.Close()
 		}()
+	}
+
+	if *exp == "trace" {
+		// History export is a single simulation, not a sweep; when the
+		// NDJSON goes to stdout the human-readable report moves to stderr
+		// so `sweep -exp trace | scchk` sees only the history.
+		app := "radix"
+		if len(p.Apps) > 0 {
+			app = p.Apps[0]
+		}
+		out, report := io.Writer(nil), stdout
+		if *traceOut == "-" {
+			out, report = stdout, stderr
+		} else {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintln(stderr, "sweep:", err)
+				return 1
+			}
+			defer f.Close()
+			out = f
+		}
+		res, err := experiments.TraceRun(p, app, *traceModel, out)
+		if err != nil {
+			fmt.Fprintln(stderr, "sweep:", err)
+			return 1
+		}
+		fmt.Fprintf(report, "trace: %s/%s: %d cycles; witness examined %d chunks, %d accesses, %d findings\n",
+			*traceModel, app, res.Cycles, res.WitnessChunks, res.WitnessAccesses, len(res.WitnessViolations))
+		return 0
 	}
 
 	// Run header: how the sweep will execute, so reported numbers carry

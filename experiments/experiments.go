@@ -260,11 +260,22 @@ func Fig9(p Params) ([]Fig9Row, error) {
 		row := Fig9Row{App: app, Speedup: make(map[string]float64)}
 		rc := float64(res[app]["rc"].Cycles)
 		for _, v := range variants {
-			row.Speedup[v] = rc / float64(res[app][v].Cycles)
+			row.Speedup[v] = ratio(rc, float64(res[app][v].Cycles))
 		}
 		rows = append(rows, row)
 	}
 	return rows, nil
+}
+
+// ratio divides with a zero-denominator guard: degenerate cells (a run
+// that retired in zero cycles, a baseline with no traffic) report 0
+// rather than NaN/Inf, which encoding/json refuses to marshal — NaN in
+// any row breaks cmd/bench2json outright.
+func ratio(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
 }
 
 // Fig9GeoMeanRow appends the SPLASH-2 geometric-mean row ("SP2-G.M."),
@@ -354,7 +365,7 @@ func Fig10(p Params) ([]Fig10Row, error) {
 		row := Fig10Row{App: app, Speedup: make(map[string]float64)}
 		rc := float64(res[app]["rc"].Cycles)
 		for _, k := range Fig10Keys() {
-			row.Speedup[k] = rc / float64(res[app][k].Cycles)
+			row.Speedup[k] = ratio(rc, float64(res[app][k].Cycles))
 		}
 		rows = append(rows, row)
 	}

@@ -1,6 +1,9 @@
 package experiments
 
 import (
+	"encoding/json"
+	"fmt"
+	"math"
 	"strings"
 	"testing"
 
@@ -245,5 +248,59 @@ func TestScalingSmallSweep(t *testing.T) {
 func TestScalingRejectsOversizedMachine(t *testing.T) {
 	if _, err := Scaling(Params{Work: 1000}, []int{bulksc.MaxProcs + 1}); err == nil {
 		t.Fatal("oversized proc count accepted")
+	}
+}
+
+// TestDegenerateRatiosFinite pins the NaN/Inf satellite fix: a procs=1
+// machine never crosses arbiter ranges (no G-arbiter transactions, often
+// no commit requests from remote conflicts), so every per-X ratio in the
+// scaling and ablation tables hits a zero denominator somewhere. All
+// float metrics must stay finite — encoding/json refuses to marshal NaN
+// or Inf, so one degenerate cell would break cmd/bench2json outright.
+func TestDegenerateRatiosFinite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	finite := func(name string, v float64) {
+		t.Helper()
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("%s = %v, want finite", name, v)
+		}
+	}
+
+	points, err := Scaling(Params{Apps: []string{"radix"}, Work: 5000}, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 1 {
+		t.Fatalf("points = %d, want 1", len(points))
+	}
+	pt := points[0]
+	for name, v := range map[string]float64{
+		"SquashedPct": pt.SquashedPct, "AvgPendingW": pt.AvgPendingW,
+		"NonEmptyWPct": pt.NonEmptyWPct, "GArbSharePct": pt.GArbSharePct,
+		"GArbQueuedPer1k": pt.GArbQueuedPer1k, "BytesPerInstr": pt.BytesPerInstr,
+		"MsgsPer1kInstr": pt.MsgsPer1kInstr,
+	} {
+		finite("ScalingPoint."+name, v)
+	}
+	if _, err := json.Marshal(points); err != nil {
+		t.Errorf("scaling points do not marshal: %v", err)
+	}
+
+	rows, err := ArbScale(Params{Apps: []string{"radix"}, Work: 5000}, 1, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		for n, v := range r.Speedup {
+			finite(fmt.Sprintf("ArbScale.Speedup[%d]", n), v)
+		}
+		for n, v := range r.GArbShare {
+			finite(fmt.Sprintf("ArbScale.GArbShare[%d]", n), v)
+		}
+	}
+	if _, err := json.Marshal(rows); err != nil {
+		t.Errorf("arb-scale rows do not marshal: %v", err)
 	}
 }

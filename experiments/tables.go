@@ -178,10 +178,10 @@ func Fig11(p Params) ([]Fig11Row, error) {
 			st := res[app][sys].Stats
 			cats := make(map[string]float64)
 			for _, c := range bulksc.TrafficCategories() {
-				cats[c.String()] = float64(st.TrafficBytes[c]) / rcTotal
+				cats[c.String()] = ratio(float64(st.TrafficBytes[c]), rcTotal)
 			}
 			row.Bytes[sys] = cats
-			row.Total[sys] = float64(st.TotalTraffic()) / rcTotal
+			row.Total[sys] = ratio(float64(st.TotalTraffic()), rcTotal)
 		}
 		rows = append(rows, row)
 	}
@@ -243,8 +243,10 @@ func ArbScale(p Params, procs int, arbCounts []int) ([]ArbScaleRow, error) {
 		for i, n := range arbCounts {
 			r := res[app][keys[i]]
 			row.Cycles[n] = r.Cycles
-			row.Speedup[n] = base / float64(r.Cycles)
-			if r.Stats.CommitGrants > 0 {
+			row.Speedup[n] = ratio(base, float64(r.Cycles))
+			// Guard on the actual denominator: grants can only be nonzero
+			// when requests are, but the guard should not rely on that.
+			if r.Stats.CommitRequests > 0 {
 				row.GArbShare[n] = float64(r.Stats.GArbTransactions) / float64(r.Stats.CommitRequests)
 			}
 		}

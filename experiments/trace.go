@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"bulksc"
+)
+
+// TraceModels lists the machine models TraceRun can export, in the
+// spelling `sweep -exp trace -trace-model` accepts.
+func TraceModels() []string { return []string{"bulk", "sc", "rc", "sc++"} }
+
+// TraceRun simulates one (app, model) cell and streams its memory-
+// consistency history to out as NDJSON (internal/history format): the
+// BulkSC model exports chunk-commit records in global commit order, the
+// conventional models per-access records in perform order. The exported
+// history carries exactly the serialization the machine claims, so piping
+// it through cmd/scchk re-verifies the run offline:
+//
+//	sweep -exp trace -apps radix -trace-out - | scchk -
+//
+// The online witness checker runs alongside regardless of p.Witness so
+// the Result records the online verdict the offline checker is compared
+// against. Model "bulk" is BSC_dypvt, the paper's production variant.
+func TraceRun(p Params, app, model string, out io.Writer) (*bulksc.Result, error) {
+	p = p.withDefaults()
+	var cfg bulksc.Config
+	switch strings.ToLower(model) {
+	case "bulk", "":
+		cfg = bulksc.Variant(app, "dypvt")
+	case "sc":
+		cfg = bulksc.Variant(app, "sc")
+	case "rc":
+		cfg = bulksc.Variant(app, "rc")
+	case "sc++":
+		cfg = bulksc.Variant(app, "sc++")
+	default:
+		return nil, fmt.Errorf("experiments: unknown trace model %q (valid: %s)",
+			model, strings.Join(TraceModels(), ", "))
+	}
+	cfg.Work = p.Work
+	cfg.Seed = p.Seed
+	cfg.Witness = true
+	cfg.TraceWriter = out
+	res, err := bulksc.Run(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: trace export %s/%s: %w", model, app, err)
+	}
+	return res, nil
+}

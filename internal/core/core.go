@@ -9,6 +9,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"sort"
 
 	"bulksc/internal/arbiter"
@@ -16,6 +17,7 @@ import (
 	"bulksc/internal/chunk"
 	"bulksc/internal/directory"
 	"bulksc/internal/fault"
+	"bulksc/internal/history"
 	"bulksc/internal/lineset"
 	"bulksc/internal/mem"
 	"bulksc/internal/network"
@@ -100,6 +102,15 @@ type Config struct {
 	// dispatch path) genuinely relaxes store→load order; witness findings
 	// for those models describe the relaxation rather than a bug.
 	Witness bool
+	// TraceWriter, when non-nil, streams the execution's memory-
+	// consistency history to it as NDJSON (internal/history): one "chunk"
+	// record per committed chunk under BulkSC, one "access" record per
+	// architectural access under the conventional models, behind a
+	// descriptive header. The hooks observe the same commit/perform
+	// instants the witness checker audits and add no simulation events,
+	// so tracing never perturbs the execution (golden hashes are
+	// unaffected). Write errors are surfaced once, at end of run.
+	TraceWriter io.Writer
 	// MaxCycles aborts apparent livelocks; 0 = a generous default.
 	MaxCycles uint64
 	// Faults optionally injects deterministic faults (internal/fault):
@@ -359,6 +370,9 @@ type machine struct {
 	// draws from.
 	witness  *sccheck.Checker
 	witArena *sccheck.Checker
+	// tracer streams the run's history as NDJSON when cfg.TraceWriter is
+	// set (nil otherwise). Rebuilt per run: it wraps the caller's writer.
+	tracer   *history.Writer
 	timeline Timeline
 
 	// watchdogErr is set by the liveness watchdog when it detects a
@@ -492,6 +506,14 @@ func (m *machine) Reset(cfg Config) {
 		}
 		m.witArena.Reset()
 		m.witness = m.witArena
+	}
+	m.tracer = nil
+	if cfg.TraceWriter != nil {
+		m.tracer = history.NewWriter(cfg.TraceWriter)
+		m.tracer.Header(history.Header{
+			Model: cfg.Model.String(), Procs: cfg.Procs,
+			App: cfg.App, Seed: cfg.Seed, Work: cfg.Work,
+		})
 	}
 	m.watchdogErr = nil
 }
@@ -670,6 +692,12 @@ func (m *machine) addProc(cfg Config, id int, ins []workload.Instr) {
 				// serialization the witness checker validates.
 				m.witness.CommitChunk(ch)
 			}
+			if m.tracer != nil {
+				// The tracer serializes at the same instant, so the
+				// exported history carries the identical claimed order —
+				// and the chunk may be recycled afterwards regardless.
+				m.tracer.Chunk(ch)
+			}
 			if cfg.RecordTimeline {
 				m.timeline = append(m.timeline, TimelineEvent{
 					At: uint64(m.eng.Now()), Proc: ch.Proc, Kind: EvCommit,
@@ -677,7 +705,7 @@ func (m *machine) addProc(cfg Config, id int, ins []workload.Instr) {
 				})
 			}
 		}
-		if cfg.CheckSC || cfg.RecordTimeline || m.witness != nil {
+		if cfg.CheckSC || cfg.RecordTimeline || m.witness != nil || m.tracer != nil {
 			p.OnCommit = onCommit
 		}
 		if cfg.RecordTimeline {
@@ -718,10 +746,15 @@ func (m *machine) addConvProc(id int, par proc.Params, model proc.Model, ins []w
 		}
 		m.convPool[id] = p
 	}
-	if m.witness != nil {
+	if m.witness != nil || m.tracer != nil {
 		pid := id
 		p.OnAccess = func(po uint64, store bool, a mem.Addr, v uint64, fwd bool) {
-			m.witness.Access(pid, po, store, a, v, fwd)
+			if m.witness != nil {
+				m.witness.Access(pid, po, store, a, v, fwd)
+			}
+			if m.tracer != nil {
+				m.tracer.Access(pid, po, store, a, v, fwd)
+			}
 		}
 	}
 	m.convProcs = append(m.convProcs, p)
@@ -830,6 +863,13 @@ func (m *machine) run(cfg Config) (*Result, error) {
 		res.WitnessViolations = m.witness.Strings()
 		res.WitnessChunks = m.witness.Chunks()
 		res.WitnessAccesses = m.witness.Accesses()
+	}
+	if m.tracer != nil {
+		// Flush the streamed history; the writer's sticky error delivers
+		// the first failure anywhere in the stream exactly once.
+		if err := m.tracer.Close(); err != nil {
+			return nil, fmt.Errorf("core: %s/%s: trace export: %w", cfg.Model, cfg.App, err)
+		}
 	}
 	if cfg.RecordTimeline {
 		sortTimeline(m.timeline)

@@ -1,0 +1,120 @@
+package explore
+
+// Litmus kernels mirroring internal/workload/litmus.go, expressed as pure
+// operation lists for enumeration. X and Y are the two shared words; all
+// stores write 1 so outcomes read as 0/1 flag vectors.
+const (
+	X uint64 = 0
+	Y uint64 = 8
+)
+
+// SB is store buffering:
+//
+//	T0: x = 1; r0 = y        T1: y = 1; r1 = x
+//
+// SC forbids (r0, r1) = (0, 0); a store buffer exhibits it.
+func SB() *Program {
+	return &Program{Name: "SB", Threads: [][]Op{
+		{{Store: true, Addr: X, Val: 1}, {Addr: Y}},
+		{{Store: true, Addr: Y, Val: 1}, {Addr: X}},
+	}}
+}
+
+// SBForbidden is the SB outcome SC forbids.
+func SBForbidden() string { return "0:[0] 1:[0]" }
+
+// MP is message passing:
+//
+//	T0: x = 1; y = 1         T1: r0 = y; r1 = x
+//
+// SC forbids (r0, r1) = (1, 0).
+func MP() *Program {
+	return &Program{Name: "MP", Threads: [][]Op{
+		{{Store: true, Addr: X, Val: 1}, {Store: true, Addr: Y, Val: 1}},
+		{{Addr: Y}, {Addr: X}},
+	}}
+}
+
+// MPForbidden is the MP outcome SC forbids.
+func MPForbidden() string { return "0:[] 1:[1 0]" }
+
+// LB is load buffering:
+//
+//	T0: r0 = x; y = 1        T1: r1 = y; x = 1
+//
+// SC (and both machines here) forbids (r0, r1) = (1, 1).
+func LB() *Program {
+	return &Program{Name: "LB", Threads: [][]Op{
+		{{Addr: X}, {Store: true, Addr: Y, Val: 1}},
+		{{Addr: Y}, {Store: true, Addr: X, Val: 1}},
+	}}
+}
+
+// LBForbidden is the LB outcome SC forbids.
+func LBForbidden() string { return "0:[1] 1:[1]" }
+
+// WRC is write-to-read causality:
+//
+//	T0: x = 1    T1: r0 = x; y = 1    T2: r1 = y; r2 = x
+//
+// SC forbids r0 = 1 ∧ r1 = 1 ∧ r2 = 0.
+func WRC() *Program {
+	return &Program{Name: "WRC", Threads: [][]Op{
+		{{Store: true, Addr: X, Val: 1}},
+		{{Addr: X}, {Store: true, Addr: Y, Val: 1}},
+		{{Addr: Y}, {Addr: X}},
+	}}
+}
+
+// WRCForbidden is the WRC outcome SC forbids.
+func WRCForbidden() string { return "0:[] 1:[1] 2:[1 0]" }
+
+// CoRR is coherence read-read: T1 must not see X go backwards.
+//
+//	T0: x = 1    T1: r0 = x; r1 = x
+func CoRR() *Program {
+	return &Program{Name: "CoRR", Threads: [][]Op{
+		{{Store: true, Addr: X, Val: 1}},
+		{{Addr: X}, {Addr: X}},
+	}}
+}
+
+// CoRRForbidden is the CoRR outcome coherence forbids.
+func CoRRForbidden() string { return "0:[] 1:[1 0]" }
+
+// IRIW is independent reads of independent writes:
+//
+//	T0: x = 1    T1: y = 1    T2: r0 = x; r1 = y    T3: r2 = y; r3 = x
+//
+// SC forbids the two readers observing the writes in opposite orders.
+func IRIW() *Program {
+	return &Program{Name: "IRIW", Threads: [][]Op{
+		{{Store: true, Addr: X, Val: 1}},
+		{{Store: true, Addr: Y, Val: 1}},
+		{{Addr: X}, {Addr: Y}},
+		{{Addr: Y}, {Addr: X}},
+	}}
+}
+
+// IRIWForbidden is the IRIW outcome SC forbids.
+func IRIWForbidden() string { return "0:[] 1:[] 2:[1 0] 3:[1 0]" }
+
+// Kernel pairs a litmus program with the outcome SC forbids.
+type Kernel struct {
+	Prog      *Program
+	Forbidden string
+}
+
+// Kernels returns the enumeration suite: every kernel's forbidden outcome
+// must be unreachable under SC and BulkSC; SB's must be reachable under
+// RC.
+func Kernels() []Kernel {
+	return []Kernel{
+		{SB(), SBForbidden()},
+		{MP(), MPForbidden()},
+		{LB(), LBForbidden()},
+		{WRC(), WRCForbidden()},
+		{CoRR(), CoRRForbidden()},
+		{IRIW(), IRIWForbidden()},
+	}
+}

@@ -1,0 +1,93 @@
+package history
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+
+	"bulksc/internal/chunk"
+	"bulksc/internal/mem"
+)
+
+// Writer streams a history as NDJSON. It is an observation sink: the
+// simulator calls Chunk at each commit instant and Access at each perform
+// instant, and the writer serializes without touching simulation state.
+// Errors are sticky — the first write failure is retained and every later
+// call becomes a no-op, so the hot hooks never need per-call error
+// handling; the machine surfaces Close's error once, at end of run.
+//
+// A Writer is not safe for concurrent use; the simulator is
+// single-goroutine per machine.
+//
+// The encode path deliberately carries no //sim:hotpath annotation:
+// JSON encoding allocates by nature, and tracing is opt-in observation
+// that is off for every golden, perf and sweep configuration — the
+// allocation discipline applies to the machine, not to its export taps.
+// TestTraceHashNeutral pins that the taps perturb nothing; perf-relevant
+// runs never construct a Writer at all.
+type Writer struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewWriter returns a streaming NDJSON writer over w.
+func NewWriter(w io.Writer) *Writer {
+	bw := bufio.NewWriter(w)
+	return &Writer{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// record encodes one record as a single NDJSON line (json.Encoder appends
+// the newline).
+func (t *Writer) record(v any) {
+	if t.err != nil {
+		return
+	}
+	t.err = t.enc.Encode(v)
+}
+
+// Header writes the history header. Version and Format are filled in.
+func (t *Writer) Header(h Header) {
+	h.Kind = KindHeader
+	h.Version = Version
+	h.Format = Format
+	t.record(&h)
+}
+
+// Chunk writes one committed chunk's record from the live chunk state.
+// Call at the commit instant, in commit order.
+func (t *Writer) Chunk(ch *chunk.Chunk) {
+	if t.err != nil {
+		return
+	}
+	rec := ChunkRec{
+		Kind:  KindChunk,
+		Proc:  ch.Proc,
+		Seq:   ch.Seq,
+		Order: ch.CommitOrder,
+		Ops:   make([]Op, len(ch.Log)),
+	}
+	for i, a := range ch.Log {
+		rec.Ops[i] = Op{Store: a.IsStore, Addr: uint64(a.Addr), Val: a.Value}
+	}
+	t.record(&rec)
+}
+
+// Access writes one conventional architectural access record. Call at the
+// perform instant, in perform order.
+func (t *Writer) Access(proc int, po uint64, store bool, a mem.Addr, v uint64, fwd bool) {
+	t.record(&AccessRec{
+		Kind: KindAccess, Proc: proc, PO: po, Store: store,
+		Addr: uint64(a), Val: v, Fwd: fwd,
+	})
+}
+
+// Close flushes buffered records and returns the first error encountered
+// anywhere in the stream. The underlying io.Writer is not closed.
+func (t *Writer) Close() error {
+	if t.err != nil {
+		return t.err
+	}
+	t.err = t.bw.Flush()
+	return t.err
+}

@@ -341,11 +341,16 @@ func (c *Checker) Ok() bool { return c.total == 0 }
 // retention cap.
 func (c *Checker) Total() int { return c.total }
 
-// Violations returns the retained violation records.
-func (c *Checker) Violations() []Violation { return c.violations }
+// Violations returns a copy of the retained violation records. The copy
+// matters for warm reuse: Reset scrubs the checker's internal slice in
+// place, so handing out the live slice would retroactively zero records a
+// caller (or a previous run's Result) still holds.
+func (c *Checker) Violations() []Violation {
+	return append([]Violation(nil), c.violations...)
+}
 
-// Strings renders the retained violations, appending a truncation marker
-// when the cap was hit.
+// Strings renders the retained violations, appending a self-describing
+// truncation marker when the retention cap was hit.
 func (c *Checker) Strings() []string {
 	if c.total == 0 {
 		return nil
@@ -355,7 +360,7 @@ func (c *Checker) Strings() []string {
 		out = append(out, v.String())
 	}
 	if c.total > len(c.violations) {
-		out = append(out, fmt.Sprintf("sccheck: ... and %d more violations", c.total-len(c.violations)))
+		out = append(out, fmt.Sprintf("sccheck: ... and %d more violations (cap reached)", c.total-len(c.violations)))
 	}
 	return out
 }

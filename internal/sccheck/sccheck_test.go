@@ -1,7 +1,9 @@
 package sccheck
 
 import (
+	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"bulksc/internal/chunk"
@@ -203,6 +205,33 @@ func TestViolationCap(t *testing.T) {
 	ss := c.Strings()
 	if len(ss) != 4 { // 3 retained + truncation marker
 		t.Fatalf("Strings() len = %d, want 4: %v", len(ss), ss)
+	}
+	// The truncation marker must be self-describing: it names the count of
+	// dropped records and says the cap was reached.
+	marker := ss[len(ss)-1]
+	if !strings.Contains(marker, fmt.Sprintf("%d more violations", c.Total()-3)) ||
+		!strings.Contains(marker, "cap reached") {
+		t.Fatalf("truncation marker not self-describing: %q", marker)
+	}
+}
+
+// TestViolationsIsACopy pins the aliasing fix: records handed out by
+// Violations must survive a subsequent Reset, which scrubs the checker's
+// internal retention slice in place for warm reuse.
+func TestViolationsIsACopy(t *testing.T) {
+	c := New()
+	c.CommitChunk(mkChunk(0, 1, 1, []chunk.AccessRec{load(0x40, 99)}))
+	if c.Ok() {
+		t.Fatal("seeded violation not detected")
+	}
+	held := c.Violations()
+	if len(held) != 1 || held[0].Kind != KindCoherence {
+		t.Fatalf("unexpected violations: %v", held)
+	}
+	want := held[0]
+	c.Reset()
+	if held[0] != want {
+		t.Fatalf("Reset scrubbed a handed-out violation: got %+v, want %+v", held[0], want)
 	}
 }
 

@@ -58,6 +58,28 @@ go test -run 'Fuzz' ./internal/sig ./internal/lineset ./internal/sharerset
 echo "== 256-proc scaling smoke =="
 go test -run 'TestBigMachineRadixSmoke' ./internal/core
 
+# End-to-end offline audit: export a real radix history as NDJSON, require
+# the out-of-process checker to accept it, then corrupt a single record's
+# commit order and require it to object. Exercises sweep -exp trace, the
+# history reader, and cmd/scchk's exit discipline in one pass.
+echo "== offline SC audit (sweep -exp trace | scchk) =="
+tracedir=$(mktemp -d)
+trap 'rm -rf "$tracedir"' EXIT
+go run ./cmd/sweep -exp trace -apps radix -work 4000 \
+    -trace-out "$tracedir/radix.ndjson" >/dev/null
+go run ./cmd/scchk -q "$tracedir/radix.ndjson"
+# Zero the first chunk's claimed commit order — a total-order violation.
+awk 'done || !/"kind":"chunk"/ { print; next }
+     { sub(/"order":[0-9]+/, "\"order\":0"); print; done = 1 }' \
+    "$tracedir/radix.ndjson" >"$tracedir/corrupt.ndjson"
+if go run ./cmd/scchk -q "$tracedir/corrupt.ndjson"; then
+    echo "scchk accepted a corrupted history" >&2
+    exit 1
+fi
+
+echo "== litmus enumeration smoke (exhaustive, POR) =="
+go test -run 'TestForbiddenUnreachable|TestRCExhibitsSB' ./internal/history/explore
+
 if [ "${PERFDIFF_BASE:-}" != "" ]; then
     echo "== perfdiff vs $PERFDIFF_BASE =="
     ./scripts/perfdiff.sh "$PERFDIFF_BASE" BENCH_core.json
