@@ -12,9 +12,12 @@ check: ## full PR gate: format, vet, simlint, build, tests, fuzz-corpus smoke, r
 check-fast:
 	./scripts/check.sh -fast
 
-# Static invariant passes (determinism, poolhygiene, hotpathalloc,
-# statsnapshot); see DESIGN.md §9. scripts/hotpath_escape.sh cross-checks
-# hotpathalloc suppressions against the compiler's escape analysis.
+# Static invariant passes: the syntactic tier (determinism, poolhygiene,
+# hotpathalloc, statsnapshot; DESIGN.md §9) plus the flow-sensitive tier
+# (poolflow, hashneutral, waiterpair; DESIGN.md §14) and the
+# stale-suppression sweep. scripts/hotpath_escape.sh cross-checks
+# hotpathalloc suppressions against the compiler's escape analysis;
+# `go run ./cmd/simlint -json ./...` emits machine-readable findings.
 lint:
 	$(GO) run ./cmd/simlint ./...
 

@@ -106,6 +106,7 @@ func main() {
 	flag.Parse()
 
 	rep := Report{
+		//lint:deterministic report metadata timestamp; never feeds simulation state or goldens
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		GOARCH:      runtime.GOARCH,

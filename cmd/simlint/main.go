@@ -1,8 +1,7 @@
 // Command simlint is the repository's static-invariant gate: a
-// multichecker driving the four analysis passes under internal/analysis
-// (determinism, poolhygiene, hotpathalloc, statsnapshot) over the
-// simulator's sources. It is wired into `make lint` and scripts/check.sh;
-// a non-zero exit blocks the PR.
+// multichecker driving the analysis passes under internal/analysis over
+// the simulator's sources. It is wired into `make lint` and
+// scripts/check.sh; a non-zero exit blocks the PR.
 //
 // Usage:
 //
@@ -14,27 +13,52 @@
 //
 //	-only p1,p2     run only the named passes
 //	-scope a,b      import-path prefixes the determinism pass is limited
-//	                to (default: the simulation core — internal/ and
-//	                experiments/; cmd/ tools may read the wall clock)
+//	                to (default: the whole module; narrow it when
+//	                experimenting with intentionally nondeterministic code)
+//	-json           emit findings as a JSON array on stdout instead of
+//	                the file:line:col text form
 //	-list           print the available passes and exit
 //
-// See DESIGN.md §9 for the invariant each pass enforces and the
-// //sim:hotpath, //sim:accumulator, //lint:deterministic, //lint:alloc
-// and //lint:poolsafe annotations.
+// The syntactic passes (determinism, hotpathalloc, poolhygiene,
+// statsnapshot) enforce per-line invariants; the flow-sensitive tier
+// (poolflow, hashneutral, waiterpair) proves path properties over
+// lintkit's CFG — pooled-resource ownership, observer hash-neutrality,
+// and wait-queue registration/removal pairing. After the passes run, any
+// `//lint:` suppression that no longer suppresses anything is reported
+// as a finding of the synthetic pass "stalesuppress": a justification
+// that outlived the code it excused must be deleted, not shipped.
+//
+// Exit code contract (stable, scripts depend on it):
+//
+//	0  clean — no findings
+//	1  findings were reported (including stale suppressions)
+//	2  usage or load error (bad flag, unknown pass, packages failed to
+//	   parse or type-check)
+//
+// See DESIGN.md §9 and §14 for the invariant each pass enforces and the
+// //sim:hotpath, //sim:accumulator, //sim:pool, //sim:observer,
+// //sim:observes, //sim:waitq, //lint:deterministic, //lint:alloc,
+// //lint:poolsafe, //lint:owner, //lint:observer and //lint:waiter
+// annotations.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"bulksc/internal/analysis/determinism"
+	"bulksc/internal/analysis/hashneutral"
 	"bulksc/internal/analysis/hotpathalloc"
 	"bulksc/internal/analysis/lintkit"
+	"bulksc/internal/analysis/poolflow"
 	"bulksc/internal/analysis/poolhygiene"
 	"bulksc/internal/analysis/statsnapshot"
+	"bulksc/internal/analysis/waiterpair"
 )
 
 var all = []*lintkit.Analyzer{
@@ -42,12 +66,27 @@ var all = []*lintkit.Analyzer{
 	hotpathalloc.Analyzer,
 	poolhygiene.Analyzer,
 	statsnapshot.Analyzer,
+	poolflow.Analyzer,
+	hashneutral.Analyzer,
+	waiterpair.Analyzer,
+}
+
+// jsonFinding is the -json wire form of one finding. The schema is part
+// of the tool's contract: file (cwd-relative when possible), 1-based
+// line/col, pass name, message.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Pass    string `json:"pass"`
+	Message string `json:"message"`
 }
 
 func main() {
 	only := flag.String("only", "", "comma-separated pass names to run (default: all)")
-	scope := flag.String("scope", "bulksc/internal,bulksc/experiments",
+	scope := flag.String("scope", "bulksc",
 		"import-path prefixes the determinism pass is limited to")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	list := flag.Bool("list", false, "list available passes and exit")
 	flag.Parse()
 
@@ -55,6 +94,8 @@ func main() {
 		for _, a := range all {
 			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
 		}
+		fmt.Printf("%-14s %s\n", "stalesuppress",
+			"report //lint: suppressions that no longer suppress anything (runs after the selected passes)")
 		return
 	}
 
@@ -71,8 +112,16 @@ func main() {
 				delete(want, a.Name)
 			}
 		}
+		delete(want, "stalesuppress") // implied by whichever passes run
+		var unknown []string
 		for n := range want {
+			unknown = append(unknown, n)
+		}
+		sort.Strings(unknown)
+		for _, n := range unknown {
 			fmt.Fprintf(os.Stderr, "simlint: unknown pass %q (use -list)\n", n)
+		}
+		if len(unknown) > 0 {
 			os.Exit(2)
 		}
 	}
@@ -111,17 +160,69 @@ func main() {
 		return false
 	}
 
-	findings, err := lintkit.Run(prog.Roots(), analyzers, filter)
+	reg := lintkit.NewDirectiveRegistry()
+	findings, err := lintkit.RunWithRegistry(prog.Roots(), analyzers, filter, reg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
 		os.Exit(2)
 	}
-	for _, f := range findings {
-		name := f.Pos.Filename
-		if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
-			name = rel
+
+	// A suppression only counts as stale when the pass that would honor it
+	// actually scanned its file, which is exactly the set the registry
+	// recorded. Deleting the comment is the fix; there is no suppressing a
+	// stale-suppression finding.
+	for _, d := range reg.Stale() {
+		findings = append(findings, lintkit.Finding{
+			Analyzer: "stalesuppress",
+			Pos:      d.Pos,
+			Message: fmt.Sprintf("stale suppression %s: no longer suppresses any finding (delete it: %q)",
+				d.Marker, d.Text),
+		})
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
 		}
-		fmt.Printf("%s:%d:%d: %s (%s)\n", name, f.Pos.Line, f.Pos.Column, f.Message, f.Analyzer)
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+
+	relName := func(name string) string {
+		if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+			return rel
+		}
+		return name
+	}
+	if *asJSON {
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				File:    relName(f.Pos.Filename),
+				Line:    f.Pos.Line,
+				Col:     f.Pos.Column,
+				Pass:    f.Analyzer,
+				Message: f.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Printf("%s:%d:%d: %s (%s)\n", relName(f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Message, f.Analyzer)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "simlint: %d finding(s)\n", len(findings))

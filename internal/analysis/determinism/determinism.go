@@ -58,7 +58,7 @@ var allowedRand = map[string]bool{
 
 func run(pass *lintkit.Pass) (interface{}, error) {
 	for _, file := range pass.Files {
-		sup := lintkit.NewSuppressions(pass.Fset, file, Directive)
+		sup := pass.Suppressions(file, Directive)
 		for _, decl := range file.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
 			if !ok || fn.Body == nil {
@@ -81,10 +81,13 @@ func checkFunc(pass *lintkit.Pass, sup *lintkit.Suppressions, fn *ast.FuncDecl) 
 			if _, isMap := t.Underlying().(*types.Map); !isMap {
 				return true
 			}
-			if sup.Suppressed(n.Pos()) {
+			// Idiom recognition runs before the suppression check so a
+			// directive on an already-sanctioned collect-and-sort loop
+			// counts as unused and gets reported as stale.
+			if isCollectAndSort(pass, fn, n) {
 				return true
 			}
-			if isCollectAndSort(pass, fn, n) {
+			if sup.Suppressed(n.Pos()) {
 				return true
 			}
 			pass.Reportf(n.Pos(), "map iteration order is nondeterministic; "+

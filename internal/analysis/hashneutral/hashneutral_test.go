@@ -1,0 +1,12 @@
+package hashneutral_test
+
+import (
+	"testing"
+
+	"bulksc/internal/analysis/hashneutral"
+	"bulksc/internal/analysis/linttest"
+)
+
+func TestHashneutralFixture(t *testing.T) {
+	linttest.Run(t, "testdata/observer", hashneutral.Analyzer)
+}

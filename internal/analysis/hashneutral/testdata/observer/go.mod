@@ -1,0 +1,3 @@
+module observer
+
+go 1.22

@@ -53,7 +53,7 @@ var Analyzer = &lintkit.Analyzer{
 
 func run(pass *lintkit.Pass) (interface{}, error) {
 	for _, file := range pass.Files {
-		sup := lintkit.NewSuppressions(pass.Fset, file, Directive)
+		sup := pass.Suppressions(file, Directive)
 		for _, decl := range file.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
 			if !ok || fn.Body == nil || !lintkit.FuncAnnotated(fn, HotDirective) {

@@ -1,0 +1,545 @@
+package lintkit
+
+// Intraprocedural control-flow graphs over go/ast, plus a small generic
+// forward-dataflow solver. This is the flow-sensitive tier under the
+// poolflow, hashneutral and waiterpair passes: syntactic pattern checks
+// (the PR-3 passes) see one statement at a time, while ownership, taint
+// and pairing proofs are path properties and need basic blocks, join
+// points and a fixpoint.
+//
+// The builder is deliberately source-level: blocks hold *ast.Node lists
+// (statements, plus branch conditions and range headers) rather than a
+// lowered IR, so passes keep full access to go/types info and comments.
+// Precision choices that matter to the passes:
+//
+//   - panic(...) and os.Exit(...) terminate their block with no
+//     successors — paths that end in a throw are exempt from must-reach
+//     obligations (a leaked waiter on a panicking path is unreachable
+//     machine state).
+//   - A branch block records its condition and its true/false successor,
+//     so analyses can refine facts along an edge (waiterpair uses this to
+//     discharge removals guarded by `len(q) > 0`).
+//   - defer statements appear in block order (argument evaluation point)
+//     and are additionally collected in CFG.Defers for exit-time effects.
+//   - Blocks are numbered in creation order and the solver sweeps them in
+//     index order, so iteration — and therefore any diagnostic order
+//     derived from facts — is deterministic.
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is one basic block: a maximal straight-line sequence of nodes.
+type Block struct {
+	Index int
+	// Nodes holds the block's statements in execution order. Branch
+	// conditions and range headers appear as their ast.Expr / ast.Stmt at
+	// the point they are evaluated.
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+	// Cond, when non-nil, is the branch condition evaluated at the end of
+	// this block; True and False are the successors taken when it holds
+	// or fails. Both may be nil for multi-way branches (switch, select).
+	Cond  ast.Expr
+	True  *Block
+	False *Block
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	Entry *Block
+	// Exit is a synthetic block: every return statement and the normal
+	// fall-off-the-end path converge here. Deferred calls conceptually run
+	// on entry to Exit. Panic-terminated blocks do NOT reach Exit.
+	Exit   *Block
+	Blocks []*Block // creation order; Blocks[0] == Entry
+	Defers []*ast.DeferStmt
+}
+
+// BuildCFG constructs the CFG of a function body. It handles if/else,
+// for, range, switch, type switch, select, labeled statements, goto,
+// break/continue (labeled and plain), fallthrough, return, defer and
+// panic/os.Exit termination.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &builder{
+		cfg:    &CFG{},
+		labels: make(map[string]*labelInfo),
+	}
+	b.cfg.Entry = b.newBlock()
+	b.cfg.Exit = b.newBlock()
+	b.cur = b.cfg.Entry
+	b.stmtList(body.List)
+	if b.cur != nil {
+		b.edge(b.cur, b.cfg.Exit)
+	}
+	return b.cfg
+}
+
+type labelInfo struct {
+	target *Block // where goto LABEL jumps
+	brk    *Block // labeled break target (loops/switch/select)
+	cont   *Block // labeled continue target (loops)
+}
+
+type builder struct {
+	cfg *builderCFG
+	cur *Block // nil after a terminator (unreachable until next label/block)
+
+	breaks    []*Block
+	continues []*Block
+	fallthru  *Block // next case clause, inside a switch body
+	labels    map[string]*labelInfo
+	// pendingLabel is set while building the statement a label is attached
+	// to, so `break L` / `continue L` on the loop can resolve.
+	pendingLabel string
+}
+
+// builderCFG is an alias to keep the builder definition close to CFG.
+type builderCFG = CFG
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+func (b *builder) condEdge(from *Block, cond ast.Expr, to *Block, branch bool) {
+	from.Cond = cond
+	if branch {
+		from.True = to
+	} else {
+		from.False = to
+	}
+	b.edge(from, to)
+}
+
+// ensure gives the builder a current block, creating an unreachable one
+// after a terminator so dead statements are still recorded.
+func (b *builder) ensure() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	return b.cur
+}
+
+func (b *builder) add(n ast.Node) {
+	blk := b.ensure()
+	blk.Nodes = append(blk.Nodes, n)
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		li := b.label(s.Label.Name)
+		b.ensure()
+		b.edge(b.cur, li.target)
+		b.cur = li.target
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.cfg.Exit)
+		b.cur = nil
+
+	case *ast.BranchStmt:
+		b.branch(s)
+
+	case *ast.IfStmt:
+		b.ifStmt(s)
+
+	case *ast.ForStmt:
+		b.forStmt(s)
+
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+
+	case *ast.SwitchStmt:
+		b.switchStmt(s)
+
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s)
+
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+
+	case *ast.DeferStmt:
+		// The call's arguments are evaluated here; the call itself runs at
+		// Exit. Passes see the DeferStmt in-line for the former and walk
+		// CFG.Defers for the latter.
+		b.add(s)
+		b.cfg.Defers = append(b.cfg.Defers, s)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if isTerminalCall(s.X) {
+			b.cur = nil // no successors: panic / os.Exit path
+		}
+
+	default:
+		// DeclStmt, AssignStmt, IncDecStmt, SendStmt, GoStmt, EmptyStmt.
+		b.add(s)
+	}
+}
+
+func (b *builder) label(name string) *labelInfo {
+	li, ok := b.labels[name]
+	if !ok {
+		li = &labelInfo{target: b.newBlock()}
+		b.labels[name] = li
+	}
+	return li
+}
+
+func (b *builder) branch(s *ast.BranchStmt) {
+	b.ensure()
+	b.add(s)
+	switch s.Tok {
+	case token.BREAK:
+		if s.Label != nil {
+			if li := b.labels[s.Label.Name]; li != nil && li.brk != nil {
+				b.edge(b.cur, li.brk)
+			}
+		} else if n := len(b.breaks); n > 0 {
+			b.edge(b.cur, b.breaks[n-1])
+		}
+	case token.CONTINUE:
+		if s.Label != nil {
+			if li := b.labels[s.Label.Name]; li != nil && li.cont != nil {
+				b.edge(b.cur, li.cont)
+			}
+		} else if n := len(b.continues); n > 0 {
+			b.edge(b.cur, b.continues[n-1])
+		}
+	case token.GOTO:
+		if s.Label != nil {
+			b.edge(b.cur, b.label(s.Label.Name).target)
+		}
+	case token.FALLTHROUGH:
+		if b.fallthru != nil {
+			b.edge(b.cur, b.fallthru)
+		}
+	}
+	b.cur = nil
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Cond)
+	cond := b.ensure()
+
+	then := b.newBlock()
+	b.condEdge(cond, s.Cond, then, true)
+	b.cur = then
+	b.stmt(s.Body)
+	thenEnd := b.cur
+
+	after := b.newBlock()
+	if s.Else != nil {
+		els := b.newBlock()
+		b.condEdge(cond, s.Cond, els, false)
+		b.cur = els
+		b.stmt(s.Else)
+		if b.cur != nil {
+			b.edge(b.cur, after)
+		}
+	} else {
+		b.condEdge(cond, s.Cond, after, false)
+	}
+	if thenEnd != nil {
+		b.edge(thenEnd, after)
+	}
+	b.cur = after
+}
+
+// takeLabel consumes the pending label (set by the enclosing LabeledStmt)
+// and wires its break/continue targets.
+func (b *builder) takeLabel(brk, cont *Block) {
+	if b.pendingLabel == "" {
+		return
+	}
+	li := b.labels[b.pendingLabel]
+	li.brk = brk
+	li.cont = cont
+	b.pendingLabel = ""
+}
+
+func (b *builder) forStmt(s *ast.ForStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	head := b.newBlock()
+	b.edge(b.ensure(), head)
+
+	body := b.newBlock()
+	after := b.newBlock()
+	if s.Cond != nil {
+		head.Nodes = append(head.Nodes, s.Cond)
+		b.condEdge(head, s.Cond, body, true)
+		b.condEdge(head, s.Cond, after, false)
+	} else {
+		b.edge(head, body)
+	}
+
+	var post *Block
+	cont := head
+	if s.Post != nil {
+		post = b.newBlock()
+		post.Nodes = append(post.Nodes, s.Post)
+		b.edge(post, head)
+		cont = post
+	}
+	b.takeLabel(after, cont)
+	b.breaks = append(b.breaks, after)
+	b.continues = append(b.continues, cont)
+	b.cur = body
+	b.stmt(s.Body)
+	if b.cur != nil {
+		b.edge(b.cur, cont)
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+	b.cur = after
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt) {
+	head := b.newBlock()
+	b.edge(b.ensure(), head)
+	// The RangeStmt itself is the head's node: passes read X there and
+	// treat Key/Value as (re)bound per iteration.
+	head.Nodes = append(head.Nodes, s)
+
+	body := b.newBlock()
+	after := b.newBlock()
+	b.edge(head, body)
+	b.edge(head, after)
+
+	b.takeLabel(after, head)
+	b.breaks = append(b.breaks, after)
+	b.continues = append(b.continues, head)
+	b.cur = body
+	b.stmt(s.Body)
+	if b.cur != nil {
+		b.edge(b.cur, head)
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+	b.cur = after
+}
+
+func (b *builder) switchStmt(s *ast.SwitchStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	if s.Tag != nil {
+		b.add(s.Tag)
+	}
+	head := b.ensure()
+	after := b.newBlock()
+	b.takeLabel(after, nil)
+
+	var clauses []*ast.CaseClause
+	var blocks []*Block
+	hasDefault := false
+	for _, cc := range s.Body.List {
+		clause := cc.(*ast.CaseClause)
+		blk := b.newBlock()
+		for _, e := range clause.List {
+			blk.Nodes = append(blk.Nodes, e)
+		}
+		if clause.List == nil {
+			hasDefault = true
+		}
+		b.edge(head, blk)
+		clauses = append(clauses, clause)
+		blocks = append(blocks, blk)
+	}
+	if !hasDefault {
+		b.edge(head, after)
+	}
+
+	b.breaks = append(b.breaks, after)
+	for i, clause := range clauses {
+		savedFall := b.fallthru
+		if i+1 < len(blocks) {
+			b.fallthru = blocks[i+1]
+		} else {
+			b.fallthru = nil
+		}
+		b.cur = blocks[i]
+		b.stmtList(clause.Body)
+		if b.cur != nil {
+			b.edge(b.cur, after)
+		}
+		b.fallthru = savedFall
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.cur = after
+}
+
+func (b *builder) typeSwitchStmt(s *ast.TypeSwitchStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Assign)
+	head := b.ensure()
+	after := b.newBlock()
+	b.takeLabel(after, nil)
+
+	hasDefault := false
+	b.breaks = append(b.breaks, after)
+	for _, cc := range s.Body.List {
+		clause := cc.(*ast.CaseClause)
+		blk := b.newBlock()
+		if clause.List == nil {
+			hasDefault = true
+		}
+		b.edge(head, blk)
+		b.cur = blk
+		b.stmtList(clause.Body)
+		if b.cur != nil {
+			b.edge(b.cur, after)
+		}
+	}
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.cur = after
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt) {
+	head := b.ensure()
+	after := b.newBlock()
+	b.takeLabel(after, nil)
+
+	b.breaks = append(b.breaks, after)
+	for _, cc := range s.Body.List {
+		clause := cc.(*ast.CommClause)
+		blk := b.newBlock()
+		if clause.Comm != nil {
+			blk.Nodes = append(blk.Nodes, clause.Comm)
+		}
+		b.edge(head, blk)
+		b.cur = blk
+		b.stmtList(clause.Body)
+		if b.cur != nil {
+			b.edge(b.cur, after)
+		}
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.cur = after
+}
+
+// isTerminalCall reports whether e is a call that never returns:
+// panic(...) or os.Exit(...).
+func isTerminalCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		if pkg, ok := fun.X.(*ast.Ident); ok {
+			return pkg.Name == "os" && fun.Sel.Name == "Exit"
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Forward dataflow solver.
+// ---------------------------------------------------------------------------
+
+// FlowSpec defines one forward dataflow problem over a CFG. F is the fact
+// type. Join direction decides may vs must: union for may-analyses
+// (poolflow ownership states), intersection for must-analyses (waiterpair
+// removal obligations).
+type FlowSpec[F any] struct {
+	// Entry produces the fact entering the function.
+	Entry func() F
+	// Bottom produces the initial (pre-join) fact of every other block.
+	// For a may-analysis this is the empty fact; for a must-analysis it is
+	// top (so the first real predecessor fact replaces it via Join).
+	Bottom func() F
+	// Clone deep-copies a fact. Transfer and Join receive clones and may
+	// mutate them freely.
+	Clone func(F) F
+	// Join merges src into dst and returns the result (may reuse dst).
+	Join func(dst, src F) F
+	// Equal reports fact equality; the fixpoint stops when nothing changes.
+	Equal func(a, b F) bool
+	// Transfer applies one block's effects to an incoming fact clone.
+	Transfer func(b *Block, in F) F
+	// EdgeRefine, when non-nil, adjusts the fact flowing along a
+	// conditional edge: cond is the branch condition of the source block
+	// and branch tells which way the edge goes.
+	EdgeRefine func(cond ast.Expr, branch bool, f F) F
+}
+
+// Solve runs the forward analysis to fixpoint and returns the fact at
+// entry to each block. Blocks are swept in index order each round, so the
+// result (and any iteration a pass performs over it) is deterministic.
+func Solve[F any](c *CFG, spec FlowSpec[F]) map[*Block]F {
+	ins := make(map[*Block]F, len(c.Blocks))
+	for _, blk := range c.Blocks {
+		if blk == c.Entry {
+			ins[blk] = spec.Entry()
+		} else {
+			ins[blk] = spec.Bottom()
+		}
+	}
+	// Round-robin to fixpoint. Facts live in finite lattices (sets over
+	// the function's variables), so this terminates; the cap is a guard
+	// against a non-monotone Transfer bug, not a tuning parameter.
+	maxRounds := 4*len(c.Blocks) + 16
+	for round := 0; round < maxRounds; round++ {
+		changed := false
+		for _, blk := range c.Blocks {
+			out := spec.Transfer(blk, spec.Clone(ins[blk]))
+			for i, succ := range blk.Succs {
+				f := out
+				if i < len(blk.Succs)-1 {
+					f = spec.Clone(out)
+				}
+				if spec.EdgeRefine != nil && blk.Cond != nil {
+					if succ == blk.True {
+						f = spec.EdgeRefine(blk.Cond, true, f)
+					} else if succ == blk.False {
+						f = spec.EdgeRefine(blk.Cond, false, f)
+					}
+				}
+				merged := spec.Join(spec.Clone(ins[succ]), f)
+				if !spec.Equal(merged, ins[succ]) {
+					ins[succ] = merged
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return ins
+}

@@ -1,0 +1,427 @@
+package lintkit
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// parseBody parses a function body from source and returns its CFG.
+func buildFromSrc(t *testing.T, body string) (*token.FileSet, *CFG) {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "t.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fn := file.Decls[0].(*ast.FuncDecl)
+	return fset, BuildCFG(fn.Body)
+}
+
+// reachesExit reports whether Exit is reachable from Entry.
+func reachesExit(c *CFG) bool {
+	seen := make(map[*Block]bool)
+	var walk func(*Block) bool
+	walk = func(b *Block) bool {
+		if b == c.Exit {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if walk(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(c.Entry)
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	_, c := buildFromSrc(t, "x := 1\n_ = x")
+	if len(c.Entry.Nodes) != 2 {
+		t.Fatalf("entry nodes = %d, want 2", len(c.Entry.Nodes))
+	}
+	if len(c.Entry.Succs) != 1 || c.Entry.Succs[0] != c.Exit {
+		t.Fatalf("entry should fall through to exit")
+	}
+}
+
+func TestCFGIfElse(t *testing.T) {
+	_, c := buildFromSrc(t, `
+x := 1
+if x > 0 {
+	x = 2
+} else {
+	x = 3
+}
+_ = x`)
+	if c.Entry.Cond == nil || c.Entry.True == nil || c.Entry.False == nil {
+		t.Fatalf("entry should be a conditional branch with both arms recorded")
+	}
+	if c.Entry.True == c.Entry.False {
+		t.Fatalf("then and else arms must differ")
+	}
+	if !reachesExit(c) {
+		t.Fatalf("exit unreachable")
+	}
+}
+
+func TestCFGIfWithoutElseFalseEdge(t *testing.T) {
+	_, c := buildFromSrc(t, `
+x := 1
+if x > 0 {
+	x = 2
+}
+_ = x`)
+	// The false edge must skip the then-body straight to the join block.
+	if c.Entry.False == nil || c.Entry.False == c.Entry.True {
+		t.Fatalf("false edge missing or aliased to then block")
+	}
+}
+
+func TestCFGPanicTerminates(t *testing.T) {
+	_, c := buildFromSrc(t, `
+x := 1
+if x > 0 {
+	panic("boom")
+}
+_ = x`)
+	// Find the block containing the panic: it must have no successors.
+	var panicBlk *Block
+	for _, b := range c.Blocks {
+		for _, n := range b.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+						panicBlk = b
+					}
+				}
+			}
+		}
+	}
+	if panicBlk == nil {
+		t.Fatalf("panic block not found")
+	}
+	if len(panicBlk.Succs) != 0 {
+		t.Fatalf("panic block has %d successors, want 0", len(panicBlk.Succs))
+	}
+	if !reachesExit(c) {
+		t.Fatalf("non-panic path should still reach exit")
+	}
+}
+
+func TestCFGForLoop(t *testing.T) {
+	_, c := buildFromSrc(t, `
+s := 0
+for i := 0; i < 10; i++ {
+	s += i
+	if s > 5 {
+		break
+	}
+	if s == 3 {
+		continue
+	}
+	s++
+}
+_ = s`)
+	if !reachesExit(c) {
+		t.Fatalf("exit unreachable")
+	}
+	// The loop head must be a conditional branch (cond i < 10).
+	var head *Block
+	for _, b := range c.Blocks {
+		if b.Cond != nil {
+			if be, ok := b.Cond.(*ast.BinaryExpr); ok && be.Op == token.LSS {
+				head = b
+			}
+		}
+	}
+	if head == nil {
+		t.Fatalf("loop head with condition not found")
+	}
+	if head.True == nil || head.False == nil {
+		t.Fatalf("loop head must branch to body and after")
+	}
+	// Head must be inside a cycle: reachable from itself.
+	seen := make(map[*Block]bool)
+	var walk func(*Block) bool
+	walk = func(b *Block) bool {
+		for _, s := range b.Succs {
+			if s == head {
+				return true
+			}
+			if !seen[s] {
+				seen[s] = true
+				if walk(s) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	if !walk(head) {
+		t.Fatalf("loop head not part of a cycle (back edge missing)")
+	}
+}
+
+func TestCFGRangeLoop(t *testing.T) {
+	_, c := buildFromSrc(t, `
+xs := []int{1, 2}
+s := 0
+for _, v := range xs {
+	s += v
+}
+_ = s`)
+	var head *Block
+	for _, b := range c.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.RangeStmt); ok {
+				head = b
+			}
+		}
+	}
+	if head == nil {
+		t.Fatalf("range head not found")
+	}
+	if len(head.Succs) != 2 {
+		t.Fatalf("range head has %d successors, want 2 (body, after)", len(head.Succs))
+	}
+	if !reachesExit(c) {
+		t.Fatalf("exit unreachable")
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	_, c := buildFromSrc(t, `
+x := 1
+y := 0
+switch x {
+case 1:
+	y = 1
+	fallthrough
+case 2:
+	y = 2
+default:
+	y = 3
+}
+_ = y`)
+	if !reachesExit(c) {
+		t.Fatalf("exit unreachable")
+	}
+	// With a default present, the switch head must not edge directly to
+	// the after block.
+	head := c.Entry
+	for _, s := range head.Succs {
+		if s == c.Exit {
+			t.Fatalf("switch head edges straight to exit despite default")
+		}
+	}
+	if len(head.Succs) != 3 {
+		t.Fatalf("switch head has %d successors, want 3 case clauses", len(head.Succs))
+	}
+}
+
+func TestCFGSelect(t *testing.T) {
+	_, c := buildFromSrc(t, `
+ch := make(chan int)
+select {
+case v := <-ch:
+	_ = v
+default:
+}
+_ = ch`)
+	if !reachesExit(c) {
+		t.Fatalf("exit unreachable")
+	}
+}
+
+func TestCFGDeferCollected(t *testing.T) {
+	_, c := buildFromSrc(t, `
+x := 1
+defer println(x)
+if x > 0 {
+	return
+}
+_ = x`)
+	if len(c.Defers) != 1 {
+		t.Fatalf("defers = %d, want 1", len(c.Defers))
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	_, c := buildFromSrc(t, `
+s := 0
+outer:
+for i := 0; i < 3; i++ {
+	for j := 0; j < 3; j++ {
+		if i+j > 3 {
+			break outer
+		}
+		s++
+	}
+}
+_ = s`)
+	if !reachesExit(c) {
+		t.Fatalf("exit unreachable through labeled break")
+	}
+}
+
+func TestCFGGoto(t *testing.T) {
+	_, c := buildFromSrc(t, `
+i := 0
+loop:
+if i < 3 {
+	i++
+	goto loop
+}
+_ = i`)
+	if !reachesExit(c) {
+		t.Fatalf("exit unreachable")
+	}
+	// The goto must close a cycle back to the labeled block.
+	cyclic := false
+	for _, b := range c.Blocks {
+		seen := make(map[*Block]bool)
+		var walk func(x *Block) bool
+		walk = func(x *Block) bool {
+			for _, s := range x.Succs {
+				if s == b {
+					return true
+				}
+				if !seen[s] {
+					seen[s] = true
+					if walk(s) {
+						return true
+					}
+				}
+			}
+			return false
+		}
+		if walk(b) {
+			cyclic = true
+		}
+	}
+	if !cyclic {
+		t.Fatalf("goto loop produced an acyclic graph")
+	}
+}
+
+// TestSolveReachingState exercises the dataflow solver with a tiny
+// constant-state analysis: track the set of string "events" that MAY have
+// occurred (union join) and the set that MUST have occurred
+// (intersection join) at exit, over a diamond with one arm panicking.
+func TestSolveReachingState(t *testing.T) {
+	_, c := buildFromSrc(t, `
+x := 1
+if x > 0 {
+	x = 2
+} else {
+	x = 3
+}
+_ = x`)
+	// Facts: set of "assigned constant" markers seen on some path.
+	type fact = map[string]bool
+	eventsOf := func(b *Block) []string {
+		var out []string
+		for _, n := range b.Nodes {
+			if as, ok := n.(*ast.AssignStmt); ok && len(as.Rhs) == 1 {
+				if lit, ok := as.Rhs[0].(*ast.BasicLit); ok {
+					out = append(out, lit.Value)
+				}
+			}
+		}
+		return out
+	}
+	clone := func(f fact) fact {
+		g := make(fact, len(f))
+		for k, v := range f {
+			g[k] = v
+		}
+		return g
+	}
+	equal := func(a, b fact) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for k := range a {
+			if !b[k] {
+				return false
+			}
+		}
+		return true
+	}
+	transfer := func(b *Block, in fact) fact {
+		for _, e := range eventsOf(b) {
+			in[e] = true
+		}
+		return in
+	}
+
+	// May-analysis: union join.
+	may := Solve(c, FlowSpec[fact]{
+		Entry:  func() fact { return fact{} },
+		Bottom: func() fact { return fact{} },
+		Clone:  clone,
+		Join: func(dst, src fact) fact {
+			for k := range src {
+				dst[k] = true
+			}
+			return dst
+		},
+		Equal:    equal,
+		Transfer: transfer,
+	})
+	atExit := may[c.Exit]
+	var got []string
+	for k := range atExit {
+		got = append(got, k)
+	}
+	sort.Strings(got)
+	want := []string{"1", "2", "3"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("may-facts at exit = %v, want %v", got, want)
+	}
+
+	// Must-analysis: intersection join with a Top bottom element.
+	top := "⊤"
+	must := Solve(c, FlowSpec[fact]{
+		Entry:  func() fact { return fact{} },
+		Bottom: func() fact { return fact{top: true} },
+		Clone:  clone,
+		Join: func(dst, src fact) fact {
+			if dst[top] {
+				return clone(src)
+			}
+			if src[top] {
+				return dst
+			}
+			for k := range dst {
+				if !src[k] {
+					delete(dst, k)
+				}
+			}
+			return dst
+		},
+		Equal:    equal,
+		Transfer: transfer,
+	})
+	atExit = must[c.Exit]
+	got = nil
+	for k := range atExit {
+		got = append(got, k)
+	}
+	sort.Strings(got)
+	// "1" happens unconditionally; "2"/"3" each on only one arm.
+	if strings.Join(got, ",") != "1" {
+		t.Fatalf("must-facts at exit = %v, want [1]", got)
+	}
+}

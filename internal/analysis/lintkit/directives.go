@@ -1,0 +1,236 @@
+package lintkit
+
+// Directive bookkeeping: every `//lint:` suppression the passes scan is
+// registered here, and Suppressions marks the ones that actually prevented
+// a finding. Whatever remains unused at the end of a run is a stale
+// suppression — a justification that outlived the code it excused — and
+// the driver reports it. `//sim:` annotations (hotpath, pool, observer,
+// waitq, ...) are declarations of intent, not suppressions, and are
+// collected by the helpers at the bottom of this file instead.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Directive is one suppression-comment occurrence.
+type Directive struct {
+	Marker string // e.g. "//lint:alloc"
+	Pos    token.Position
+	Text   string // justification text after the marker
+	Used   bool   // did it suppress at least one would-be finding?
+}
+
+// DirectiveRegistry tracks suppression directives across a whole run. One
+// registry is shared by every (analyzer, package) invocation; passes feed
+// it through Pass.Suppressions, and the driver reads Stale() afterwards.
+type DirectiveRegistry struct {
+	byKey map[directiveKey]*Directive
+	list  []*Directive
+}
+
+type directiveKey struct {
+	marker string
+	file   string
+	line   int
+}
+
+// NewDirectiveRegistry returns an empty registry.
+func NewDirectiveRegistry() *DirectiveRegistry {
+	return &DirectiveRegistry{byKey: make(map[directiveKey]*Directive)}
+}
+
+// Register records one directive occurrence and returns its tracking
+// entry. Registration is idempotent per (marker, file, line) — a directive
+// scanned by several files' passes maps to one entry. A nil registry
+// returns a detached entry so callers need no nil checks.
+func (r *DirectiveRegistry) Register(marker string, pos token.Position, text string) *Directive {
+	if r == nil {
+		return &Directive{Marker: marker, Pos: pos, Text: text}
+	}
+	k := directiveKey{marker: marker, file: pos.Filename, line: pos.Line}
+	if d, ok := r.byKey[k]; ok {
+		return d
+	}
+	d := &Directive{Marker: marker, Pos: pos, Text: text}
+	r.byKey[k] = d
+	r.list = append(r.list, d)
+	return d
+}
+
+// Stale returns the registered directives that never suppressed a finding,
+// sorted by file, line, then marker.
+func (r *DirectiveRegistry) Stale() []*Directive {
+	if r == nil {
+		return nil
+	}
+	var out []*Directive
+	for _, d := range r.list {
+		if !d.Used {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Marker < b.Marker
+	})
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// //sim: annotation collectors (cross-package).
+// ---------------------------------------------------------------------------
+
+// directiveArgs returns the argument text of the first comment in cg that
+// is the given directive ("//sim:pool acquire" with directive "//sim:pool"
+// yields "acquire", true). A comment matches only when the directive is
+// followed by whitespace or end-of-comment, so "//sim:poolx" does not
+// match "//sim:pool".
+func directiveArgs(cg *ast.CommentGroup, directive string) (string, bool) {
+	if cg == nil {
+		return "", false
+	}
+	for _, c := range cg.List {
+		rest, ok := strings.CutPrefix(c.Text, directive)
+		if !ok {
+			continue
+		}
+		if rest == "" {
+			return "", true
+		}
+		if rest[0] == ' ' || rest[0] == '\t' {
+			return strings.TrimSpace(rest), true
+		}
+	}
+	return "", false
+}
+
+// FuncDirective returns the argument text of a directive in fn's doc
+// comment and whether the directive is present.
+func FuncDirective(fn *ast.FuncDecl, directive string) (string, bool) {
+	return directiveArgs(fn.Doc, directive)
+}
+
+// CollectFuncDirectives scans every non-standard-library package of prog
+// for function and method declarations whose doc comment carries the
+// directive, and maps their types.Object (a *types.Func) to the
+// directive's argument text. This is how a pass running on package A sees
+// annotations declared in package B.
+func CollectFuncDirectives(prog *Program, directive string) map[types.Object]string {
+	out := make(map[types.Object]string)
+	if prog == nil {
+		return out
+	}
+	for _, pkg := range prog.Packages {
+		if pkg.Standard || pkg.TypesInfo == nil {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				args, ok := FuncDirective(fn, directive)
+				if !ok {
+					continue
+				}
+				if obj := pkg.TypesInfo.Defs[fn.Name]; obj != nil {
+					out[obj] = args
+				}
+			}
+		}
+	}
+	return out
+}
+
+// CollectTypeDirectives scans every non-standard-library package of prog
+// for type declarations carrying the directive and maps their
+// *types.TypeName to the argument text.
+func CollectTypeDirectives(prog *Program, directive string) map[types.Object]string {
+	out := make(map[types.Object]string)
+	if prog == nil {
+		return out
+	}
+	for _, pkg := range prog.Packages {
+		if pkg.Standard || pkg.TypesInfo == nil {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					args, found := directiveArgs(ts.Doc, directive)
+					if !found {
+						args, found = directiveArgs(ts.Comment, directive)
+					}
+					if !found && len(gd.Specs) == 1 {
+						args, found = directiveArgs(gd.Doc, directive)
+					}
+					if !found {
+						continue
+					}
+					if obj := pkg.TypesInfo.Defs[ts.Name]; obj != nil {
+						out[obj] = args
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// CollectFieldDirectives scans every non-standard-library package of prog
+// for struct fields annotated with the directive and maps their field
+// objects (*types.Var) to the argument text.
+func CollectFieldDirectives(prog *Program, directive string) map[types.Object]string {
+	out := make(map[types.Object]string)
+	if prog == nil {
+		return out
+	}
+	for _, pkg := range prog.Packages {
+		if pkg.Standard || pkg.TypesInfo == nil {
+			continue
+		}
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				st, ok := n.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				for _, f := range st.Fields.List {
+					args, found := directiveArgs(f.Doc, directive)
+					if !found {
+						args, found = directiveArgs(f.Comment, directive)
+					}
+					if !found {
+						continue
+					}
+					for _, name := range f.Names {
+						if obj := pkg.TypesInfo.Defs[name]; obj != nil {
+							out[obj] = args
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}

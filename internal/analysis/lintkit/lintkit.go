@@ -45,8 +45,19 @@ type Pass struct {
 	// (dependencies included), so passes can read annotations declared in
 	// other packages' sources — poor man's analysis facts.
 	Program *Program
+	// Registry, when the driver installs one, tracks suppression
+	// directives across the run so unused ones can be reported as stale.
+	// Passes feed it by building their Suppressions via Pass.Suppressions.
+	Registry *DirectiveRegistry
 	// Report delivers one diagnostic.
 	Report func(Diagnostic)
+}
+
+// Suppressions scans file for the pass's suppression marker, registering
+// each occurrence with the run's directive registry (when present) so the
+// driver can report suppressions that stopped suppressing anything.
+func (p *Pass) Suppressions(file *ast.File, marker string) *Suppressions {
+	return newSuppressions(p.Fset, file, marker, p.Registry)
 }
 
 // Reportf reports a formatted diagnostic at pos.
@@ -77,6 +88,13 @@ func (f Finding) String() string {
 // non-nil, can exclude (analyzer, package) combinations — the driver uses
 // it to scope the determinism pass to simulation code.
 func Run(pkgs []*Package, analyzers []*Analyzer, filter func(*Analyzer, *Package) bool) ([]Finding, error) {
+	return RunWithRegistry(pkgs, analyzers, filter, nil)
+}
+
+// RunWithRegistry is Run with a shared directive registry: every pass built
+// on Pass.Suppressions registers its suppression comments there, and the
+// driver reports the unused ones as stale after the run.
+func RunWithRegistry(pkgs []*Package, analyzers []*Analyzer, filter func(*Analyzer, *Package) bool, reg *DirectiveRegistry) ([]Finding, error) {
 	var out []Finding
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
@@ -90,6 +108,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer, filter func(*Analyzer, *Package
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
 				Program:   pkg.Program,
+				Registry:  reg,
 			}
 			aName, pkgPath := a.Name, pkg.ImportPath
 			pass.Report = func(d Diagnostic) {
@@ -133,13 +152,19 @@ func Run(pkgs []*Package, analyzers []*Analyzer, filter func(*Analyzer, *Package
 // thing on its line, on the following line.
 type Suppressions struct {
 	fset  *token.FileSet
-	lines map[int]string // line → directive text (after the marker)
+	lines map[int]*Directive // line → governing directive occurrence
 }
 
 // NewSuppressions scans file for comments beginning with marker (e.g.
-// "//lint:deterministic") and records the lines they govern.
+// "//lint:deterministic") and records the lines they govern. Prefer
+// Pass.Suppressions inside analyzers — it also feeds the run's stale-
+// suppression registry.
 func NewSuppressions(fset *token.FileSet, file *ast.File, marker string) *Suppressions {
-	s := &Suppressions{fset: fset, lines: make(map[int]string)}
+	return newSuppressions(fset, file, marker, nil)
+}
+
+func newSuppressions(fset *token.FileSet, file *ast.File, marker string, reg *DirectiveRegistry) *Suppressions {
+	s := &Suppressions{fset: fset, lines: make(map[int]*Directive)}
 	for _, cg := range file.Comments {
 		for _, c := range cg.List {
 			text, ok := strings.CutPrefix(c.Text, marker)
@@ -147,20 +172,27 @@ func NewSuppressions(fset *token.FileSet, file *ast.File, marker string) *Suppre
 				continue
 			}
 			pos := fset.Position(c.Slash)
-			s.lines[pos.Line] = strings.TrimSpace(text)
+			d := reg.Register(marker, pos, strings.TrimSpace(text))
+			s.lines[pos.Line] = d
 			// A directive on its own line (column 1..any, nothing but the
 			// comment) also governs the next line. Approximation: always
 			// extend to the next line; a trailing same-line directive
 			// governing the following statement too is harmless.
-			s.lines[pos.Line+1] = strings.TrimSpace(text)
+			s.lines[pos.Line+1] = d
 		}
 	}
 	return s
 }
 
-// Suppressed reports whether pos falls on a governed line.
+// Suppressed reports whether pos falls on a governed line, and marks the
+// governing directive as used. Call it only where a finding would
+// otherwise be reported — a speculative call would defeat stale-
+// suppression detection by marking directives that suppress nothing.
 func (s *Suppressions) Suppressed(pos token.Pos) bool {
-	_, ok := s.lines[s.fset.Position(pos).Line]
+	d, ok := s.lines[s.fset.Position(pos).Line]
+	if ok {
+		d.Used = true
+	}
 	return ok
 }
 

@@ -1,0 +1,12 @@
+package poolflow_test
+
+import (
+	"testing"
+
+	"bulksc/internal/analysis/linttest"
+	"bulksc/internal/analysis/poolflow"
+)
+
+func TestPoolflowFixture(t *testing.T) {
+	linttest.Run(t, "testdata/poolleak", poolflow.Analyzer)
+}

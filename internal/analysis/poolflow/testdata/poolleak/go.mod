@@ -1,0 +1,3 @@
+module poolleak
+
+go 1.22

@@ -1,0 +1,143 @@
+// Package poolleak reproduces the historical pooled-object ownership bug
+// classes: the PR-2 write-buffer leak (an owned object dropped on an early
+// return) and the PR-5 Adopt gating bug (a conditional path that skips the
+// release). It also pins use-after-release, double release, overwrite
+// leaks, and the sanctioned escapes that must stay silent.
+package poolleak
+
+type Chunk struct {
+	ID   int
+	used bool
+}
+
+type Pool struct {
+	free []*Chunk
+	held []*Chunk
+}
+
+// Get draws a chunk from the pool; the caller owns the result.
+//
+//sim:pool acquire
+func (p *Pool) Get() *Chunk {
+	if n := len(p.free); n > 0 {
+		ch := p.free[n-1]
+		p.free = p.free[:n-1]
+		return ch
+	}
+	return &Chunk{}
+}
+
+// Put returns a chunk to the pool.
+//
+//sim:pool release
+func (p *Pool) Put(ch *Chunk) {
+	ch.used = false
+	p.free = append(p.free, ch)
+}
+
+// consume takes over ownership of ch; callers annotate the handoff.
+func consume(ch *Chunk) { _ = ch }
+
+// earlyReturnLeak is the PR-2 class: the early return drops the chunk.
+func earlyReturnLeak(p *Pool, fail bool) {
+	ch := p.Get() // want `pooled object "ch" acquired from Get may reach function exit without release`
+	if fail {
+		return // leaks ch
+	}
+	p.Put(ch)
+}
+
+// conditionalReleaseLeak is the PR-5 Adopt-gating class: only one branch
+// releases.
+func conditionalReleaseLeak(p *Pool, keep bool) {
+	ch := p.Get() // want `pooled object "ch" acquired from Get may reach function exit without release`
+	if !keep {
+		p.Put(ch)
+	}
+	// keep==true path drops ch without adopting it anywhere.
+}
+
+func useAfterPut(p *Pool) int {
+	ch := p.Get()
+	p.Put(ch)
+	return ch.ID // want `pooled object "ch" used after release`
+}
+
+func doublePut(p *Pool) {
+	ch := p.Get()
+	p.Put(ch)
+	p.Put(ch) // want `pooled object "ch" released twice`
+}
+
+func overwriteLeak(p *Pool) {
+	ch := p.Get()
+	ch = p.Get() // want `pooled object "ch" is reassigned while still owning its previous Get result`
+	p.Put(ch)
+}
+
+// ---------------------------------------------------------------------------
+// Sanctioned patterns: no diagnostics below this line.
+// ---------------------------------------------------------------------------
+
+func balanced(p *Pool, fail bool) {
+	ch := p.Get()
+	if fail {
+		p.Put(ch)
+		return
+	}
+	ch.ID++
+	p.Put(ch)
+}
+
+func deferredRelease(p *Pool) int {
+	ch := p.Get()
+	defer p.Put(ch)
+	return ch.ID
+}
+
+func returnsOwnership(p *Pool) *Chunk {
+	ch := p.Get()
+	ch.ID = 7
+	return ch // ownership moves to the caller
+}
+
+func storesIntoField(p *Pool) {
+	ch := p.Get()
+	p.held = append(p.held, ch) // retained by the pool's own list
+}
+
+func panicPathExempt(p *Pool, bad bool) {
+	ch := p.Get()
+	if bad {
+		panic("machine state corrupt") // throw paths carry no obligations
+	}
+	p.Put(ch)
+}
+
+func moveThenRelease(p *Pool) {
+	ch := p.Get()
+	victim := ch // move: victim takes over ownership
+	victim.ID++
+	p.Put(victim)
+}
+
+func annotatedHandoff(p *Pool) {
+	ch := p.Get()
+	consume(ch) //lint:owner consume retains ch in its registry
+}
+
+func rangeRelease(p *Pool, victims []*Chunk) {
+	for _, ch := range victims {
+		if ch.used {
+			p.Put(ch)
+		}
+	}
+}
+
+func borrowIsNotTransfer(p *Pool) {
+	ch := p.Get()
+	inspect(ch) // plain call: borrow, ch still owned here
+	p.Put(ch)
+}
+
+func inspect(ch *Chunk) { _ = ch.ID }

@@ -30,6 +30,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 
 	"bulksc/internal/analysis/lintkit"
 )
@@ -119,7 +120,11 @@ func checkCoverage(pass *lintkit.Pass, fn *ast.FuncDecl, named *types.Named, st 
 	fieldSuppressed := suppressedFields(pass, named)
 	for i := 0; i < st.NumFields(); i++ {
 		f := st.Field(i)
-		if covered[f.Name()] || fieldSuppressed[f.Name()] {
+		if covered[f.Name()] {
+			continue // a poolsafe annotation here suppressed nothing: leave it unused (stale)
+		}
+		if d := fieldSuppressed[f.Name()]; d != nil {
+			d.Used = true
 			continue
 		}
 		pass.Reportf(fn.Name.Pos(),
@@ -183,9 +188,12 @@ func receiverObject(info *types.Info, fn *ast.FuncDecl) types.Object {
 
 // suppressedFields scans the struct's declaration (which may live in any
 // file of the defining package, or in a dependency) for fields annotated
-// with the poolsafe directive.
-func suppressedFields(pass *lintkit.Pass, named *types.Named) map[string]bool {
-	out := make(map[string]bool)
+// with the poolsafe directive, registering each annotation with the run's
+// directive registry. The caller marks an entry Used only when it actually
+// excused an uncovered field, so annotations on fields a Reset does clear
+// surface as stale.
+func suppressedFields(pass *lintkit.Pass, named *types.Named) map[string]*lintkit.Directive {
+	out := make(map[string]*lintkit.Directive)
 	declPkg := named.Obj().Pkg()
 	if declPkg == nil {
 		return out
@@ -209,10 +217,18 @@ func suppressedFields(pass *lintkit.Pass, named *types.Named) map[string]bool {
 				return true
 			}
 			for _, f := range stExpr.Fields.List {
-				if hasDirective(f.Doc) || hasDirective(f.Comment) {
-					for _, name := range f.Names {
-						out[name.Name] = true
-					}
+				c := directiveComment(f.Doc)
+				if c == nil {
+					c = directiveComment(f.Comment)
+				}
+				if c == nil {
+					continue
+				}
+				d := pass.Registry.Register(Directive,
+					pass.Fset.Position(c.Slash),
+					strings.TrimSpace(strings.TrimPrefix(c.Text, Directive)))
+				for _, name := range f.Names {
+					out[name.Name] = d
 				}
 			}
 			return false
@@ -221,14 +237,14 @@ func suppressedFields(pass *lintkit.Pass, named *types.Named) map[string]bool {
 	return out
 }
 
-func hasDirective(cg *ast.CommentGroup) bool {
+func directiveComment(cg *ast.CommentGroup) *ast.Comment {
 	if cg == nil {
-		return false
+		return nil
 	}
 	for _, c := range cg.List {
-		if len(c.Text) >= len(Directive) && c.Text[:len(Directive)] == Directive {
-			return true
+		if strings.HasPrefix(c.Text, Directive) {
+			return c
 		}
 	}
-	return false
+	return nil
 }

@@ -1,0 +1,3 @@
+module waitq
+
+go 1.22

@@ -1,0 +1,166 @@
+// Package waitq reproduces the wait-queue pairing bug classes: the
+// arbiter lockQueue stale-waiter leak (a terminal-disposition function
+// that marks waiters dead but never dequeues them), the leak-on-branch
+// variant (removal only on one arm of a conditional), and the sanctioned
+// patterns — filter-loop removal, guarded FIFO pop under a len() test,
+// deferred drain, map delete, and panic-exempt paths.
+package waitq
+
+type waiter struct {
+	tok  uint64
+	dead bool
+}
+
+// Arbiter mirrors the real arbiter's slice-backed lock queue.
+type Arbiter struct {
+	//sim:waitq lockq
+	lockQueue []*waiter
+
+	granted int
+}
+
+func (a *Arbiter) enqueue(w *waiter) {
+	a.lockQueue = append(a.lockQueue, w)
+}
+
+// unlock pops the queue head when one is waiting.
+//
+//sim:waitq deq lockq
+func (a *Arbiter) unlock() {
+	if len(a.lockQueue) > 0 {
+		a.lockQueue = a.lockQueue[1:]
+	}
+}
+
+// endPreArbitrationStale is the historical bug verbatim: the dying
+// transaction's waiters are marked dead but stay queued, so the stale
+// entries fire into recycled transaction state later.
+//
+//sim:waitq final lockq
+func (a *Arbiter) endPreArbitrationStale(tok uint64) { // want `final function endPreArbitrationStale may reach exit without removing from wait queue "lockq"`
+	for _, w := range a.lockQueue {
+		if w.tok == tok {
+			w.dead = true
+		}
+	}
+}
+
+// endPreArbitration is the fixed version: a filter loop rebuilds the
+// queue without the dying transaction's waiters.
+//
+//sim:waitq final lockq
+func (a *Arbiter) endPreArbitration(tok uint64) {
+	keep := a.lockQueue[:0]
+	for _, w := range a.lockQueue {
+		if w.tok != tok {
+			keep = append(keep, w)
+		}
+	}
+	a.lockQueue = keep
+}
+
+// release is the G-arbiter pattern: pop under a len() guard. The false
+// edge proves the queue empty, discharging the obligation vacuously.
+//
+//sim:waitq final lockq
+func (a *Arbiter) release() {
+	if len(a.lockQueue) > 0 {
+		next := a.lockQueue[0]
+		a.lockQueue = a.lockQueue[1:]
+		next.dead = false
+		return
+	}
+	a.granted--
+}
+
+// cancelIfGranted leaks on the granted==0 branch: the deq call is only
+// reached on one arm.
+//
+//sim:waitq final lockq
+func (a *Arbiter) cancelIfGranted() { // want `final function cancelIfGranted may reach exit without removing from wait queue "lockq"`
+	if a.granted > 0 {
+		a.unlock()
+	}
+}
+
+// resetDeferred drains through a defer; exit-time effects count.
+//
+//sim:waitq final lockq
+func (a *Arbiter) resetDeferred() {
+	defer a.drain()
+	a.granted = 0
+}
+
+//sim:waitq deq lockq
+func (a *Arbiter) drain() {
+	a.lockQueue = nil
+}
+
+// mustCancel: the non-removing path panics, so it is exempt.
+//
+//sim:waitq final lockq
+func (a *Arbiter) mustCancel(ok bool) {
+	if !ok {
+		panic("protocol violation")
+	}
+	a.lockQueue = nil
+}
+
+// sanctioned carries a reviewed exception.
+//
+//sim:waitq final lockq
+//lint:waiter squash path drains via an engine callback registered at enqueue
+func (a *Arbiter) sanctioned() {
+	a.granted = 0
+}
+
+// Tracker mirrors the arbiter's pending-transaction map.
+type Tracker struct {
+	//sim:waitq pending
+	pending map[uint64]*waiter
+}
+
+func (t *Tracker) register(w *waiter) {
+	t.pending[w.tok] = w
+}
+
+//sim:waitq final pending
+func (t *Tracker) done(tok uint64) {
+	delete(t.pending, tok)
+}
+
+// Leaky has registrations but no removal site anywhere: the pairing
+// check fires at the field.
+type Leaky struct {
+	//sim:waitq leakq
+	waiters []*waiter // want `wait queue "leakq" has registration sites but no removal site anywhere`
+}
+
+func (l *Leaky) add(w *waiter) {
+	l.waiters = append(l.waiters, w)
+}
+
+// NoFinal removes, but no function is annotated as the terminal
+// disposition, so nothing proves removal happens on cancel paths.
+type NoFinal struct {
+	//sim:waitq nofinalq
+	q []*waiter // want `wait queue "nofinalq" has no //sim:waitq final function proving removal on terminal paths`
+}
+
+func (n *NoFinal) add(w *waiter) {
+	n.q = append(n.q, w)
+}
+
+func (n *NoFinal) pop() {
+	n.q = n.q[1:]
+}
+
+// Idle has no registration sites at all: no obligation.
+type Idle struct {
+	//sim:waitq idleq
+	q []*waiter
+}
+
+func (i *Idle) flush() {
+	i.q = nil
+}

@@ -1,0 +1,522 @@
+// Package waiterpair implements the simlint pass that proves wait-queue
+// registration/removal pairing. The simulator parks work on wait queues —
+// the arbiter's lock queue, the sharded G-arbiter's per-shard FIFO, the
+// directory's per-entry waiter lists, the arbiter's pending-transaction
+// map — and the recurring bug class (PR 2's arbiter lockQueue leak) is a
+// registration that survives the waiter's death: an entry enqueued on
+// grant-denied or conflict paths that no cancel/denial/squash path ever
+// removes, leaving a stale callback that fires into recycled state.
+//
+// Annotation vocabulary:
+//
+//   - `//sim:waitq <name>` on a struct field: the field is a wait queue
+//     (slice of waiters, or map keyed by token).
+//   - `//sim:waitq enq <name>` on a function: it registers a waiter
+//     (beyond the directly visible append/map-store sites).
+//   - `//sim:waitq deq <name>` on a function: calling it removes from the
+//     queue.
+//   - `//sim:waitq final <name>` on a function: a terminal-disposition
+//     path (cancel, denial, squash, reset) — every non-panic path through
+//     it must reach a removal of <name>.
+//   - `//lint:waiter <reason>` suppresses a finding on its line.
+//
+// Two checks run:
+//
+//  1. Program-level pairing: every annotated queue with at least one
+//     registration site (append to the field, map index-store, or a call
+//     to an enq function) must have at least one removal site somewhere
+//     (a non-growing assignment to the field, delete/clear on it, or a
+//     deq function) and at least one `final` function proving where
+//     removal is guaranteed.
+//  2. Flow-sensitive must-analysis over each `final` function
+//     (lintkit.BuildCFG + Solve, intersection join): every path to exit
+//     must pass a removal. Edges that prove the queue empty — the false
+//     edge of `len(q) > 0`, the true edge of `len(q) == 0` — discharge
+//     the obligation vacuously (the G-arbiter's guarded FIFO pop).
+package waiterpair
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"bulksc/internal/analysis/lintkit"
+)
+
+// WaitqDirective is the annotation prefix for queues and their operations.
+const WaitqDirective = "//sim:waitq"
+
+// Directive is the line-level suppression marker.
+const Directive = "//lint:waiter"
+
+// Analyzer is the waiterpair pass.
+var Analyzer = &lintkit.Analyzer{
+	Name: "waiterpair",
+	Doc: "prove wait-queue registration/removal pairing: every //sim:waitq " +
+		"registration needs a removal site, and every `final` function must " +
+		"remove on all non-panic paths",
+	Run: run,
+}
+
+type waitqEnv struct {
+	fields map[types.Object]string // queue field → name
+	enq    map[types.Object]string // functions that register
+	deq    map[types.Object]string // functions that remove
+	final  map[types.Object]string // functions with a must-remove obligation
+	names  map[string]bool
+}
+
+func newWaitqEnv(prog *lintkit.Program) *waitqEnv {
+	e := &waitqEnv{
+		fields: lintkit.CollectFieldDirectives(prog, WaitqDirective),
+		enq:    make(map[types.Object]string),
+		deq:    make(map[types.Object]string),
+		final:  make(map[types.Object]string),
+		names:  make(map[string]bool),
+	}
+	//lint:deterministic order-insensitive set projection into another map
+	for _, name := range e.fields {
+		e.names[name] = true
+	}
+	//lint:deterministic order-insensitive re-keying into verb-split maps
+	for obj, args := range lintkit.CollectFuncDirectives(prog, WaitqDirective) {
+		verb, name, ok := strings.Cut(args, " ")
+		if !ok {
+			continue
+		}
+		name = strings.TrimSpace(name)
+		switch verb {
+		case "enq":
+			e.enq[obj] = name
+		case "deq":
+			e.deq[obj] = name
+		case "final":
+			e.final[obj] = name
+		}
+	}
+	return e
+}
+
+func run(pass *lintkit.Pass) (interface{}, error) {
+	env := newWaitqEnv(pass.Program)
+	if len(env.fields) == 0 {
+		return nil, nil
+	}
+	checkPairing(pass, env)
+	for _, file := range pass.Files {
+		sup := pass.Suppressions(file, Directive)
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[fn.Name]
+			if obj == nil {
+				continue
+			}
+			if name, ok := env.final[obj]; ok {
+				checkFinal(pass, sup, env, fn, name)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// ---------------------------------------------------------------------------
+// Check 1: program-level pairing.
+// ---------------------------------------------------------------------------
+
+// checkPairing reports queues declared in THIS package that have
+// registration sites but no removal site or no final function anywhere in
+// the program.
+func checkPairing(pass *lintkit.Pass, env *waitqEnv) {
+	// Queues declared in this package, deterministic order.
+	var local []types.Object
+	for obj := range env.fields {
+		local = append(local, obj)
+	}
+	sort.Slice(local, func(i, j int) bool { return local[i].Pos() < local[j].Pos() })
+
+	type tally struct{ enq, rem bool }
+	counts := make(map[string]*tally)
+	for _, obj := range local {
+		if obj.Pkg() == pass.Pkg {
+			counts[env.fields[obj]] = &tally{}
+		}
+	}
+	if len(counts) == 0 {
+		return
+	}
+	//lint:deterministic order-independent existence projection over annotation sets
+	for _, n := range env.enq {
+		if t, ok := counts[n]; ok {
+			t.enq = true
+		}
+	}
+	//lint:deterministic order-independent existence projection over annotation sets
+	for _, n := range env.deq {
+		if t, ok := counts[n]; ok {
+			t.rem = true
+		}
+	}
+	for _, pkg := range pass.Program.Packages {
+		if pkg.Standard || pkg.TypesInfo == nil {
+			continue
+		}
+		for _, file := range pkg.Files {
+			scanSites(pkg.TypesInfo, file, env, func(name string, isRemoval bool) {
+				if t, ok := counts[name]; ok {
+					if isRemoval {
+						t.rem = true
+					} else {
+						t.enq = true
+					}
+				}
+			})
+		}
+	}
+	hasFinal := make(map[string]bool)
+	//lint:deterministic order-insensitive set projection into another map
+	for _, n := range env.final {
+		hasFinal[n] = true
+	}
+	for _, obj := range local {
+		name := env.fields[obj]
+		t := counts[name]
+		if t == nil || !t.enq {
+			continue // write-only or unused queues carry no obligation
+		}
+		if !t.rem {
+			pass.Reportf(obj.Pos(), "wait queue %q has registration sites but no removal site anywhere "+
+				"(stale waiters outlive their transaction: the PR-2 lockQueue leak class)", name)
+			continue
+		}
+		if !hasFinal[name] {
+			pass.Reportf(obj.Pos(), "wait queue %q has no //sim:waitq final function proving removal on "+
+				"terminal paths (annotate the cancel/denial/reset disposition)", name)
+		}
+	}
+}
+
+// scanSites invokes found(name, isRemoval) for every registration and
+// removal site in file. Registration: `f = append(f, x)` growth on a
+// queue field, a map store `f[k] = v`, or a call to an enq function.
+// Removal: any other assignment to the field, delete/clear on it, or a
+// call to a deq function.
+func scanSites(info *types.Info, file *ast.File, env *waitqEnv, found func(name string, isRemoval bool)) {
+	fieldName := func(e ast.Expr) (string, bool) {
+		sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+		if !ok {
+			return "", false
+		}
+		s, ok := info.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return "", false
+		}
+		name, ok := env.fields[s.Obj()]
+		return name, ok
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if name, ok := fieldName(lhs); ok {
+					isGrowth := false
+					if i < len(n.Rhs) {
+						if call, ok := ast.Unparen(n.Rhs[i]).(*ast.CallExpr); ok {
+							if id, ok := call.Fun.(*ast.Ident); ok {
+								if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "append" &&
+									len(call.Args) > 1 {
+									if first, ok := fieldName(call.Args[0]); ok && first == name {
+										isGrowth = true
+									}
+								}
+							}
+						}
+					}
+					found(name, !isGrowth)
+					continue
+				}
+				// Map store f[k] = v: registration. Index stores into
+				// slice-typed queues are slot scrubbing (the G-arbiter
+				// zeroes the popped head), not registration.
+				if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					if name, ok := fieldName(ix.X); ok {
+						if t := info.TypeOf(ix.X); t != nil {
+							if _, isMap := t.Underlying().(*types.Map); isMap {
+								found(name, false)
+							}
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok {
+					if (b.Name() == "delete" || b.Name() == "clear") && len(n.Args) > 0 {
+						if name, ok := fieldName(n.Args[0]); ok {
+							found(name, true)
+						}
+					}
+					return true
+				}
+			}
+			if obj := staticCallee(info, n); obj != nil {
+				if name, ok := env.enq[obj]; ok {
+					found(name, false)
+				}
+				if name, ok := env.deq[obj]; ok {
+					found(name, true)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func staticCallee(info *types.Info, call *ast.CallExpr) types.Object {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	default:
+		return nil
+	}
+	if f, ok := obj.(*types.Func); ok {
+		return f.Origin()
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Check 2: must-remove analysis over final functions.
+// ---------------------------------------------------------------------------
+
+// mustFact is the must-analysis fact: the set of queue names provably
+// removed (or proven empty) on every path reaching this point. top is the
+// pre-join sentinel of unvisited blocks.
+type mustFact struct {
+	top     bool
+	removed map[string]bool
+}
+
+func checkFinal(pass *lintkit.Pass, sup *lintkit.Suppressions, env *waitqEnv, fn *ast.FuncDecl, queue string) {
+	info := pass.TypesInfo
+	cfg := lintkit.BuildCFG(fn.Body)
+
+	// Deferred removals count at exit.
+	deferRemoved := make(map[string]bool)
+	for _, d := range cfg.Defers {
+		removalsIn(info, env, d.Call, func(name string) { deferRemoved[name] = true })
+	}
+
+	clone := func(f mustFact) mustFact {
+		g := mustFact{top: f.top, removed: make(map[string]bool, len(f.removed))}
+		//lint:deterministic order-insensitive set copy; result is a map again
+		for k := range f.removed {
+			g.removed[k] = true
+		}
+		return g
+	}
+	ins := lintkit.Solve(cfg, lintkit.FlowSpec[mustFact]{
+		Entry:  func() mustFact { return mustFact{removed: map[string]bool{}} },
+		Bottom: func() mustFact { return mustFact{top: true, removed: map[string]bool{}} },
+		Clone:  clone,
+		Join: func(dst, src mustFact) mustFact {
+			if dst.top {
+				return clone(src)
+			}
+			if src.top {
+				return dst
+			}
+			//lint:deterministic order-insensitive set intersection
+			for k := range dst.removed {
+				if !src.removed[k] {
+					delete(dst.removed, k)
+				}
+			}
+			return dst
+		},
+		Equal: func(a, b mustFact) bool {
+			if a.top != b.top || len(a.removed) != len(b.removed) {
+				return false
+			}
+			//lint:deterministic order-independent set comparison
+			for k := range a.removed {
+				if !b.removed[k] {
+					return false
+				}
+			}
+			return true
+		},
+		Transfer: func(b *lintkit.Block, in mustFact) mustFact {
+			for _, n := range b.Nodes {
+				transferRemovals(info, env, n, &in)
+			}
+			return in
+		},
+		EdgeRefine: func(cond ast.Expr, branch bool, f mustFact) mustFact {
+			if name, emptyWhen, ok := lenEmptinessTest(info, env, cond); ok && branch == emptyWhen {
+				// The queue is provably empty on this edge: nothing to
+				// remove, the obligation is vacuously met.
+				f.removed[name] = true
+			}
+			return f
+		},
+	})
+	exit := ins[cfg.Exit]
+	if exit.top {
+		return // exit unreachable (every path panics): nothing to prove
+	}
+	if !exit.removed[queue] && !deferRemoved[queue] {
+		if sup.Suppressed(fn.Name.Pos()) {
+			return
+		}
+		pass.Reportf(fn.Name.Pos(), "final function %s may reach exit without removing from wait queue %q "+
+			"(a stale waiter would outlive its transaction; remove on every cancel/denial/squash path, "+
+			"or justify with %s <reason>)", fn.Name.Name, queue, Directive)
+	}
+}
+
+// transferRemovals applies one node's removal effects to the fact.
+func transferRemovals(info *types.Info, env *waitqEnv, n ast.Node, f *mustFact) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for i, lhs := range n.Lhs {
+			name, ok := queueField(info, env, lhs)
+			if !ok {
+				continue
+			}
+			isGrowth := false
+			if i < len(n.Rhs) {
+				if call, ok := ast.Unparen(n.Rhs[i]).(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok {
+						if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "append" && len(call.Args) > 1 {
+							if first, ok := queueField(info, env, call.Args[0]); ok && first == name {
+								isGrowth = true
+							}
+						}
+					}
+				}
+			}
+			if !isGrowth {
+				f.removed[name] = true
+			}
+		}
+		for _, r := range n.Rhs {
+			callRemovals(info, env, r, f)
+		}
+	case *ast.ExprStmt:
+		callRemovals(info, env, n.X, f)
+	case ast.Expr:
+		callRemovals(info, env, n, f)
+	case *ast.ReturnStmt:
+		for _, r := range n.Results {
+			callRemovals(info, env, r, f)
+		}
+	}
+}
+
+// callRemovals finds removal calls (deq functions, delete/clear builtins)
+// nested in an expression.
+func callRemovals(info *types.Info, env *waitqEnv, e ast.Expr, f *mustFact) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // a closure body does not run here
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		removalsIn(info, env, call, func(name string) { f.removed[name] = true })
+		return true
+	})
+}
+
+// removalsIn reports the queues one call removes from.
+func removalsIn(info *types.Info, env *waitqEnv, call *ast.CallExpr, found func(string)) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			if (b.Name() == "delete" || b.Name() == "clear") && len(call.Args) > 0 {
+				if name, ok := queueField(info, env, call.Args[0]); ok {
+					found(name)
+				}
+			}
+			return
+		}
+	}
+	if obj := staticCallee(info, call); obj != nil {
+		if name, ok := env.deq[obj]; ok {
+			found(name)
+		}
+	}
+}
+
+// queueField resolves e to an annotated queue field and returns its name.
+func queueField(info *types.Info, env *waitqEnv, e ast.Expr) (string, bool) {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return "", false
+	}
+	name, ok := env.fields[s.Obj()]
+	return name, ok
+}
+
+// lenEmptinessTest recognizes emptiness tests over annotated queues:
+// len(q) > 0, len(q) != 0, 0 < len(q) (emptyWhen=false: the FALSE edge
+// proves empty) and len(q) == 0 (emptyWhen=true). Returns the queue name
+// and on which branch the queue is proven empty.
+func lenEmptinessTest(info *types.Info, env *waitqEnv, cond ast.Expr) (name string, emptyWhen bool, ok bool) {
+	be, isBin := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !isBin {
+		return "", false, false
+	}
+	lenArg := func(e ast.Expr) (string, bool) {
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return "", false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok {
+			return "", false
+		}
+		if b, ok := info.Uses[id].(*types.Builtin); !ok || b.Name() != "len" {
+			return "", false
+		}
+		return queueField(info, env, call.Args[0])
+	}
+	isZero := func(e ast.Expr) bool {
+		lit, ok := ast.Unparen(e).(*ast.BasicLit)
+		return ok && lit.Kind == token.INT && lit.Value == "0"
+	}
+	l, lok := lenArg(be.X)
+	r, rok := lenArg(be.Y)
+	switch {
+	case lok && isZero(be.Y): // len(q) OP 0
+		switch be.Op {
+		case token.GTR, token.NEQ:
+			return l, false, true
+		case token.EQL:
+			return l, true, true
+		}
+	case rok && isZero(be.X): // 0 OP len(q)
+		switch be.Op {
+		case token.LSS, token.NEQ:
+			return r, false, true
+		case token.EQL:
+			return r, true, true
+		}
+	}
+	return "", false, false
+}

@@ -1,0 +1,12 @@
+package waiterpair_test
+
+import (
+	"testing"
+
+	"bulksc/internal/analysis/linttest"
+	"bulksc/internal/analysis/waiterpair"
+)
+
+func TestWaiterpairFixture(t *testing.T) {
+	linttest.Run(t, "testdata/waitq", waiterpair.Analyzer)
+}

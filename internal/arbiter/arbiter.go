@@ -74,6 +74,10 @@ type Arbiter struct {
 	//lint:poolsafe immutable machine-lifetime references wired at construction
 	st *stats.Stats
 
+	// pending holds one entry per granted, still-forwarding W; the
+	// directory's Done(tok) is the removal that keeps commit bandwidth
+	// from leaking (wait-queue pairing proven by the waiterpair pass).
+	//sim:waitq wlist
 	pending map[Token]*pendingEntry
 	nextTok Token
 	//lint:poolsafe shared commit-order counter; the owning machine zeroes the pointee between runs
@@ -94,7 +98,11 @@ type Arbiter struct {
 
 	// Pre-arbitration state (§3.3): while lockProc ≥ 0, commit requests
 	// from other processors are denied unconditionally.
-	lockProc  int
+	lockProc int
+	// lockQueue parks processors waiting for the pre-arbitration lock. A
+	// waiter whose transaction dies must be removed (the PR-2 stale-waiter
+	// leak), which the waiterpair pass proves over EndPreArbitration.
+	//sim:waitq prearb
 	lockQueue []lockWaiter
 }
 
@@ -249,6 +257,8 @@ func (a *Arbiter) grant(req *Request) {
 
 // Done removes a fully-committed W from the list; called by the directory
 // when all invalidation acknowledgements have been collected.
+//
+//sim:waitq final wlist
 func (a *Arbiter) Done(tok Token) {
 	if _, ok := a.pending[tok]; !ok {
 		panic(fmt.Sprintf("arbiter %d: Done for unknown token %d", a.ID, tok))
@@ -279,6 +289,8 @@ func (a *Arbiter) PreArbitrate(proc int, granted func()) {
 // later unlock cannot hand the lock to a processor that abandoned the
 // request — a stale grant would fire a callback into a chunk that no longer
 // exists and stall every other waiter behind the orphaned lock.
+//
+//sim:waitq final prearb
 func (a *Arbiter) EndPreArbitration(proc int) {
 	keep := a.lockQueue[:0]
 	for _, w := range a.lockQueue {
@@ -292,6 +304,7 @@ func (a *Arbiter) EndPreArbitration(proc int) {
 	}
 }
 
+//sim:waitq deq prearb
 func (a *Arbiter) unlock() {
 	a.lockProc = -1
 	if len(a.lockQueue) > 0 {

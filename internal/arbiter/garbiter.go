@@ -121,7 +121,10 @@ type garbTxn struct {
 // spot scales with the arbiter tier instead of serializing on one node.
 type garbShard struct {
 	inFlight int
-	queue    []garbTxn
+	// queue parks transactions past the in-flight cap; release launches or
+	// proves the queue empty (waiterpair's len()-guard refinement).
+	//sim:waitq garbfifo
+	queue []garbTxn
 }
 
 // GArbiter coordinates commits that span several arbiter ranges (§4.2.3,
@@ -234,6 +237,8 @@ func (g *GArbiter) combine(sh *garbShard, req *Request, reserved []reservation, 
 // release frees the finished transaction's slot: the oldest queued
 // transaction (FIFO — deterministic and starvation-free) launches in its
 // place, charging its queueing delay to GArbQueueCycles.
+//
+//sim:waitq final garbfifo
 func (g *GArbiter) release(sh *garbShard) {
 	if len(sh.queue) > 0 {
 		t := sh.queue[0]

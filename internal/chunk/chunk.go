@@ -300,6 +300,7 @@ func (p *Pool) dropSigs(c *Chunk) {
 // are rebuilt here from the current run's factory.
 //
 //sim:hotpath
+//sim:pool acquire
 func (p *Pool) Get(f sig.Factory, arena *slab.Pool[uint64], proc int, seq uint64, slot, pos, target int) *Chunk {
 	n := len(p.free)
 	if n == 0 {
@@ -320,6 +321,7 @@ func (p *Pool) Get(f sig.Factory, arena *slab.Pool[uint64], proc int, seq uint64
 // defused by the Gen bump.
 //
 //sim:hotpath
+//sim:pool release
 func (p *Pool) Put(c *Chunk) {
 	c.Gen++
 	c.R.Clear()
@@ -348,6 +350,8 @@ func (p *Pool) Put(c *Chunk) {
 // asserts that run did not export them there. Adoption is
 // identity-neutral for the same reason Drain is: the adopted chunk is
 // indistinguishable from a drained one.
+//
+//sim:pool release
 func (p *Pool) Adopt(c *Chunk) {
 	c.Gen++
 	p.dropSigs(c)

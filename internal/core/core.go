@@ -329,7 +329,6 @@ type machine struct {
 	// and Reset wraps each run's factories so they draw from the parked
 	// set. A recycled Bloom is cleared and geometry-fixed — bit-identical
 	// to a fresh one — so this is storage recycling only.
-	//lint:poolsafe signature-object recycler; recycled Blooms are cleared and identity-neutral
 	sigRec sig.Recycler
 
 	// bulkProcs/convProcs are the processors of the CURRENT run, in id

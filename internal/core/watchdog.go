@@ -46,8 +46,13 @@ func (e *WatchdogError) Error() string {
 // read-only: the polls add events to the engine but never mutate simulated
 // state, and the engine orders equal-time events by insertion sequence, so
 // the relative order of all other events — and therefore the simulated
-// execution and its determinism hash — is unchanged.
+// execution and its determinism hash — is unchanged. The hashneutral lint
+// pass holds the polls to that contract (startWatchdog is wiring, not
+// observation, and stays unannotated).
+//
+//sim:observer
 type watchdog struct {
+	//sim:observes
 	m      *machine
 	window uint64
 
@@ -112,6 +117,7 @@ func (w *watchdog) check(now uint64) {
 		w.lastProgress = progress
 		w.lastChange = now
 	} else if now-w.lastChange >= w.window {
+		//lint:observer verdict delivery: the store halts the run (Run's stop predicate); unreachable on any healthy execution, so goldens never see it
 		m.watchdogErr = &WatchdogError{
 			Cycle: now,
 			Kind:  "global-stall",
@@ -136,11 +142,14 @@ func (w *watchdog) check(now uint64) {
 		}
 		if now-w.startAt[i] >= w.window && events-w.eventsAt[i] >= starvationMinEvents {
 			starved = append(starved, p.ID())
+			//lint:observer LivenessTrail formats a fixed ring buffer read-only; the higher-order forEach iteration defeats the mutation summary
+			trail := p.LivenessTrail()
 			fmt.Fprintf(&diag, "proc %d: 0 commits for %d cycles, +%d denials/squashes (totals: %d commits, %d denials, %d squashes) trail: %s; ",
-				p.ID(), now-w.startAt[i], events-w.eventsAt[i], commits, denials, squashes, p.LivenessTrail())
+				p.ID(), now-w.startAt[i], events-w.eventsAt[i], commits, denials, squashes, trail)
 		}
 	}
 	if len(starved) > 0 {
+		//lint:observer verdict delivery: the store halts the run (Run's stop predicate); unreachable on any healthy execution, so goldens never see it
 		m.watchdogErr = &WatchdogError{
 			Cycle: now,
 			Kind:  "starvation",

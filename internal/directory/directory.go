@@ -104,6 +104,9 @@ type entry struct {
 	dirty   bool
 	owner   uint16
 	busy    bool
+	// waiters parks continuations behind a busy entry; release must drain
+	// it (waiterpair pass) or queued requests deadlock the module.
+	//sim:waitq dirwait
 	waiters []func(e *entry)
 	lru     uint64 // recency for the directory-cache variant
 }
@@ -137,6 +140,8 @@ type emArena struct {
 // getKeys/getVals/put are nil-receiver-safe so a zero-value entryMap
 // (tests, future callers outside a Directory) degrades to plain
 // allocation.
+//
+//sim:pool acquire
 func (a *emArena) getKeys(n int) []uint64 {
 	if a == nil {
 		return make([]uint64, n)
@@ -144,6 +149,7 @@ func (a *emArena) getKeys(n int) []uint64 {
 	return a.keys.Get(n)
 }
 
+//sim:pool acquire
 func (a *emArena) getVals(n int) []*entry {
 	if a == nil {
 		return make([]*entry, n)
@@ -151,6 +157,7 @@ func (a *emArena) getVals(n int) []*entry {
 	return a.vals.Get(n)
 }
 
+//sim:pool release
 func (a *emArena) put(keys []uint64, vals []*entry) {
 	if a == nil {
 		return
@@ -188,9 +195,7 @@ func (m *entryMap) get(l mem.Line) *entry {
 //sim:hotpath
 func (m *entryMap) put(l mem.Line, e *entry) {
 	if m.keys == nil {
-		//lint:alloc one-time first-use table allocation, amortized by reuse/arena
 		m.keys = m.ar.getKeys(emMinSlots)
-		//lint:alloc one-time first-use table allocation, amortized by reuse/arena
 		m.vals = m.ar.getVals(emMinSlots)
 	} else if m.n*4 >= len(m.keys)*3 {
 		m.grow()
@@ -331,7 +336,6 @@ type Directory struct {
 
 	// shar recycles sharer-set overflow bitmaps for this module's entries;
 	// Clear/Only return storage here and Add draws from it.
-	//lint:poolsafe size-class storage recycler; recycled bitmaps are zeroed and identity-neutral
 	shar sharerset.Arena
 	// inval is the commit-expansion scratch bitmap: the invalidation list
 	// accumulated by expand/expandPriv and consumed synchronously by the
@@ -508,6 +512,7 @@ func (d *Directory) withEntry(l mem.Line, f func(e *entry)) {
 	f(e)
 }
 
+//sim:waitq final dirwait
 func (d *Directory) release(e *entry) {
 	e.busy = false
 	ws := e.waiters

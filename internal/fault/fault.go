@@ -231,6 +231,14 @@ func (c Counters) String() string {
 //
 // The nil *Plan is the canonical "no faults" value: every method on a nil
 // receiver is a no-op returning the neutral element.
+//
+// A Plan observes decision points and answers from its own rng/counters;
+// the one place it deliberately reaches back into machine state (AmplifyW)
+// carries a justified //lint:observer exception — everything else must
+// stay hash-neutral so the zero-rate campaigns stay bit-identical to no
+// plan at all (TestZeroFaultBitIdentity).
+//
+//sim:observer
 type Plan struct {
 	c   Campaign
 	rng *rand.Rand
@@ -343,6 +351,7 @@ func (p *Plan) SpuriousSquash(proc int) bool {
 // chunk's exact write set, so every conflict they cause is aliased by
 // construction and the replay/witness oracles remain sound.
 func (p *Plan) AmplifyW(proc int, w sig.Signature) {
+	//lint:observer Empty is a read-only predicate on every Signature implementation; the interface call just cannot prove it
 	if p == nil || p.c.AliasProb == 0 || !p.targets(proc) || w == nil || w.Empty() {
 		return
 	}
@@ -350,6 +359,7 @@ func (p *Plan) AmplifyW(proc int, w sig.Signature) {
 		return
 	}
 	for i := 0; i < p.c.AliasLines; i++ {
+		//lint:observer fault injection IS the mutation: phantom W lines model Bloom aliasing, gated by AliasProb (zero-rate plans stay bit-identical, see TestZeroFaultBitIdentity)
 		w.Add(mem.Line(p.rng.Intn(p.c.AliasSpace)))
 	}
 	p.n.AmplifiedChunks++

@@ -25,6 +25,8 @@ import (
 // allocation discipline applies to the machine, not to its export taps.
 // TestTraceHashNeutral pins that the taps perturb nothing; perf-relevant
 // runs never construct a Writer at all.
+//
+//sim:observer
 type Writer struct {
 	bw  *bufio.Writer
 	enc *json.Encoder

@@ -88,7 +88,6 @@ func (s *Set) Has(l mem.Line) bool {
 //sim:hotpath
 func (s *Set) Add(l mem.Line) bool {
 	if s.slots == nil {
-		//lint:alloc one-time first-use table allocation, amortized to zero by pooling/arena
 		s.slots = s.arena.Get(minSlots)
 	} else if s.n*4 >= len(s.slots)*3 {
 		s.grow()
@@ -273,9 +272,7 @@ func (m *Map) Get(a mem.Addr) (uint64, bool) {
 //sim:hotpath
 func (m *Map) Put(a mem.Addr, val uint64) {
 	if m.keys == nil {
-		//lint:alloc one-time first-use table allocation, amortized to zero by pooling/arena
 		m.keys = m.arena.Get(minSlots)
-		//lint:alloc one-time first-use table allocation, amortized to zero by pooling/arena
 		m.vals = m.arena.Get(minSlots)
 	} else if m.n*4 >= len(m.keys)*3 {
 		m.grow()

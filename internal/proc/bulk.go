@@ -668,6 +668,7 @@ func (p *BulkProc) fetchWaiter(l mem.Line, w bulkWaiter) {
 	p.env.ReadLine(p.id, l, false, req.arriveFn)
 }
 
+//sim:pool acquire
 func (p *BulkProc) newReq(l mem.Line) *fetchReq {
 	var r *fetchReq
 	if n := len(p.reqFree); n > 0 {
@@ -687,6 +688,7 @@ func (p *BulkProc) newReq(l mem.Line) *fetchReq {
 // every field is overwritten by sendCommit before use.
 //
 //sim:hotpath
+//sim:pool acquire
 func (p *BulkProc) getCommitReq() *CommitReq {
 	if n := len(p.commitReqFree); n > 0 {
 		r := p.commitReqFree[n-1]
@@ -702,6 +704,7 @@ func (p *BulkProc) getCommitReq() *CommitReq {
 // dropped so a parked record cannot pin a dead run's signatures or sets.
 //
 //sim:hotpath
+//sim:pool release
 func (p *BulkProc) putCommitReq(r *CommitReq) {
 	r.W, r.R = nil, nil
 	clear(r.RSets)
@@ -713,6 +716,7 @@ func (p *BulkProc) putCommitReq(r *CommitReq) {
 	p.commitReqFree = append(p.commitReqFree, r)
 }
 
+//sim:pool release
 func (p *BulkProc) freeReq(r *fetchReq) {
 	for i := range r.waiters {
 		r.waiters[i] = bulkWaiter{} // drop chunk references

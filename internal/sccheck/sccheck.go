@@ -110,6 +110,13 @@ const DefaultMaxViolations = 20
 //
 // The zero value is not ready — use New (per-processor state grows lazily,
 // so New needs no processor count).
+//
+// The checker is an observer: it reads committed chunks and conventional
+// accesses but must never write back into simulated state, or enabling
+// the witness would perturb the determinism hash (the property the
+// hashneutral lint pass proves — all fields below are checker-owned).
+//
+//sim:observer
 type Checker struct {
 	// MaxViolations caps len(Violations()); 0 means DefaultMaxViolations.
 	MaxViolations int

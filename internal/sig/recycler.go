@@ -44,6 +44,8 @@ func (r *Recycler) Factory(inner Factory, std bool) Factory {
 // Blooms are cleared and parked for the next run; every other
 // implementation (and nil) is ignored. The caller asserts nothing else
 // references s.
+//
+//sim:pool release
 func (r *Recycler) Recycle(s Signature) {
 	if r == nil {
 		return

@@ -51,6 +51,8 @@ func class(n int) int {
 
 // Get returns a zeroed slice of length n (n must be a power of two),
 // recycling a pooled one when available.
+//
+//sim:pool acquire
 func (p *Pool[T]) Get(n int) []T {
 	if p != nil {
 		if c := class(n); c >= 0 {
@@ -69,6 +71,8 @@ func (p *Pool[T]) Get(n int) []T {
 // cleared here — at recycle time, not hand-out time — so pooled memory
 // never retains stale simulated state (or, for pointer element types,
 // dead references). Non-power-of-two or oversized slices are dropped.
+//
+//sim:pool release
 func (p *Pool[T]) Put(s []T) {
 	if p == nil {
 		return

@@ -43,8 +43,19 @@ fi
 echo "== go vet =="
 go vet ./...
 
+# simlint's exit contract: 0 clean, 1 findings, 2 usage/load error. The
+# -json form is the machine-readable artifact (file/line/col/pass/message,
+# deterministically ordered); surface it on failure so CI logs carry the
+# structured findings alongside the human-readable rerun.
 echo "== simlint =="
-go run ./cmd/simlint ./...
+simlint_json=$(mktemp)
+if ! go run ./cmd/simlint -json ./... >"$simlint_json"; then
+    echo "simlint findings (JSON):" >&2
+    cat "$simlint_json" >&2
+    rm -f "$simlint_json"
+    exit 1
+fi
+rm -f "$simlint_json"
 
 echo "== go build =="
 go build ./...
