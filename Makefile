@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check check-fast lint fmt vet build test race bench bench-json perfdiff golden clean
+.PHONY: check check-fast lint fmt vet build test race bench bench-json perfdiff golden clean serve loadtest
 
 check: ## full PR gate: format, vet, simlint, build, tests, fuzz-corpus smoke, race on the sweep fan-out + torture matrix
 	./scripts/check.sh
@@ -34,9 +34,19 @@ test:
 	$(GO) test ./...
 
 # experiments/experiments.go fans simulations out across goroutines; run it
-# under the race detector explicitly.
+# under the race detector explicitly, along with the sweepd service soak
+# (warm pool, bounded queue, shutdown drains) and its subprocess tests.
 race:
 	$(GO) test -race ./experiments
+	$(GO) test -race -count=1 ./internal/sweepsrv ./cmd/sweepd
+
+# Run the sweep service locally (see EXPERIMENTS.md for the curl recipes).
+serve:
+	$(GO) run ./cmd/sweepd -addr 127.0.0.1:8356
+
+# Seeded load harness against an in-process server; JSON report on stdout.
+loadtest:
+	$(GO) run ./cmd/sweepd -loadtest
 
 # Headline + micro benchmarks (human-readable).
 bench:

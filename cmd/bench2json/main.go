@@ -38,6 +38,7 @@ import (
 	"bulksc/internal/mem"
 	"bulksc/internal/sig"
 	"bulksc/internal/sim"
+	"bulksc/internal/sweepsrv"
 )
 
 // Bench is one benchmark's measurement.
@@ -69,7 +70,14 @@ type Report struct {
 	// shards for each size, at a reduced per-thread budget so the 256-proc
 	// point stays cheap.
 	Scaling []ScalingCell `json:"scaling,omitempty"`
-	Micro   []Bench       `json:"micro"`
+	// Loadtest is the sweepd service baseline: the seeded load harness
+	// (the same code path as `sweepd -loadtest`) run against an in-process
+	// server — end-to-end latency percentiles, throughput and cache-hit
+	// rate for a fixed request mix. Wall-clock latencies are machine-
+	// dependent like every other number here; the mix itself is seeded and
+	// reproducible.
+	Loadtest *sweepsrv.LoadReport `json:"loadtest,omitempty"`
+	Micro    []Bench              `json:"micro"`
 }
 
 // ScalingCell is one point of the scaling curve in the JSON schema.
@@ -159,6 +167,19 @@ func main() {
 		})
 	}
 
+	// The service baseline: a small fixed load-test against sweepd's server
+	// core (2 warm workers, 8-deep queue, 24 seeded requests), recording
+	// p50/p95/p99, throughput and the cache-hit rate.
+	lrep, err := sweepsrv.RunLoadTest(sweepsrv.LoadOptions{
+		Requests: 24, Concurrency: 4, Seed: *seed, Work: *work / 30,
+		Server: sweepsrv.Config{Workers: 2, QueueDepth: 8},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json: loadtest:", err)
+		os.Exit(1)
+	}
+	rep.Loadtest = lrep
+
 	// Micro-benchmarks over the rebuilt hot layers (inlined equivalents of
 	// the *_test.go benchmarks, so this binary needs no test linkage).
 	rep.Micro = append(rep.Micro,
@@ -221,4 +242,7 @@ func main() {
 	fmt.Printf("wrote %s: Fig9 cold %.0f ns/op %.0f allocs/op, warm %.0f ns/op %.0f allocs/op, geomean dypvt=%.3f\n",
 		*out, rep.Fig9.NsPerOp, rep.Fig9.AllocsOp,
 		rep.Fig9Warm.NsPerOp, rep.Fig9Warm.AllocsOp, rep.Fig9GeoMean["dypvt"])
+	fmt.Printf("loadtest: %d req, p50 %.1f ms, p95 %.1f ms, %.1f rps, cache-hit rate %.2f\n",
+		rep.Loadtest.Requests, rep.Loadtest.P50Ms, rep.Loadtest.P95Ms,
+		rep.Loadtest.ThroughputRPS, rep.Loadtest.CacheHitRate)
 }

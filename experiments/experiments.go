@@ -21,6 +21,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"math"
@@ -61,6 +62,25 @@ type Params struct {
 	FaultCampaign string
 	// FaultSeed is the base seed for fault plans (default 1).
 	FaultSeed int64
+	// Ctx, when non-nil, cancels the sweep between cells: once the
+	// context is done no further simulation starts (in-flight cells run
+	// to completion — a simulation has no internal preemption point) and
+	// the sweep returns the context's error. Nil means "never cancel".
+	Ctx context.Context
+	// OnCell, when non-nil, is invoked once per successfully completed
+	// cell, with its dispatch index and the sweep's total cell count.
+	// With Worker set, calls arrive serially in dispatch order; in the
+	// parallel path they arrive in completion order, serialized by the
+	// sweep's result lock. The callback must not retain or mutate
+	// Cell.Result.
+	OnCell func(Cell)
+	// Worker, when non-nil, runs the whole sweep serially on that
+	// persistent worker (its warm Runner and its cross-sweep program
+	// memo) instead of fanning out across Parallelism fresh workers.
+	// This is the service execution mode: a daemon pool holds one Worker
+	// per slot and parallelizes across jobs, not within them. Cold is
+	// ignored when Worker is set.
+	Worker *Worker
 }
 
 func (p Params) withDefaults() Params {
@@ -99,9 +119,18 @@ func faultSeed(base int64, app, key string) int64 {
 // immutable once generated, so one instance is safely shared across
 // workers and runs; the per-key once makes concurrent first requests
 // generate exactly once without serializing unrelated generations.
+//
+// A zero cap leaves the cache unbounded (the batch-sweep case: one sweep's
+// key set is finite and small). A positive cap bounds it FIFO for the
+// persistent per-Worker memo a long-lived service holds: when a fresh key
+// would exceed the cap, the oldest key is dropped. Eviction only removes
+// the map entry; a goroutine already holding the entry keeps its (still
+// immutable) program.
 type progCache struct {
-	mu sync.Mutex
-	m  map[string]*progEntry
+	mu    sync.Mutex
+	m     map[string]*progEntry
+	cap   int
+	order []string // insertion order, maintained only when cap > 0
 }
 
 type progEntry struct {
@@ -117,6 +146,13 @@ func (c *progCache) get(app string, procs, work int, seed int64) (*bulksc.Progra
 	if !ok {
 		e = &progEntry{}
 		c.m[key] = e
+		if c.cap > 0 {
+			c.order = append(c.order, key)
+			if len(c.order) > c.cap {
+				delete(c.m, c.order[0])
+				c.order = c.order[1:]
+			}
+		}
 	}
 	c.mu.Unlock()
 	e.once.Do(func() { e.prog, e.err = bulksc.GenerateProgram(app, procs, work, seed) })
@@ -134,6 +170,7 @@ func runMatrix(p Params, keys []string, mk func(app, key string) bulksc.Config) 
 	type job struct {
 		app, key string
 		cfg      bulksc.Config
+		index    int // dispatch order, reported through Cell.Index
 	}
 	// Validate the campaign once; per-run plans are built below.
 	if _, err := bulksc.NewFaultPlan(p.FaultCampaign, p.FaultSeed); err != nil {
@@ -155,13 +192,54 @@ func runMatrix(p Params, keys []string, mk func(app, key string) bulksc.Config) 
 			if plan, err := bulksc.NewFaultPlan(p.FaultCampaign, faultSeed(p.FaultSeed, app, key)); err == nil {
 				cfg.Faults = plan
 			}
-			jobs = append(jobs, job{app, key, cfg})
+			jobs = append(jobs, job{app, key, cfg, len(jobs)})
 		}
 	}
 	results := make(map[string]map[string]*bulksc.Result)
 	for _, app := range p.Apps {
 		results[app] = make(map[string]*bulksc.Result)
 	}
+
+	// classify turns one completed simulation into either a stored result
+	// or an error; shared verbatim by the serial and parallel paths so the
+	// service execution mode cannot drift from the batch one.
+	classify := func(j job, res *bulksc.Result, err error) error {
+		switch {
+		case err != nil:
+			return fmt.Errorf("%s/%s: %w", j.app, j.key, err)
+		case len(res.SCViolations) > 0:
+			return fmt.Errorf("%s/%s: SC violated: %s", j.app, j.key, res.SCViolations[0])
+		case len(res.WitnessViolations) > 0:
+			return fmt.Errorf("%s/%s: SC witness violated: %s", j.app, j.key, res.WitnessViolations[0])
+		}
+		results[j.app][j.key] = res
+		return nil
+	}
+
+	if p.Worker != nil {
+		// Service mode: the whole sweep runs serially on one persistent
+		// worker — its warm machine and its cross-sweep program memo —
+		// with a cancellation check before every cell. Completion order
+		// equals dispatch order, so OnCell streams monotonic progress.
+		for i, j := range jobs {
+			if err := ctxErr(p.Ctx); err != nil {
+				return nil, fmt.Errorf("experiments: sweep canceled before cell %s/%s: %w", j.app, j.key, err)
+			}
+			prog, err := p.Worker.progs.get(j.app, j.cfg.Procs, j.cfg.Work, j.cfg.Seed)
+			var res *bulksc.Result
+			if err == nil {
+				res, err = p.Worker.runner.RunProgram(j.cfg, prog)
+			}
+			if err := classify(j, res, err); err != nil {
+				return nil, err
+			}
+			if p.OnCell != nil {
+				p.OnCell(Cell{App: j.app, Key: j.key, Index: i, Total: len(jobs), Result: res})
+			}
+		}
+		return results, nil
+	}
+
 	var (
 		mu     sync.Mutex
 		wg     sync.WaitGroup
@@ -188,25 +266,32 @@ func runMatrix(p Params, keys []string, mk func(app, key string) bulksc.Config) 
 					}
 				}
 				mu.Lock()
-				switch {
-				case err != nil:
-					errs = append(errs, fmt.Errorf("%s/%s: %w", j.app, j.key, err))
-				case len(res.SCViolations) > 0:
-					errs = append(errs, fmt.Errorf("%s/%s: SC violated: %s", j.app, j.key, res.SCViolations[0]))
-				case len(res.WitnessViolations) > 0:
-					errs = append(errs, fmt.Errorf("%s/%s: SC witness violated: %s", j.app, j.key, res.WitnessViolations[0]))
-				default:
-					results[j.app][j.key] = res
+				if cerr := classify(j, res, err); cerr != nil {
+					errs = append(errs, cerr)
+				} else if p.OnCell != nil {
+					p.OnCell(Cell{App: j.app, Key: j.key, Index: j.index, Total: len(jobs), Result: res})
 				}
 				mu.Unlock()
 			}
 		}()
 	}
+dispatch:
 	for _, j := range jobs {
-		jobsCh <- j
+		if p.Ctx != nil {
+			select {
+			case jobsCh <- j:
+			case <-p.Ctx.Done():
+				break dispatch
+			}
+		} else {
+			jobsCh <- j
+		}
 	}
 	close(jobsCh)
 	wg.Wait()
+	if err := ctxErr(p.Ctx); err != nil {
+		return nil, fmt.Errorf("experiments: sweep canceled: %w", err)
+	}
 	if len(errs) > 0 {
 		sort.Slice(errs, func(i, k int) bool { return errs[i].Error() < errs[k].Error() })
 		return nil, errs[0]

@@ -1,0 +1,72 @@
+// Service-facing extensions of the experiments package: a persistent
+// per-worker execution context (Worker) and the progress/cancellation
+// plumbing (Params.Ctx, Params.OnCell) that cmd/sweepd builds on. A batch
+// sweep and a long-lived sweep service want the same cell execution but
+// different lifetimes: the CLI constructs its warm machines per sweep and
+// throws them away, while a daemon keeps one Worker per pool slot alive
+// across thousands of jobs, reusing the machine arena (PR 5's bit-identical
+// warm reset) and the memoized workload programs across job boundaries.
+package experiments
+
+import (
+	"context"
+
+	"bulksc"
+)
+
+// Worker is one reusable sweep-execution slot: a warm bulksc.Runner plus a
+// bounded memo of generated workload programs, both surviving across
+// sweeps. Assigning a Worker to Params.Worker makes the sweep execute
+// serially on that worker (deterministic cell order — what a streaming
+// service wants for stable progress rows) instead of fanning out across
+// Params.Parallelism throwaway workers.
+//
+// A Worker is NOT safe for concurrent use: it is one machine. A service
+// pool holds one Worker per pool goroutine, exactly as the parallel sweep
+// path holds one Runner per fan-out goroutine.
+type Worker struct {
+	runner *bulksc.Runner
+	progs  *progCache
+}
+
+// workerProgCap bounds the per-worker program memo. A long-lived daemon
+// sees an unbounded stream of (app, procs, work, seed) tuples; the memo
+// must not grow with it. 64 programs comfortably covers a service's hot
+// mix (the full 13-app × default-geometry sweep plus slack) while keeping
+// the eviction path exercised under load tests.
+const workerProgCap = 64
+
+// NewWorker constructs the machine arena and an empty program memo. The
+// first sweep on the worker pays cold-construction cost; every later one
+// reuses the arena.
+func NewWorker() *Worker {
+	return &Worker{
+		runner: bulksc.NewRunner(),
+		progs:  &progCache{m: make(map[string]*progEntry), cap: workerProgCap},
+	}
+}
+
+// Cell reports one completed simulation of a sweep to Params.OnCell.
+type Cell struct {
+	// App and Key identify the cell within its sweep (key is the
+	// experiment-specific column: a Figure 9 variant, a chunk size, a
+	// scaling proc count, ...).
+	App, Key string
+	// Index is the cell's position in dispatch order; Total the sweep's
+	// cell count. With Params.Worker set, completion order equals
+	// dispatch order, so Index is monotonic.
+	Index, Total int
+	// Result is the completed simulation's full result. Callbacks must
+	// treat it as read-only: the same pointer lands in the sweep's own
+	// result matrix.
+	Result *bulksc.Result
+}
+
+// ctxErr returns the context's error, tolerating the nil context that
+// every pre-service caller passes.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}

@@ -1,0 +1,90 @@
+package sweepsrv
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is the content-addressed result store: canonical config key
+// → the completed job's marshaled result bytes. Entries are the exact
+// bytes served to the first requester, so a cache hit is byte-identical
+// to the original response by construction — the cache never re-marshals.
+//
+// Bounded LRU: Get refreshes recency, Put evicts the least recently used
+// entry past the capacity. All counters are monotonic and surfaced via
+// /metrics.
+type resultCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List               // front = most recently used
+	m   map[string]*list.Element // key → element whose Value is *cacheEntry
+
+	hits, misses, evictions uint64
+}
+
+type cacheEntry struct {
+	key  string
+	data []byte
+}
+
+// newResultCache returns a cache bounded to capacity entries; capacity < 1
+// is pinned to 1 (a cache that can never hit would silently disable the
+// content-addressing contract the tests pin down).
+func newResultCache(capacity int) *resultCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &resultCache{cap: capacity, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+// Get returns the cached bytes for key, refreshing its recency. The
+// returned slice is shared and must be treated as immutable.
+func (c *resultCache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).data, true
+}
+
+// Put stores data under key, evicting the least recently used entry if the
+// cache is full. Storing an existing key refreshes it in place.
+func (c *resultCache) Put(key string, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		el.Value.(*cacheEntry).data = data
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, data: data})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// cacheStats is the /metrics snapshot of the cache.
+type cacheStats struct {
+	Entries   int    `json:"entries"`
+	Capacity  int    `json:"capacity"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+func (c *resultCache) Stats() cacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return cacheStats{
+		Entries: c.ll.Len(), Capacity: c.cap,
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+	}
+}

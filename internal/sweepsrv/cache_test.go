@@ -1,0 +1,70 @@
+package sweepsrv
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestResultCacheLRU(t *testing.T) {
+	c := newResultCache(2)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put("a", []byte("A"))
+	c.Put("b", []byte("B"))
+	// Touch a so b is now the least recently used.
+	if data, ok := c.Get("a"); !ok || !bytes.Equal(data, []byte("A")) {
+		t.Fatalf("Get(a) = %q,%v", data, ok)
+	}
+	c.Put("c", []byte("C")) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction; recency refresh on Get is broken")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s was evicted, want it retained", k)
+		}
+	}
+	st := c.Stats()
+	if st.Entries != 2 || st.Capacity != 2 || st.Evictions != 1 {
+		t.Fatalf("stats %+v: want 2 entries, capacity 2, 1 eviction", st)
+	}
+	// 1 empty miss + 1 b miss = 2 misses; a, a, c hits = 3 hits.
+	if st.Hits != 3 || st.Misses != 2 {
+		t.Fatalf("stats %+v: want hits=3 misses=2", st)
+	}
+}
+
+func TestResultCachePutRefreshesInPlace(t *testing.T) {
+	c := newResultCache(2)
+	c.Put("a", []byte("A1"))
+	c.Put("b", []byte("B"))
+	c.Put("a", []byte("A2")) // refresh, not a second entry
+	c.Put("c", []byte("C"))  // evicts b (a was refreshed to the front)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived; Put of an existing key must refresh recency")
+	}
+	if data, ok := c.Get("a"); !ok || !bytes.Equal(data, []byte("A2")) {
+		t.Fatalf("Get(a) = %q,%v, want refreshed A2", data, ok)
+	}
+	if st := c.Stats(); st.Entries != 2 {
+		t.Fatalf("entries %d after refresh, want 2", st.Entries)
+	}
+}
+
+func TestResultCacheCapacityFloor(t *testing.T) {
+	// Capacity < 1 would disable content addressing entirely; it is pinned
+	// to 1 so a hit is always possible.
+	c := newResultCache(0)
+	c.Put("a", []byte("A"))
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("capacity floor broken: a freshly stored entry missed")
+	}
+	for i := 0; i < 10; i++ {
+		c.Put(fmt.Sprintf("k%d", i), []byte("x"))
+	}
+	if st := c.Stats(); st.Entries != 1 {
+		t.Fatalf("entries %d with capacity floor 1, want exactly 1", st.Entries)
+	}
+}

@@ -1,0 +1,239 @@
+package sweepsrv
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// keyOfJSON decodes a raw JSON request body exactly the way handleSubmit
+// does and returns its content-address. Taking the raw-bytes route (rather
+// than building Request literals) is the point: it proves field order,
+// whitespace and spelled-out defaults are erased before hashing.
+func keyOfJSON(t *testing.T, body string) string {
+	t.Helper()
+	var r Request
+	if err := json.Unmarshal([]byte(body), &r); err != nil {
+		t.Fatalf("unmarshal %q: %v", body, err)
+	}
+	key, err := r.Key()
+	if err != nil {
+		t.Fatalf("Key(%q): %v", body, err)
+	}
+	return key
+}
+
+// TestKeyEquivalences: each group of raw JSON bodies must hash to ONE key.
+func TestKeyEquivalences(t *testing.T) {
+	groups := map[string][]string{
+		"field order and whitespace": {
+			`{"exp":"fig9","apps":["radix"],"work":4000}`,
+			`{"work":4000,"exp":"fig9","apps":["radix"]}`,
+			`{ "apps" : [ "radix" ] ,
+			   "exp" : "fig9" , "work" : 4000 }`,
+		},
+		"explicit defaults vs omitted": {
+			`{"exp":"fig9","apps":["radix"]}`,
+			`{"exp":"fig9","apps":["radix"],"work":120000,"seed":1,"faults":"none","fault_seed":1}`,
+		},
+		"exp case and surrounding space": {
+			`{"exp":"fig9","apps":["lu"]}`,
+			`{"exp":"FIG9","apps":["lu"]}`,
+			`{"exp":"  Fig9 ","apps":["lu"]}`,
+		},
+		"cold execution hint excluded": {
+			`{"exp":"fig10","apps":["fft"],"work":4000}`,
+			`{"exp":"fig10","apps":["fft"],"work":4000,"cold":true}`,
+		},
+		"fields the experiment ignores are cleared": {
+			`{"exp":"fig9","apps":["radix"]}`,
+			`{"exp":"fig9","apps":["radix"],"procs":[8,16]}`,
+			`{"exp":"fig9","apps":["radix"],"arbiters":[2,4]}`,
+		},
+		"fault seed pinned without a campaign": {
+			`{"exp":"fig9","apps":["radix"]}`,
+			`{"exp":"fig9","apps":["radix"],"faults":"none","fault_seed":99}`,
+		},
+		"arbiters consumes only the first procs value": {
+			`{"exp":"arbiters","apps":["radix"]}`,
+			`{"exp":"arbiters","apps":["radix"],"procs":[16]}`,
+			`{"exp":"arbiters","apps":["radix"],"procs":[16,32,64]}`,
+		},
+		"scaling default proc list": {
+			`{"exp":"scaling","apps":["radix"]}`,
+			`{"exp":"scaling","apps":["radix"],"procs":[8,16,64]}`,
+		},
+	}
+	for name, bodies := range groups {
+		t.Run(name, func(t *testing.T) {
+			want := keyOfJSON(t, bodies[0])
+			for _, b := range bodies[1:] {
+				if got := keyOfJSON(t, b); got != want {
+					t.Errorf("key mismatch within equivalence group:\n  %s\n  %s\nhash %s vs %s",
+						bodies[0], b, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestKeyDistinctions: semantically different configs must hash apart.
+func TestKeyDistinctions(t *testing.T) {
+	base := `{"exp":"fig9","apps":["radix"],"work":4000}`
+	distinct := map[string]string{
+		"different exp":       `{"exp":"fig10","apps":["radix"],"work":4000}`,
+		"different app":       `{"exp":"fig9","apps":["lu"],"work":4000}`,
+		"app order semantic":  `{"exp":"fig9","apps":["lu","radix"],"work":4000}`,
+		"different work":      `{"exp":"fig9","apps":["radix"],"work":4001}`,
+		"different seed":      `{"exp":"fig9","apps":["radix"],"work":4000,"seed":2}`,
+		"witness on":          `{"exp":"fig9","apps":["radix"],"work":4000,"witness":true}`,
+		"fault campaign":      `{"exp":"fig9","apps":["radix"],"work":4000,"faults":"delay-jitter"}`,
+		"apps default vs one": `{"exp":"fig9","work":4000}`,
+	}
+	baseKey := keyOfJSON(t, base)
+	seen := map[string]string{base: baseKey}
+	for name, body := range distinct {
+		got := keyOfJSON(t, body)
+		if got == baseKey {
+			t.Errorf("%s: %s collides with base %s", name, body, base)
+		}
+		for prev, prevKey := range seen {
+			if got == prevKey && body != prev {
+				t.Errorf("collision between %s and %s", body, prev)
+			}
+		}
+		seen[body] = got
+	}
+	if k1, k2 := keyOfJSON(t, `{"exp":"fig9","apps":["lu","radix"]}`), keyOfJSON(t, `{"exp":"fig9","apps":["radix","lu"]}`); k1 == k2 {
+		t.Error("app ORDER is semantic (it is the result row order) but did not flip the key")
+	}
+}
+
+// fieldCase drives the reflection sweep below: for each Request field, a
+// base request in which the field is actually consumed, a mutation of that
+// field, and whether the mutation must flip the key.
+type fieldCase struct {
+	base     Request
+	mutate   func(*Request)
+	flipsKey bool
+}
+
+// TestKeyCoversEveryRequestField walks the Request struct by reflection;
+// every field MUST have a table entry, so adding a config field without
+// deciding its cache-key semantics fails this test — new fields cannot
+// silently escape the canonical hash.
+func TestKeyCoversEveryRequestField(t *testing.T) {
+	fig9 := Request{Exp: "fig9", Apps: []string{"radix"}, Work: 4000}
+	table := map[string]fieldCase{
+		"Exp":      {fig9, func(r *Request) { r.Exp = "table3" }, true},
+		"Apps":     {fig9, func(r *Request) { r.Apps = []string{"ocean"} }, true},
+		"Work":     {fig9, func(r *Request) { r.Work = 8000 }, true},
+		"Seed":     {fig9, func(r *Request) { r.Seed = 17 }, true},
+		"Witness":  {fig9, func(r *Request) { r.Witness = true }, true},
+		"Faults":   {fig9, func(r *Request) { r.Faults = "squash-storm" }, true},
+		"Cold":     {fig9, func(r *Request) { r.Cold = true }, false},
+		"Procs":    {Request{Exp: "scaling", Apps: []string{"radix"}, Work: 4000}, func(r *Request) { r.Procs = []int{8, 32} }, true},
+		"Arbiters": {Request{Exp: "arbiters", Apps: []string{"radix"}, Work: 4000}, func(r *Request) { r.Arbiters = []int{2, 16} }, true},
+		// FaultSeed only matters under an active campaign (it is pinned
+		// otherwise — see TestKeyEquivalences).
+		"FaultSeed": {
+			Request{Exp: "fig9", Apps: []string{"radix"}, Work: 4000, Faults: "livelock"},
+			func(r *Request) { r.FaultSeed = 23 }, true},
+	}
+
+	rt := reflect.TypeOf(Request{})
+	for i := 0; i < rt.NumField(); i++ {
+		name := rt.Field(i).Name
+		tc, ok := table[name]
+		if !ok {
+			t.Fatalf("Request field %q has no cache-key coverage entry: decide whether it is "+
+				"semantic (flips the key) or an execution hint (must not), and add it to this table", name)
+		}
+		t.Run(name, func(t *testing.T) {
+			before, err := tc.base.Key()
+			if err != nil {
+				t.Fatalf("base Key: %v", err)
+			}
+			mutated := tc.base
+			tc.mutate(&mutated)
+			after, err := mutated.Key()
+			if err != nil {
+				t.Fatalf("mutated Key: %v", err)
+			}
+			if tc.flipsKey && before == after {
+				t.Errorf("mutating %s did not change the key: two different configs would share a cache entry", name)
+			}
+			if !tc.flipsKey && before != after {
+				t.Errorf("mutating %s changed the key: an execution hint leaked into job identity", name)
+			}
+		})
+	}
+}
+
+// TestCanonicalizeIdempotent: canonicalizing a canonical form is a no-op,
+// and Key() of both forms agrees.
+func TestCanonicalizeIdempotent(t *testing.T) {
+	reqs := []Request{
+		{Exp: "fig9"},
+		{Exp: "SCALING", Procs: []int{16, 8}},
+		{Exp: "arbiters", Procs: []int{32, 64}, Arbiters: []int{1, 4}},
+		{Exp: "faults", Apps: []string{"radix"}, Faults: "livelock", FaultSeed: 9},
+		{Exp: "sigspace"},
+	}
+	for _, r := range reqs {
+		c1, err := r.Canonicalize()
+		if err != nil {
+			t.Fatalf("Canonicalize(%+v): %v", r, err)
+		}
+		c2, err := c1.Canonicalize()
+		if err != nil {
+			t.Fatalf("re-Canonicalize(%+v): %v", c1, err)
+		}
+		if !reflect.DeepEqual(c1, c2) {
+			t.Errorf("canonicalize not idempotent:\n once: %+v\ntwice: %+v", c1, c2)
+		}
+		k1, _ := r.Key()
+		k2, _ := c1.Key()
+		if k1 != k2 {
+			t.Errorf("Key differs between raw and canonical form of %+v", r)
+		}
+	}
+}
+
+// TestCanonicalizeErrors: every invalid shape is refused with an error.
+func TestCanonicalizeErrors(t *testing.T) {
+	bad := map[string]Request{
+		"unknown exp":      {Exp: "fig12"},
+		"empty exp":        {},
+		"unknown app":      {Exp: "fig9", Apps: []string{"doom"}},
+		"negative work":    {Exp: "fig9", Work: -1},
+		"procs zero":       {Exp: "scaling", Procs: []int{0}},
+		"procs huge":       {Exp: "scaling", Procs: []int{1 << 20}},
+		"arbiters zero":    {Exp: "arbiters", Arbiters: []int{0}},
+		"unknown campaign": {Exp: "fig9", Faults: "gremlins"},
+	}
+	for name, r := range bad {
+		if _, err := r.Canonicalize(); err == nil {
+			t.Errorf("%s: Canonicalize(%+v) succeeded, want error", name, r)
+		}
+		if _, err := r.Key(); err == nil {
+			t.Errorf("%s: Key(%+v) succeeded, want error", name, r)
+		}
+	}
+}
+
+// TestCatalogIsTheOnlyGate: every experiment the catalog lists round-trips
+// through Canonicalize, so the service surface and the catalog cannot
+// drift apart.
+func TestCatalogIsTheOnlyGate(t *testing.T) {
+	for _, exp := range Exps() {
+		c, err := Request{Exp: exp}.Canonicalize()
+		if err != nil {
+			t.Errorf("cataloged experiment %q does not canonicalize: %v", exp, err)
+			continue
+		}
+		if len(c.Apps) == 0 || c.Work == 0 || c.Seed == 0 {
+			t.Errorf("%q canonical form left defaults unmaterialized: %+v", exp, c)
+		}
+	}
+}

@@ -1,0 +1,372 @@
+// Package sweepsrv is the sweep-as-a-service core behind cmd/sweepd: a
+// long-lived HTTP/JSON daemon wrapping the experiments layer with a
+// bounded job queue (explicit 429/Retry-After backpressure), a pool of
+// persistent warm workers (one experiments.Worker — warm Runner + program
+// memo — per pool slot), a content-addressed LRU result cache keyed by the
+// canonical config hash, SSE/NDJSON progress streaming, and graceful
+// shutdown that drains running jobs and fails queued ones.
+//
+// This file defines the job request model: the JSON surface a client
+// submits, its canonicalization (defaults materialized, fields the chosen
+// experiment ignores cleared, execution hints excluded), the
+// content-addressed cache key derived from the canonical form, and the
+// dispatcher that executes a canonical request through the experiments
+// package.
+package sweepsrv
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"bulksc"
+	"bulksc/experiments"
+)
+
+// Request is the JSON body of POST /sweep: which experiment to run and on
+// what configuration. Every field except Exp is optional; Canonicalize
+// materializes the defaults. Two requests that canonicalize identically
+// are the same job and share one cache entry — field order and whitespace
+// never matter (JSON decoding erases them), and neither do explicitly
+// spelled-out defaults or values for fields the chosen experiment ignores.
+type Request struct {
+	// Exp names the experiment: fig9, fig10, table3, table4, fig11,
+	// sigspace, arbiters, scaling or faults (case-insensitive).
+	Exp string `json:"exp"`
+	// Apps is the application subset (default: all registered apps, in
+	// catalog order). Order is semantic — it is the row order of the
+	// result — so it is preserved, not sorted.
+	Apps []string `json:"apps,omitempty"`
+	// Work is the per-thread dynamic instruction budget (default 120000).
+	Work int `json:"work,omitempty"`
+	// Seed drives all simulation randomness (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// Procs lists machine sizes for the experiments that take them: the
+	// scaling study runs every value (default 8,16,64), the arbiter
+	// ablation uses the first (default 16). Cleared for every other
+	// experiment.
+	Procs []int `json:"procs,omitempty"`
+	// Arbiters lists the arbiter counts of the arbiters ablation
+	// (default 1,2,4,8). Cleared for every other experiment.
+	Arbiters []int `json:"arbiters,omitempty"`
+	// Witness runs the online SC-witness checker on every SC-claiming
+	// simulation of the sweep; a violation fails the job.
+	Witness bool `json:"witness,omitempty"`
+	// Faults names a fault-injection campaign applied to every
+	// simulation (default "none"). Cleared for the faults experiment,
+	// which iterates the whole campaign catalog itself.
+	Faults string `json:"faults,omitempty"`
+	// FaultSeed seeds the fault schedule (default 1; pinned to 1 when no
+	// campaign is active, since it is then meaningless).
+	FaultSeed int64 `json:"fault_seed,omitempty"`
+	// Cold is an execution hint, not configuration: run every cell on a
+	// fresh machine instead of the pool worker's warm one. Warm reuse is
+	// bit-identical by contract (golden-tested in internal/core), so
+	// Cold is deliberately EXCLUDED from the cache key: a cold run may
+	// be served from a warm run's cache entry and vice versa.
+	Cold bool `json:"cold,omitempty"`
+}
+
+// expSpec describes which request fields an experiment consumes, so
+// canonicalization can clear the ones it ignores.
+type expSpec struct {
+	procsList bool // consumes the whole Procs list (scaling)
+	procsOne  bool // consumes only Procs[0] (arbiters)
+	arbiters  bool // consumes the Arbiters list
+	faults    bool // honors the Faults campaign field
+	// defaultApps overrides the all-apps default for experiments with a
+	// conventional smaller suite (nil = all registered apps).
+	defaultApps func() []string
+}
+
+// expCatalog maps experiment names to their field usage. Insertion into
+// this table is the ONLY step needed to expose a new experiments harness
+// through the service.
+var expCatalog = map[string]expSpec{
+	"fig9":   {faults: true},
+	"fig10":  {faults: true},
+	"table3": {faults: true},
+	"table4": {faults: true},
+	"fig11":  {faults: true},
+	// sigspace's conventional suite is the four signature-sensitive apps
+	// the CLI sweep uses; scaling's is the two regular SPLASH-2 kernels.
+	"sigspace": {faults: true, defaultApps: func() []string { return []string{"radix", "ocean", "water-sp", "sjbb2k"} }},
+	"arbiters": {procsOne: true, arbiters: true, faults: true},
+	"scaling":  {procsList: true, faults: true, defaultApps: experiments.ScalingApps},
+	// The faults report iterates every campaign itself; the request's own
+	// campaign field is ignored (and cleared), its seed honored.
+	"faults": {},
+}
+
+// Exps lists the experiments the service accepts, sorted.
+func Exps() []string {
+	var names []string
+	for n := range expCatalog {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Canonicalize validates the request and returns its canonical form: Exp
+// lower-cased, every default materialized, and every field the experiment
+// ignores reset to its zero value. The canonical form is the job's
+// semantic identity — Key hashes exactly this.
+func (r Request) Canonicalize() (Request, error) {
+	c := r
+	c.Exp = strings.ToLower(strings.TrimSpace(c.Exp))
+	spec, ok := expCatalog[c.Exp]
+	if !ok {
+		return Request{}, fmt.Errorf("unknown experiment %q (valid: %s)", r.Exp, strings.Join(Exps(), ", "))
+	}
+	if len(c.Apps) == 0 {
+		if spec.defaultApps != nil {
+			c.Apps = spec.defaultApps()
+		} else {
+			c.Apps = bulksc.Apps()
+		}
+	} else {
+		c.Apps = append([]string(nil), c.Apps...)
+		valid := bulksc.Apps()
+		for _, a := range c.Apps {
+			if !contains(valid, a) {
+				return Request{}, fmt.Errorf("unknown application %q (valid: %s)", a, strings.Join(valid, ", "))
+			}
+		}
+	}
+	if c.Work == 0 {
+		c.Work = 120_000
+	}
+	if c.Work < 0 {
+		return Request{}, fmt.Errorf("work must be positive, got %d", c.Work)
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+
+	switch {
+	case spec.procsList:
+		if len(c.Procs) == 0 {
+			c.Procs = []int{8, 16, 64}
+		} else {
+			c.Procs = append([]int(nil), c.Procs...)
+		}
+	case spec.procsOne:
+		if len(c.Procs) == 0 {
+			c.Procs = []int{16}
+		} else {
+			c.Procs = c.Procs[:1:1] // only the first is consumed
+		}
+	default:
+		c.Procs = nil
+	}
+	for _, n := range c.Procs {
+		if n < 1 || n > bulksc.MaxProcs {
+			return Request{}, fmt.Errorf("procs value %d out of range [1,%d]", n, bulksc.MaxProcs)
+		}
+	}
+
+	if spec.arbiters {
+		if len(c.Arbiters) == 0 {
+			c.Arbiters = []int{1, 2, 4, 8}
+		} else {
+			c.Arbiters = append([]int(nil), c.Arbiters...)
+		}
+		for _, n := range c.Arbiters {
+			if n < 1 || n > 64 {
+				return Request{}, fmt.Errorf("arbiters value %d out of range [1,64]", n)
+			}
+		}
+	} else {
+		c.Arbiters = nil
+	}
+
+	if spec.faults {
+		if c.Faults == "" {
+			c.Faults = "none"
+		}
+		if _, err := bulksc.NewFaultPlan(c.Faults, 1); err != nil {
+			return Request{}, err
+		}
+		if c.Faults == "none" {
+			c.FaultSeed = 1 // meaningless without a campaign; pin it
+		} else if c.FaultSeed == 0 {
+			c.FaultSeed = 1
+		}
+	} else {
+		c.Faults = ""
+		if c.FaultSeed == 0 {
+			c.FaultSeed = 1
+		}
+	}
+
+	// Execution hints are not identity: a cold run is bit-identical to a
+	// warm one (the PR-5 golden contract), so both share one cache key.
+	c.Cold = false
+	return c, nil
+}
+
+// keyVersion prefixes the hashed canonical encoding; bump it whenever the
+// canonical form's meaning changes so stale cache entries can never be
+// misattributed across versions.
+const keyVersion = "sweepd-v1"
+
+// Key returns the content-addressed cache key of the request: hex SHA-256
+// over the versioned canonical JSON encoding. Call it on the canonical
+// form (it canonicalizes defensively otherwise).
+func (r Request) Key() (string, error) {
+	c, err := r.Canonicalize()
+	if err != nil {
+		return "", err
+	}
+	// encoding/json emits struct fields in declaration order, so the
+	// canonical encoding is deterministic byte-for-byte.
+	buf, err := json.Marshal(c)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	h.Write([]byte(keyVersion))
+	h.Write([]byte{'\n'})
+	h.Write(buf)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// JobOutput is a completed job's payload: the experiment's typed rows, its
+// human-readable table, and the execution audit trail. Its JSON encoding
+// is deterministic for a deterministic row set (encoding/json sorts map
+// keys), which is what makes cached replays byte-identical.
+type JobOutput struct {
+	Exp   string `json:"exp"`
+	Rows  any    `json:"rows"`
+	Table string `json:"table"`
+	// Cells counts the simulations the sweep executed.
+	Cells int `json:"cells"`
+	// Hash folds every cell's determinism hash (keyed by app and column)
+	// into one order-independent 64-bit value, hex-encoded. For a fixed
+	// canonical request it is bit-stable across warm, cold, serial and
+	// parallel execution — the service's cross-contamination tripwire:
+	// a pool worker whose warm reset leaked state produces a different
+	// hash than the same request run cold.
+	Hash string `json:"hash"`
+}
+
+// cellHash mixes one cell's identity and determinism hash into a single
+// word. Job-level hashes XOR these together, so the fold commutes and the
+// job hash does not depend on completion order.
+func cellHash(c experiments.Cell) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	mix := func(b byte) { h ^= uint64(b); h *= prime }
+	for i := 0; i < len(c.App); i++ {
+		mix(c.App[i])
+	}
+	mix('/')
+	for i := 0; i < len(c.Key); i++ {
+		mix(c.Key[i])
+	}
+	d := c.Result.DeterminismHash()
+	for i := 0; i < 8; i++ {
+		mix(byte(d >> (8 * i)))
+	}
+	return h
+}
+
+// runExperiment executes a canonical request through the experiments
+// layer. The base Params carry the execution mode (p.Worker for the warm
+// pool slot, p.Ctx for cancellation); the request's semantic fields
+// overwrite the rest. onCell, when non-nil, observes every completed cell
+// (already serialized by the experiments layer).
+func runExperiment(req Request, p experiments.Params, onCell func(experiments.Cell)) (*JobOutput, error) {
+	out := &JobOutput{Exp: req.Exp}
+	var fold uint64
+	p.Apps = req.Apps
+	p.Work = req.Work
+	p.Seed = req.Seed
+	p.Witness = req.Witness
+	p.FaultCampaign = req.Faults
+	p.FaultSeed = req.FaultSeed
+	if req.Cold {
+		// The cold execution hint: fresh machine per cell, bypassing the
+		// pool worker. Serial (Parallelism 1) keeps cell ordering and
+		// resource usage the same as the warm path.
+		p.Worker = nil
+		p.Cold = true
+		p.Parallelism = 1
+	}
+	p.OnCell = func(c experiments.Cell) {
+		out.Cells++
+		fold ^= cellHash(c)
+		if onCell != nil {
+			onCell(c)
+		}
+	}
+
+	var err error
+	switch req.Exp {
+	case "fig9":
+		var rows []experiments.Fig9Row
+		if rows, err = experiments.Fig9(p); err == nil {
+			out.Rows, out.Table = rows, experiments.FormatFig9(rows)
+		}
+	case "fig10":
+		var rows []experiments.Fig10Row
+		if rows, err = experiments.Fig10(p); err == nil {
+			out.Rows, out.Table = rows, experiments.FormatFig10(rows)
+		}
+	case "table3":
+		var rows []experiments.Table3Row
+		if rows, err = experiments.Table3(p); err == nil {
+			out.Rows, out.Table = rows, experiments.FormatTable3(rows)
+		}
+	case "table4":
+		var rows []experiments.Table4Row
+		if rows, err = experiments.Table4(p); err == nil {
+			out.Rows, out.Table = rows, experiments.FormatTable4(rows)
+		}
+	case "fig11":
+		var rows []experiments.Fig11Row
+		if rows, err = experiments.Fig11(p); err == nil {
+			out.Rows, out.Table = rows, experiments.FormatFig11(rows)
+		}
+	case "sigspace":
+		var rows []experiments.SigSpaceRow
+		if rows, err = experiments.SigSpace(p, req.Apps); err == nil {
+			out.Rows, out.Table = rows, experiments.FormatSigSpace(rows)
+		}
+	case "arbiters":
+		var rows []experiments.ArbScaleRow
+		if rows, err = experiments.ArbScale(p, req.Procs[0], req.Arbiters); err == nil {
+			out.Rows, out.Table = rows, experiments.FormatArbScale(rows, req.Arbiters)
+		}
+	case "scaling":
+		var points []experiments.ScalingPoint
+		if points, err = experiments.Scaling(p, req.Procs); err == nil {
+			out.Rows, out.Table = points, experiments.FormatScaling(points)
+		}
+	case "faults":
+		var rows []experiments.FaultRow
+		if rows, err = experiments.FaultReport(p); err == nil {
+			out.Rows, out.Table = rows, experiments.FormatFaultReport(rows)
+		}
+	default:
+		err = fmt.Errorf("unknown experiment %q", req.Exp)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out.Hash = fmt.Sprintf("%016x", fold)
+	return out, nil
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,315 @@
+package sweepsrv
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// This file is the seeded load-test harness behind `sweepd -loadtest` and
+// the BENCH_core.json loadtest row: it boots a real Server on a loopback
+// listener, fires a fixed-seed request mix at it over actual HTTP at a
+// configurable concurrency, and reports latency percentiles, throughput
+// and the cache-hit rate as JSON. Same seed, same mix — so two runs are
+// comparable, and a baseline row is meaningful.
+//
+// Wall-clock note: the simulator itself is bit-deterministic and lint
+// forbids wall time in simulation state; a load generator, by contrast,
+// exists to measure wall time. Every clock read funnels through now() /
+// sleep() below, whose justifications mark the boundary.
+
+// now reads the wall clock for latency measurement. Never feeds
+// simulation state: configs carry explicit seeds.
+func now() time.Time {
+	//lint:deterministic load-test latency measurement; never reaches simulation state
+	return time.Now()
+}
+
+// sleep pauses a client goroutine (429 retry backoff).
+func sleep(d time.Duration) {
+	//lint:deterministic load-test retry backoff; never reaches simulation state
+	time.Sleep(d)
+}
+
+// LoadOptions shapes one load-test run.
+type LoadOptions struct {
+	// Requests is the total number of submissions (default 32).
+	Requests int
+	// Concurrency is the number of client goroutines (default 4).
+	Concurrency int
+	// Seed drives the request mix (default 1). The mix is drawn from a
+	// small template set, so repeats occur and the cache is exercised.
+	Seed int64
+	// Work is the per-thread instruction budget of every generated job
+	// (default 2000 — small on purpose: the harness measures the
+	// service, not the simulator).
+	Work int
+	// Server shapes the self-hosted server under test.
+	Server Config
+}
+
+func (o LoadOptions) withDefaults() LoadOptions {
+	if o.Requests <= 0 {
+		o.Requests = 32
+	}
+	if o.Concurrency <= 0 {
+		o.Concurrency = 4
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Work <= 0 {
+		o.Work = 2000
+	}
+	return o
+}
+
+// loadMix returns the request templates the generator draws from: a
+// handful of distinct cheap configs across several experiments, so a run
+// mixes cache misses, cache hits and heterogeneous sweep shapes.
+func loadMix(work int) []Request {
+	return []Request{
+		{Exp: "fig9", Apps: []string{"radix"}, Work: work},
+		{Exp: "fig9", Apps: []string{"lu"}, Work: work},
+		{Exp: "fig10", Apps: []string{"radix"}, Work: work},
+		{Exp: "table4", Apps: []string{"water-sp"}, Work: work},
+		{Exp: "fig11", Apps: []string{"fft"}, Work: work},
+		{Exp: "scaling", Apps: []string{"radix"}, Procs: []int{8, 16}, Work: work},
+	}
+}
+
+// LoadReport is the harness's JSON output.
+type LoadReport struct {
+	Requests    int   `json:"requests"`
+	Concurrency int   `json:"concurrency"`
+	Seed        int64 `json:"seed"`
+	Work        int   `json:"work"`
+	// Completed counts jobs that reached "done"; CacheHits the subset
+	// answered straight from the content-addressed cache.
+	Completed int `json:"completed"`
+	CacheHits int `json:"cache_hits"`
+	Failed    int `json:"failed"`
+	// Rejected429 counts backpressure rejections observed; each was
+	// retried (with backoff) until the queue accepted the job, so the
+	// figure measures pressure, not loss.
+	Rejected429  int     `json:"rejected_429"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// End-to-end request latency (submit through terminal event), ms.
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	// ThroughputRPS is completed jobs per wall-clock second.
+	ThroughputRPS float64 `json:"throughput_rps"`
+	WallMs        float64 `json:"wall_ms"`
+	// ServerMetrics is the server's own /metrics snapshot at the end of
+	// the run (queue rejections here must match Rejected429).
+	ServerMetrics Metrics `json:"server_metrics"`
+}
+
+// RunLoadTest boots a server on a loopback listener, runs the seeded mix
+// against it over HTTP, shuts the server down and returns the report.
+func RunLoadTest(o LoadOptions) (*LoadReport, error) {
+	o = o.withDefaults()
+	srv := NewServer(o.Server)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln) //nolint:errcheck // ErrServerClosed on shutdown
+	base := "http://" + ln.Addr().String()
+	rep, err := driveLoad(base, srv, o)
+	hs.Close()
+	return rep, err
+}
+
+// driveLoad fires o.Requests jobs at base from o.Concurrency goroutines.
+// Exported-for-tests via RunLoadTest only; srv is used for the final
+// metrics snapshot (nil = skip it, for driving an external server).
+func driveLoad(base string, srv *Server, o LoadOptions) (*LoadReport, error) {
+	mix := loadMix(o.Work)
+	// Pre-draw the whole request schedule from one seeded source so the
+	// mix is a pure function of (seed, requests) regardless of client
+	// goroutine interleaving.
+	rng := rand.New(rand.NewSource(o.Seed))
+	schedule := make([]Request, o.Requests)
+	for i := range schedule {
+		schedule[i] = mix[rng.Intn(len(mix))]
+	}
+
+	type outcome struct {
+		latency time.Duration
+		hit     bool
+		ok      bool
+		retried int
+		err     error
+	}
+	outcomes := make([]outcome, o.Requests)
+	var (
+		wg   sync.WaitGroup
+		next = make(chan int)
+	)
+	client := &http.Client{}
+	start := now()
+	for c := 0; c < o.Concurrency; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				outcomes[i] = oneRequest(client, base, schedule[i])
+			}
+		}()
+	}
+	for i := 0; i < o.Requests; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	wall := now().Sub(start)
+
+	rep := &LoadReport{
+		Requests: o.Requests, Concurrency: o.Concurrency,
+		Seed: o.Seed, Work: o.Work,
+		WallMs: float64(wall.Nanoseconds()) / 1e6,
+	}
+	var lats []float64
+	var firstErr error
+	for _, oc := range outcomes {
+		rep.Rejected429 += oc.retried
+		switch {
+		case oc.err != nil:
+			rep.Failed++
+			if firstErr == nil {
+				firstErr = oc.err
+			}
+		case oc.ok:
+			rep.Completed++
+			if oc.hit {
+				rep.CacheHits++
+			}
+			lats = append(lats, float64(oc.latency.Nanoseconds())/1e6)
+		default:
+			rep.Failed++
+		}
+	}
+	if rep.Completed > 0 {
+		rep.CacheHitRate = float64(rep.CacheHits) / float64(rep.Completed)
+		rep.ThroughputRPS = float64(rep.Completed) / (float64(wall.Nanoseconds()) / 1e9)
+	}
+	sort.Float64s(lats)
+	rep.P50Ms = percentile(lats, 0.50)
+	rep.P95Ms = percentile(lats, 0.95)
+	rep.P99Ms = percentile(lats, 0.99)
+	if srv != nil {
+		rep.ServerMetrics = srv.MetricsSnapshot()
+	}
+	if firstErr != nil {
+		return rep, fmt.Errorf("load test: %d request(s) failed, first: %w", rep.Failed, firstErr)
+	}
+	return rep, nil
+}
+
+// oneRequest submits req (retrying 429s with linear backoff), then follows
+// the NDJSON progress stream to the terminal event, measuring end-to-end
+// latency.
+func oneRequest(client *http.Client, base string, req Request) (oc struct {
+	latency time.Duration
+	hit     bool
+	ok      bool
+	retried int
+	err     error
+}) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		oc.err = err
+		return
+	}
+	start := now()
+	var sub SubmitResponse
+	for attempt := 0; ; attempt++ {
+		resp, err := client.Post(base+"/sweep", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			oc.err = err
+			return
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			resp.Body.Close()
+			oc.retried++
+			if attempt > 1000 { // the queue is wedged; a real client gives up too
+				oc.err = fmt.Errorf("still 429 after %d attempts", attempt)
+				return
+			}
+			// Deliberately faster than the server's Retry-After hint:
+			// the generator's job is to keep pressure on the queue.
+			sleep(time.Duration(attempt%10+1) * time.Millisecond)
+			continue
+		}
+		err = json.NewDecoder(resp.Body).Decode(&sub)
+		resp.Body.Close()
+		if err != nil {
+			oc.err = err
+			return
+		}
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+			oc.err = fmt.Errorf("submit: HTTP %d", resp.StatusCode)
+			return
+		}
+		break
+	}
+	oc.hit = sub.Cache == "hit"
+	if sub.Status == StatusDone { // cache hit: already terminal
+		oc.ok = true
+		oc.latency = now().Sub(start)
+		return
+	}
+	resp, err := client.Get(base + "/stream/" + sub.ID + "?format=ndjson")
+	if err != nil {
+		oc.err = err
+		return
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			oc.err = err
+			return
+		}
+		if ev.Event == "done" {
+			oc.latency = now().Sub(start)
+			if ev.Status == StatusDone {
+				oc.ok = true
+			} else {
+				oc.err = fmt.Errorf("job %s ended %s: %s", sub.ID, ev.Status, ev.Error)
+			}
+			return
+		}
+	}
+	oc.err = fmt.Errorf("job %s: stream ended without terminal event", sub.ID)
+	return
+}
+
+// percentile returns the q-quantile of the sorted sample (nearest-rank),
+// 0 for an empty sample.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

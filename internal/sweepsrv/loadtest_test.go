@@ -1,0 +1,111 @@
+package sweepsrv
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRunLoadTestSmall runs the real harness end to end (small budget): a
+// seeded mix against a self-hosted server over actual HTTP. This is the
+// same entry point `sweepd -loadtest` and the BENCH_core.json row use.
+func TestRunLoadTestSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test; the full check gate runs it without -short")
+	}
+	rep, err := RunLoadTest(LoadOptions{
+		Requests:    10,
+		Concurrency: 3,
+		Seed:        7,
+		Work:        800,
+		Server:      Config{Workers: 2, QueueDepth: 4},
+	})
+	if err != nil {
+		t.Fatalf("RunLoadTest: %v (report: %+v)", err, rep)
+	}
+	if rep.Completed != rep.Requests || rep.Failed != 0 {
+		t.Fatalf("report %+v: want all %d requests completed", rep, rep.Requests)
+	}
+	if rep.P50Ms <= 0 || rep.P50Ms > rep.P95Ms || rep.P95Ms > rep.P99Ms {
+		t.Errorf("percentiles not ordered: p50=%v p95=%v p99=%v", rep.P50Ms, rep.P95Ms, rep.P99Ms)
+	}
+	if rep.ThroughputRPS <= 0 || rep.WallMs <= 0 {
+		t.Errorf("throughput %v rps over %v ms: want positive", rep.ThroughputRPS, rep.WallMs)
+	}
+	if rep.CacheHitRate < 0 || rep.CacheHitRate > 1 {
+		t.Errorf("cache hit rate %v out of [0,1]", rep.CacheHitRate)
+	}
+	// The harness's client-side view must reconcile with the server's own
+	// counters — the report embeds the final /metrics snapshot.
+	m := rep.ServerMetrics
+	if m.Completed != uint64(rep.Completed) {
+		t.Errorf("server completed %d, clients observed %d", m.Completed, rep.Completed)
+	}
+	if m.ServedFromCache != uint64(rep.CacheHits) {
+		t.Errorf("server cache hits %d, clients observed %d", m.ServedFromCache, rep.CacheHits)
+	}
+	if m.RejectedBusy != uint64(rep.Rejected429) {
+		t.Errorf("server 429s %d, clients observed %d", m.RejectedBusy, rep.Rejected429)
+	}
+	if m.CellsExecuted == 0 {
+		t.Error("load test executed zero cells")
+	}
+}
+
+// TestLoadScheduleIsSeeded: the request mix is a pure function of
+// (seed, requests) — that is what makes load-test runs comparable and the
+// BENCH baseline meaningful.
+func TestLoadScheduleIsSeeded(t *testing.T) {
+	draw := func(seed int64, n int) []int {
+		mix := loadMix(2000)
+		rng := rand.New(rand.NewSource(seed))
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = rng.Intn(len(mix))
+		}
+		return idx
+	}
+	a, b := draw(42, 64), draw(42, 64)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedule diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := draw(43, 64)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds drew identical schedules")
+	}
+	// Every mix template must itself be a valid request.
+	for _, r := range loadMix(2000) {
+		if _, err := r.Canonicalize(); err != nil {
+			t.Errorf("load mix template %+v is invalid: %v", r, err)
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	cases := []struct {
+		sorted []float64
+		q      float64
+		want   float64
+	}{
+		{nil, 0.5, 0},
+		{[]float64{7}, 0.5, 7},
+		{[]float64{7}, 0.99, 7},
+		{[]float64{1, 2, 3, 4}, 0.5, 2},
+		{[]float64{1, 2, 3, 4}, 0.95, 4},
+		{[]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 0.5, 5},
+		{[]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 0.99, 10},
+	}
+	for _, tc := range cases {
+		if got := percentile(tc.sorted, tc.q); got != tc.want {
+			t.Errorf("percentile(%v, %v) = %v, want %v", tc.sorted, tc.q, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package sweepsrv
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestGracefulShutdownDrains pins the shutdown promise with a 1-worker
+// pool: the running job drains to completion, every still-queued job is
+// failed with the distinct "aborted" status, their streams receive terminal
+// events and close, and new submissions are refused with 503.
+func TestGracefulShutdownDrains(t *testing.T) {
+	srv := NewServer(Config{Workers: 1, QueueDepth: 4})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// j1 holds the only worker well past the whole setup window below (a
+	// generous multi-cell budget, so j2/j3 are still queued at Shutdown);
+	// j2 and j3 wait behind it.
+	code, j1, _ := submit(t, ts.URL, `{"exp":"scaling","apps":["radix"],"procs":[8,16,64],"work":120000}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit j1: HTTP %d", code)
+	}
+	waitStatus(t, ts.URL, j1.ID, StatusRunning)
+	code, j2, _ := submit(t, ts.URL, fmt.Sprintf(`{"exp":"fig9","apps":["lu"],"work":%d}`, testWork))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit j2: HTTP %d", code)
+	}
+	code, j3, _ := submit(t, ts.URL, fmt.Sprintf(`{"exp":"fig9","apps":["fft"],"work":%d}`, testWork))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit j3: HTTP %d", code)
+	}
+
+	// A subscriber on a queued job must see its terminal event and a clean
+	// stream close — shutdown must not leave streams dangling.
+	streamDone := make(chan []Event, 1)
+	go func() { streamDone <- readSSE(t, ts.URL, j2.ID) }()
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		t.Fatalf("Shutdown: %v (the drain should beat a 120s deadline)", err)
+	}
+
+	// The running job drained to completion…
+	env1, _ := getResult(t, ts.URL, j1.ID)
+	if env1.Status != StatusDone {
+		t.Errorf("running job ended %q (%s), want done (drained)", env1.Status, env1.Error)
+	}
+	// …and the queued jobs were aborted, distinctly.
+	for _, id := range []string{j2.ID, j3.ID} {
+		env, code := getResult(t, ts.URL, id)
+		if code != http.StatusOK || env.Status != StatusAborted {
+			t.Errorf("queued job %s ended %q, want aborted", id, env.Status)
+		}
+		if !strings.Contains(env.Error, "shutting down") {
+			t.Errorf("aborted job %s error %q does not say why", id, env.Error)
+		}
+	}
+
+	select {
+	case evs := <-streamDone:
+		last := evs[len(evs)-1]
+		if last.Event != "done" || last.Status != StatusAborted {
+			t.Errorf("queued job's stream ended with %+v, want done/aborted", last)
+		}
+	case <-time.After(30 * time.Second):
+		t.Error("queued job's stream did not close after shutdown")
+	}
+
+	// New submissions are refused while (and after) draining.
+	code, _, _ = submit(t, ts.URL, `{"exp":"fig9","apps":["radix"]}`)
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("post-shutdown submit: HTTP %d, want 503", code)
+	}
+	// Healthz reports the drain; metrics account every fate.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	m := getMetrics(t, ts.URL)
+	if !m.Draining || m.Completed != 1 || m.Aborted != 2 {
+		t.Errorf("metrics after shutdown %+v: want draining with completed=1 aborted=2", m)
+	}
+
+	// Shutdown is idempotent.
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Errorf("second Shutdown: %v, want nil", err)
+	}
+}
+
+// TestShutdownDeadlineCancelsRunning: when the drain deadline has already
+// passed, Shutdown escalates — running jobs are canceled at their next cell
+// boundary, the pool still winds down, and Shutdown reports the context
+// error.
+func TestShutdownDeadlineCancelsRunning(t *testing.T) {
+	srv := NewServer(Config{Workers: 1, QueueDepth: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Six slow cells: the cancel lands long before the sweep could finish.
+	code, j1, _ := submit(t, ts.URL, `{"exp":"scaling","apps":["radix","fft"],"procs":[8,16,64],"work":120000}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	waitStatus(t, ts.URL, j1.ID, StatusRunning)
+
+	expired, cancel := context.WithCancel(context.Background())
+	cancel() // deadline already passed: escalate immediately
+	err := srv.Shutdown(expired)
+	if err != context.Canceled {
+		t.Fatalf("Shutdown with expired context returned %v, want context.Canceled", err)
+	}
+	// Shutdown returning proves the pool wound down; the job must be
+	// terminal and canceled.
+	env, code := getResult(t, ts.URL, j1.ID)
+	if code != http.StatusOK || env.Status != StatusCanceled {
+		t.Fatalf("job after escalated shutdown: %q (HTTP %d, err %q), want canceled", env.Status, code, env.Error)
+	}
+	if !strings.Contains(env.Error, "canceled") {
+		t.Errorf("canceled job error %q does not mention cancellation", env.Error)
+	}
+}
+
+// TestShutdownEmptyServer: draining an idle server returns immediately.
+func TestShutdownEmptyServer(t *testing.T) {
+	srv := NewServer(Config{Workers: 2})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown of idle server: %v", err)
+	}
+}
+
+// waitStatus polls /result until the job reports status (or is terminal).
+func waitStatus(t *testing.T, base, id, status string) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		env, code := getResult(t, base, id)
+		if env.Status == status {
+			return
+		}
+		if code == http.StatusOK { // terminal, and not the status we wanted
+			t.Fatalf("job %s reached terminal %q while waiting for %q", id, env.Status, status)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached status %q", id, status)
+}

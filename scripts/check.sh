@@ -91,6 +91,13 @@ fi
 echo "== litmus enumeration smoke (exhaustive, POR) =="
 go test -run 'TestForbiddenUnreachable|TestRCExhibitsSB' ./internal/history/explore
 
+# sweepd service smoke: the seeded load harness against an in-process
+# server (real HTTP, warm worker pool, content-addressed cache). The
+# harness itself fails the run if any request fails, hangs, or the
+# client-side and server-side counters disagree.
+echo "== sweepd load-test smoke =="
+go run ./cmd/sweepd -loadtest -requests 8 -concurrency 2 -work 800 >/dev/null
+
 if [ "${PERFDIFF_BASE:-}" != "" ]; then
     echo "== perfdiff vs $PERFDIFF_BASE =="
     ./scripts/perfdiff.sh "$PERFDIFF_BASE" BENCH_core.json
@@ -111,6 +118,13 @@ go test -race ./experiments
 
 echo "== litmus torture matrix under -race =="
 go test -race -run 'TestLitmusTortureMatrix|TestLitmusTorture64Proc|TestRCRelaxationSurvivesFaults' ./internal/core
+
+# The sweepd service under the race detector WITHOUT -short: includes the
+# concurrent mixed-config soak (warm-pool cross-contamination tripwire
+# against cold goldens), the graceful-shutdown drains, the SIGTERM
+# subprocess test and the full load harness.
+echo "== go test -race ./internal/sweepsrv ./cmd/sweepd (service soak) =="
+go test -race -count=1 ./internal/sweepsrv ./cmd/sweepd
 
 echo "== go test -race -short ./internal/... =="
 go test -race -short ./internal/...
