@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check check-fast lint fmt vet build test race bench bench-json perfdiff golden clean serve loadtest
+.PHONY: check check-fast lint fmt vet build test race bench bench-json perfdiff golden clean serve loadtest profile
 
 check: ## full PR gate: format, vet, simlint, build, tests, fuzz-corpus smoke, race on the sweep fan-out + torture matrix
 	./scripts/check.sh
@@ -65,6 +65,15 @@ PERFDIFF_BASE ?= BENCH_core.json
 perfdiff:
 	$(GO) run ./cmd/bench2json -o /tmp/bulksc-bench-current.json
 	./scripts/perfdiff.sh $(PERFDIFF_BASE) /tmp/bulksc-bench-current.json
+
+# CPU-profile the headline sweep: one cold Fig9 pass under -cpuprofile,
+# then the flat top-10. EXPERIMENTS.md ("Profiling the hot path") holds
+# the committed table; refresh it from this output after hot-path work.
+# PROFILE_BENCH=BenchmarkFig9Warm profiles the warm-reuse mode instead.
+PROFILE_BENCH ?= BenchmarkFig9
+profile:
+	$(GO) test -run '^$$' -bench '$(PROFILE_BENCH)$$' -benchtime 1x -cpuprofile cpu.pprof -o bulksc.test .
+	$(GO) tool pprof -top -nodecount=10 bulksc.test cpu.pprof
 
 # Regenerate the golden determinism table — ONLY after a deliberate
 # behavioral change; performance-only PRs must leave it untouched.

@@ -81,6 +81,9 @@ type Report struct {
 }
 
 // ScalingCell is one point of the scaling curve in the JSON schema.
+// WallMs/EventsPerSec are per-cell simulator cost (host wall-clock and
+// engine event throughput) — machine-dependent like every other wall
+// number in this file, and the quantity the 256-proc perf gate watches.
 type ScalingCell struct {
 	App           string  `json:"app"`
 	Procs         int     `json:"procs"`
@@ -92,6 +95,8 @@ type ScalingCell struct {
 	NonEmptyWPct  float64 `json:"non_empty_w_pct"`
 	GArbSharePct  float64 `json:"garb_share_pct"`
 	BytesPerInstr float64 `json:"bytes_per_instr"`
+	WallMs        float64 `json:"wall_ms"`
+	EventsPerSec  float64 `json:"events_per_sec"`
 }
 
 func measure(name string, f func(b *testing.B)) Bench {
@@ -164,6 +169,7 @@ func main() {
 			Cycles: p.Cycles, SquashedPct: p.SquashedPct,
 			AvgPendingW: p.AvgPendingW, NonEmptyWPct: p.NonEmptyWPct,
 			GArbSharePct: p.GArbSharePct, BytesPerInstr: p.BytesPerInstr,
+			WallMs: p.WallMs, EventsPerSec: p.EventsPerSec,
 		})
 	}
 

@@ -39,6 +39,14 @@ type ScalingPoint struct {
 	// useful work, so the curve is comparable across machine sizes.
 	BytesPerInstr  float64
 	MsgsPer1kInstr float64
+	// WallMs is the host wall-clock milliseconds the cell's simulation
+	// loop took and EventsPerSec its event throughput (engine events
+	// dispatched / wall seconds) — the simulator-cost axis of the curve,
+	// which is what a scheduling or commit fan-out rewrite actually
+	// moves. Host measurements: machine-dependent like every wall number
+	// in BENCH_core.json, and never part of simulated state.
+	WallMs       float64
+	EventsPerSec float64
 }
 
 // ScalingApps is the default application set of the scaling study: the
@@ -101,6 +109,10 @@ func Scaling(p Params, procCounts []int) ([]ScalingPoint, error) {
 				}
 				pt.MsgsPer1kInstr = 1000 * float64(msgs) / float64(st.CommittedInstrs)
 			}
+			pt.WallMs = float64(r.WallNs) / 1e6
+			if r.WallNs > 0 {
+				pt.EventsPerSec = float64(r.EventsFired) / (float64(r.WallNs) / 1e9)
+			}
 			points = append(points, pt)
 		}
 	}
@@ -108,15 +120,18 @@ func Scaling(p Params, procCounts []int) ([]ScalingPoint, error) {
 }
 
 // FormatScaling renders the scaling curves, one line per (app, procs).
+// The wall-ms and Mev/s columns are host-side simulator cost, not
+// simulated metrics; they vary with the machine running the sweep.
 func FormatScaling(points []ScalingPoint) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-11s %5s %4s %6s %12s %7s %8s %9s %6s %7s %7s %9s\n",
-		"app", "procs", "arbs", "shards", "cycles", "sq%", "pendW", "wlist%", "garb%", "q/1k", "B/in", "msg/1ki")
+	fmt.Fprintf(&b, "%-11s %5s %4s %6s %12s %7s %8s %9s %6s %7s %7s %9s %8s %7s\n",
+		"app", "procs", "arbs", "shards", "cycles", "sq%", "pendW", "wlist%", "garb%", "q/1k", "B/in", "msg/1ki", "wall-ms", "Mev/s")
 	for _, p := range points {
-		fmt.Fprintf(&b, "%-11s %5d %4d %6d %12d %7.2f %8.2f %9.1f %6.1f %7.1f %7.2f %9.2f\n",
+		fmt.Fprintf(&b, "%-11s %5d %4d %6d %12d %7.2f %8.2f %9.1f %6.1f %7.1f %7.2f %9.2f %8.1f %7.2f\n",
 			p.App, p.Procs, p.Arbiters, p.Shards, p.Cycles,
 			p.SquashedPct, p.AvgPendingW, p.NonEmptyWPct,
-			p.GArbSharePct, p.GArbQueuedPer1k, p.BytesPerInstr, p.MsgsPer1kInstr)
+			p.GArbSharePct, p.GArbQueuedPer1k, p.BytesPerInstr, p.MsgsPer1kInstr,
+			p.WallMs, p.EventsPerSec/1e6)
 	}
 	return b.String()
 }

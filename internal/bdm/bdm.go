@@ -125,3 +125,23 @@ func Disambiguate(wc sig.Signature, trueW *lineset.Set, chunks []*chunk.Chunk) (
 	}
 	return -1, false
 }
+
+// DisambiguateSummary is Disambiguate guarded by the processor's live
+// summary signature (chunk.Sum wiring, DESIGN.md §16). sum conservatively
+// contains every line in every active chunk's R and W: the per-access
+// mirror inserts lines as the chunks do, and rebuilds on squash/commit
+// retirement only shrink it back to the exact union. Signature
+// intersection is monotone in either operand — if wc ∩ c.R (or c.W) is
+// nonempty in every bank, then wc ∩ sum is too, since sum's banks are
+// bitwise supersets — so a non-intersecting summary proves no chunk can
+// conflict and the whole walk (the common case: disjoint working sets) is
+// one word-masked Intersects. Aliasing false positives merely fall
+// through to the precise per-chunk walk. A nil sum disables the filter.
+//
+//sim:hotpath
+func DisambiguateSummary(wc sig.Signature, sum sig.Signature, trueW *lineset.Set, chunks []*chunk.Chunk) (squashFrom int, genuine bool) {
+	if sum != nil && !wc.Intersects(sum) {
+		return -1, false
+	}
+	return Disambiguate(wc, trueW, chunks)
+}

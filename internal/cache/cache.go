@@ -100,7 +100,9 @@ func (c *L1) set(idx int) []Way { return c.ways[idx*c.assoc : (idx+1)*c.assoc] }
 func (c *L1) Probe(l mem.Line) *Way {
 	s := c.set(c.setIndex(l))
 	for i := range s {
-		if s[i].Valid() && s[i].Line == l {
+		// Tag compare first: most ways mismatch on Line, skipping the
+		// state check; an invalid way (zeroed, Line 0) still fails Valid.
+		if s[i].Line == l && s[i].Valid() {
 			return &s[i]
 		}
 	}

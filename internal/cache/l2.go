@@ -2,28 +2,55 @@ package cache
 
 import "bulksc/internal/mem"
 
+// l2GroupSets is the granularity of lazy tag-store allocation: ways are
+// carved into groups of this many consecutive sets, each allocated on
+// first install. A short run touches a small fraction of the 32768 sets,
+// so cold machine construction allocates ~4 KB of group pointers instead
+// of zeroing the full multi-megabyte ways array — the single largest
+// machine structure — and the touched groups stay dense in cache.
+const l2GroupSets = 64
+
 // L2 models the shared on-chip L2 as a set-associative tag store: the
 // simulator only needs to know whether a line hits on chip (13-cycle round
 // trip) or must come from memory (300 cycles). Values live in mem.Memory.
 type L2 struct {
 	//lint:poolsafe immutable geometry fixed at construction
 	nsets, assoc int
-	ways         []l2way
-	tick         uint64
+	// groups is the lazily allocated tag storage: groups[g] covers sets
+	// [g*l2GroupSets, (g+1)*l2GroupSets) and is nil until a line is first
+	// installed there. Within a group, ways are scrubbed lazily: a way is
+	// valid only while its gen matches the store's, so Reset invalidates
+	// every resident tag by bumping one counter instead of a memclr sweep.
+	// Stale entries behave exactly as empty ways until overwritten.
+	//lint:poolsafe generation-tagged; entries with gen != current are invisible
+	groups [][]l2way
+	tick   uint64
+	gen    uint32
 }
 
-// Reset scrubs the tag store in place. The L2's 32768×8 ways array (~6 MB)
-// is the single largest machine allocation; retaining it across runs while
-// zeroing its contents is the biggest per-run win of warm machine reuse.
+// Reset scrubs the tag store in place — O(1): advancing the generation
+// makes every resident tag invisible. Allocated groups are retained so a
+// warm reuse re-fills recycled storage instead of the allocator.
 func (c *L2) Reset() {
-	clear(c.ways)
+	c.gen++
+	if c.gen == 0 {
+		// Generation wrapped (once per 2^32 resets): scrub for real so
+		// entries stamped with the recycled epoch cannot resurface.
+		for _, g := range c.groups {
+			clear(g)
+		}
+		c.gen = 1
+	}
 	c.tick = 0
 }
 
 type l2way struct {
-	line  mem.Line
-	valid bool
-	lru   uint64
+	line mem.Line
+	lru  uint64
+	// gen stamps the Reset epoch that installed this way; it is valid only
+	// while it matches L2.gen. The zero value (gen 0 vs the store's initial
+	// gen 1) is an empty way.
+	gen uint32
 }
 
 // NewL2 returns an L2 tag store with nsets sets (power of two) of assoc
@@ -32,19 +59,48 @@ func NewL2(nsets, assoc int) *L2 {
 	if nsets <= 0 || nsets&(nsets-1) != 0 {
 		panic("cache: L2 nsets must be a power of two")
 	}
-	return &L2{nsets: nsets, assoc: assoc, ways: make([]l2way, nsets*assoc)}
+	ngroups := (nsets + l2GroupSets - 1) / l2GroupSets
+	return &L2{nsets: nsets, assoc: assoc, groups: make([][]l2way, ngroups), gen: 1}
 }
 
+// set returns the ways of l's set, or nil if its group was never
+// installed into (every way empty).
+//
+//sim:hotpath
 func (c *L2) set(l mem.Line) []l2way {
 	idx := int(uint64(l) & uint64(c.nsets-1))
-	return c.ways[idx*c.assoc : (idx+1)*c.assoc]
+	g := c.groups[idx/l2GroupSets]
+	if g == nil {
+		return nil
+	}
+	base := (idx % l2GroupSets) * c.assoc
+	return g[base : base+c.assoc]
+}
+
+// setAlloc is set plus on-demand group allocation, for the install path.
+func (c *L2) setAlloc(l mem.Line) []l2way {
+	idx := int(uint64(l) & uint64(c.nsets-1))
+	gi := idx / l2GroupSets
+	g := c.groups[gi]
+	if g == nil {
+		span := l2GroupSets
+		if span > c.nsets {
+			span = c.nsets
+		}
+		g = make([]l2way, span*c.assoc)
+		c.groups[gi] = g
+	}
+	base := (idx % l2GroupSets) * c.assoc
+	return g[base : base+c.assoc]
 }
 
 // Contains reports a hit and refreshes recency.
+//
+//sim:hotpath
 func (c *L2) Contains(l mem.Line) bool {
 	s := c.set(l)
 	for i := range s {
-		if s[i].valid && s[i].line == l {
+		if s[i].line == l && s[i].gen == c.gen {
 			c.tick++
 			s[i].lru = c.tick
 			return true
@@ -55,16 +111,18 @@ func (c *L2) Contains(l mem.Line) bool {
 
 // Install brings l on chip, evicting LRU if needed, and returns the victim
 // line (ok ⇒ something was displaced).
+//
+//sim:hotpath
 func (c *L2) Install(l mem.Line) (victim mem.Line, evicted bool) {
-	s := c.set(l)
+	s := c.setAlloc(l)
 	var slot *l2way
 	for i := range s {
-		if s[i].valid && s[i].line == l {
+		if s[i].line == l && s[i].gen == c.gen {
 			c.tick++
 			s[i].lru = c.tick
 			return 0, false
 		}
-		if !s[i].valid && slot == nil {
+		if s[i].gen != c.gen && slot == nil {
 			slot = &s[i]
 		}
 	}
@@ -78,6 +136,6 @@ func (c *L2) Install(l mem.Line) (victim mem.Line, evicted bool) {
 		victim, evicted = slot.line, true
 	}
 	c.tick++
-	*slot = l2way{line: l, valid: true, lru: c.tick}
+	*slot = l2way{line: l, gen: c.gen, lru: c.tick}
 	return victim, evicted
 }

@@ -77,6 +77,15 @@ type Chunk struct {
 	// Signatures (superset encodings used by the protocol).
 	R, W, Wpriv sig.Signature
 
+	// Sum, when non-nil, is the owning processor's live-summary signature:
+	// the BDM's incrementally-maintained union of every active chunk's
+	// R∪W (DESIGN.md §16). RecordLoad, RecordStore and PromoteToW mirror
+	// each shared-line insert into it, so an incoming committing W that
+	// does not intersect the summary provably cannot conflict with any
+	// chunk and the whole disambiguation walk is skipped. Proc-owned
+	// wiring: openChunk attaches it at acquisition; recycling detaches it.
+	Sum sig.Signature
+
 	// Exact line sets backing the signatures. RSet/WSet drive commit
 	// application and stats; PrivSet backs Wpriv.
 	RSet, WSet, PrivSet lineset.Set
@@ -160,6 +169,9 @@ func (c *Chunk) RecordLoad(a mem.Addr, v uint64, private bool) {
 		l := a.LineOf()
 		c.R.Add(l)
 		c.RSet.Add(l)
+		if c.Sum != nil {
+			c.Sum.Add(l)
+		}
 	}
 	c.Log = append(c.Log, AccessRec{Addr: a, Value: v})
 }
@@ -177,6 +189,9 @@ func (c *Chunk) RecordStore(a mem.Addr, v uint64, priv bool) {
 	} else {
 		c.W.Add(l)
 		c.WSet.Add(l)
+		if c.Sum != nil {
+			c.Sum.Add(l)
+		}
 	}
 	c.WriteBuf.Put(a.Align(), v)
 	c.Log = append(c.Log, AccessRec{IsStore: true, Addr: a, Value: v})
@@ -193,6 +208,9 @@ func (c *Chunk) PromoteToW(l mem.Line) bool {
 	}
 	c.W.Add(l)
 	c.WSet.Add(l)
+	if c.Sum != nil {
+		c.Sum.Add(l)
+	}
 	// Wpriv is a superset encoding; the stale bit is harmless (it only
 	// matters for ∈ checks on external accesses, which now also hit W).
 	return true
@@ -293,6 +311,7 @@ func (p *Pool) dropSigs(c *Chunk) {
 		p.SigRecycler(c.Wpriv)
 	}
 	c.R, c.W, c.Wpriv = nil, nil, nil
+	c.Sum = nil
 }
 
 // Get returns a ready chunk, recycling a pooled one when available. A
@@ -332,6 +351,7 @@ func (p *Pool) Put(c *Chunk) {
 	c.PrivSet.Reset()
 	c.WriteBuf.Reset()
 	c.Log = c.Log[:0]
+	c.Sum = nil // the summary outlives the chunk; drop the proc's wiring
 	p.free = append(p.free, c)
 }
 

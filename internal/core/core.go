@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
 	"bulksc/internal/arbiter"
 	"bulksc/internal/cache"
@@ -216,6 +217,15 @@ type Result struct {
 	// zero when fault-free). Excluded from DeterminismHash: hashes pin
 	// the fault-free execution only.
 	FaultCounters fault.Counters
+	// WallNs is the host wall-clock time the simulation loop took and
+	// EventsFired the number of discrete events the engine dispatched —
+	// together the simulator-throughput numbers (events/sec) the scaling
+	// sweep reports. WallNs is host measurement, not simulated state: it
+	// is excluded from DeterminismHash and never feeds back into the
+	// simulation. EventsFired is itself deterministic but stays out of
+	// the hash with the other diagnostics.
+	WallNs      int64
+	EventsFired uint64
 }
 
 // Speedup returns other's runtime relative to r (r.Cycles / other.Cycles
@@ -410,7 +420,7 @@ func (m *machine) buildModules(n int) {
 		// Arbiter i is co-located with directory i (Figure 7(b)).
 		dd := d
 		a.ForwardW = func(tok arbiter.Token, proc int, w sig.Signature, trueW *lineset.Set) {
-			dd.ProcessCommit(&directory.Commit{Tok: tok, Proc: proc, W: w, TrueW: trueW})
+			dd.ProcessCommit(dd.NewCommit(tok, proc, w, trueW))
 		}
 		aa := a
 		d.OnDone = func(tok arbiter.Token) { aa.Done(tok) }
@@ -561,7 +571,7 @@ func (m *machine) buildEnv() *proc.Env {
 			sent[idx] = true
 			d := m.dirs[idx]
 			m.net.Send(stats.CatWrSig, network.SigBytes, func() {
-				d.ProcessPrivCommit(&directory.Commit{Proc: p, W: w, TrueW: trueW})
+				d.ProcessPrivCommit(d.NewCommit(0, p, w, trueW))
 			})
 		})
 	}
@@ -818,14 +828,18 @@ func (m *machine) run(cfg Config) (*Result, error) {
 	if cfg.Watchdog {
 		startWatchdog(m, cfg.WatchdogWindow)
 	}
+	//lint:deterministic host-side throughput measurement around the event loop; the value only lands in Result.WallNs, which is excluded from DeterminismHash and never feeds simulated state
+	wallStart := time.Now()
 	m.eng.Run(func() bool { return m.watchdogErr != nil || m.allDone() })
+	//lint:deterministic host-side throughput measurement; see wallStart above
+	wallNs := time.Since(wallStart).Nanoseconds()
 	if m.watchdogErr != nil {
 		return nil, fmt.Errorf("core: %s/%s: %w", cfg.Model, cfg.App, m.watchdogErr)
 	}
 	if !m.allDone() {
 		return nil, fmt.Errorf("core: %s/%s deadlocked at cycle %d", cfg.Model, cfg.App, m.eng.Now())
 	}
-	res := &Result{Config: cfg}
+	res := &Result{Config: cfg, WallNs: wallNs, EventsFired: m.eng.Fired()}
 	if cfg.Faults != nil {
 		res.FaultCounters = cfg.Faults.Counters()
 	}

@@ -1,8 +1,11 @@
 package directory
 
 import (
+	"bulksc/internal/arbiter"
+	"bulksc/internal/lineset"
 	"bulksc/internal/mem"
 	"bulksc/internal/network"
+	"bulksc/internal/sig"
 	"bulksc/internal/stats"
 )
 
@@ -21,6 +24,51 @@ func (d *Directory) ProcessCommit(c *Commit) {
 	d.st.DirCommits++
 	d.committing = append(d.committing, c)
 	d.eng.After(commitProc, func() { d.expand(c) })
+}
+
+// NewCommit draws a pooled commit record for a W signature entering this
+// module. The signature and exact write set are attached by reference —
+// the fan-out shares this one record (and therefore one W-sig) across
+// every sharer delivery; nothing in the pipeline copies them per sharer.
+// Records drawn here are recycled automatically when the commit flow
+// completes (finishCommit, or the last priv-propagation delivery), so
+// steady-state commit routing allocates no records.
+//
+//sim:hotpath
+//sim:pool acquire
+func (d *Directory) NewCommit(tok arbiter.Token, proc int, w sig.Signature, trueW *lineset.Set) *Commit {
+	var c *Commit
+	if n := len(d.cFree); n > 0 {
+		c = d.cFree[n-1]
+		d.cFree[n-1] = nil
+		d.cFree = d.cFree[:n-1]
+	} else {
+		//lint:alloc one-time freelist seeding, amortized to zero by recycling
+		c = &Commit{pooled: true}
+	}
+	c.Tok = tok
+	c.Proc = proc
+	c.W = w
+	c.TrueW = trueW
+	c.Priv = false
+	return c
+}
+
+// putCommit recycles a pooled record once nothing in the pipeline can
+// touch it again. References are dropped so a parked record cannot pin a
+// dead run's signatures or write sets.
+//
+//sim:pool release
+func (d *Directory) putCommit(c *Commit) {
+	if !c.pooled {
+		return
+	}
+	c.Tok = 0
+	c.Proc = 0
+	c.W = nil
+	c.TrueW = nil
+	c.Priv = false
+	d.cFree = append(d.cFree, c)
 }
 
 //sim:hotpath
@@ -136,8 +184,13 @@ func (d *Directory) finishCommit(c *Commit) {
 	if d.OnDone == nil {
 		panic("directory: OnDone not wired")
 	}
-	// Completion message back to the arbiter.
-	d.net.Send(stats.CatOther, network.CtrlBytes, func() { d.OnDone(c.Tok) })
+	// Completion message back to the arbiter. The token is captured by
+	// value so the record can be recycled immediately: every ApplyCommit
+	// delivery has already fired (the acks trail them by construction),
+	// the record has just left d.committing, and nothing else holds it.
+	tok := c.Tok
+	d.putCommit(c)
+	d.net.Send(stats.CatOther, network.CtrlBytes, func() { d.OnDone(tok) })
 }
 
 // ProcessPrivCommit propagates an stpvt Wpriv signature (§5.1): private
@@ -183,12 +236,23 @@ func (d *Directory) expandPriv(c *Commit) {
 
 // forwardPrivToCaches is expandPriv's fan-out: sharer caches invalidate
 // matching lines, no acks (private data needs no read disabling). Consumes
-// d.inval synchronously, ascending proc order.
+// d.inval synchronously, ascending proc order. With no ack wave to ride,
+// the record's lifetime is tracked by a delivery count: the last
+// ApplyCommit to fire recycles it.
 func (d *Directory) forwardPrivToCaches(c *Commit) {
+	pendingDeliveries := 0
 	d.inval.ForEach(func(p int) {
+		pendingDeliveries++
 		pp := p
 		d.net.Send(stats.CatWrSig, network.SigBytes, func() {
 			d.ports[pp].ApplyCommit(c)
+			pendingDeliveries--
+			if pendingDeliveries == 0 {
+				d.putCommit(c)
+			}
 		})
 	})
+	if pendingDeliveries == 0 {
+		d.putCommit(c)
+	}
 }

@@ -62,6 +62,11 @@ type Commit struct {
 	// lines but skip disambiguation (private data is exempt from
 	// consistency enforcement).
 	Priv bool
+	// pooled marks a record drawn from the module's pool via NewCommit;
+	// only those are recycled at completion. Caller-constructed records
+	// (tests, the displacement path) may outlive the flow and are left to
+	// the garbage collector.
+	pooled bool
 }
 
 // CachePort is the directory's view of one processor's L1/BDM. All methods
@@ -347,6 +352,13 @@ type Directory struct {
 	// scanned on every demand read and rarely holds more than a couple of
 	// commits.
 	committing []*Commit
+	// cFree recycles the pooled commit records NewCommit hands out: one
+	// record per commit per module, fanned out BY REFERENCE to every
+	// sharer cache (the W signature is never copied per sharer) and
+	// recycled when the last delivery completes. Parked records hold no
+	// signature or set references (putCommit drops them).
+	//lint:poolsafe recycled records are fully reinitialized at reuse and hold no references while parked
+	cFree []*Commit
 
 	// OnDone reports commit completion to the owning arbiter.
 	//lint:poolsafe stable machine wiring to the owning arbiter, installed once at construction

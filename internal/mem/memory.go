@@ -8,35 +8,152 @@ package mem
 // Memory represents only the architecturally committed state. Speculative
 // chunk updates live in per-chunk write buffers (internal/chunk) until
 // commit, per the paper's Rule1.
+//
+// Storage is an open-addressed hash table keyed by cache line, with the
+// line's WordsPerLn word values stored contiguously per slot. Load/Store
+// sit on the simulator's hottest leaf path (every perform, drain, and
+// sync-variable spin goes through them); one multiplicative hash plus a
+// linear probe over a flat array beats the general-purpose map it
+// replaces, and line granularity makes LoadLine/StoreLine a single probe
+// instead of WordsPerLn lookups. Lookup position is a pure function of
+// table contents — nothing iterates the table — so the layout cannot
+// perturb determinism.
 type Memory struct {
-	words map[Addr]uint64
+	keys []uint64 // line+1 per slot; 0 = empty. Power-of-two length.
+	// vals keeps WordsPerLn words per slot, parallel to keys. Stale values
+	// are unreachable behind cleared keys and re-zeroed by claim at reuse.
+	//lint:poolsafe values behind empty keys are unreachable; claim re-zeroes the slot on insert
+	vals []uint64
+	wrt  []uint8 // per-slot bitmask of words ever written (Footprint)
+	n    int     // occupied slots
+	nw   int     // distinct words ever written
+	// shift turns the slot hash into an index: 64 - log2(len(keys)). It
+	// tracks the retained table capacity, which Reset keeps on purpose.
+	//lint:poolsafe capacity descriptor for the retained storage Reset deliberately keeps
+	shift uint
 }
 
-// NewMemory returns zero-initialized memory.
-func NewMemory() *Memory { return &Memory{words: make(map[Addr]uint64)} }
+// memInitSlots is the initial line capacity; the table doubles at 3/4
+// occupancy, so it never fills and probes always terminate.
+const memInitSlots = 1 << 12
 
-// Reset forgets all committed state in place, retaining the map's bucket
-// storage so a warm machine reuse refills it without rehashing growth. Map
-// iteration never orders any simulated event (loads and stores are keyed
-// lookups), so retained capacity cannot perturb determinism.
+// NewMemory returns zero-initialized memory.
+func NewMemory() *Memory {
+	m := &Memory{}
+	m.alloc(memInitSlots)
+	return m
+}
+
+func (m *Memory) alloc(slots int) {
+	m.keys = make([]uint64, slots)
+	m.vals = make([]uint64, slots*WordsPerLn)
+	m.wrt = make([]uint8, slots)
+	m.shift = 64
+	for s := slots; s > 1; s >>= 1 {
+		m.shift--
+	}
+}
+
+// Reset forgets all committed state in place, retaining the table's
+// storage so a warm machine reuse refills it without rehashing growth.
+// Only the keys and written-word masks are scrubbed; stale values are
+// unreachable behind empty keys and are zeroed again slot-by-slot as
+// lines are claimed.
 func (m *Memory) Reset() {
-	clear(m.words)
+	clear(m.keys)
+	clear(m.wrt)
+	m.n = 0
+	m.nw = 0
+}
+
+// find returns the slot holding line l, or the empty slot where it would
+// be inserted. The table is kept below 3/4 full, so the probe terminates.
+//
+//sim:hotpath
+func (m *Memory) find(l uint64) int {
+	k := l + 1
+	i := int((k * 0x9E3779B97F4A7C15) >> m.shift)
+	idxMask := len(m.keys) - 1
+	for {
+		kk := m.keys[i]
+		if kk == k || kk == 0 {
+			return i
+		}
+		i = (i + 1) & idxMask
+	}
+}
+
+// claim returns the slot for line l, inserting (and zero-filling) it if
+// absent, growing the table first when the next insert could cross 3/4
+// occupancy.
+//
+//sim:hotpath
+func (m *Memory) claim(l uint64) int {
+	if 4*(m.n+1) > 3*len(m.keys) {
+		m.grow()
+	}
+	i := m.find(l)
+	if m.keys[i] == 0 {
+		m.keys[i] = l + 1
+		m.n++
+		base := i * WordsPerLn
+		for j := base; j < base+WordsPerLn; j++ {
+			m.vals[j] = 0
+		}
+	}
+	return i
+}
+
+// grow doubles the table and reinserts every live slot. Slot positions in
+// the new table are again a pure function of the keys present.
+func (m *Memory) grow() {
+	oldKeys, oldVals, oldWrt := m.keys, m.vals, m.wrt
+	m.alloc(2 * len(oldKeys))
+	for i, k := range oldKeys {
+		if k == 0 {
+			continue
+		}
+		j := m.find(k - 1)
+		m.keys[j] = k
+		m.wrt[j] = oldWrt[i]
+		copy(m.vals[j*WordsPerLn:(j+1)*WordsPerLn], oldVals[i*WordsPerLn:(i+1)*WordsPerLn])
+	}
 }
 
 // Load returns the committed value of the word containing a. Unwritten
 // words read as zero.
-func (m *Memory) Load(a Addr) uint64 { return m.words[a.Align()] }
+//
+//sim:hotpath
+func (m *Memory) Load(a Addr) uint64 {
+	i := m.find(uint64(a.LineOf()))
+	if m.keys[i] == 0 {
+		return 0
+	}
+	return m.vals[i*WordsPerLn+a.WordIndex()]
+}
 
 // Store sets the committed value of the word containing a.
-func (m *Memory) Store(a Addr, v uint64) { m.words[a.Align()] = v }
+//
+//sim:hotpath
+func (m *Memory) Store(a Addr, v uint64) {
+	i := m.claim(uint64(a.LineOf()))
+	w := a.WordIndex()
+	if m.wrt[i]&(1<<uint(w)) == 0 {
+		m.wrt[i] |= 1 << uint(w)
+		m.nw++
+	}
+	m.vals[i*WordsPerLn+w] = v
+}
 
 // LoadLine returns the committed values of all words of line l, used when a
 // whole line must be checkpointed (the dypvt private buffer).
+//
+//sim:hotpath
 func (m *Memory) LoadLine(l Line) [WordsPerLn]uint64 {
 	var vals [WordsPerLn]uint64
-	base := l.Addr()
-	for i := 0; i < WordsPerLn; i++ {
-		vals[i] = m.words[base+Addr(i*WordBytes)]
+	i := m.find(uint64(l))
+	if m.keys[i] != 0 {
+		copy(vals[:], m.vals[i*WordsPerLn:(i+1)*WordsPerLn])
 	}
 	return vals
 }
@@ -44,12 +161,16 @@ func (m *Memory) LoadLine(l Line) [WordsPerLn]uint64 {
 // StoreLine writes a whole line of word values, used when restoring a line
 // from the private buffer after a squash.
 func (m *Memory) StoreLine(l Line, vals [WordsPerLn]uint64) {
-	base := l.Addr()
-	for i := 0; i < WordsPerLn; i++ {
-		m.words[base+Addr(i*WordBytes)] = vals[i]
+	i := m.claim(uint64(l))
+	for w := 0; w < WordsPerLn; w++ {
+		if m.wrt[i]&(1<<uint(w)) == 0 {
+			m.wrt[i] |= 1 << uint(w)
+			m.nw++
+		}
+		m.vals[i*WordsPerLn+w] = vals[w]
 	}
 }
 
 // Footprint returns the number of distinct words ever written, a cheap
 // sanity metric for workload generators.
-func (m *Memory) Footprint() int { return len(m.words) }
+func (m *Memory) Footprint() int { return m.nw }

@@ -8,6 +8,7 @@ import (
 	"bulksc/internal/chunk"
 	"bulksc/internal/mem"
 	"bulksc/internal/network"
+	"bulksc/internal/sig"
 	"bulksc/internal/sim"
 	"bulksc/internal/slab"
 	"bulksc/internal/stats"
@@ -49,8 +50,7 @@ const batchInstrs = 32
 // BulkProc is one BulkSC processor: core, checkpoints, L1 and BDM.
 type BulkProc struct {
 	//lint:poolsafe stable identity fixed at construction
-	id int
-	//lint:poolsafe immutable machine-lifetime wiring fixed at construction
+	id   int
 	env  *Env
 	par  Params
 	opts Opts
@@ -100,7 +100,25 @@ type BulkProc struct {
 
 	privBuf *bdm.PrivateBuffer
 
-	inflight map[mem.Line]*fetchReq
+	// liveSum is the live-summary signature: a conservative union of every
+	// active chunk's R and W, maintained incrementally on access append
+	// (chunk.Sum mirrors every shared-line insert) and rebuilt when a
+	// chunk leaves the active set (commit retirement, squash). ApplyCommit
+	// early-outs the whole disambiguation walk with one Intersects against
+	// it (DESIGN.md §16).
+	liveSum sig.Signature
+	// inflightSig conservatively contains the line of every in-flight
+	// fetch: add-only on request issue (and on blocked-install
+	// re-insertion), cleared only when the MSHR set drains empty, so it is
+	// always a superset of the live in-flight line set. ApplyCommit skips
+	// the per-commit poison scan when the incoming W cannot intersect it.
+	inflightSig sig.Signature
+
+	// inflight holds the outstanding line fetches, at most par.MSHRs (a
+	// handful) at a time — a linear scan over the slice beats the map it
+	// replaced, and its insertion order is deterministic for the poison
+	// walk in ApplyCommit.
+	inflight []*fetchReq
 	// reqFree recycles fetch-request records together with their bound
 	// arrival callbacks and waiter storage. Safe across runs: every record
 	// in the pool has had its waiters emptied by freeReq, and newReq
@@ -194,10 +212,12 @@ func NewBulkProc(id int, env *Env, par Params, opts Opts, ins []workload.Instr) 
 		checkpoints: make([]fetchState, par.MaxChunks),
 		slotBusy:    make([]bool, par.MaxChunks),
 		privBuf:     bdm.NewPrivateBuffer(bdm.DefaultPrivBufLines),
-		inflight:    make(map[mem.Line]*fetchReq),
+		inflight:    make([]*fetchReq, 0, par.MSHRs),
 	}
 	p.stepFn = p.step
 	p.pool.SigRecycler = env.SigRecycle
+	p.liveSum = env.Sigs()
+	p.inflightSig = env.Sigs()
 	return p
 }
 
@@ -246,7 +266,17 @@ func (p *BulkProc) Reset(ins []workload.Instr, par Params, opts Opts) {
 	p.pool.Drain()
 	p.privScratch = p.privScratch[:0]
 	p.privBuf.Clear()
+	// The filter signatures are re-drawn rather than Cleared: the new
+	// run's factory may produce a different kind or geometry, and the old
+	// objects go back through the recycler like every dropped chunk sig.
+	if p.env.SigRecycle != nil {
+		p.env.SigRecycle(p.liveSum)
+		p.env.SigRecycle(p.inflightSig)
+	}
+	p.liveSum = p.env.Sigs()
+	p.inflightSig = p.env.Sigs()
 	clear(p.inflight)
+	p.inflight = p.inflight[:0]
 	p.misses = p.misses[:0]
 	p.missHead = 0
 	p.dispatch = 0
@@ -341,11 +371,13 @@ func (p *BulkProc) step() {
 		if p.robFull() {
 			return // stalled on ROB; miss completion kicks
 		}
-		if p.f.done() {
+		// One indexed load serves both the end-of-stream test and the
+		// dispatch switch (done() is current().Kind == OpEnd).
+		in := p.f.current()
+		if in.Kind == workload.OpEnd {
 			p.endOfStream()
 			return
 		}
-		in := p.f.current()
 		switch in.Kind {
 		case workload.OpCompute:
 			n := p.f.computeLeft
@@ -648,23 +680,59 @@ func (p *BulkProc) writtenPrivatelyByLive(l mem.Line) bool {
 	return false
 }
 
+// findReq returns the outstanding fetch for line l, or nil. The MSHR set
+// is bounded by par.MSHRs entries, so the linear scan is a handful of
+// pointer chases.
+//
+//sim:hotpath
+func (p *BulkProc) findReq(l mem.Line) *fetchReq {
+	for _, r := range p.inflight {
+		if r.l == l {
+			return r
+		}
+	}
+	return nil
+}
+
+// dropReq removes r from the MSHR set if present (it may already have
+// been replaced after poisoning). Swap-remove: the only walk over the set
+// is the commutative poison marking, so order is free.
+//
+//sim:hotpath
+func (p *BulkProc) dropReq(r *fetchReq) {
+	for i, q := range p.inflight {
+		if q == r {
+			n := len(p.inflight) - 1
+			p.inflight[i] = p.inflight[n]
+			p.inflight[n] = nil
+			p.inflight = p.inflight[:n]
+			return
+		}
+	}
+}
+
 // fetchWaiter requests line l from its home directory on behalf of waiter
 // w, coalescing with an outstanding request (one MSHR per line). The
 // request record, its waiter storage and its arrival continuation are all
 // pooled; a steady-state miss allocates nothing.
 func (p *BulkProc) fetchWaiter(l mem.Line, w bulkWaiter) {
-	if req, ok := p.inflight[l]; ok && !req.poisoned {
-		req.waiters = append(req.waiters, w)
-		return
+	if req := p.findReq(l); req != nil {
+		if !req.poisoned {
+			req.waiters = append(req.waiters, w)
+			return
+		}
+		// The outstanding request is poisoned, its data dead on arrival.
+		// Coalescing onto it would be a consistency hole: no new demand
+		// read would reach the directory, so this processor would never
+		// be re-registered as a sharer and later commits could miss it.
+		// Replace it with a fresh request (the poisoned record stays
+		// alive until its reply lands, but is no longer the line's MSHR).
+		p.dropReq(req)
 	}
-	// Fresh request — or a replacement for a poisoned one, whose data is
-	// dead on arrival. Coalescing onto a poisoned request would be a
-	// consistency hole: no new demand read would reach the directory, so
-	// this processor would never be re-registered as a sharer and later
-	// commits could miss it.
 	req := p.newReq(l)
 	req.waiters = append(req.waiters, w)
-	p.inflight[l] = req
+	p.inflight = append(p.inflight, req)
+	p.inflightSig.Add(l)
 	p.env.ReadLine(p.id, l, false, req.arriveFn)
 }
 
@@ -729,24 +797,26 @@ func (p *BulkProc) freeReq(r *fetchReq) {
 // discard) the line, then serve the waiters.
 func (r *fetchReq) arrive(stateHint int) {
 	p, l := r.p, r.l
-	if p.inflight[l] == r {
-		delete(p.inflight, l)
-	}
+	p.dropReq(r)
 	if r.poisoned {
 		// Invalidate-on-arrival: wake the waiters without caching the
 		// stale data; value-dependent consumers re-fetch.
+		p.retireInflightSig()
 		p.runWaiters(r)
 		return
 	}
 	victim, ok := p.l1.Insert(l, cache.LineState(stateHint))
 	if !ok {
 		// All ways pinned: hold the line in the MSHR virtually and retry
-		// shortly; commit of the pinning chunk frees a way.
-		p.inflight[l] = r
+		// shortly; commit of the pinning chunk frees a way. Re-adding the
+		// line keeps the in-flight signature a superset of the MSHR set.
+		p.inflight = append(p.inflight, r)
+		p.inflightSig.Add(l)
 		r.st = cache.LineState(stateHint)
 		p.env.Eng.AfterCall(10, bulkRetryCB, r)
 		return
 	}
+	p.retireInflightSig()
 	p.handleVictim(victim)
 	p.runWaiters(r)
 }
@@ -758,23 +828,38 @@ func bulkRetryCB(arg any) { arg.(*fetchReq).retryInstall() }
 
 func (r *fetchReq) retryInstall() {
 	p, l := r.p, r.l
-	if p.inflight[l] == r {
-		delete(p.inflight, l)
-	}
+	p.dropReq(r)
 	if r.poisoned {
+		p.retireInflightSig()
 		p.runWaiters(r)
 		return
 	}
 	victim, ok := p.l1.Insert(l, r.st)
 	if !ok {
-		if _, busy := p.inflight[l]; !busy {
-			p.inflight[l] = r
+		if p.findReq(l) == nil {
+			p.inflight = append(p.inflight, r)
+			p.inflightSig.Add(l)
 		}
 		p.env.Eng.AfterCall(10, bulkRetryCB, r)
 		return
 	}
+	p.retireInflightSig()
 	p.handleVictim(victim)
 	p.runWaiters(r)
+}
+
+// retireInflightSig re-tightens the in-flight-lines signature after a
+// fetch retires. Signatures cannot remove, so retirement clears it only
+// at the cheap sound point — when the MSHR set drains empty. MSHRs bound
+// the set at a handful of entries and the machine drains it constantly,
+// so stale bits never accumulate past one burst; in between they can only
+// cause a harmless fall-through to the precise poison scan.
+//
+//sim:hotpath
+func (p *BulkProc) retireInflightSig() {
+	if len(p.inflight) == 0 {
+		p.inflightSig.Clear()
+	}
 }
 
 // runWaiters serves every consumer of the arrived (or poisoned) fill and

@@ -43,6 +43,7 @@ func (p *BulkProc) openChunk() bool {
 	}
 	p.chunkSeq++
 	ch := p.pool.Get(p.env.Sigs, &p.arena, p.id, p.chunkSeq, slot, p.f.pos, target)
+	ch.Sum = p.liveSum // mirror shared-line inserts into the live summary
 	p.checkpoints[slot] = p.f.checkpoint()
 	p.slotBusy[slot] = true
 	p.chunks = append(p.chunks, ch)
@@ -60,6 +61,12 @@ func (p *BulkProc) closeChunk() {
 	// the processor. The phantoms never enter the exact WSet, so every
 	// conflict they cause is classified as aliased.
 	p.env.Faults.AmplifyW(p.id, ch.W)
+	if p.env.Faults != nil {
+		// Amplified phantom bits bypass the per-access mirror; fold the
+		// whole (possibly amplified) W back into the live summary so the
+		// disambiguation early-out stays a strict superset under faults.
+		p.liveSum.UnionWith(ch.W)
+	}
 	p.tryRequestCommit(ch)
 }
 
@@ -164,6 +171,7 @@ func (p *BulkProc) applyCommit(ch *chunk.Chunk, order uint64) {
 	}
 	ch.State = chunk.Committing
 	ch.CommitOrder = order
+	p.rebuildLiveSum() // ch left the active set; shrink the summary back
 	//lint:alloc inlined ForEach closure; verified non-escaping via scripts/hotpath_escape.sh
 	ch.WriteBuf.ForEach(func(a mem.Addr, v uint64) {
 		p.env.Mem.Store(a, v)
@@ -308,6 +316,7 @@ func (p *BulkProc) squashFrom(idx int, genuine bool) {
 	oldest := victims[0]
 	p.f.restore(p.checkpoints[oldest.Slot])
 	p.cur = nil
+	p.rebuildLiveSum() // the victims left the active set
 	p.squashStreak++
 	if p.squashStreak >= p.opts.PreArbThreshold && !p.preArbing {
 		p.preArbing = true
@@ -396,7 +405,7 @@ func (p *BulkProc) ApplyCommit(c *directory.Commit) {
 	// expansion may have claimed directory ownership of a shared line and
 	// reset its sharer vector, and any chunk that read that line stale
 	// must die here or nothing will ever squash it.
-	idx, genuine := bdm.Disambiguate(c.W, c.TrueW, p.chunks)
+	idx, genuine := bdm.DisambiguateSummary(c.W, p.liveSum, c.TrueW, p.chunks)
 	if idx < 0 && p.env.Faults != nil {
 		// Fault injection: a spurious bulk-disambiguation squash — the
 		// limit case of signature aliasing, where an incoming W "hits" a
@@ -419,13 +428,35 @@ func (p *BulkProc) ApplyCommit(c *directory.Commit) {
 		}
 	})
 	// Replies racing with this commit carry stale data: invalidate on
-	// arrival instead of installing. Marking is commutative over the
-	// in-flight set (every matching request is poisoned, no early exit),
-	// so map iteration order cannot affect the outcome.
-	//lint:deterministic commutative flag-set over all matching entries
-	for l, req := range p.inflight {
-		if c.W.MayContain(l) {
-			req.poisoned = true
+	// arrival instead of installing. The in-flight signature is a superset
+	// of the live MSHR lines (add-only between empty-drain clears), so if
+	// it does not intersect the committing W no in-flight line can satisfy
+	// MayContain — the scan would mark nothing — and it is skipped in O(1).
+	// Marking is commutative over the in-flight set (every matching
+	// request is poisoned, no early exit), so walk order cannot affect
+	// the outcome.
+	if len(p.inflight) > 0 && c.W.Intersects(p.inflightSig) {
+		for _, req := range p.inflight {
+			if c.W.MayContain(req.l) {
+				req.poisoned = true
+			}
+		}
+	}
+}
+
+// rebuildLiveSum recomputes the live-summary signature as the exact union
+// of the remaining active chunks' R and W. Called whenever a chunk leaves
+// the active set (commit retirement, squash) — the only transitions that
+// can shrink the union; access appends grow it incrementally via
+// chunk.Sum.
+//
+//sim:hotpath
+func (p *BulkProc) rebuildLiveSum() {
+	p.liveSum.Clear()
+	for _, ch := range p.chunks {
+		if ch.Active() {
+			p.liveSum.UnionWith(ch.R)
+			p.liveSum.UnionWith(ch.W)
 		}
 	}
 }

@@ -64,7 +64,9 @@ type ConvProc struct {
 	// poSeq numbers memory operations in program order for OnAccess.
 	poSeq uint64
 
-	inflight map[mem.Line]*convReq
+	// inflight holds the outstanding line fetches, at most par.MSHRs (a
+	// handful) at a time — a linear scan beats the map it replaced.
+	inflight []*convReq
 	// reqFree recycles fetch-request records; each keeps its bound arrival
 	// callback, so a steady-state miss allocates nothing. Safe across runs:
 	// freeReq empties the waiters and newReq overwrites the line at reuse.
@@ -136,7 +138,7 @@ func NewConvProc(id int, env *Env, par Params, model Model, ins []workload.Instr
 		model:     model,
 		l1:        cache.NewL1(256, 4),
 		f:         newFetcher(ins),
-		inflight:  make(map[mem.Line]*convReq),
+		inflight:  make([]*convReq, 0, par.MSHRs),
 		storeFwd:  make(map[mem.Addr]uint64),
 		fwdCounts: make(map[mem.Addr]int),
 		specLines: make(map[mem.Line]uint64),
@@ -163,6 +165,7 @@ func (p *ConvProc) Reset(ins []workload.Instr, par Params, model Model) {
 	p.OnAccess = nil
 	p.poSeq = 0
 	clear(p.inflight)
+	p.inflight = p.inflight[:0]
 	p.misses = p.misses[:0]
 	p.missHead = 0
 	p.storeQ = p.storeQ[:0]
@@ -268,7 +271,7 @@ func (p *ConvProc) freeReq(r *convReq) {
 // bound once per record and handed to Env.ReadLine on every reuse.
 func (r *convReq) arrive(stateHint int) {
 	p, l := r.p, r.l
-	delete(p.inflight, l)
+	p.dropReq(r)
 	victim, ok := p.l1.Insert(l, cache.LineState(stateHint))
 	if !ok {
 		panic("conv proc: insert failed (no pinning in conventional mode)")
@@ -289,8 +292,37 @@ func (r *convReq) arrive(stateHint int) {
 	p.freeReq(r)
 }
 
+// findReq returns the outstanding fetch for line l, or nil (linear scan;
+// the MSHR set is bounded by par.MSHRs entries).
+//
+//sim:hotpath
+func (p *ConvProc) findReq(l mem.Line) *convReq {
+	for _, r := range p.inflight {
+		if r.l == l {
+			return r
+		}
+	}
+	return nil
+}
+
+// dropReq removes r from the MSHR set (swap-remove; nothing walks the
+// set, so order is free).
+//
+//sim:hotpath
+func (p *ConvProc) dropReq(r *convReq) {
+	for i, q := range p.inflight {
+		if q == r {
+			n := len(p.inflight) - 1
+			p.inflight[i] = p.inflight[n]
+			p.inflight[n] = nil
+			p.inflight = p.inflight[:n]
+			return
+		}
+	}
+}
+
 func (p *ConvProc) fetch(l mem.Line, excl bool, done func()) {
-	if req, ok := p.inflight[l]; ok {
+	if req := p.findReq(l); req != nil {
 		if done != nil {
 			req.waiters = append(req.waiters, convWaiter{fn: done})
 		}
@@ -300,7 +332,7 @@ func (p *ConvProc) fetch(l mem.Line, excl bool, done func()) {
 	if done != nil {
 		req.waiters = append(req.waiters, convWaiter{fn: done})
 	}
-	p.inflight[l] = req
+	p.inflight = append(p.inflight, req)
 	p.env.ReadLine(p.id, l, excl, req.arriveFn)
 }
 
@@ -308,13 +340,13 @@ func (p *ConvProc) fetch(l mem.Line, excl bool, done func()) {
 // index idx; completion marks the miss entry done and kicks dispatch,
 // without a per-miss closure.
 func (p *ConvProc) fetchLoadMiss(l mem.Line, idx uint64) {
-	if req, ok := p.inflight[l]; ok {
+	if req := p.findReq(l); req != nil {
 		req.waiters = append(req.waiters, convWaiter{idx: idx})
 		return
 	}
 	req := p.newReq(l)
 	req.waiters = append(req.waiters, convWaiter{idx: idx})
-	p.inflight[l] = req
+	p.inflight = append(p.inflight, req)
 	p.env.ReadLine(p.id, l, false, req.arriveFn)
 }
 
@@ -357,7 +389,7 @@ func (p *ConvProc) prefetchAhead(k int) {
 				continue
 			}
 		}
-		if _, busy := p.inflight[l]; busy {
+		if p.findReq(l) != nil {
 			continue
 		}
 		if len(p.inflight) >= p.par.MSHRs {
@@ -413,11 +445,11 @@ func (p *ConvProc) recordAccess(po uint64, store bool, a mem.Addr, v uint64, fwd
 // ---------------------------------------------------------------------------
 
 func (p *ConvProc) scStep() {
-	if p.f.done() {
+	in := p.f.current()
+	if in.Kind == workload.OpEnd {
 		p.finish()
 		return
 	}
-	in := p.f.current()
 	switch in.Kind {
 	case workload.OpCompute:
 		n := p.f.computeLeft
@@ -606,14 +638,16 @@ func (p *ConvProc) rcStep() {
 		if p.storeQLen() >= p.par.LSQ {
 			return // store drain kicks
 		}
-		if p.f.done() {
+		// One indexed load serves both the end-of-stream test and the
+		// dispatch switch (done() is current().Kind == OpEnd).
+		in := p.f.current()
+		if in.Kind == workload.OpEnd {
 			if p.storeQLen() > 0 {
 				return // drain completes first
 			}
 			p.finish()
 			return
 		}
-		in := p.f.current()
 		switch in.Kind {
 		case workload.OpCompute:
 			n := p.f.computeLeft

@@ -7,18 +7,33 @@
 // simulator components run on a single goroutine, so no locking is needed
 // and results are bit-reproducible for a given seed.
 //
-// Performance architecture: the queue is a monomorphic 4-ary heap of event
-// records stored inline in one slice. Unlike container/heap there is no
-// interface boxing — push and pop never allocate in steady state, and the
-// flat 4-ary layout does ~half the compare/swap levels of a binary heap on
-// the simulator's queue depths. Each record carries either a plain func()
-// or a typed callback + payload word (AtCall/AfterCall), letting hot
-// schedulers avoid per-event closure captures entirely by reusing one
-// callback and threading state through the payload.
+// Performance architecture: the queue is a two-tier calendar. A cycle-level
+// machine schedules almost every event at now+1..now+k for small k (cache
+// hops are 6 cycles, an off-chip access 293, commit backoff tens), so the
+// near future — the next wheelSize cycles — is a timing wheel: one FIFO
+// slot per cycle, push and pop both O(1), with an occupancy bitmap making
+// "next non-empty cycle" a couple of word scans. Events beyond the wheel
+// horizon (watchdog polls, pre-arbitration timeouts) spill into a
+// monomorphic 4-ary overflow heap of the same inline event records. Both
+// tiers are allocation-free in steady state: slot slices and the heap
+// slice are the pool, and append reuses their capacity. Each record
+// carries either a plain func() or a typed callback + payload word
+// (AtCall/AfterCall), letting hot schedulers avoid per-event closure
+// captures entirely by reusing one callback and threading state through
+// the payload.
+//
+// Ordering across the tiers is exact (see DESIGN.md §16): an event is
+// heap-resident only if its time was ≥ now+wheelSize when scheduled, and
+// wheel-resident only if it was < now+wheelSize. now never decreases, so
+// for any single cycle t every heap event at t was scheduled before every
+// wheel event at t and carries a smaller sequence number. Draining the
+// heap first on time ties therefore reproduces the exact (time, seq)
+// order of a single priority queue, bit for bit.
 package sim
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
 )
 
@@ -26,8 +41,9 @@ import (
 type Time uint64
 
 // event is one scheduled callback record. Records live inline in the
-// engine's heap slice — they are the "pool"; append reuses the slice's
-// capacity, so steady-state scheduling performs zero allocations.
+// wheel's slot slices and the overflow heap — they are the "pool"; append
+// reuses the slices' capacity, so steady-state scheduling performs zero
+// allocations.
 type event struct {
 	at  Time
 	seq uint64
@@ -36,17 +52,40 @@ type event struct {
 	arg any       // payload for cb; an interface holding a pointer does not allocate
 }
 
-// arity of the event heap. 4-ary trades slightly more comparisons per
-// sift-down for half the tree depth and much better cache locality than a
-// binary heap; on the simulator's typical queue depths (tens to a few
-// hundred events) it measures fastest.
+// arity of the overflow event heap. 4-ary trades slightly more comparisons
+// per sift-down for half the tree depth and much better cache locality
+// than a binary heap; on the overflow queue's depths it measures fastest.
 const arity = 4
+
+// Timing-wheel geometry. wheelSize cycles of lookahead covers every
+// steady-state latency in the machine (hop 6, directory access, off-chip
+// 293, commit backoff ≤ 51, squash penalties); only coarse timers (5000-
+// cycle watchdog polls, 20000+-cycle pre-arbitration timeouts) overflow
+// to the heap. Power of two so slot index and bitmap scans are masks.
+const (
+	wheelBits  = 9
+	wheelSize  = 1 << wheelBits // cycles of O(1) lookahead
+	wheelMask  = wheelSize - 1
+	wheelWords = wheelSize / 64 // occupancy bitmap words
+)
 
 // Engine is a discrete-event simulator clock and scheduler.
 // The zero value is not usable; construct with NewEngine.
 type Engine struct {
-	now  Time
-	seq  uint64
+	now Time
+	seq uint64
+	// slots[t&wheelMask] holds, in FIFO (= seq) order, the events
+	// scheduled for cycle t, for t in [now, now+wheelSize). heads gives
+	// each slot's drain cursor so pop never shifts storage; a fully
+	// drained slot truncates to len 0, keeping capacity.
+	slots [][]event
+	heads []int
+	// occ is the slot-occupancy bitmap: bit i set iff slots[i] has
+	// undrained events. wcount is the total across all slots.
+	occ    [wheelWords]uint64
+	wcount int
+	// heap is the far-future overflow tier (events ≥ wheelSize cycles
+	// ahead at scheduling time).
 	heap []event
 	rng  *rand.Rand
 	// fired counts events executed, as a cheap progress/livelock metric.
@@ -57,7 +96,11 @@ type Engine struct {
 
 // NewEngine returns an engine whose RNG is seeded with seed.
 func NewEngine(seed int64) *Engine {
-	return &Engine{rng: rand.New(rand.NewSource(seed))}
+	return &Engine{
+		slots: make([][]event, wheelSize),
+		heads: make([]int, wheelSize),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
 }
 
 // Now returns the current simulation time.
@@ -113,17 +156,29 @@ func (e *Engine) AtCall(t Time, cb func(any), arg any) {
 func (e *Engine) AfterCall(d Time, cb func(any), arg any) { e.AtCall(e.now+d, cb, arg) }
 
 // Pending reports the number of scheduled events not yet fired.
-func (e *Engine) Pending() int { return len(e.heap) }
+func (e *Engine) Pending() int { return e.wcount + len(e.heap) }
 
 // Reset returns the engine to its just-constructed state while retaining
-// the heap slice's capacity, so a warm machine reuse (core.Runner) pays no
-// event-queue reallocation. Leftover events are dropped: Run can stop with
-// events still queued (the all-procs-done condition), and a recycled
-// engine must not fire a previous run's callbacks. The vacated records are
-// zeroed so dead closures and payloads are released to the GC, and the RNG
-// is re-seeded so the next run draws the exact stream a cold NewEngine
-// would — the determinism contract of warm reuse.
+// the wheel slots' and heap slice's capacity, so a warm machine reuse
+// (core.Runner) pays no event-queue reallocation. Leftover events are
+// dropped: Run can stop with events still queued (the all-procs-done
+// condition), and a recycled engine must not fire a previous run's
+// callbacks. The vacated records are zeroed so dead closures and payloads
+// are released to the GC, and the RNG is re-seeded so the next run draws
+// the exact stream a cold NewEngine would — the determinism contract of
+// warm reuse.
 func (e *Engine) Reset(seed int64) {
+	for w, word := range e.occ {
+		for word != 0 {
+			i := w<<6 | bits.TrailingZeros64(word)
+			word &= word - 1
+			clear(e.slots[i]) // release closures/payloads from undrained events
+			e.slots[i] = e.slots[i][:0]
+			e.heads[i] = 0
+		}
+		e.occ[w] = 0
+	}
+	e.wcount = 0
 	clear(e.heap) // release closures/payloads from any undrained events
 	e.heap = e.heap[:0]
 	e.now = 0
@@ -141,10 +196,27 @@ func (a *event) less(b *event) bool {
 	return a.seq < b.seq
 }
 
-// push appends ev and restores the heap property by sifting up.
+// push routes ev to the wheel when it lands within the lookahead window
+// and to the overflow heap otherwise. Wheel insertion is O(1): append to
+// the cycle's FIFO slot and set its occupancy bit.
 //
 //sim:hotpath
 func (e *Engine) push(ev event) {
+	if ev.at < e.now+wheelSize {
+		i := int(ev.at) & wheelMask
+		e.slots[i] = append(e.slots[i], ev)
+		e.occ[i>>6] |= 1 << uint(i&63)
+		e.wcount++
+		return
+	}
+	e.pushHeap(ev)
+}
+
+// pushHeap appends ev to the overflow heap and restores the heap property
+// by sifting up.
+//
+//sim:hotpath
+func (e *Engine) pushHeap(ev event) {
 	h := append(e.heap, ev)
 	i := len(h) - 1
 	for i > 0 {
@@ -158,11 +230,80 @@ func (e *Engine) push(ev event) {
 	e.heap = h
 }
 
-// pop removes and returns the earliest event. The vacated tail slot is
-// zeroed so the slice does not retain dead closures or payloads.
+// wheelNext returns the earliest cycle with a pending wheel event. It must
+// only be called with wcount > 0. The scan walks the occupancy bitmap
+// circularly from now's slot — at most wheelWords+1 word reads, usually
+// one, since the wheel invariant guarantees every occupied slot maps to a
+// unique cycle in [now, now+wheelSize).
+//
+//sim:hotpath
+func (e *Engine) wheelNext() Time {
+	start := int(e.now) & wheelMask
+	w := start >> 6
+	word := e.occ[w] &^ (1<<uint(start&63) - 1)
+	for {
+		if word != 0 {
+			slot := w<<6 | bits.TrailingZeros64(word)
+			return e.now + Time((slot-start)&wheelMask)
+		}
+		w = (w + 1) & (wheelWords - 1)
+		word = e.occ[w]
+		if w == start>>6 {
+			// Wrapped: only the start word's low bits (cycles just under
+			// now+wheelSize) remain unexamined.
+			word &= 1<<uint(start&63) - 1
+			slot := w<<6 | bits.TrailingZeros64(word)
+			return e.now + Time((slot-start)&wheelMask)
+		}
+	}
+}
+
+// popWheel removes and returns the head of cycle t's FIFO slot, zeroing
+// the vacated record so the slice does not retain dead closures or
+// payloads. A fully drained slot truncates (capacity kept) and clears its
+// occupancy bit.
+//
+//sim:hotpath
+func (e *Engine) popWheel(t Time) event {
+	i := int(t) & wheelMask
+	s := e.slots[i]
+	h := e.heads[i]
+	ev := s[h]
+	s[h] = event{} // release references held by the record
+	h++
+	if h == len(s) {
+		e.slots[i] = s[:0]
+		e.heads[i] = 0
+		e.occ[i>>6] &^= 1 << uint(i&63)
+	} else {
+		e.heads[i] = h
+	}
+	e.wcount--
+	return ev
+}
+
+// pop removes and returns the earliest event across both tiers. On a time
+// tie the heap wins: a heap-resident event at cycle t was scheduled while
+// t was beyond the wheel horizon, i.e. before every wheel-resident event
+// at t, so its sequence number is strictly smaller (package comment).
 //
 //sim:hotpath
 func (e *Engine) pop() event {
+	if e.wcount > 0 {
+		t := e.wheelNext()
+		if len(e.heap) == 0 || t < e.heap[0].at {
+			return e.popWheel(t)
+		}
+	}
+	return e.popHeap()
+}
+
+// popHeap removes and returns the earliest overflow-heap event. The
+// vacated tail slot is zeroed so the slice does not retain dead closures
+// or payloads.
+//
+//sim:hotpath
+func (e *Engine) popHeap() event {
 	h := e.heap
 	top := h[0]
 	n := len(h) - 1
@@ -196,12 +337,29 @@ func (e *Engine) pop() event {
 	return top
 }
 
+// nextAt reports the earliest pending event time across both tiers.
+//
+//sim:hotpath
+func (e *Engine) nextAt() (Time, bool) {
+	if e.wcount > 0 {
+		t := e.wheelNext()
+		if len(e.heap) > 0 && e.heap[0].at < t {
+			t = e.heap[0].at
+		}
+		return t, true
+	}
+	if len(e.heap) > 0 {
+		return e.heap[0].at, true
+	}
+	return 0, false
+}
+
 // Step fires the single earliest event and returns true, or returns false
 // if the queue is empty.
 //
 //sim:hotpath
 func (e *Engine) Step() bool {
-	if len(e.heap) == 0 {
+	if e.wcount == 0 && len(e.heap) == 0 {
 		return false
 	}
 	ev := e.pop()
@@ -232,7 +390,11 @@ func (e *Engine) Run(stop func() bool) {
 
 // RunUntil fires events until the clock reaches t or the queue drains.
 func (e *Engine) RunUntil(t Time) {
-	for len(e.heap) > 0 && e.heap[0].at <= t {
+	for {
+		at, ok := e.nextAt()
+		if !ok || at > t {
+			break
+		}
 		e.Step()
 	}
 	if e.now < t {

@@ -64,7 +64,7 @@ echo "== go test =="
 go test ./...
 
 echo "== fuzz smoke (checked-in corpus as regression tests) =="
-go test -run 'Fuzz' ./internal/sig ./internal/lineset ./internal/sharerset
+go test -run 'Fuzz' ./internal/sig ./internal/lineset ./internal/sharerset ./internal/sim
 
 echo "== 256-proc scaling smoke =="
 go test -run 'TestBigMachineRadixSmoke' ./internal/core

@@ -71,6 +71,36 @@ else
     echo "  fig9_warm                    skipped (entry missing from baseline or current; pre-warm-reuse snapshot)"
 fi
 
+# Warm-reuse sanity within the CURRENT snapshot: a warm sweep reuses every
+# machine arena, so it must not run slower than cold construction. Guarded
+# to 5% so scheduler noise on a loaded box cannot flip it, but a genuine
+# warm-path regression (stale-capacity re-walks, pool indirection) fails.
+WARM_TOL=5 # % allowed warm-over-cold ns excess in the current snapshot
+if [ "$(jq -r 'has("fig9_warm")' "$cur")" = true ]; then
+    verdict=$(awk \
+        -v c="$(jq -r '.fig9.ns_per_op' "$cur")" \
+        -v w="$(jq -r '.fig9_warm.ns_per_op' "$cur")" \
+        -v t="$WARM_TOL" 'BEGIN {
+        r = (c > 0) ? w / c : 0
+        printf "%s warm/cold %.3f (limit %.2f)", (r > 1 + t / 100) ? "FAIL" : "ok", r, 1 + t / 100
+    }')
+    case "$verdict" in
+    FAIL*) fail=1 ;;
+    esac
+    printf '  %-28s %s\n' "fig9 warm<=cold" "$verdict"
+fi
+
+# The 256-proc scaling cell's simulator wall time — the big-machine cost
+# the commit fan-out work targets. Same ns tolerance as the sweeps; the
+# row is skipped when either snapshot predates per-cell wall times.
+bwall=$(jq -r '(.scaling // []) | map(select(.procs == 256)) | (.[0].wall_ms // empty)' "$base")
+cwall=$(jq -r '(.scaling // []) | map(select(.procs == 256)) | (.[0].wall_ms // empty)' "$cur")
+if [ -n "$bwall" ] && [ -n "$cwall" ]; then
+    compare scaling_256_wall_ms "$bwall" 0 "$cwall" 0
+else
+    echo "  scaling_256_wall_ms          skipped (per-cell wall time missing from baseline or current)"
+fi
+
 # Micros, matched by name; entries present in only one file are noted.
 for name in $(jq -r '.micro[].name' "$cur"); do
     bent=$(jq -c --arg n "$name" '.micro[] | select(.name == $n)' "$base")
